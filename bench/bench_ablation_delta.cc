@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: the tolerance factor delta (Section 3.2.2).
+ *
+ * The paper argues that small delta makes cluster agents react faster
+ * but causes frequent V-F transitions (thermal cycling), while large
+ * delta is sluggish.  This bench sweeps delta on a medium workload
+ * and reports QoS, power and the number of V-F transitions.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hh"
+#include "hw/platform.hh"
+#include "market/ppm_governor.hh"
+#include "sim/simulation.hh"
+#include "workload/sets.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    std::printf("Ablation: tolerance factor delta "
+                "(workload m2, 300 s, no TDP)\n\n");
+
+    const auto& set = workload::workload_set("m2");
+    Table table({"delta", "rounding", "QoS miss", "avg power [W]",
+                 "V-F transitions", "migrations"});
+    for (bool rounding : {false, true}) {
+        for (double delta : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+            market::PpmGovernorConfig cfg;
+            cfg.market.tolerance = delta;
+            cfg.market.demand_rounding = rounding;
+            for (const auto& m : set.members) {
+                cfg.big_speedup.push_back(
+                    workload::profile(m.bench, m.input).big_speedup);
+            }
+            sim::SimConfig sim_cfg;
+            sim_cfg.duration = 300 * kSecond;
+            sim::Simulation sim(
+                hw::tc2_chip(), workload::instantiate(set, 42),
+                std::make_unique<market::PpmGovernor>(cfg), sim_cfg);
+            const sim::RunSummary s = sim.run();
+            table.add_row({fmt_double(delta, 2), rounding ? "on" : "off",
+                           fmt_percent(s.any_below_miss),
+                           fmt_double(s.avg_power, 2),
+                           std::to_string(s.vf_transitions),
+                           std::to_string(s.migrations)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nexpected shape (rounding off, the paper's raw "
+                "dynamics): smaller delta ->\nmore V-F transitions "
+                "(thermal cycling), larger delta -> sluggish.  With\n"
+                "demand rounding on, the limit cycle is damped and "
+                "delta matters less.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: what the LBT module's cross-core-type demand knowledge is
+ * worth (Section 5.2 discusses the off-line profiling step; its
+ * elimination through an online model is the paper's stated future
+ * work).  Three PPM variants on the Table 6 sets:
+ *
+ *   offline  -- per-task speedups from the benchmark profiles
+ *               (the paper's configuration),
+ *   online   -- speedups learned at runtime from HRM observations,
+ *   none     -- a single default speedup for every task.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hh"
+#include "hw/platform.hh"
+#include "market/ppm_governor.hh"
+#include "sim/simulation.hh"
+#include "workload/sets.hh"
+
+namespace {
+
+using namespace ppm;
+
+sim::RunSummary
+run_variant(const workload::WorkloadSet& set, const char* variant,
+            std::uint64_t seed)
+{
+    market::PpmGovernorConfig cfg;
+    if (std::string(variant) == "offline") {
+        for (const auto& m : set.members) {
+            cfg.big_speedup.push_back(
+                workload::profile(m.bench, m.input).big_speedup);
+        }
+    } else if (std::string(variant) == "online") {
+        cfg.online_speedup = true;
+    }  // "none": defaults only.
+    sim::SimConfig sim_cfg;
+    sim_cfg.duration = 300 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), workload::instantiate(set, seed),
+                        std::make_unique<market::PpmGovernor>(cfg),
+                        sim_cfg);
+    return sim.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ppm;
+    std::printf("Ablation: offline vs online vs no cross-core-type "
+                "profiling\n(PPM, 300 s, no TDP, averaged over 2 "
+                "seeds)\n\n");
+    Table table({"Workload", "offline miss", "online miss", "none miss",
+                 "offline W", "online W", "none W"});
+    for (const char* name : {"l2", "m2", "h2"}) {
+        const auto& set = workload::workload_set(name);
+        double miss[3] = {0, 0, 0};
+        double power[3] = {0, 0, 0};
+        int i = 0;
+        for (const char* variant : {"offline", "online", "none"}) {
+            for (std::uint64_t seed : {42ull, 142ull}) {
+                const auto s = run_variant(set, variant, seed);
+                miss[i] += s.any_below_miss / 2.0;
+                power[i] += s.avg_power / 2.0;
+            }
+            ++i;
+        }
+        table.add_row({name, fmt_percent(miss[0]), fmt_percent(miss[1]),
+                       fmt_percent(miss[2]), fmt_double(power[0], 2),
+                       fmt_double(power[1], 2), fmt_double(power[2], 2)});
+    }
+    table.print(std::cout);
+    std::printf("\nexpected shape: offline and online comparable; "
+                "'none' mis-speculates\ncross-cluster demands and "
+                "loses QoS or power on heterogeneous sets.\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 4: percentage of time the reference heart-rate range of any
+ * task in the workload is not met, with NO TDP constraint, for PPM,
+ * HPM and HL across the nine Table 6 workload sets.
+ *
+ * Expected shape (paper): HL wins on light sets (it eagerly migrates
+ * everything to the big cluster); PPM wins on medium and heavy sets.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    std::printf("Figure 4: %% of time reference heart rate missed "
+                "(no TDP constraint)\n");
+    std::printf("300 s per run, averaged over 3 seeds\n\n");
+
+    Table table({"Workload", "Class", "PPM", "HPM", "HL"});
+    for (const auto& set : workload::standard_workload_sets()) {
+        std::vector<std::string> row{
+            set.name, workload::intensity_class_name(set.expected_class)};
+        for (const char* policy : {"PPM", "HPM", "HL"}) {
+            bench::RunParams params;
+            params.policy = policy;
+            const sim::RunSummary r = bench::run_set_avg(set, params);
+            row.push_back(fmt_percent(r.any_below_miss));
+        }
+        table.add_row(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

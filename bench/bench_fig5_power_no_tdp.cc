@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 5: average chip power consumption with NO TDP constraint for
+ * PPM, HPM and HL across the nine Table 6 workload sets.
+ *
+ * Expected shape (paper): HL is by far the hungriest (~6 W average,
+ * ondemand pegs the big cluster at maximum frequency), while HPM and
+ * PPM are comparable, with PPM lowest (paper: HL 5.99 W, HPM 3.43 W,
+ * PPM 2.96 W averaged over all sets).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    std::printf("Figure 5: average chip power [W] (no TDP constraint)\n");
+    std::printf("300 s per run, averaged over 3 seeds\n\n");
+
+    Table table({"Workload", "Class", "PPM", "HPM", "HL"});
+    double sum_ppm = 0.0;
+    double sum_hpm = 0.0;
+    double sum_hl = 0.0;
+    for (const auto& set : workload::standard_workload_sets()) {
+        std::vector<std::string> row{
+            set.name, workload::intensity_class_name(set.expected_class)};
+        for (const char* policy : {"PPM", "HPM", "HL"}) {
+            bench::RunParams params;
+            params.policy = policy;
+            const sim::RunSummary r = bench::run_set_avg(set, params);
+            row.push_back(fmt_double(r.avg_power, 2));
+            if (std::string(policy) == "PPM")
+                sum_ppm += r.avg_power;
+            else if (std::string(policy) == "HPM")
+                sum_hpm += r.avg_power;
+            else
+                sum_hl += r.avg_power;
+        }
+        table.add_row(row);
+    }
+    const double n = 9.0;
+    table.add_row({"mean", "", fmt_double(sum_ppm / n, 2),
+                   fmt_double(sum_hpm / n, 2), fmt_double(sum_hl / n, 2)});
+    table.print(std::cout);
+    std::printf("\npaper means: PPM 2.96 W, HPM 3.43 W, HL 5.99 W\n");
+    return 0;
+}

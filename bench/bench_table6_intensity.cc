@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 6: the nine multiprogrammed workload sets, their member
+ * tasks, intensity values, and light/medium/heavy classification.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "workload/sets.hh"
+
+int
+main()
+{
+    using namespace ppm;
+    constexpr Pu kLittleMax = 3000.0;  // 3 cores x 1000 PU.
+
+    std::cout << "Table 6: workload sets and intensity classes\n"
+              << "(intensity = (sum d_A7 - S_A7max) / S_A7max, "
+                 "S_A7max = 3000 PU aggregate)\n\n";
+    Table table({"Set", "Members", "Sum d_A7", "Intensity", "Class",
+                 "Expected"});
+    for (const auto& set : workload::standard_workload_sets()) {
+        std::string members;
+        Pu total = 0.0;
+        for (const auto& m : set.members) {
+            const auto& p = workload::profile(m.bench, m.input);
+            if (!members.empty())
+                members += " ";
+            members += p.name;
+            total += p.avg_demand_little;
+        }
+        const double x = workload::intensity(set, kLittleMax);
+        table.add_row({set.name, members, fmt_double(total, 0),
+                       fmt_double(x, 2),
+                       workload::intensity_class_name(
+                           workload::classify_intensity(x)),
+                       workload::intensity_class_name(
+                           set.expected_class)});
+    }
+    table.print(std::cout);
+    return 0;
+}

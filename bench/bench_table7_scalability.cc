@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table 7: computational overhead of the framework for growing
+ * numbers of clusters V, cores per cluster C, and tasks per core T.
+ *
+ * Mirrors the paper's methodology: a synthetic chip with maximum
+ * supplies spread over [350, 3000] PU, random task demands in
+ * [10, 50] PU, and the measurement of (a) one supply-demand market
+ * round for the whole chip and (b) the LBT speculation performed by
+ * one constrained core (the per-core share of the distributed
+ * computation, which is what the paper's Table 7 reports -- e.g.
+ * 11.4 ms for V=256, C=16, T=32 on a 350 MHz Cortex-A7).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "hw/platform.hh"
+#include "market/lbt.hh"
+#include "market/market.hh"
+
+namespace {
+
+using namespace ppm;
+
+/** A populated market + LBT instance for one (V, C, T) combination. */
+struct Scenario {
+    Scenario(int clusters, int cores, int tasks_per_core)
+        : chip(hw::synthetic_chip(clusters, cores))
+    {
+        market::PpmConfig cfg;
+        cfg.w_tdp = 1e9;
+        cfg.w_th = 1e9 - 0.5;
+        market = std::make_unique<market::Market>(&chip, cfg);
+        Rng rng(2014);
+        TaskId id = 0;
+        for (CoreId c = 0; c < chip.num_cores(); ++c) {
+            for (int t = 0; t < tasks_per_core; ++t) {
+                market->add_task(id,
+                                 1 + static_cast<int>(
+                                         rng.uniform_int(0, 6)),
+                                 c);
+                market->set_demand(id, rng.uniform(10.0, 50.0));
+                ++id;
+            }
+        }
+        for (ClusterId v = 0; v < chip.num_clusters(); ++v)
+            market->set_cluster_power(v, rng.uniform(0.1, 2.0));
+        // Two warm-up rounds to populate prices and supplies.
+        market->round();
+        market->round();
+        lbt = std::make_unique<market::LbtModule>(
+            market.get(),
+            [this](TaskId t, ClusterId) { return market->task(t).demand; });
+    }
+
+    hw::Chip chip;
+    std::unique_ptr<market::Market> market;
+    std::unique_ptr<market::LbtModule> lbt;
+};
+
+void
+BM_SupplyDemandRound(benchmark::State& state)
+{
+    Scenario s(static_cast<int>(state.range(0)),
+               static_cast<int>(state.range(1)),
+               static_cast<int>(state.range(2)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.market->round());
+    state.SetLabel("V=" + std::to_string(state.range(0)) +
+                   " C=" + std::to_string(state.range(1)) +
+                   " T=" + std::to_string(state.range(2)) + " tasks=" +
+                   std::to_string(state.range(0) * state.range(1) *
+                                  state.range(2)));
+}
+
+void
+BM_LbtConstrainedCore(benchmark::State& state)
+{
+    Scenario s(static_cast<int>(state.range(0)),
+               static_cast<int>(state.range(1)),
+               static_cast<int>(state.range(2)));
+    // The per-core share: only cluster 0's constrained core
+    // contemplates movements (against all V target clusters).
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.lbt->propose_migration_from(0));
+    state.SetLabel("V=" + std::to_string(state.range(0)) +
+                   " C=" + std::to_string(state.range(1)) +
+                   " T=" + std::to_string(state.range(2)) + " tasks=" +
+                   std::to_string(state.range(0) * state.range(1) *
+                                  state.range(2)));
+}
+
+void
+table7_args(benchmark::internal::Benchmark* b)
+{
+    // The paper's sweep: V up to 256 clusters, C up to 16 cores,
+    // T in {8, 32} tasks per core (up to 131,072 tasks).
+    for (const auto& vc : {std::pair{2, 4}, std::pair{4, 8},
+                           std::pair{8, 8}, std::pair{16, 8},
+                           std::pair{16, 16}, std::pair{64, 16},
+                           std::pair{256, 16}}) {
+        for (int t : {8, 32})
+            b->Args({vc.first, vc.second, t});
+    }
+    b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_SupplyDemandRound)->Apply(table7_args);
+BENCHMARK(BM_LbtConstrainedCore)->Apply(table7_args);
+
+} // namespace
+
+BENCHMARK_MAIN();

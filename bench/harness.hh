@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Thin compatibility shim: the benchmark harness lives in the library
+ * proper (experiment/experiment.hh) so downstream code can use it too.
+ */
+
+#ifndef PPM_BENCH_HARNESS_HH
+#define PPM_BENCH_HARNESS_HH
+
+#include "experiment/experiment.hh"
+
+namespace ppm::bench {
+
+using RunParams = experiment::RunParams;
+using RunResult = experiment::RunResult;
+using experiment::make_governor;
+using experiment::run_set;
+using experiment::run_set_avg;
+using experiment::run_specs;
+
+} // namespace ppm::bench
+
+#endif // PPM_BENCH_HARNESS_HH

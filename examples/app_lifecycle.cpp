@@ -1,0 +1,86 @@
+/**
+ * @file
+ * App-lifecycle example: a phone-like scenario where tasks come and
+ * go.  A music player runs throughout; a game runs from 20 s to 80 s;
+ * a camera burst needs heavy compute from 40 s to 55 s.  The market
+ * admits and releases task agents on the fly, the LBT module reshapes
+ * the mapping, and the big cluster is powered up only while the heavy
+ * phase needs it.
+ *
+ * Usage: app_lifecycle [seconds]
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "hw/platform.hh"
+#include "market/ppm_governor.hh"
+#include "sim/simulation.hh"
+#include "workload/task.hh"
+#include "workload/benchmarks.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace ppm;
+    const double seconds = argc > 1 ? std::atof(argv[1]) : 120.0;
+
+    std::vector<workload::TaskSpec> specs{
+        workload::steady_task_spec("music", 2, 150.0, 1.5, 40.0),
+        workload::make_task_spec(workload::Benchmark::kX264,
+                                 workload::Input::kNative, 3, 7),  // game
+        workload::make_task_spec(workload::Benchmark::kTracking,
+                                 workload::Input::kFullhd, 4, 8),  // camera
+    };
+    specs[1].name = "game";
+    specs[2].name = "camera";
+
+    sim::SimConfig cfg;
+    cfg.duration = static_cast<SimTime>(seconds * kSecond);
+    cfg.trace = true;
+    cfg.lifetimes = {
+        {0, sim::SimConfig::Lifetime::kForever},
+        {20 * kSecond, 80 * kSecond},
+        {40 * kSecond, 55 * kSecond},
+    };
+
+    market::PpmGovernorConfig gov_cfg;
+    gov_cfg.market.w_tdp = 8.0;
+    gov_cfg.market.w_th = 7.0;
+    gov_cfg.big_speedup = {1.5, 1.7, 2.0};
+
+    auto governor = std::make_unique<market::PpmGovernor>(gov_cfg);
+    sim::Simulation sim(hw::tc2_chip(), specs, std::move(governor), cfg);
+
+    std::printf("t[s]  music  game  camera  |  L MHz  b MHz  power\n");
+    SimTime next = 0;
+    while (sim.now() < cfg.duration) {
+        sim.step();
+        if (sim.now() >= next) {
+            next += 10 * kSecond;
+            std::printf("%4ld ", static_cast<long>(sim.now() / kSecond));
+            for (TaskId t = 0; t < 3; ++t) {
+                if (!sim.task_alive(t)) {
+                    std::printf("%7s", "-");
+                } else {
+                    std::printf("%6.2f ",
+                                sim.tasks()[t]->heart_rate(sim.now())
+                                    / sim.tasks()[t]->hrm().target_hr());
+                }
+            }
+            std::printf("  | %5.0f  %5.0f  %.2f W\n",
+                        sim.chip().cluster(0).mhz(),
+                        sim.chip().cluster(1).mhz(),
+                        sim.sensors().instantaneous_chip());
+        }
+    }
+
+    const sim::RunSummary s = sim.summary();
+    std::printf("\nmisses: music %.1f%%, game %.1f%% (while alive), "
+                "camera %.1f%% (while alive)\n",
+                100.0 * s.task_below[0], 100.0 * s.task_below[1],
+                100.0 * s.task_below[2]);
+    std::printf("avg power %.2f W, migrations %ld\n", s.avg_power,
+                s.migrations);
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Custom platform example: the library is not limited to the TC2
+ * evaluation board.  This builds a three-cluster octa-core chip
+ * (4 efficiency cores + 2 mid cores + 2 performance cores, in the
+ * spirit of later DynamIQ designs), defines a bespoke workload
+ * through the public TaskSpec API, and runs the price-theory
+ * governor on it.
+ *
+ * Usage: custom_platform [seconds]
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "hw/platform.hh"
+#include "hw/power_model.hh"
+#include "market/ppm_governor.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace ppm;
+
+/** A 4+2+2 three-cluster chip with distinct V-F ranges. */
+hw::Chip
+octa_chip()
+{
+    hw::CoreTypeParams eff{"eff", hw::CoreClass::kLittle, 0.30, 0.04,
+                           0.12};
+    hw::CoreTypeParams mid{"mid", hw::CoreClass::kBig, 0.70, 0.12,
+                           0.20};
+    hw::CoreTypeParams perf{"perf", hw::CoreClass::kBig, 1.50, 0.30,
+                            0.35};
+    hw::VfTable eff_vf(std::vector<hw::VfPoint>{{300, 0.85},
+                                                {500, 0.95},
+                                                {700, 1.05},
+                                                {900, 1.15},
+                                                {1100, 1.25}});
+    hw::VfTable mid_vf(std::vector<hw::VfPoint>{{600, 0.95},
+                                                {900, 1.05},
+                                                {1200, 1.15},
+                                                {1500, 1.25}});
+    hw::VfTable perf_vf(std::vector<hw::VfPoint>{{800, 1.00},
+                                                 {1200, 1.10},
+                                                 {1600, 1.20},
+                                                 {2000, 1.30}});
+    return hw::Chip({hw::Chip::ClusterSpec{eff, eff_vf, 4},
+                     hw::Chip::ClusterSpec{mid, mid_vf, 2},
+                     hw::Chip::ClusterSpec{perf, perf_vf, 2}});
+}
+
+/** A steady task needing `demand` PU on the efficiency cores. */
+workload::TaskSpec
+make_task(const std::string& name, int priority, Pu demand,
+          double big_speedup)
+{
+    workload::TaskSpec spec;
+    spec.name = name;
+    spec.priority = priority;
+    const double target_hr = 30.0;
+    spec.min_hr = 0.95 * target_hr;
+    spec.max_hr = 1.05 * target_hr;
+    const Cycles w = demand * kCyclesPerPuSecond / target_hr;
+    spec.phases.push_back(
+        workload::Phase{3600 * kSecond, w, w / big_speedup});
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const double seconds = argc > 1 ? std::atof(argv[1]) : 60.0;
+
+    hw::Chip chip = octa_chip();
+    std::printf("custom platform: %d clusters, %d cores\n",
+                chip.num_clusters(), chip.num_cores());
+    for (const auto& cl : chip.clusters()) {
+        std::printf("  cluster %d (%s): %d cores, %.0f-%.0f MHz, "
+                    "max %.2f W\n", cl.id(), cl.type().name.c_str(),
+                    cl.num_cores(), cl.vf().min_mhz(), cl.vf().max_mhz(),
+                    hw::PowerModel::cluster_max_power(chip, cl.id()));
+    }
+
+    std::vector<workload::TaskSpec> specs{
+        make_task("ui", 5, 500, 1.8),
+        make_task("camera", 4, 900, 1.8),
+        make_task("sync", 1, 300, 1.6),
+        make_task("indexer", 1, 700, 1.7),
+        make_task("ml-infer", 2, 1400, 2.2),
+        make_task("audio", 3, 200, 1.5),
+    };
+
+    market::PpmGovernorConfig cfg;
+    cfg.market.w_tdp = 6.0;
+    cfg.market.w_th = 5.2;
+    cfg.market.demand_clamp = 2000.0;
+    cfg.big_speedup = {1.8, 1.8, 1.6, 1.7, 2.2, 1.5};
+
+    sim::SimConfig sim_cfg;
+    sim_cfg.duration = static_cast<SimTime>(seconds * kSecond);
+    sim_cfg.tdp_for_metrics = cfg.market.w_tdp;
+    sim::Simulation sim(std::move(chip), specs,
+                        std::make_unique<market::PpmGovernor>(cfg),
+                        sim_cfg);
+    const sim::RunSummary s = sim.run();
+
+    std::printf("\nafter %.0f s under a %.1f W budget:\n", seconds,
+                cfg.market.w_tdp);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const CoreId c =
+            sim.scheduler().core_of(static_cast<TaskId>(i));
+        std::printf("  %-9s prio %d  on core %d (cluster %d)  miss "
+                    "%5.1f%%\n", specs[i].name.c_str(),
+                    specs[i].priority, c, sim.chip().cluster_of(c),
+                    100.0 * s.task_below[i]);
+    }
+    std::printf("avg power %.2f W, migrations %ld, V-F transitions "
+                "%ld\n", s.avg_power, s.migrations, s.vf_transitions);
+    return 0;
+}

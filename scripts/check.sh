@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification: configure, build (warnings are errors), test, and
+# smoke-run every benchmark and example.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DPPM_WERROR=ON
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+# Fast smoke pass over the benches (full runs are minutes; see
+# EXPERIMENTS.md for the real regeneration command).
+./build/bench/bench_table1_2_3_dynamics > /dev/null
+./build/bench/bench_table4_hrm > /dev/null
+./build/bench/bench_table6_intensity > /dev/null
+./build/bench/bench_table7_scalability \
+    --benchmark_min_time=0.01 --benchmark_filter='/2/4/8$' > /dev/null
+
+./build/examples/quickstart l1 5 > /dev/null
+./build/examples/mixed_criticality 5 > /dev/null
+./build/examples/thermal_budget l1 > /dev/null || true
+./build/examples/custom_platform 5 > /dev/null
+./build/examples/app_lifecycle 5 > /dev/null
+(cd /tmp && "$OLDPWD"/build/examples/trace_replay > /dev/null)
+./build/tools/ppm_run --set l1 --seconds 5 > /dev/null
+
+echo "all checks passed"

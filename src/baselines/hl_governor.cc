@@ -1,0 +1,151 @@
+#include "baselines/hl_governor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::baselines {
+
+HlGovernor::HlGovernor(HlConfig cfg) : cfg_(cfg)
+{
+    PPM_ASSERT(cfg_.up_threshold > cfg_.down_threshold,
+               "up threshold must exceed down threshold");
+}
+
+void
+HlGovernor::init(sim::Simulation& sim)
+{
+    // Identify the LITTLE and big clusters.
+    for (const auto& cl : sim.chip().clusters()) {
+        if (cl.type().core_class == hw::CoreClass::kBig)
+            big_ = cl.id();
+        else
+            little_ = cl.id();
+    }
+    PPM_ASSERT(little_ != kInvalidId, "HL needs a LITTLE cluster");
+    // ondemand starts at the lowest frequency.
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v)
+        sim.chip().cluster(v).set_level(0);
+    next_sched_ = cfg_.sched_period;
+    next_dvfs_ = cfg_.dvfs_period;
+}
+
+CoreId
+HlGovernor::least_loaded_core(sim::Simulation& sim, ClusterId v) const
+{
+    CoreId best = kInvalidId;
+    std::size_t best_count = 0;
+    for (CoreId c : sim.chip().cluster(v).cores()) {
+        const std::size_t count = sim.scheduler().tasks_on(c).size();
+        if (best == kInvalidId || count < best_count) {
+            best = c;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+void
+HlGovernor::schedule(sim::Simulation& sim, SimTime now)
+{
+    auto& sched = sim.scheduler();
+    // Activeness-threshold migrations (heterogeneity-aware part).
+    // An active task moves up "at the first opportunity" (Section
+    // 5.3); the policy never consults the big cluster's load, which
+    // is exactly why it crowds the A15 cluster on demanding
+    // workloads.  A quiet task on big moves back down.
+    if (big_ != kInvalidId && !big_killed_) {
+        for (workload::Task* t : sim.tasks()) {
+            if (!sched.active(t->id()))
+                continue;
+            const CoreId cur = sched.core_of(t->id());
+            const ClusterId v = sim.chip().cluster_of(cur);
+            const double load = sched.task_load(t->id());
+            if (v == little_ && load > cfg_.up_threshold) {
+                sched.migrate(t->id(), least_loaded_core(sim, big_), now);
+            } else if (v == big_ && load < cfg_.down_threshold) {
+                sched.migrate(t->id(), least_loaded_core(sim, little_),
+                              now);
+            }
+        }
+    }
+    // CFS periodic balancing within each cluster (the HMP scheduler
+    // keeps big and LITTLE in separate scheduling domains, so there
+    // is no chip-wide spreading).
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        if (!sim.chip().cluster(v).powered())
+            continue;
+        const auto& cores = sim.chip().cluster(v).cores();
+        CoreId max_core = cores.front();
+        CoreId min_core = cores.front();
+        for (CoreId c : cores) {
+            if (sched.tasks_on(c).size() >
+                sched.tasks_on(max_core).size())
+                max_core = c;
+            if (sched.tasks_on(c).size() <
+                sched.tasks_on(min_core).size())
+                min_core = c;
+        }
+        const auto heavy = sched.tasks_on(max_core);
+        if (heavy.size() >= sched.tasks_on(min_core).size() + 2)
+            sched.migrate(heavy.front(), min_core, now);
+    }
+}
+
+void
+HlGovernor::run_ondemand(sim::Simulation& sim)
+{
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        hw::Cluster& cl = sim.chip().cluster(v);
+        if (!cl.powered())
+            continue;
+        double max_util = 0.0;
+        for (CoreId c : cl.cores()) {
+            max_util = std::max(max_util,
+                                sim.scheduler().core_utilization(c));
+        }
+        if (max_util > cfg_.ondemand_up) {
+            // Kernel ondemand: jump straight to the maximum frequency.
+            cl.set_level(cl.vf().levels() - 1);
+        } else {
+            // Then relax to the lowest frequency that keeps the
+            // utilization below the threshold.
+            const Pu needed = max_util * cl.supply() / cfg_.ondemand_up;
+            cl.set_level(cl.vf().level_for_demand(needed));
+        }
+    }
+}
+
+void
+HlGovernor::kill_big_cluster(sim::Simulation& sim, SimTime now)
+{
+    big_killed_ = true;
+    for (workload::Task* t : sim.tasks()) {
+        const CoreId c = sim.scheduler().core_of(t->id());
+        if (sim.chip().cluster_of(c) == big_)
+            sim.scheduler().migrate(t->id(), least_loaded_core(sim, little_),
+                                    now);
+    }
+    sim.chip().cluster(big_).set_powered(false);
+}
+
+void
+HlGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
+{
+    (void)dt;
+    // TDP emergency: power down the big cluster for good.
+    if (!big_killed_ && big_ != kInvalidId &&
+        sim.sensors().instantaneous_chip() > cfg_.tdp) {
+        kill_big_cluster(sim, now);
+    }
+    if (now >= next_sched_) {
+        next_sched_ = now + cfg_.sched_period;
+        schedule(sim, now);
+    }
+    if (now >= next_dvfs_) {
+        next_dvfs_ = now + cfg_.dvfs_period;
+        run_ondemand(sim);
+    }
+}
+
+} // namespace ppm::baselines

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * HL baseline: the Linaro heterogeneity-aware big.LITTLE scheduler
+ * shipped with the Linux 3.8 Vexpress release, paired with the
+ * cpufreq `ondemand` governor (Section 5.3 of the paper).
+ *
+ * Behavioural model:
+ *  - Task "activeness" (time spent in the active run queue, tracked
+ *    here by the scheduler's PELT-like load signal) drives
+ *    migrations: above the up-threshold a task moves to the big
+ *    cluster, below the down-threshold it moves back to LITTLE.
+ *    The policy neither consults the target cluster's load nor the
+ *    tasks' QoS demands.
+ *  - Each cluster runs an independent ondemand governor: jump to the
+ *    maximum frequency when utilization exceeds the up-threshold,
+ *    otherwise settle at the lowest level that keeps utilization
+ *    under it.
+ *  - Under a TDP cap (the paper's 4 W experiment), the big cluster is
+ *    switched off outright once chip power exceeds the cap, after
+ *    evacuating its tasks to LITTLE.
+ */
+
+#ifndef PPM_BASELINES_HL_GOVERNOR_HH
+#define PPM_BASELINES_HL_GOVERNOR_HH
+
+#include "common/types.hh"
+#include "sim/governor.hh"
+#include "sim/simulation.hh"
+
+namespace ppm::baselines {
+
+/** Configuration of the HL baseline. */
+struct HlConfig {
+    /** Task-activeness threshold for LITTLE -> big migration. */
+    double up_threshold = 0.80;
+
+    /** Task-activeness threshold for big -> LITTLE migration. */
+    double down_threshold = 0.30;
+
+    /** ondemand utilization up-threshold (kernel default is 80%). */
+    double ondemand_up = 0.80;
+
+    /** Migration / balancing decision period. */
+    SimTime sched_period = 32 * kMillisecond;
+
+    /** ondemand sampling period. */
+    SimTime dvfs_period = 64 * kMillisecond;
+
+    /** TDP cap; big cluster is killed when chip power exceeds it. */
+    Watts tdp = 1e9;
+};
+
+/** The Linaro HL scheduler + ondemand baseline. */
+class HlGovernor : public sim::Governor
+{
+  public:
+    explicit HlGovernor(HlConfig cfg);
+
+    std::string name() const override { return "HL"; }
+    void init(sim::Simulation& sim) override;
+    void tick(sim::Simulation& sim, SimTime now, SimTime dt) override;
+
+  private:
+    /** Activeness-threshold migrations plus intra-cluster balancing. */
+    void schedule(sim::Simulation& sim, SimTime now);
+
+    /** Per-cluster ondemand frequency selection. */
+    void run_ondemand(sim::Simulation& sim);
+
+    /** Kill the big cluster after evacuating it (TDP emergency). */
+    void kill_big_cluster(sim::Simulation& sim, SimTime now);
+
+    /** Least-loaded core (by task count) of cluster `v`. */
+    CoreId least_loaded_core(sim::Simulation& sim, ClusterId v) const;
+
+    HlConfig cfg_;
+    ClusterId little_ = kInvalidId;
+    ClusterId big_ = kInvalidId;
+    SimTime next_sched_ = 0;
+    SimTime next_dvfs_ = 0;
+    bool big_killed_ = false;
+};
+
+} // namespace ppm::baselines
+
+#endif // PPM_BASELINES_HL_GOVERNOR_HH

@@ -1,0 +1,242 @@
+#include "baselines/hpm_governor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sched/nice.hh"
+
+namespace ppm::baselines {
+
+double
+Pid::step(double error, double dt_s)
+{
+    integral_ += error * dt_s;
+    double derivative = 0.0;
+    if (has_prev_ && dt_s > 0.0)
+        derivative = (error - prev_error_) / dt_s;
+    prev_error_ = error;
+    has_prev_ = true;
+    const double raw = params_.kp * error + params_.ki * integral_
+        + params_.kd * derivative;
+    // Anti-windup: clamp the integrator when the output saturates.
+    const double out = std::clamp(raw, params_.out_min, params_.out_max);
+    if (raw != out && params_.ki != 0.0)
+        integral_ -= error * dt_s;
+    return out;
+}
+
+void
+Pid::reset()
+{
+    integral_ = 0.0;
+    prev_error_ = 0.0;
+    has_prev_ = false;
+}
+
+HpmGovernor::HpmGovernor(HpmConfig cfg) : cfg_(cfg)
+{
+    PPM_ASSERT(cfg_.dvfs_period > 0 && cfg_.lbt_period > 0 &&
+                   cfg_.tdp_period > 0,
+               "control periods must be positive");
+}
+
+void
+HpmGovernor::init(sim::Simulation& sim)
+{
+    for (const auto& cl : sim.chip().clusters()) {
+        if (cl.type().core_class == hw::CoreClass::kBig)
+            big_ = cl.id();
+        else
+            little_ = cl.id();
+        cluster_pid_.emplace_back(cfg_.freq_pid);
+        level_f_.push_back(0.0);
+        level_cap_.push_back(cl.vf().levels() - 1);
+        sim.chip().cluster(cl.id()).set_level(0);
+    }
+    unsat_count_.assign(sim.tasks().size(), 0);
+    sat_count_.assign(sim.tasks().size(), 0);
+    next_dvfs_ = cfg_.dvfs_period;
+    next_lbt_ = cfg_.lbt_period;
+    next_tdp_ = cfg_.tdp_period;
+    sim.sensors().mark();
+}
+
+CoreId
+HpmGovernor::least_loaded_core(sim::Simulation& sim, ClusterId v) const
+{
+    CoreId best = kInvalidId;
+    std::size_t best_count = 0;
+    for (CoreId c : sim.chip().cluster(v).cores()) {
+        const std::size_t count = sim.scheduler().tasks_on(c).size();
+        if (best == kInvalidId || count < best_count) {
+            best = c;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+void
+HpmGovernor::run_dvfs(sim::Simulation& sim, SimTime dt)
+{
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        hw::Cluster& cl = sim.chip().cluster(v);
+        // Constrained-core demand from the tasks' HRM estimates.
+        Pu constrained = 0.0;
+        for (CoreId c : cl.cores()) {
+            Pu core_demand = 0.0;
+            for (TaskId t : sim.scheduler().tasks_on(c)) {
+                core_demand += sim.scheduler().task(t).hrm()
+                    .estimate_demand(sim.now(), cfg_.demand_clamp);
+            }
+            constrained = std::max(constrained, core_demand);
+        }
+        const double error =
+            (constrained - cl.supply()) / cl.vf().max_supply();
+        const double out = cluster_pid_[static_cast<std::size_t>(v)]
+            .step(error, to_seconds(dt));
+        auto& lf = level_f_[static_cast<std::size_t>(v)];
+        lf = std::clamp(lf + out, 0.0,
+                        static_cast<double>(
+                            level_cap_[static_cast<std::size_t>(v)]));
+        cl.set_level(static_cast<int>(std::lround(lf)));
+    }
+}
+
+void
+HpmGovernor::run_tdp(sim::Simulation& sim)
+{
+    const Watts w = sim.sensors().chip_average_since_mark();
+    sim.sensors().mark();
+    if (w > cfg_.tdp) {
+        // Throttle the power-hungriest cluster first (the big one).
+        const ClusterId victim = big_ != kInvalidId ? big_ : little_;
+        auto& cap = level_cap_[static_cast<std::size_t>(victim)];
+        if (cap > 0) {
+            --cap;
+        } else if (victim == big_) {
+            auto& lcap = level_cap_[static_cast<std::size_t>(little_)];
+            lcap = std::max(0, lcap - 1);
+        }
+    } else if (w < 0.85 * cfg_.tdp) {
+        // Headroom: relax caps one step at a time, LITTLE first.
+        for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+            auto& cap = level_cap_[static_cast<std::size_t>(v)];
+            const int max_level =
+                sim.chip().cluster(v).vf().levels() - 1;
+            if (cap < max_level) {
+                ++cap;
+                break;
+            }
+        }
+    }
+}
+
+void
+HpmGovernor::run_lbt(sim::Simulation& sim, SimTime now)
+{
+    auto& sched = sim.scheduler();
+    // Naive intra-cluster balancing by task count.
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        const auto& cores = sim.chip().cluster(v).cores();
+        CoreId max_core = cores.front();
+        CoreId min_core = cores.front();
+        for (CoreId c : cores) {
+            if (sched.tasks_on(c).size() >
+                sched.tasks_on(max_core).size())
+                max_core = c;
+            if (sched.tasks_on(c).size() <
+                sched.tasks_on(min_core).size())
+                min_core = c;
+        }
+        const auto heavy = sched.tasks_on(max_core);
+        if (heavy.size() >= sched.tasks_on(min_core).size() + 2)
+            sched.migrate(heavy.front(), min_core, now);
+    }
+    if (big_ == kInvalidId)
+        return;
+
+    // Threshold migrations, oblivious to the target cluster's load.
+    double little_util = 0.0;
+    for (CoreId c : sim.chip().cluster(little_).cores())
+        little_util = std::max(little_util, sched.core_utilization(c));
+    for (workload::Task* t : sim.tasks()) {
+        const TaskId id = t->id();
+        if (!sched.active(id))
+            continue;
+        const ClusterId v = sim.chip().cluster_of(sched.core_of(id));
+        const Pu demand =
+            t->hrm().estimate_demand(now, cfg_.demand_clamp);
+        const bool satisfied =
+            sched.task_supply_last(id) >= 0.95 * demand;
+        auto& unsat = unsat_count_[static_cast<std::size_t>(id)];
+        auto& sat = sat_count_[static_cast<std::size_t>(id)];
+        if (satisfied) {
+            unsat = 0;
+            ++sat;
+        } else {
+            sat = 0;
+            ++unsat;
+        }
+        const hw::Cluster& cl = sim.chip().cluster(v);
+        const bool cluster_maxed =
+            cl.level() >= level_cap_[static_cast<std::size_t>(v)];
+        if (v == little_ && unsat >= cfg_.up_migrate_after &&
+            cluster_maxed) {
+            sched.migrate(id, least_loaded_core(sim, big_), now);
+            unsat = 0;
+        } else if (v == big_ && sat >= cfg_.down_migrate_after &&
+                   little_util < cfg_.little_headroom) {
+            sched.migrate(id, least_loaded_core(sim, little_), now);
+            sat = 0;
+        }
+    }
+}
+
+void
+HpmGovernor::assign_nice(sim::Simulation& sim, SimTime now)
+{
+    // Demand-proportional shares within each core.
+    for (CoreId c = 0; c < sim.chip().num_cores(); ++c) {
+        const auto on_core = sim.scheduler().tasks_on(c);
+        if (on_core.empty())
+            continue;
+        Pu max_demand = 0.0;
+        std::vector<Pu> demand(on_core.size());
+        for (std::size_t i = 0; i < on_core.size(); ++i) {
+            demand[i] = sim.scheduler().task(on_core[i]).hrm()
+                .estimate_demand(now, cfg_.demand_clamp);
+            max_demand = std::max(max_demand, demand[i]);
+        }
+        if (max_demand <= 1e-9)
+            continue;
+        for (std::size_t i = 0; i < on_core.size(); ++i) {
+            sim.scheduler().set_nice(
+                on_core[i],
+                sched::nice_for_relative_share(
+                    std::max(1e-6, demand[i]), max_demand));
+        }
+    }
+}
+
+void
+HpmGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
+{
+    (void)dt;
+    if (now >= next_dvfs_) {
+        next_dvfs_ = now + cfg_.dvfs_period;
+        run_dvfs(sim, cfg_.dvfs_period);
+        assign_nice(sim, now);
+    }
+    if (now >= next_tdp_) {
+        next_tdp_ = now + cfg_.tdp_period;
+        run_tdp(sim);
+    }
+    if (now >= next_lbt_) {
+        next_lbt_ = now + cfg_.lbt_period;
+        run_lbt(sim, now);
+    }
+}
+
+} // namespace ppm::baselines

@@ -1,0 +1,85 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppm {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+void
+vreport(const char* tag, const char* fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+inform(const char* fmt, ...)
+{
+    if (g_level < LogLevel::kInform)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char* fmt, ...)
+{
+    if (g_level < LogLevel::kWarn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char* fmt, ...)
+{
+    if (g_level < LogLevel::kDebug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("debug", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace ppm

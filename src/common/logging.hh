@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal logging / error-reporting facility in the spirit of gem5's
+ * logging.hh: inform() and warn() report status, fatal() aborts on user
+ * error (bad configuration), panic() aborts on internal invariant
+ * violations (library bugs).
+ */
+
+#ifndef PPM_COMMON_LOGGING_HH
+#define PPM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ppm {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    kSilent = 0,  ///< No output at all.
+    kWarn = 1,    ///< Only warnings.
+    kInform = 2,  ///< Warnings plus informational messages.
+    kDebug = 3,   ///< Everything, including per-epoch debug traces.
+};
+
+/** Set the global verbosity. Default is kWarn. */
+void set_log_level(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel log_level();
+
+/** Informational message (printf-style), suppressed below kInform. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warning message (printf-style), suppressed below kWarn. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug trace (printf-style), suppressed below kDebug. */
+void debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable *user* error (invalid configuration or
+ * arguments) and exit(1).  Never returns.
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a library bug) and abort().
+ * Never returns.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless `cond` holds; `msg` names the violated invariant. */
+#define PPM_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ppm::panic("assertion failed at %s:%d: %s (%s)", __FILE__,   \
+                         __LINE__, #cond, msg);                            \
+        }                                                                  \
+    } while (false)
+
+} // namespace ppm
+
+#endif // PPM_COMMON_LOGGING_HH

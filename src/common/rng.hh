@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (workload phase jitter,
+ * synthetic market state for the scalability benchmark) flows through
+ * Rng so that every experiment is reproducible from a single seed.
+ * The generator is xoshiro256** seeded via SplitMix64.
+ */
+
+#ifndef PPM_COMMON_RNG_HH
+#define PPM_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace ppm {
+
+/** Small, fast, deterministic PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal variate (Box-Muller, one value per call). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+} // namespace ppm
+
+#endif // PPM_COMMON_RNG_HH

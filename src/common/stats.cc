@@ -1,0 +1,115 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ppm {
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats{};
+}
+
+void
+DutyCycle::add(bool condition, SimTime duration)
+{
+    PPM_ASSERT(duration >= 0, "negative duration");
+    total_ += duration;
+    if (condition)
+        true_ += duration;
+}
+
+double
+DutyCycle::fraction() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(true_) / static_cast<double>(total_);
+}
+
+void
+DutyCycle::reset()
+{
+    total_ = 0;
+    true_ = 0;
+}
+
+WindowRate::WindowRate(SimTime window) : window_(window)
+{
+    PPM_ASSERT(window > 0, "window must be positive");
+}
+
+void
+WindowRate::evict(SimTime now) const
+{
+    const SimTime start = now - window_;
+    while (!samples_.empty() && samples_.front().first <= start) {
+        window_sum_ -= samples_.front().second;
+        samples_.pop_front();
+    }
+    if (samples_.empty())
+        window_sum_ = 0.0;  // Clear floating-point residue.
+}
+
+void
+WindowRate::add(SimTime now, double count)
+{
+    evict(now);
+    samples_.emplace_back(now, count);
+    window_sum_ += count;
+}
+
+double
+WindowRate::rate(SimTime now) const
+{
+    evict(now);
+    return window_sum_ / to_seconds(window_);
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+} // namespace ppm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Small statistics helpers used by the metrics layer and benchmarks:
+ * online accumulators (Welford), duty-cycle counters, sliding-window
+ * rate estimators, and percentile computation over stored samples.
+ */
+
+#ifndef PPM_COMMON_STATS_HH
+#define PPM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ppm {
+
+/**
+ * Online mean / variance / min / max accumulator (Welford's algorithm).
+ * Constant memory; suitable for per-epoch signals over long runs.
+ */
+class OnlineStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean, or 0 with no samples. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance, or 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (0 if empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample (0 if empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fraction of (simulated) time a boolean condition held.
+ *
+ * Feed it (condition, duration) pairs; it reports the duty cycle.  This
+ * is the primitive behind the paper's "percentage of time the reference
+ * heart rate range is not met" metric (Figures 4, 6, 7).
+ */
+class DutyCycle
+{
+  public:
+    /** Record that `condition` held for `duration` microseconds. */
+    void add(bool condition, SimTime duration);
+
+    /** Fraction of accumulated time the condition held, in [0, 1]. */
+    double fraction() const;
+
+    /** Total accumulated time. */
+    SimTime total_time() const { return total_; }
+
+    /** Time the condition held. */
+    SimTime true_time() const { return true_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    SimTime total_ = 0;
+    SimTime true_ = 0;
+};
+
+/**
+ * Sliding-window event-rate estimator: events per second over the most
+ * recent `window` of simulated time.  The Heart Rate Monitor is built
+ * on this (heartbeats per second).
+ */
+class WindowRate
+{
+  public:
+    /** @param window Width of the sliding window (must be > 0). */
+    explicit WindowRate(SimTime window);
+
+    /** Record `count` events (possibly fractional) at time `now`. */
+    void add(SimTime now, double count);
+
+    /** Events per second over [now - window, now]. */
+    double rate(SimTime now) const;
+
+    /** Window width. */
+    SimTime window() const { return window_; }
+
+  private:
+    /** Drop samples older than the window start (logically const). */
+    void evict(SimTime now) const;
+
+    SimTime window_;
+    mutable std::deque<std::pair<SimTime, double>> samples_;
+    mutable double window_sum_ = 0.0;
+};
+
+/**
+ * Percentile over an explicit sample vector (nearest-rank on a sorted
+ * copy).  `p` in [0, 100].  Returns 0 for an empty vector.
+ */
+double percentile(std::vector<double> samples, double p);
+
+} // namespace ppm
+
+#endif // PPM_COMMON_STATS_HH

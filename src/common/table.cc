@@ -1,0 +1,94 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ppm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    PPM_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    PPM_ASSERT(row.size() == header_.size(), "row width != header width");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+void
+Table::print_csv(std::ostream& os) const
+{
+    auto quote = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << quote(row[c]);
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+std::string
+fmt_double(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmt_percent(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+} // namespace ppm

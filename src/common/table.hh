@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table and CSV output used by the benchmark harnesses to
+ * print rows in the same layout as the paper's tables and figures.
+ */
+
+#ifndef PPM_COMMON_TABLE_HH
+#define PPM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ppm {
+
+/**
+ * Column-aligned plain-text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Workload", "PPM", "HPM", "HL"});
+ *   t.add_row({"l1", "3.2%", "5.1%", "1.0%"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void add_row(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    void print_csv(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with `digits` decimal places. */
+std::string fmt_double(double v, int digits = 2);
+
+/** Format a fraction in [0,1] as a percentage string, e.g. "12.3%". */
+std::string fmt_percent(double fraction, int digits = 1);
+
+} // namespace ppm
+
+#endif // PPM_COMMON_TABLE_HH

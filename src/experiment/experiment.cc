@@ -1,0 +1,106 @@
+#include "experiment/experiment.hh"
+
+#include "baselines/hl_governor.hh"
+#include "baselines/hpm_governor.hh"
+#include "common/logging.hh"
+#include "hw/platform.hh"
+#include "market/ppm_governor.hh"
+#include "workload/benchmarks.hh"
+
+namespace ppm::experiment {
+
+std::unique_ptr<sim::Governor>
+make_governor(const std::string& policy, Watts tdp,
+              const std::vector<double>& big_speedups,
+              bool online_speedup)
+{
+    if (policy == "PPM") {
+        market::PpmGovernorConfig cfg;
+        cfg.market.w_tdp = tdp;
+        cfg.market.w_th = tdp < 1e8 ? tdp - 0.6 : tdp - 0.5;
+        cfg.big_speedup = big_speedups;
+        cfg.online_speedup = online_speedup;
+        return std::make_unique<market::PpmGovernor>(cfg);
+    }
+    if (policy == "HPM") {
+        baselines::HpmConfig cfg;
+        cfg.tdp = tdp;
+        return std::make_unique<baselines::HpmGovernor>(cfg);
+    }
+    if (policy == "HL") {
+        baselines::HlConfig cfg;
+        cfg.tdp = tdp;
+        return std::make_unique<baselines::HlGovernor>(cfg);
+    }
+    fatal("unknown policy '%s' (use PPM, HPM or HL)", policy.c_str());
+}
+
+RunResult
+run_specs(const std::vector<workload::TaskSpec>& specs,
+          const std::vector<double>& big_speedups, const RunParams& params)
+{
+    sim::SimConfig sim_cfg;
+    sim_cfg.duration = params.duration;
+    sim_cfg.trace = params.trace;
+    sim_cfg.tdp_for_metrics = params.tdp;
+
+    sim::Simulation simulation(
+        hw::tc2_chip(), specs,
+        make_governor(params.policy, params.tdp, big_speedups,
+                      params.online_speedup),
+        sim_cfg);
+    RunResult result;
+    result.summary = simulation.run();
+    if (params.trace)
+        result.traces = simulation.recorder();
+    return result;
+}
+
+RunResult
+run_set(const workload::WorkloadSet& set, const RunParams& params)
+{
+    const auto specs = workload::instantiate(set, params.seed,
+                                             params.priority,
+                                             params.duration + 100 * kSecond);
+    std::vector<double> speedups;
+    for (const auto& member : set.members) {
+        speedups.push_back(
+            workload::profile(member.bench, member.input).big_speedup);
+    }
+    return run_specs(specs, speedups, params);
+}
+
+sim::RunSummary
+run_set_avg(const workload::WorkloadSet& set, RunParams params,
+            int n_seeds)
+{
+    PPM_ASSERT(n_seeds >= 1, "need at least one seed");
+    sim::RunSummary avg;
+    for (int i = 0; i < n_seeds; ++i) {
+        RunParams p = params;
+        p.seed = params.seed + 100ull * static_cast<unsigned>(i);
+        const sim::RunSummary s = run_set(set, p).summary;
+        if (i == 0) {
+            avg = s;
+            continue;
+        }
+        avg.any_below_miss += s.any_below_miss;
+        avg.any_outside_miss += s.any_outside_miss;
+        avg.avg_power += s.avg_power;
+        avg.energy += s.energy;
+        avg.migrations += s.migrations;
+        avg.vf_transitions += s.vf_transitions;
+        avg.over_tdp_fraction += s.over_tdp_fraction;
+    }
+    const double n = n_seeds;
+    avg.any_below_miss /= n;
+    avg.any_outside_miss /= n;
+    avg.avg_power /= n;
+    avg.energy /= n;
+    avg.migrations = static_cast<long>(avg.migrations / n);
+    avg.vf_transitions = static_cast<long>(avg.vf_transitions / n);
+    avg.over_tdp_fraction /= n;
+    return avg;
+}
+
+} // namespace ppm::experiment

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * One-call experiment runner: the highest-level public API.
+ *
+ * Wires a platform, a workload and a named policy ("PPM", "HPM" or
+ * "HL") into a Simulation and runs it.  Used by the command-line
+ * driver, the benchmark harnesses and downstream code that just wants
+ * "run workload X under policy Y with TDP Z".
+ */
+
+#ifndef PPM_EXPERIMENT_EXPERIMENT_HH
+#define PPM_EXPERIMENT_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/recorder.hh"
+#include "sim/simulation.hh"
+#include "workload/sets.hh"
+
+namespace ppm::experiment {
+
+/** Parameters of one policy run. */
+struct RunParams {
+    std::string policy = "PPM";       ///< "PPM", "HPM" or "HL".
+    Watts tdp = 1e9;                  ///< TDP cap (1e9 = none).
+    SimTime duration = 300 * kSecond; ///< Simulated time.
+    std::uint64_t seed = 42;          ///< Workload phase seed.
+    int priority = 1;                 ///< Priority for all tasks.
+    bool trace = false;               ///< Record time series.
+    bool online_speedup = false;      ///< PPM: learn speedups online.
+};
+
+/** Result of one run: summary plus optional traces. */
+struct RunResult {
+    sim::RunSummary summary;
+    metrics::TraceRecorder traces;
+};
+
+/**
+ * Build the governor `policy` with TDP `tdp`.  `big_speedups` feeds
+ * PPM's cross-core-type demand estimator (empty = defaults); ignored
+ * by the baselines.  fatal() on an unknown policy name.
+ */
+std::unique_ptr<sim::Governor>
+make_governor(const std::string& policy, Watts tdp,
+              const std::vector<double>& big_speedups,
+              bool online_speedup = false);
+
+/** Run one of the paper's Table 6 sets on a fresh TC2-like chip. */
+RunResult run_set(const workload::WorkloadSet& set,
+                  const RunParams& params);
+
+/**
+ * Run explicit task specs on a fresh TC2-like chip; `big_speedups`
+ * feeds PPM's demand estimator (empty = defaults).
+ */
+RunResult run_specs(const std::vector<workload::TaskSpec>& specs,
+                    const std::vector<double>& big_speedups,
+                    const RunParams& params);
+
+/**
+ * Run `set` `n_seeds` times (seeds params.seed, +100, +200, ...) and
+ * return the summary with fractions and power averaged across runs.
+ */
+sim::RunSummary run_set_avg(const workload::WorkloadSet& set,
+                            RunParams params, int n_seeds = 3);
+
+} // namespace ppm::experiment
+
+#endif // PPM_EXPERIMENT_EXPERIMENT_HH

@@ -1,0 +1,62 @@
+#include "hw/migration.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::hw {
+
+MigrationModel::MigrationModel()
+    : MigrationModel(/*intra_little=*/{71, 167},
+                     /*intra_big=*/{54, 105},
+                     /*little_to_big=*/{1880, 2160},
+                     /*big_to_little=*/{3540, 3830})
+{
+}
+
+MigrationModel::MigrationModel(Range intra_little, Range intra_big,
+                               Range little_to_big, Range big_to_little)
+    : intra_little_(intra_little), intra_big_(intra_big),
+      little_to_big_(little_to_big), big_to_little_(big_to_little)
+{
+}
+
+SimTime
+MigrationModel::interpolate(const Range& r, const Cluster& src)
+{
+    const double fmin = src.vf().min_mhz();
+    const double fmax = src.vf().max_mhz();
+    const double f = src.powered() ? src.vf().mhz(src.level()) : fmin;
+    const double x = fmax > fmin ? (f - fmin) / (fmax - fmin) : 1.0;
+    const double cost = static_cast<double>(r.at_min_freq)
+        + x * static_cast<double>(r.at_max_freq - r.at_min_freq);
+    return static_cast<SimTime>(std::max(0.0, cost));
+}
+
+SimTime
+MigrationModel::cost(const Chip& chip, CoreId from, CoreId to) const
+{
+    if (from == to)
+        return 0;
+    const ClusterId vf = chip.cluster_of(from);
+    const ClusterId vt = chip.cluster_of(to);
+    const Cluster& src = chip.cluster(vf);
+    const CoreClass src_class = src.type().core_class;
+    const CoreClass dst_class = chip.cluster(vt).type().core_class;
+
+    if (vf == vt) {
+        return interpolate(src_class == CoreClass::kBig ? intra_big_
+                                                        : intra_little_,
+                           src);
+    }
+    if (src_class == CoreClass::kLittle && dst_class == CoreClass::kBig)
+        return interpolate(little_to_big_, src);
+    if (src_class == CoreClass::kBig && dst_class == CoreClass::kLittle)
+        return interpolate(big_to_little_, src);
+    // Same class but different cluster: charge the intra-class range.
+    return interpolate(src_class == CoreClass::kBig ? intra_big_
+                                                    : intra_little_,
+                       src);
+}
+
+} // namespace ppm::hw

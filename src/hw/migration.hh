@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Task-migration cost model.
+ *
+ * The paper measures migration penalties on the TC2 board (Section 5.1):
+ *   - within the big cluster:      54 - 105 us,
+ *   - within the LITTLE cluster:   71 - 167 us,
+ *   - LITTLE -> big:             1.88 - 2.16 ms,
+ *   - big -> LITTLE:             3.54 - 3.83 ms,
+ * each range spanning the cluster's frequency levels (faster clock ->
+ * cheaper migration).  We reproduce those exact ranges by linear
+ * interpolation over the source cluster's V-F range.
+ */
+
+#ifndef PPM_HW_MIGRATION_HH
+#define PPM_HW_MIGRATION_HH
+
+#include "common/types.hh"
+#include "hw/platform.hh"
+
+namespace ppm::hw {
+
+/** Computes the latency of moving a task between two cores. */
+class MigrationModel
+{
+  public:
+    /** Cost bounds for one migration kind, in microseconds. */
+    struct Range {
+        SimTime at_max_freq;  ///< Cost when the source runs at fmax.
+        SimTime at_min_freq;  ///< Cost when the source runs at fmin.
+    };
+
+    /** Construct with the paper's measured TC2 ranges. */
+    MigrationModel();
+
+    /** Construct with explicit ranges (for what-if studies). */
+    MigrationModel(Range intra_little, Range intra_big,
+                   Range little_to_big, Range big_to_little);
+
+    /**
+     * Latency of migrating a task from `from` to `to` on `chip`,
+     * given current cluster frequencies.  Zero if `from == to`.
+     */
+    SimTime cost(const Chip& chip, CoreId from, CoreId to) const;
+
+  private:
+    /** Interpolate a range over the source cluster's frequency span. */
+    static SimTime interpolate(const Range& r, const Cluster& src);
+
+    Range intra_little_;
+    Range intra_big_;
+    Range little_to_big_;
+    Range big_to_little_;
+};
+
+} // namespace ppm::hw
+
+#endif // PPM_HW_MIGRATION_HH

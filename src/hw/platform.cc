@@ -1,0 +1,160 @@
+#include "hw/platform.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::hw {
+
+const char*
+core_class_name(CoreClass c)
+{
+    switch (c) {
+      case CoreClass::kLittle:
+        return "LITTLE";
+      case CoreClass::kBig:
+        return "big";
+    }
+    return "?";
+}
+
+Cluster::Cluster(ClusterId id, CoreTypeParams type, VfTable table,
+                 std::vector<CoreId> cores)
+    : id_(id), type_(std::move(type)), vf_(std::move(table)),
+      cores_(std::move(cores))
+{
+    PPM_ASSERT(!cores_.empty(), "cluster must contain at least one core");
+}
+
+void
+Cluster::set_level(int level)
+{
+    level_ = vf_.clamp_level(level);
+}
+
+bool
+Cluster::step_level(int delta)
+{
+    const int next = vf_.clamp_level(level_ + delta);
+    const bool changed = next != level_;
+    level_ = next;
+    return changed;
+}
+
+Chip::Chip(const std::vector<ClusterSpec>& specs)
+{
+    PPM_ASSERT(!specs.empty(), "chip must contain at least one cluster");
+    CoreId next_core = 0;
+    ClusterId next_cluster = 0;
+    for (const auto& spec : specs) {
+        PPM_ASSERT(spec.num_cores > 0, "cluster must have cores");
+        std::vector<CoreId> ids;
+        ids.reserve(static_cast<std::size_t>(spec.num_cores));
+        for (int i = 0; i < spec.num_cores; ++i) {
+            cores_.push_back(Core{next_core, next_cluster});
+            ids.push_back(next_core);
+            ++next_core;
+        }
+        clusters_.emplace_back(next_cluster, spec.type, spec.vf,
+                               std::move(ids));
+        ++next_cluster;
+    }
+}
+
+Cluster&
+Chip::cluster(ClusterId v)
+{
+    PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster id out of range");
+    return clusters_[static_cast<std::size_t>(v)];
+}
+
+const Cluster&
+Chip::cluster(ClusterId v) const
+{
+    PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster id out of range");
+    return clusters_[static_cast<std::size_t>(v)];
+}
+
+const Core&
+Chip::core(CoreId c) const
+{
+    PPM_ASSERT(c >= 0 && c < num_cores(), "core id out of range");
+    return cores_[static_cast<std::size_t>(c)];
+}
+
+Pu
+Chip::total_supply() const
+{
+    Pu total = 0.0;
+    for (const auto& v : clusters_)
+        total += v.supply();
+    return total;
+}
+
+CoreTypeParams
+little_core_params()
+{
+    // Calibrated so that the 3-core cluster peaks near the paper's
+    // observed ~2 W: 3 x (0.55 dyn + 0.05 leak) + 0.15 uncore = 1.95 W.
+    return CoreTypeParams{"Cortex-A7", CoreClass::kLittle,
+                          /*ceff_nf=*/0.38,
+                          /*leak_per_core_max=*/0.05,
+                          /*uncore_power_max=*/0.15};
+}
+
+CoreTypeParams
+big_core_params()
+{
+    // Calibrated so that the 2-core cluster peaks near the paper's
+    // observed ~6 W: 2 x (2.70 dyn + 0.25 leak) + 0.30 uncore = 6.2 W.
+    return CoreTypeParams{"Cortex-A15", CoreClass::kBig,
+                          /*ceff_nf=*/1.33,
+                          /*leak_per_core_max=*/0.25,
+                          /*uncore_power_max=*/0.30};
+}
+
+Chip
+tc2_chip()
+{
+    return Chip({Chip::ClusterSpec{little_core_params(), little_vf_table(), 3},
+                 Chip::ClusterSpec{big_core_params(), big_vf_table(), 2}});
+}
+
+Chip
+octa_big_little_chip()
+{
+    return Chip({Chip::ClusterSpec{little_core_params(), little_vf_table(), 4},
+                 Chip::ClusterSpec{big_core_params(), big_vf_table(), 4}});
+}
+
+Chip
+synthetic_chip(int num_clusters, int cores_per_cluster)
+{
+    PPM_ASSERT(num_clusters > 0 && cores_per_cluster > 0,
+               "synthetic chip dimensions must be positive");
+    std::vector<Chip::ClusterSpec> specs;
+    specs.reserve(static_cast<std::size_t>(num_clusters));
+    for (int v = 0; v < num_clusters; ++v) {
+        const bool little = (v % 2) == 0;
+        // Spread maximum supplies across [350, 3000] PU as in the
+        // paper's scalability experiment.
+        const double span = num_clusters > 1
+            ? static_cast<double>(v) / (num_clusters - 1) : 0.0;
+        const double max_mhz = 350.0 + span * (3000.0 - 350.0);
+        const double min_mhz = std::max(100.0, max_mhz / 3.0);
+        std::vector<VfPoint> pts;
+        const int kLevels = 8;
+        for (int l = 0; l < kLevels; ++l) {
+            const double f = min_mhz
+                + (max_mhz - min_mhz) * l / (kLevels - 1);
+            const double volts = 0.9 + 0.4 * l / (kLevels - 1);
+            pts.push_back({f, volts});
+        }
+        specs.push_back(Chip::ClusterSpec{
+            little ? little_core_params() : big_core_params(),
+            VfTable(std::move(pts)), cores_per_cluster});
+    }
+    return Chip(specs);
+}
+
+} // namespace ppm::hw

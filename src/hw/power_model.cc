@@ -1,0 +1,72 @@
+#include "hw/power_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::hw {
+
+Watts
+PowerModel::core_power(const CoreTypeParams& t, double mhz, double volts,
+                       double vmax, double util)
+{
+    PPM_ASSERT(util >= 0.0 && util <= 1.0 + 1e-9, "utilization out of range");
+    const double u = std::clamp(util, 0.0, 1.0);
+    // ceff [nF] * V^2 * f [MHz] has units of 1e-3 W.
+    const Watts dynamic = t.ceff_nf * volts * volts * mhz * 1e-3 * u;
+    const double vr = vmax > 0.0 ? volts / vmax : 0.0;
+    const Watts leak = t.leak_per_core_max * vr * vr;
+    return dynamic + leak;
+}
+
+Watts
+PowerModel::cluster_power(const Chip& chip, ClusterId v,
+                          const std::vector<double>& util)
+{
+    const Cluster& cl = chip.cluster(v);
+    if (!cl.powered())
+        return 0.0;
+    PPM_ASSERT(util.size() == static_cast<std::size_t>(cl.num_cores()),
+               "utilization vector size mismatch");
+    const double vmax = cl.vf().volts(cl.vf().levels() - 1);
+    const double vr = cl.volts() / vmax;
+    Watts total = cl.type().uncore_power_max * vr * vr;
+    for (int i = 0; i < cl.num_cores(); ++i) {
+        total += core_power(cl.type(), cl.mhz(), cl.volts(), vmax,
+                            util[static_cast<std::size_t>(i)]);
+    }
+    return total;
+}
+
+Watts
+PowerModel::chip_power(const Chip& chip,
+                       const std::vector<double>& util_by_core)
+{
+    PPM_ASSERT(util_by_core.size() ==
+                   static_cast<std::size_t>(chip.num_cores()),
+               "utilization vector size mismatch");
+    Watts total = 0.0;
+    for (const Cluster& cl : chip.clusters()) {
+        std::vector<double> util;
+        util.reserve(cl.cores().size());
+        for (CoreId c : cl.cores())
+            util.push_back(util_by_core[static_cast<std::size_t>(c)]);
+        total += cluster_power(chip, cl.id(), util);
+    }
+    return total;
+}
+
+Watts
+PowerModel::cluster_max_power(const Chip& chip, ClusterId v)
+{
+    const Cluster& cl = chip.cluster(v);
+    const int top = cl.vf().levels() - 1;
+    const double mhz = cl.vf().mhz(top);
+    const double volts = cl.vf().volts(top);
+    Watts total = cl.type().uncore_power_max;
+    for (int i = 0; i < cl.num_cores(); ++i)
+        total += core_power(cl.type(), mhz, volts, volts, 1.0);
+    return total;
+}
+
+} // namespace ppm::hw

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytic power model of the heterogeneous chip.
+ *
+ * Per-core dynamic power follows the classic alpha-C-V^2-f law scaled
+ * by utilization (clock gating removes dynamic power of idle cycles);
+ * per-core leakage and cluster uncore power scale with V^2 and vanish
+ * when the cluster is power gated.  The model stands in for the TC2
+ * board's hwmon power sensors, which is the only power interface the
+ * paper's framework observes.
+ */
+
+#ifndef PPM_HW_POWER_MODEL_HH
+#define PPM_HW_POWER_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/platform.hh"
+
+namespace ppm::hw {
+
+/** Computes core / cluster / chip power from utilizations. */
+class PowerModel
+{
+  public:
+    /**
+     * Dynamic + static power of one core of type `t` at (`mhz`, `volts`)
+     * with busy fraction `util` in [0, 1].  `vmax` is the voltage at the
+     * core's fastest level (leakage is specified there).
+     */
+    static Watts core_power(const CoreTypeParams& t, double mhz,
+                            double volts, double vmax, double util);
+
+    /**
+     * Power of cluster `v` of `chip` given per-core utilizations
+     * `util[i]` for the i-th core *of that cluster*.  Zero if gated.
+     */
+    static Watts cluster_power(const Chip& chip, ClusterId v,
+                               const std::vector<double>& util);
+
+    /**
+     * Total chip power given utilizations indexed by *global* core id.
+     */
+    static Watts chip_power(const Chip& chip,
+                            const std::vector<double>& util_by_core);
+
+    /**
+     * Upper bound on cluster power (all cores busy at the fastest
+     * level).  Useful for TDP budgeting in governors.
+     */
+    static Watts cluster_max_power(const Chip& chip, ClusterId v);
+};
+
+} // namespace ppm::hw
+
+#endif // PPM_HW_POWER_MODEL_HH

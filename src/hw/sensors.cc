@@ -1,0 +1,88 @@
+#include "hw/sensors.hh"
+
+#include "common/logging.hh"
+
+namespace ppm::hw {
+
+SensorBank::SensorBank(int num_clusters)
+    : instantaneous_(static_cast<std::size_t>(num_clusters), 0.0),
+      energy_(static_cast<std::size_t>(num_clusters), 0.0),
+      energy_at_mark_(static_cast<std::size_t>(num_clusters), 0.0)
+{
+    PPM_ASSERT(num_clusters > 0, "sensor bank needs at least one channel");
+}
+
+void
+SensorBank::record(ClusterId v, Watts watts, SimTime duration)
+{
+    PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster channel out of range");
+    PPM_ASSERT(duration >= 0, "negative duration");
+    auto idx = static_cast<std::size_t>(v);
+    instantaneous_[idx] = watts;
+    energy_[idx] += watts * to_seconds(duration);
+    // Advance elapsed time once per full sweep: caller records cluster 0
+    // last-to-first order agnostic, so track time on channel 0 only.
+    if (v == 0)
+        elapsed_ += duration;
+}
+
+Watts
+SensorBank::instantaneous(ClusterId v) const
+{
+    PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster channel out of range");
+    return instantaneous_[static_cast<std::size_t>(v)];
+}
+
+Watts
+SensorBank::instantaneous_chip() const
+{
+    Watts total = 0.0;
+    for (Watts w : instantaneous_)
+        total += w;
+    return total;
+}
+
+Joules
+SensorBank::energy(ClusterId v) const
+{
+    PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster channel out of range");
+    return energy_[static_cast<std::size_t>(v)];
+}
+
+Joules
+SensorBank::chip_energy() const
+{
+    Joules total = 0.0;
+    for (Joules e : energy_)
+        total += e;
+    return total;
+}
+
+Watts
+SensorBank::average_since_mark(ClusterId v) const
+{
+    PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster channel out of range");
+    const SimTime dt = elapsed_ - elapsed_at_mark_;
+    if (dt <= 0)
+        return instantaneous(v);
+    const auto idx = static_cast<std::size_t>(v);
+    return (energy_[idx] - energy_at_mark_[idx]) / to_seconds(dt);
+}
+
+Watts
+SensorBank::chip_average_since_mark() const
+{
+    Watts total = 0.0;
+    for (ClusterId v = 0; v < num_clusters(); ++v)
+        total += average_since_mark(v);
+    return total;
+}
+
+void
+SensorBank::mark()
+{
+    energy_at_mark_ = energy_;
+    elapsed_at_mark_ = elapsed_;
+}
+
+} // namespace ppm::hw

@@ -1,0 +1,99 @@
+#include "hw/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ppm::hw {
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(std::move(params)),
+      temp_(params_.nodes.size(), params_.ambient_c),
+      peak_(params_.ambient_c), cycle_ref_(params_.ambient_c)
+{
+    PPM_ASSERT(!params_.nodes.empty(),
+               "thermal model needs at least one node");
+    for (const auto& n : params_.nodes) {
+        PPM_ASSERT(n.resistance_k_per_w > 0.0 &&
+                       n.capacitance_j_per_k > 0.0,
+                   "thermal RC values must be positive");
+    }
+}
+
+void
+ThermalModel::set_cycle_threshold(double kelvin)
+{
+    PPM_ASSERT(kelvin > 0.0, "cycle threshold must be positive");
+    cycle_threshold_ = kelvin;
+}
+
+void
+ThermalModel::step(const std::vector<Watts>& cluster_power, SimTime dt)
+{
+    PPM_ASSERT(cluster_power.size() == temp_.size(),
+               "power vector size mismatch");
+    PPM_ASSERT(dt >= 0, "negative dt");
+    const double dt_s = to_seconds(dt);
+    for (std::size_t v = 0; v < temp_.size(); ++v) {
+        const auto& n = params_.nodes[v];
+        const double target =
+            params_.ambient_c + cluster_power[v] * n.resistance_k_per_w;
+        const double tau = n.resistance_k_per_w * n.capacitance_j_per_k;
+        // Exact exponential step (stable for any dt).
+        const double decay = std::exp(-dt_s / tau);
+        temp_[v] = target + (temp_[v] - target) * decay;
+    }
+
+    const double hottest = max_temperature();
+    peak_ = std::max(peak_, hottest);
+
+    // Peak/valley cycle counting on the hottest node.
+    if (rising_) {
+        if (hottest > cycle_ref_) {
+            cycle_ref_ = hottest;
+        } else if (cycle_ref_ - hottest >= cycle_threshold_) {
+            rising_ = false;
+            cycle_ref_ = hottest;
+        }
+    } else {
+        if (hottest < cycle_ref_) {
+            cycle_ref_ = hottest;
+        } else if (hottest - cycle_ref_ >= cycle_threshold_) {
+            rising_ = true;
+            cycle_ref_ = hottest;
+            ++cycles_;  // One full valley-to-rise completes a cycle.
+        }
+    }
+}
+
+double
+ThermalModel::temperature(ClusterId v) const
+{
+    PPM_ASSERT(v >= 0 && static_cast<std::size_t>(v) < temp_.size(),
+               "cluster id out of range");
+    return temp_[static_cast<std::size_t>(v)];
+}
+
+double
+ThermalModel::max_temperature() const
+{
+    double m = params_.ambient_c;
+    for (double t : temp_)
+        m = std::max(m, t);
+    return m;
+}
+
+ThermalParams
+ThermalModel::tc2_defaults()
+{
+    ThermalParams p;
+    p.ambient_c = 30.0;
+    // LITTLE: ~2 W peak x 12 K/W -> ~54 deg C; tau 12 s.
+    p.nodes.push_back({12.0, 1.0});
+    // big: ~6.2 W peak x 8 K/W -> ~80 deg C; tau 10 s.
+    p.nodes.push_back({8.0, 1.25});
+    return p;
+}
+
+} // namespace ppm::hw

@@ -1,0 +1,76 @@
+#include "hw/vf_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::hw {
+
+VfTable::VfTable(std::vector<VfPoint> points) : points_(std::move(points))
+{
+    PPM_ASSERT(!points_.empty(), "VF table must have at least one level");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        PPM_ASSERT(points_[i].mhz > points_[i - 1].mhz,
+                   "VF points must be sorted by ascending frequency");
+        PPM_ASSERT(points_[i].volts >= points_[i - 1].volts,
+                   "voltage must be non-decreasing with frequency");
+    }
+}
+
+double
+VfTable::mhz(int level) const
+{
+    PPM_ASSERT(level >= 0 && level < levels(), "VF level out of range");
+    return points_[static_cast<std::size_t>(level)].mhz;
+}
+
+double
+VfTable::volts(int level) const
+{
+    PPM_ASSERT(level >= 0 && level < levels(), "VF level out of range");
+    return points_[static_cast<std::size_t>(level)].volts;
+}
+
+int
+VfTable::level_for_demand(Pu demand) const
+{
+    for (int l = 0; l < levels(); ++l) {
+        if (points_[static_cast<std::size_t>(l)].mhz >= demand)
+            return l;
+    }
+    return levels() - 1;
+}
+
+int
+VfTable::clamp_level(int level) const
+{
+    return std::clamp(level, 0, levels() - 1);
+}
+
+VfTable
+little_vf_table()
+{
+    return VfTable({{350, 0.90},
+                    {400, 0.92},
+                    {500, 0.95},
+                    {600, 1.00},
+                    {700, 1.05},
+                    {800, 1.10},
+                    {900, 1.15},
+                    {1000, 1.20}});
+}
+
+VfTable
+big_vf_table()
+{
+    return VfTable({{500, 0.95},
+                    {600, 1.00},
+                    {700, 1.05},
+                    {800, 1.10},
+                    {900, 1.15},
+                    {1000, 1.20},
+                    {1100, 1.25},
+                    {1200, 1.30}});
+}
+
+} // namespace ppm::hw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete voltage-frequency operating points of a cluster.
+ *
+ * Following the paper's platform (ARM big.LITTLE TC2), frequency -- and
+ * therefore supply in Processing Units -- can only be changed at the
+ * cluster level and only between a small set of discrete V-F pairs.
+ */
+
+#ifndef PPM_HW_VF_TABLE_HH
+#define PPM_HW_VF_TABLE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ppm::hw {
+
+/** One discrete operating point. */
+struct VfPoint {
+    double mhz;    ///< Clock frequency in MHz (== supply in PU).
+    double volts;  ///< Supply voltage at this frequency.
+};
+
+/**
+ * Ordered set of discrete V-F operating points for one cluster.
+ * Levels are indexed 0 (slowest) .. levels()-1 (fastest).
+ */
+class VfTable
+{
+  public:
+    /** Construct from points sorted by ascending frequency. */
+    explicit VfTable(std::vector<VfPoint> points);
+
+    /** Number of discrete levels. */
+    int levels() const { return static_cast<int>(points_.size()); }
+
+    /** Frequency in MHz at `level`. */
+    double mhz(int level) const;
+
+    /** Voltage at `level`. */
+    double volts(int level) const;
+
+    /** Supply in PU at `level` (numerically equal to MHz). */
+    Pu supply(int level) const { return mhz(level); }
+
+    /** Lowest frequency in MHz. */
+    double min_mhz() const { return points_.front().mhz; }
+
+    /** Highest frequency in MHz. */
+    double max_mhz() const { return points_.back().mhz; }
+
+    /** Maximum supply in PU. */
+    Pu max_supply() const { return max_mhz(); }
+
+    /**
+     * Smallest level whose supply covers `demand` PU (the paper's
+     * "round up the demand to the next supply value").  Clamped to the
+     * fastest level if the demand exceeds the maximum supply.
+     */
+    int level_for_demand(Pu demand) const;
+
+    /** `level + delta` clamped into the valid range. */
+    int clamp_level(int level) const;
+
+  private:
+    std::vector<VfPoint> points_;
+};
+
+/** Default LITTLE-cluster (Cortex-A7-like) table: 350..1000 MHz. */
+VfTable little_vf_table();
+
+/** Default big-cluster (Cortex-A15-like) table: 500..1200 MHz. */
+VfTable big_vf_table();
+
+} // namespace ppm::hw
+
+#endif // PPM_HW_VF_TABLE_HH

@@ -1,0 +1,484 @@
+#include "market/market.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ppm::market {
+
+const char*
+chip_state_name(ChipState s)
+{
+    switch (s) {
+      case ChipState::kNormal:
+        return "normal";
+      case ChipState::kThreshold:
+        return "threshold";
+      case ChipState::kEmergency:
+        return "emergency";
+    }
+    return "?";
+}
+
+Market::Market(hw::Chip* chip, PpmConfig cfg)
+    : chip_(chip), cfg_(cfg),
+      cores_(static_cast<std::size_t>(chip->num_cores())),
+      clusters_(static_cast<std::size_t>(chip->num_clusters())),
+      allowance_(cfg.initial_allowance)
+{
+    PPM_ASSERT(chip_ != nullptr, "market needs a chip");
+    PPM_ASSERT(cfg_.w_th < cfg_.w_tdp, "W_th must be below W_tdp");
+    PPM_ASSERT(cfg_.tolerance > 0.0, "tolerance factor must be positive");
+    PPM_ASSERT(cfg_.min_bid > 0.0, "minimum bid must be positive");
+    for (CoreId c = 0; c < chip_->num_cores(); ++c)
+        cores_[static_cast<std::size_t>(c)].id = c;
+}
+
+void
+Market::add_task(TaskId id, int priority, CoreId initial_core)
+{
+    PPM_ASSERT(id == static_cast<TaskId>(tasks_.size()),
+               "task ids must be dense and in order");
+    PPM_ASSERT(priority >= 1, "priority must be >= 1");
+    PPM_ASSERT(initial_core >= 0 && initial_core < chip_->num_cores(),
+               "initial core out of range");
+    TaskState t;
+    t.id = id;
+    t.priority = priority;
+    t.core = initial_core;
+    t.bid = std::max(cfg_.min_bid, cfg_.initial_bid);
+    tasks_.push_back(t);
+}
+
+void
+Market::set_demand(TaskId t, Pu demand)
+{
+    PPM_ASSERT(demand >= 0.0, "demand must be non-negative");
+    PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
+               "task id out of range");
+    tasks_[static_cast<std::size_t>(t)].demand = demand;
+}
+
+void
+Market::set_task_core(TaskId t, CoreId core)
+{
+    PPM_ASSERT(core >= 0 && core < chip_->num_cores(),
+               "core out of range");
+    PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
+               "task id out of range");
+    tasks_[static_cast<std::size_t>(t)].core = core;
+}
+
+void
+Market::set_task_active(TaskId t, bool active)
+{
+    PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
+               "task id out of range");
+    TaskState& ts = tasks_[static_cast<std::size_t>(t)];
+    if (ts.active == active)
+        return;
+    ts.active = active;
+    // A departing agent's money leaves circulation; a (re)arriving
+    // agent starts afresh.
+    ts.bid = std::max(cfg_.min_bid, cfg_.initial_bid);
+    ts.savings = 0.0;
+    ts.supply = 0.0;
+    ts.demand = active ? ts.demand : 0.0;
+}
+
+void
+Market::set_cluster_power(ClusterId v, Watts w)
+{
+    PPM_ASSERT(v >= 0 && v < chip_->num_clusters(),
+               "cluster id out of range");
+    clusters_[static_cast<std::size_t>(v)].power = std::max(0.0, w);
+}
+
+const TaskState&
+Market::task(TaskId t) const
+{
+    PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
+               "task id out of range");
+    return tasks_[static_cast<std::size_t>(t)];
+}
+
+const CoreState&
+Market::core(CoreId c) const
+{
+    PPM_ASSERT(c >= 0 && c < static_cast<CoreId>(cores_.size()),
+               "core id out of range");
+    return cores_[static_cast<std::size_t>(c)];
+}
+
+std::vector<TaskId>
+Market::tasks_on(CoreId c) const
+{
+    std::vector<TaskId> out;
+    for (const TaskState& t : tasks_) {
+        if (t.core == c && t.active)
+            out.push_back(t.id);
+    }
+    return out;
+}
+
+CoreId
+Market::constrained_core(ClusterId v) const
+{
+    const hw::Cluster& cl = chip_->cluster(v);
+    CoreId best = kInvalidId;
+    Pu best_demand = 0.0;
+    for (CoreId c : cl.cores()) {
+        const Pu d = cores_[static_cast<std::size_t>(c)].demand;
+        if (d > best_demand) {
+            best_demand = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+bool
+Market::bids_frozen(ClusterId v) const
+{
+    PPM_ASSERT(v >= 0 && v < chip_->num_clusters(),
+               "cluster id out of range");
+    return clusters_[static_cast<std::size_t>(v)].freeze_bids;
+}
+
+void
+Market::refresh_core_demands()
+{
+    for (CoreState& c : cores_)
+        c.demand = 0.0;
+    for (const TaskState& t : tasks_) {
+        if (t.active)
+            cores_[static_cast<std::size_t>(t.core)].demand += t.demand;
+    }
+}
+
+ChipState
+Market::update_allowance(Watts chip_power, Pu total_demand, Pu deficit,
+                         Pu raw_deficit)
+{
+    ChipState state = ChipState::kNormal;
+    Money delta = 0.0;
+    if (chip_power > cfg_.w_tdp) {
+        // Emergency: cut allowance proportionally to the overshoot.
+        state = ChipState::kEmergency;
+        delta = allowance_ * (cfg_.w_tdp - chip_power) / cfg_.w_tdp;
+    } else if (chip_power >= cfg_.w_th) {
+        // Threshold: hold the money supply constant.
+        state = ChipState::kThreshold;
+        delta = 0.0;
+    } else {
+        // Normal: grow the allowance while the demand is not
+        // satisfied in at least one of the clusters, proportionally
+        // to the unmet demand.  With no deficit, anchor the money
+        // supply to the circulating bids (quantity theory of money)
+        // so the allowance scale tracks real spending.
+        state = ChipState::kNormal;
+        if (deficit > 0.0 && total_demand > 0.0) {
+            delta = allowance_
+                * std::min(deficit / total_demand,
+                           cfg_.allowance_growth_cap);
+        } else if (cfg_.money_anchor_rate > 0.0 &&
+                   raw_deficit <= 0.0) {
+            Money circulating = 0.0;
+            for (const TaskState& t : tasks_) {
+                if (t.active)
+                    circulating += t.bid;
+            }
+            const Money target = cfg_.money_anchor_slack * circulating;
+            if (allowance_ > target) {
+                delta = -cfg_.money_anchor_rate
+                    * (allowance_ - target);
+            }
+        }
+    }
+    const Money floor = cfg_.min_bid
+        * static_cast<double>(std::max<std::size_t>(1, tasks_.size()));
+    allowance_ = std::clamp(allowance_ + delta, floor,
+                            cfg_.max_allowance);
+    return state;
+}
+
+void
+Market::distribute_allowance(Watts chip_power)
+{
+    // Priority sums per core and cluster.
+    std::vector<double> core_prio(cores_.size(), 0.0);
+    std::vector<double> cluster_prio(clusters_.size(), 0.0);
+    for (const TaskState& t : tasks_) {
+        if (!t.active)
+            continue;
+        core_prio[static_cast<std::size_t>(t.core)] +=
+            static_cast<double>(t.priority);
+        cluster_prio[static_cast<std::size_t>(chip_->cluster_of(t.core))] +=
+            static_cast<double>(t.priority);
+    }
+
+    // Cluster weights: inversely proportional to power consumption
+    // (A_v = A * (W - W_v) / W, normalized over clusters that actually
+    // host tasks).  Falls back to priority-proportional weights when
+    // the power readings carry no signal.
+    std::vector<double> weight(clusters_.size(), 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t v = 0; v < clusters_.size(); ++v) {
+        if (cluster_prio[v] <= 0.0)
+            continue;
+        double w = chip_power - clusters_[v].power;
+        if (chip_power <= 1e-9)
+            w = 0.0;
+        weight[v] = std::max(0.0, w);
+        weight_sum += weight[v];
+    }
+    if (weight_sum <= 1e-12) {
+        for (std::size_t v = 0; v < clusters_.size(); ++v) {
+            weight[v] = cluster_prio[v];
+            weight_sum += weight[v];
+        }
+    }
+    if (weight_sum <= 1e-12)
+        return;  // No tasks anywhere.
+
+    // Chip -> cluster -> core -> task, each level priority-weighted.
+    for (TaskState& t : tasks_) {
+        if (!t.active) {
+            t.allowance = 0.0;
+            continue;
+        }
+        const auto v =
+            static_cast<std::size_t>(chip_->cluster_of(t.core));
+        const auto c = static_cast<std::size_t>(t.core);
+        const Money cluster_allowance = allowance_ * weight[v] / weight_sum;
+        const Money core_allowance =
+            cluster_allowance * core_prio[c] / cluster_prio[v];
+        t.allowance = core_allowance
+            * static_cast<double>(t.priority) / core_prio[c];
+    }
+}
+
+void
+Market::place_bids()
+{
+    for (TaskState& t : tasks_) {
+        if (!t.active)
+            continue;
+        const auto v =
+            static_cast<std::size_t>(chip_->cluster_of(t.core));
+        const bool frozen = clusters_[v].freeze_bids;
+        if (!frozen && rounds_ > 0) {
+            const Money price =
+                cores_[static_cast<std::size_t>(t.core)].price;
+            t.bid += (t.demand - t.supply) * price;
+        }
+        // The bid bound b_min <= b <= a + m holds unconditionally --
+        // a frozen bid is still cut when the allowance collapses
+        // (emergency response must not be deferred).
+        t.bid = std::clamp(t.bid, cfg_.min_bid,
+                           std::max(cfg_.min_bid,
+                                    t.allowance + t.savings));
+        // Savings bookkeeping: unspent allowance accrues, overspend
+        // draws down.  Agents do not accrue while bids are frozen
+        // during a V-F transition (cf. the flat savings in Table 3's
+        // transition rounds).  The cap -- a multiple of the current
+        // allowance -- limits *new* accrual but never confiscates an
+        // existing balance when the allowance shrinks.
+        if (!frozen) {
+            const Money cap = cfg_.savings_cap_frac * t.allowance;
+            Money next = t.savings + (t.allowance - t.bid);
+            if (next > t.savings)
+                next = std::min(next, std::max(t.savings, cap));
+            t.savings = std::max(0.0, next);
+        }
+    }
+}
+
+void
+Market::discover_prices()
+{
+    // Sum of bids per core.
+    std::vector<Money> bid_sum(cores_.size(), 0.0);
+    for (const TaskState& t : tasks_) {
+        if (t.active)
+            bid_sum[static_cast<std::size_t>(t.core)] += t.bid;
+    }
+
+    for (CoreState& c : cores_) {
+        c.supply = chip_->core_supply(c.id);
+        const Money bids = bid_sum[static_cast<std::size_t>(c.id)];
+        c.price = (c.supply > 0.0 && bids > 0.0) ? bids / c.supply : 0.0;
+    }
+
+    for (TaskState& t : tasks_) {
+        if (!t.active) {
+            t.supply = 0.0;
+            continue;
+        }
+        const CoreState& c = cores_[static_cast<std::size_t>(t.core)];
+        t.supply = c.price > 0.0 ? t.bid / c.price : 0.0;
+    }
+}
+
+int
+Market::control_supply()
+{
+    if (!cfg_.dvfs_enabled) {
+        // Keep the base prices tracking so the market stays
+        // well-conditioned even though levels never move.
+        for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
+            const CoreId cc = constrained_core(v);
+            if (cc != kInvalidId) {
+                auto& core = cores_[static_cast<std::size_t>(cc)];
+                core.base_price = core.price;
+                core.has_base = core.price > 0.0;
+            }
+        }
+        return 0;
+    }
+    int changes = 0;
+    for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
+        auto& ctl = clusters_[static_cast<std::size_t>(v)];
+        hw::Cluster& cl = chip_->cluster(v);
+        const CoreId constrained = constrained_core(v);
+        if (constrained == kInvalidId || !cl.powered()) {
+            ctl.freeze_bids = false;
+            ctl.pending_base_reset = false;
+            continue;
+        }
+        CoreState& cc = cores_[static_cast<std::size_t>(constrained)];
+        if (ctl.pending_base_reset) {
+            // First full round at the new V-F level: anchor the base
+            // price and release the task agents' bids.
+            cc.base_price = cc.price;
+            cc.has_base = true;
+            ctl.pending_base_reset = false;
+            ctl.freeze_bids = false;
+            continue;
+        }
+        if (!cc.has_base) {
+            cc.base_price = cc.price;
+            cc.has_base = cc.price > 0.0;
+            continue;
+        }
+        const double delta = cfg_.tolerance;
+        // The paper's demand rounding: while the chip is in the
+        // normal state, never deflate below the supply that covers
+        // the constrained core's demand -- prevents the limit cycle
+        // between two adjacent levels.  Money-driven deflation in the
+        // threshold/emergency states is exempt (the Table 3 descent).
+        const bool demand_covered_below = cl.level() == 0 ||
+            cl.vf().supply(cl.level() - 1) >= cc.demand;
+        const bool may_deflate = !cfg_.demand_rounding ||
+            state_ != ChipState::kNormal || demand_covered_below;
+        bool changed = false;
+        if (cc.price >= cc.base_price * (1.0 + delta)) {
+            changed = cl.step_level(+1);  // Inflation: raise supply.
+        } else if (cc.price <= cc.base_price * (1.0 - delta)) {
+            if (may_deflate) {
+                changed = cl.step_level(-1);  // Deflation: lower supply.
+            } else {
+                // Deflation blocked by demand rounding: accept the
+                // lower price as the new base so the inflation trigger
+                // stays responsive.
+                cc.base_price = cc.price;
+            }
+        } else if (cl.level() > 0) {
+            // Bid-floor deflation: once every bid on the constrained
+            // core has fallen to b_min, the price is pinned and can no
+            // longer signal over-supply.  The paper expects such a
+            // cluster to settle at the minimum frequency that covers
+            // its demand, so walk down while a lower level suffices.
+            const auto on_core = tasks_on(constrained);
+            bool all_floor = !on_core.empty();
+            for (TaskId t : on_core) {
+                if (tasks_[static_cast<std::size_t>(t)].bid >
+                    cfg_.min_bid + 1e-12) {
+                    all_floor = false;
+                    break;
+                }
+            }
+            if (all_floor &&
+                cl.vf().supply(cl.level() - 1) >= cc.demand) {
+                changed = cl.step_level(-1);
+            }
+        }
+        if (changed) {
+            ctl.freeze_bids = true;
+            ctl.pending_base_reset = true;
+            ++changes;
+        }
+    }
+    return changes;
+}
+
+RoundReport
+Market::round()
+{
+    refresh_core_demands();
+
+    // Chip demand D: sum over clusters of the constrained core's
+    // demand; chip supply S: sum of cluster supplies (Section 2).
+    // The deficit tracks per-cluster unmet demand so a starving
+    // cluster is not masked by another cluster's surplus.
+    Pu total_demand = 0.0;
+    Pu total_supply = 0.0;
+    Pu deficit = 0.0;
+    Pu raw_deficit = 0.0;
+    for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
+        const hw::Cluster& cl = chip_->cluster(v);
+        const CoreId cc = constrained_core(v);
+        Pu cluster_demand = 0.0;
+        if (cc != kInvalidId)
+            cluster_demand = cores_[static_cast<std::size_t>(cc)].demand;
+        total_demand += cluster_demand;
+        total_supply += cl.supply();
+        const Pu unmet = std::max(
+            0.0,
+            cluster_demand - cl.supply() * (1.0 + cfg_.demand_slack));
+        raw_deficit += unmet;
+        // Extra money only helps while the cluster can actually raise
+        // its supply; a deficit at the top V-F level must be resolved
+        // by the LBT module (or tolerated), not by inflating the
+        // money supply forever.
+        const bool headroom =
+            cl.powered() && cl.level() < cl.vf().levels() - 1;
+        if (headroom)
+            deficit += unmet;
+    }
+    Watts chip_power = 0.0;
+    for (const ClusterCtl& ctl : clusters_)
+        chip_power += ctl.power;
+
+    // The chip agent reacts to the imbalance observed in the
+    // *previous* round (prev_demand_/prev_supply_, and the power
+    // readings fed in since then) -- cf. the round-by-round evolution
+    // of Table 3.
+    state_ = update_allowance(chip_power, total_demand, deficit,
+                              raw_deficit);
+    if (state_ == ChipState::kEmergency &&
+        cfg_.emergency_savings_tax > 0.0) {
+        // Monetary contraction: the TDP response must also curb the
+        // banked money or savings-funded bids keep the supply -- and
+        // the power -- inflated.
+        for (TaskState& t : tasks_)
+            t.savings *= 1.0 - cfg_.emergency_savings_tax;
+    }
+    distribute_allowance(chip_power);
+    place_bids();
+    discover_prices();
+    const int vf_changes = control_supply();
+    ++rounds_;
+
+    RoundReport report;
+    report.state = state_;
+    report.allowance = allowance_;
+    report.total_demand = total_demand;
+    report.total_supply = total_supply;
+    report.chip_power = chip_power;
+    report.vf_changes = vf_changes;
+    return report;
+}
+
+} // namespace ppm::market

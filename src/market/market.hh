@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The virtual market place at the heart of the framework: task agents
+ * bid for Processing Units, core agents discover prices and allocate
+ * supply, cluster agents counter price inflation/deflation with DVFS,
+ * and the chip agent steers the money supply (global allowance) to
+ * keep chip power under the TDP (Sections 3.1-3.2 of the paper).
+ *
+ * The Market is a pure mechanism: its inputs each round are the task
+ * demands and per-cluster power readings; its effects are task supply
+ * allocations and cluster V-F levels (written directly to the Chip
+ * model it is given).  It contains no scheduling or sensing -- the
+ * PpmGovernor adapts a live Simulation onto it, and unit tests /
+ * benchmarks can drive it standalone to reproduce Tables 1-3.
+ */
+
+#ifndef PPM_MARKET_MARKET_HH
+#define PPM_MARKET_MARKET_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/platform.hh"
+#include "market/config.hh"
+
+namespace ppm::market {
+
+/** Market-visible state of one task agent. */
+struct TaskState {
+    TaskId id = kInvalidId;
+    int priority = 1;          ///< r_t.
+    CoreId core = kInvalidId;  ///< Current mapping c_t.
+    bool active = true;        ///< Participates in the market?
+    Pu demand = 0.0;           ///< d_t, set each round by the caller.
+    Pu supply = 0.0;           ///< s_t, result of the last purchase.
+    Money bid = 0.0;           ///< b_t.
+    Money allowance = 0.0;     ///< a_t.
+    Money savings = 0.0;       ///< m_t.
+};
+
+/** Market-visible state of one core agent. */
+struct CoreState {
+    CoreId id = kInvalidId;
+    Money price = 0.0;       ///< P_c from the last price discovery.
+    Money base_price = 0.0;  ///< P_Base_c (reset on V-F change).
+    bool has_base = false;   ///< Base price established?
+    Pu demand = 0.0;         ///< D_c: sum of task demands on the core.
+    Pu supply = 0.0;         ///< S_c used in the last price discovery.
+};
+
+/** Per-round outcome reported by Market::round(). */
+struct RoundReport {
+    ChipState state = ChipState::kNormal;  ///< Chip power state.
+    Money allowance = 0.0;                 ///< Global allowance A.
+    Pu total_demand = 0.0;                 ///< D.
+    Pu total_supply = 0.0;                 ///< S.
+    Watts chip_power = 0.0;                ///< W used this round.
+    int vf_changes = 0;                    ///< Cluster level changes.
+};
+
+/** The market mechanism (supply-demand module). */
+class Market
+{
+  public:
+    /**
+     * @param chip Platform whose V-F levels the cluster agents drive
+     *             (not owned; must outlive the market).
+     * @param cfg  Mechanism parameters.
+     */
+    Market(hw::Chip* chip, PpmConfig cfg);
+
+    /** Register a task agent.  Ids must be dense, starting at 0. */
+    void add_task(TaskId id, int priority, CoreId initial_core);
+
+    /** Set the task's demand d_t for the upcoming round. */
+    void set_demand(TaskId t, Pu demand);
+
+    /** Record the task's new core after an (external) migration. */
+    void set_task_core(TaskId t, CoreId core);
+
+    /**
+     * Enter or leave the market (task arrival / exit).  A departing
+     * agent's money leaves circulation (bid reset, savings wiped);
+     * an arriving agent starts afresh with the initial bid.
+     */
+    void set_task_active(TaskId t, bool active);
+
+    /** Report cluster v's power reading for the upcoming round. */
+    void set_cluster_power(ClusterId v, Watts w);
+
+    /**
+     * Execute one market round: chip-agent allowance update and
+     * hierarchical distribution, task-agent bidding, core-agent price
+     * discovery and purchases, then cluster-agent inflation/deflation
+     * control (which may step V-F levels on the chip, taking effect
+     * in the next round's supply).
+     */
+    RoundReport round();
+
+    /** Number of rounds executed. */
+    long rounds() const { return rounds_; }
+
+    /** State of task `t`. */
+    const TaskState& task(TaskId t) const;
+
+    /** State of core `c`. */
+    const CoreState& core(CoreId c) const;
+
+    /** All task states (indexed by task id). */
+    const std::vector<TaskState>& tasks() const { return tasks_; }
+
+    /**
+     * Constrained core of cluster `v`: the core with the highest
+     * demand sum; kInvalidId if the cluster has no demand.
+     */
+    CoreId constrained_core(ClusterId v) const;
+
+    /** Chip state decided in the last round. */
+    ChipState state() const { return state_; }
+
+    /** Global allowance A. */
+    Money global_allowance() const { return allowance_; }
+
+    /** True while cluster `v`'s agents hold bids after a V-F change. */
+    bool bids_frozen(ClusterId v) const;
+
+    /** The mechanism parameters. */
+    const PpmConfig& config() const { return cfg_; }
+
+    /** The platform the market drives. */
+    const hw::Chip& chip() const { return *chip_; }
+
+    /** Tasks mapped to core `c` (by market bookkeeping). */
+    std::vector<TaskId> tasks_on(CoreId c) const;
+
+  private:
+    struct ClusterCtl {
+        bool freeze_bids = false;        ///< Bids held this round.
+        bool pending_base_reset = false; ///< Base price resets after
+                                         ///< the next price discovery.
+        Watts power = 0.0;               ///< Latest sensor reading.
+    };
+
+    /** Refresh per-core demand sums from task states. */
+    void refresh_core_demands();
+
+    /**
+     * Chip-agent allowance update; returns the new chip state.
+     * `deficit` is the unmet cluster demand that more money could
+     * cure (clusters with V-F headroom); `raw_deficit` is all unmet
+     * demand.  The allowance grows on `deficit` and is anchored to
+     * circulating bids only when `raw_deficit` is zero.
+     */
+    ChipState update_allowance(Watts chip_power, Pu total_demand,
+                               Pu deficit, Pu raw_deficit);
+
+    /** Hierarchical allowance distribution (chip->cluster->core->task). */
+    void distribute_allowance(Watts chip_power);
+
+    /** Task-agent bidding and savings bookkeeping. */
+    void place_bids();
+
+    /** Core-agent price discovery and purchases. */
+    void discover_prices();
+
+    /** Cluster-agent DVFS decisions; returns number of level changes. */
+    int control_supply();
+
+    hw::Chip* chip_;
+    PpmConfig cfg_;
+    std::vector<TaskState> tasks_;
+    std::vector<CoreState> cores_;
+    std::vector<ClusterCtl> clusters_;
+    Money allowance_ = 0.0;
+    ChipState state_ = ChipState::kNormal;
+    long rounds_ = 0;
+};
+
+} // namespace ppm::market
+
+#endif // PPM_MARKET_MARKET_HH

@@ -1,0 +1,109 @@
+#include "market/online_estimator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::market {
+
+OnlineSpeedupEstimator::OnlineSpeedupEstimator(int num_tasks)
+    : OnlineSpeedupEstimator(num_tasks, Params{})
+{
+}
+
+OnlineSpeedupEstimator::OnlineSpeedupEstimator(int num_tasks, Params p)
+    : params_(p), tasks_(static_cast<std::size_t>(num_tasks))
+{
+    PPM_ASSERT(num_tasks > 0, "estimator needs at least one task");
+    PPM_ASSERT(p.ewma_alpha > 0.0 && p.ewma_alpha <= 1.0,
+               "alpha must be in (0, 1]");
+    PPM_ASSERT(p.min_speedup >= 1.0 && p.max_speedup > p.min_speedup,
+               "speedup bounds must satisfy 1 <= min < max");
+}
+
+const OnlineSpeedupEstimator::PerTask&
+OnlineSpeedupEstimator::entry(TaskId t) const
+{
+    PPM_ASSERT(t >= 0 && static_cast<std::size_t>(t) < tasks_.size(),
+               "task id out of range");
+    return tasks_[static_cast<std::size_t>(t)];
+}
+
+OnlineSpeedupEstimator::PerTask&
+OnlineSpeedupEstimator::entry(TaskId t)
+{
+    PPM_ASSERT(t >= 0 && static_cast<std::size_t>(t) < tasks_.size(),
+               "task id out of range");
+    return tasks_[static_cast<std::size_t>(t)];
+}
+
+void
+OnlineSpeedupEstimator::observe(TaskId t, hw::CoreClass cls, Pu supply,
+                                double heart_rate)
+{
+    if (heart_rate < params_.min_heart_rate || supply <= 1e-9)
+        return;  // Starved or idle window: no cost signal.
+    const double cost = supply / heart_rate;
+    PerClass& pc = entry(t).cls[index(cls)];
+    if (pc.samples == 0)
+        pc.cost_ewma = cost;
+    else
+        pc.cost_ewma += params_.ewma_alpha * (cost - pc.cost_ewma);
+    ++pc.samples;
+}
+
+bool
+OnlineSpeedupEstimator::converged(TaskId t) const
+{
+    const PerTask& pt = entry(t);
+    return pt.cls[0].samples >= params_.min_samples &&
+        pt.cls[1].samples >= params_.min_samples &&
+        pt.cls[1].cost_ewma > 1e-9;
+}
+
+double
+OnlineSpeedupEstimator::population_speedup() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+        const PerTask& pt = tasks_[t];
+        if (pt.cls[0].samples >= params_.min_samples &&
+            pt.cls[1].samples >= params_.min_samples &&
+            pt.cls[1].cost_ewma > 1e-9) {
+            sum += std::clamp(pt.cls[0].cost_ewma / pt.cls[1].cost_ewma,
+                              params_.min_speedup, params_.max_speedup);
+            ++n;
+        }
+    }
+    return n > 0 ? sum / n : params_.default_speedup;
+}
+
+double
+OnlineSpeedupEstimator::speedup(TaskId t) const
+{
+    // Deliberately conservative: an unconverged task uses the
+    // default, not the population mean -- inheriting a dissimilar
+    // peer's ratio mis-speculates migrations worse than a neutral
+    // prior does.  population_speedup() remains available for
+    // callers that want the aggressive estimate.
+    if (!converged(t))
+        return params_.default_speedup;
+    const PerTask& pt = entry(t);
+    const double ratio = pt.cls[0].cost_ewma / pt.cls[1].cost_ewma;
+    return std::clamp(ratio, params_.min_speedup, params_.max_speedup);
+}
+
+int
+OnlineSpeedupEstimator::samples(TaskId t, hw::CoreClass cls) const
+{
+    return entry(t).cls[index(cls)].samples;
+}
+
+double
+OnlineSpeedupEstimator::cost(TaskId t, hw::CoreClass cls) const
+{
+    return entry(t).cls[index(cls)].cost_ewma;
+}
+
+} // namespace ppm::market

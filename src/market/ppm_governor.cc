@@ -1,0 +1,237 @@
+#include "market/ppm_governor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "hw/power_model.hh"
+#include "sched/nice.hh"
+
+namespace ppm::market {
+
+PpmGovernor::PpmGovernor(PpmGovernorConfig cfg) : cfg_(std::move(cfg))
+{
+    PPM_ASSERT(cfg_.bid_period >= 0,
+               "bid period must be positive or 0 (auto)");
+    PPM_ASSERT(cfg_.lb_every_bids >= 1 && cfg_.mig_every_lbs >= 1,
+               "LBT period multipliers must be >= 1");
+}
+
+PpmGovernor::~PpmGovernor() = default;
+
+Pu
+PpmGovernor::estimate_demand_on(TaskId t, ClusterId v) const
+{
+    const TaskState& ts = market_->task(t);
+    const hw::Chip& chip = market_->chip();
+    const hw::CoreClass from =
+        chip.cluster(chip.cluster_of(ts.core)).type().core_class;
+    const hw::CoreClass to = chip.cluster(v).type().core_class;
+    if (from == to)
+        return ts.demand;
+    double speedup = PpmGovernorConfig::kDefaultSpeedup;
+    if (online_ != nullptr) {
+        // Own estimate, else converged peers' mean, else the default.
+        speedup = online_->speedup(t);
+    } else if (static_cast<std::size_t>(t) < cfg_.big_speedup.size() &&
+               cfg_.big_speedup[static_cast<std::size_t>(t)] > 0.0) {
+        speedup = cfg_.big_speedup[static_cast<std::size_t>(t)];
+    }
+    return to == hw::CoreClass::kBig ? ts.demand / speedup
+                                     : ts.demand * speedup;
+}
+
+void
+PpmGovernor::init(sim::Simulation& sim)
+{
+    sim_ = &sim;
+    market_ = std::make_unique<Market>(&sim.chip(), cfg_.market);
+    for (workload::Task* t : sim.tasks()) {
+        market_->add_task(t->id(), t->priority(),
+                          sim.scheduler().core_of(t->id()));
+    }
+    if (cfg_.online_speedup) {
+        online_ = std::make_unique<OnlineSpeedupEstimator>(
+            static_cast<int>(sim.tasks().size()), cfg_.online_params);
+        residency_.assign(sim.tasks().size(), Residency{});
+    }
+    lbt_ = std::make_unique<LbtModule>(
+        market_.get(),
+        [this](TaskId t, ClusterId v) { return estimate_demand_on(t, v); });
+
+    // Power-cost weights: watts per PU at full tilt, normalized to the
+    // cheapest cluster (the paper's offline power profiles).
+    std::vector<double> wpp;
+    double min_wpp = 1e18;
+    for (const auto& cl : sim.chip().clusters()) {
+        const Watts pmax =
+            hw::PowerModel::cluster_max_power(sim.chip(), cl.id());
+        const double w = pmax
+            / (cl.num_cores() * cl.vf().max_supply());
+        wpp.push_back(w);
+        min_wpp = std::min(min_wpp, w);
+    }
+    for (double& w : wpp)
+        w /= min_wpp;
+    lbt_->set_power_cost(std::move(wpp));
+
+    // Bid period: explicit, or the paper's rule -- max(Linux
+    // scheduling epoch, shortest task period), a task's period being
+    // the reciprocal of its target heart rate.
+    bid_period_ = cfg_.bid_period;
+    if (bid_period_ == 0) {
+        SimTime shortest = 1LL << 60;
+        for (workload::Task* t : sim.tasks()) {
+            const double hr = t->hrm().target_hr();
+            if (hr > 0.0) {
+                shortest = std::min(
+                    shortest,
+                    static_cast<SimTime>(kSecond / hr));
+            }
+        }
+        bid_period_ = std::max(sched::kLinuxSchedEpoch, shortest);
+        // Round up to the simulation tick.
+        const SimTime tick = sim.config().tick;
+        bid_period_ = (bid_period_ + tick - 1) / tick * tick;
+    }
+
+    // Start every cluster at its lowest V-F level (energy-first);
+    // with DVFS disabled, pin the maximum instead so the ablation
+    // measures placement quality rather than starvation.
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        hw::Cluster& cl = sim.chip().cluster(v);
+        cl.set_level(cfg_.market.dvfs_enabled ? 0
+                                              : cl.vf().levels() - 1);
+    }
+    sim.sensors().mark();
+    next_bid_ = bid_period_;
+}
+
+void
+PpmGovernor::enact_nice(sim::Simulation& sim)
+{
+    for (CoreId c = 0; c < sim.chip().num_cores(); ++c) {
+        const std::vector<TaskId> on_core = market_->tasks_on(c);
+        if (on_core.empty())
+            continue;
+        Pu max_supply = 0.0;
+        for (TaskId t : on_core)
+            max_supply = std::max(max_supply, market_->task(t).supply);
+        if (max_supply <= 1e-9)
+            continue;
+        for (TaskId t : on_core) {
+            const Pu s = std::max(1e-6, market_->task(t).supply);
+            sim.scheduler().set_nice(
+                t, sched::nice_for_relative_share(s, max_supply));
+        }
+    }
+}
+
+void
+PpmGovernor::apply_power_gating(sim::Simulation& sim)
+{
+    if (!cfg_.power_gate_idle)
+        return;
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        bool has_tasks = false;
+        for (CoreId c : sim.chip().cluster(v).cores()) {
+            if (!market_->tasks_on(c).empty()) {
+                has_tasks = true;
+                break;
+            }
+        }
+        hw::Cluster& cl = sim.chip().cluster(v);
+        if (has_tasks && !cl.powered()) {
+            cl.set_powered(true);
+            cl.set_level(0);
+        } else if (!has_tasks && cl.powered()) {
+            cl.set_powered(false);
+        }
+    }
+}
+
+void
+PpmGovernor::bid_round(sim::Simulation& sim, SimTime now)
+{
+    // Sync task arrivals/exits, then read demands from the Heart
+    // Rate Monitors (Table 4 conversion).
+    for (workload::Task* t : sim.tasks()) {
+        const bool alive = sim.scheduler().active(t->id());
+        if (market_->task(t->id()).active != alive)
+            market_->set_task_active(t->id(), alive);
+        if (!alive)
+            continue;
+        market_->set_demand(
+            t->id(),
+            t->hrm().estimate_demand(now, cfg_.market.demand_clamp));
+        if (online_ != nullptr) {
+            // Feed the online model only when the whole HRM window
+            // lies on one core class: windows straddling a migration
+            // would attribute the old class's cost to the new one.
+            const CoreId c = sim.scheduler().core_of(t->id());
+            const hw::CoreClass cls =
+                sim.chip().cluster(sim.chip().cluster_of(c))
+                    .type().core_class;
+            auto& res = residency_[static_cast<std::size_t>(t->id())];
+            if (cls != res.cls) {
+                res.cls = cls;
+                res.since = now;
+            } else if (now - res.since >= kSecond) {
+                online_->observe(t->id(), cls, t->hrm().supply(now),
+                                 t->heart_rate(now));
+            }
+        }
+    }
+    // Power readings since the previous bid round (hwmon-style).
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        market_->set_cluster_power(
+            v, sim.sensors().average_since_mark(v));
+    }
+    sim.sensors().mark();
+
+    market_->round();
+    enact_nice(sim);
+    apply_power_gating(sim);
+}
+
+void
+PpmGovernor::lbt_round(sim::Simulation& sim, SimTime now, bool migration)
+{
+    Movement mv = migration ? lbt_->propose_migration()
+                            : lbt_->propose_load_balance();
+    if (!mv.valid() && migration)
+        mv = lbt_->propose_load_balance();
+    if (!mv.valid())
+        return;
+
+    // Ensure the destination cluster is powered before moving.
+    hw::Cluster& dst = sim.chip().cluster(sim.chip().cluster_of(mv.to));
+    if (!dst.powered()) {
+        dst.set_powered(true);
+        dst.set_level(0);
+    }
+    sim.scheduler().migrate(mv.task, mv.to, now);
+    market_->set_task_core(mv.task, mv.to);
+}
+
+void
+PpmGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
+{
+    (void)dt;
+    if (now < next_bid_)
+        return;
+    next_bid_ = now + bid_period_;
+    ++bid_count_;
+    bid_round(sim, now);
+
+    if (!cfg_.enable_lbt)
+        return;
+    const long lb_period = cfg_.lb_every_bids;
+    const long mig_period =
+        static_cast<long>(cfg_.lb_every_bids) * cfg_.mig_every_lbs;
+    if (bid_count_ % mig_period == 0)
+        lbt_round(sim, now, /*migration=*/true);
+    else if (bid_count_ % lb_period == 0)
+        lbt_round(sim, now, /*migration=*/false);
+}
+
+} // namespace ppm::market

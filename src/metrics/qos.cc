@@ -1,0 +1,68 @@
+#include "metrics/qos.hh"
+
+#include "common/logging.hh"
+
+namespace ppm::metrics {
+
+QosTracker::QosTracker(int num_tasks)
+    : below_(static_cast<std::size_t>(num_tasks)),
+      outside_(static_cast<std::size_t>(num_tasks))
+{
+    PPM_ASSERT(num_tasks > 0, "QosTracker needs at least one task");
+}
+
+void
+QosTracker::sample(const std::vector<workload::Task*>& tasks, SimTime now,
+                   SimTime dt, SimTime warmup,
+                   const std::vector<bool>* alive)
+{
+    PPM_ASSERT(tasks.size() == below_.size(), "task count mismatch");
+    PPM_ASSERT(alive == nullptr || alive->size() == tasks.size(),
+               "alive mask size mismatch");
+    if (now < warmup)
+        return;
+    bool any_b = false;
+    bool any_o = false;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (alive != nullptr && !(*alive)[i])
+            continue;
+        const bool b = tasks[i]->hrm().below_range(now);
+        const bool o = tasks[i]->hrm().outside_range(now);
+        below_[i].add(b, dt);
+        outside_[i].add(o, dt);
+        any_b = any_b || b;
+        any_o = any_o || o;
+    }
+    any_below_.add(any_b, dt);
+    any_outside_.add(any_o, dt);
+}
+
+double
+QosTracker::task_below_fraction(TaskId t) const
+{
+    PPM_ASSERT(t >= 0 && static_cast<std::size_t>(t) < below_.size(),
+               "task id out of range");
+    return below_[static_cast<std::size_t>(t)].fraction();
+}
+
+double
+QosTracker::task_outside_fraction(TaskId t) const
+{
+    PPM_ASSERT(t >= 0 && static_cast<std::size_t>(t) < outside_.size(),
+               "task id out of range");
+    return outside_[static_cast<std::size_t>(t)].fraction();
+}
+
+double
+QosTracker::any_below_fraction() const
+{
+    return any_below_.fraction();
+}
+
+double
+QosTracker::any_outside_fraction() const
+{
+    return any_outside_.fraction();
+}
+
+} // namespace ppm::metrics

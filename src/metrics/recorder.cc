@@ -1,0 +1,78 @@
+#include "metrics/recorder.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/table.hh"
+
+namespace ppm::metrics {
+
+void
+TraceRecorder::record(const std::string& name, SimTime time, double value)
+{
+    series_[name].push_back(Sample{time, value});
+}
+
+const std::vector<Sample>&
+TraceRecorder::series(const std::string& name) const
+{
+    static const std::vector<Sample> kEmpty;
+    const auto it = series_.find(name);
+    return it == series_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string>
+TraceRecorder::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [name, samples] : series_)
+        out.push_back(name);
+    return out;
+}
+
+void
+TraceRecorder::write_csv(std::ostream& os) const
+{
+    std::set<SimTime> times;
+    for (const auto& [name, samples] : series_)
+        for (const Sample& s : samples)
+            times.insert(s.time);
+
+    os << "time_s";
+    for (const auto& [name, samples] : series_)
+        os << ',' << name;
+    os << '\n';
+
+    // Per-series cursor walk over the sorted union of timestamps.
+    std::map<std::string, std::size_t> cursor;
+    for (SimTime t : times) {
+        os << fmt_double(to_seconds(t), 3);
+        for (const auto& [name, samples] : series_) {
+            os << ',';
+            std::size_t& i = cursor[name];
+            if (i < samples.size() && samples[i].time == t) {
+                os << fmt_double(samples[i].value, 6);
+                ++i;
+            }
+        }
+        os << '\n';
+    }
+}
+
+double
+TraceRecorder::mean_after(const std::string& name, SimTime from) const
+{
+    const auto& samples = series(name);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const Sample& s : samples) {
+        if (s.time >= from) {
+            sum += s.value;
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace ppm::metrics

@@ -1,0 +1,45 @@
+#include "sched/nice.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ppm::sched {
+
+namespace {
+
+/** kernel/sched/core.c sched_prio_to_weight, nice -20 .. 19. */
+constexpr double kPrioToWeight[40] = {
+    88761, 71755, 56483, 46273, 36291,  // -20 .. -16
+    29154, 23254, 18705, 14949, 11916,  // -15 .. -11
+    9548,  7620,  6100,  4904,  3906,   // -10 .. -6
+    3121,  2501,  1991,  1586,  1277,   // -5 .. -1
+    1024,  820,   655,   526,   423,    // 0 .. 4
+    335,   272,   215,   172,   137,    // 5 .. 9
+    110,   87,    70,    56,    45,     // 10 .. 14
+    36,    29,    23,    18,    15,     // 15 .. 19
+};
+
+} // namespace
+
+double
+weight_for_nice(int nice)
+{
+    const int clamped = std::clamp(nice, kMinNice, kMaxNice);
+    return kPrioToWeight[clamped - kMinNice];
+}
+
+int
+nice_for_relative_share(double share, double max_share)
+{
+    PPM_ASSERT(share > 0.0 && max_share > 0.0,
+               "shares must be positive");
+    const double ratio = std::min(1.0, share / max_share);
+    // Each nice step scales the weight by ~1.25; nice 0 is the anchor.
+    const double steps = -std::log(ratio) / std::log(1.25);
+    const int nice = static_cast<int>(std::lround(steps));
+    return std::clamp(nice, 0, kMaxNice);
+}
+
+} // namespace ppm::sched

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Linux nice values and their CFS load weights.
+ *
+ * The paper's core agents enact purchased resource shares by
+ * manipulating task nice values; we reproduce the kernel's
+ * sched_prio_to_weight table (each nice step is a ~1.25x weight
+ * ratio) and provide the inverse mapping from a desired relative
+ * share to the closest representable nice value.
+ */
+
+#ifndef PPM_SCHED_NICE_HH
+#define PPM_SCHED_NICE_HH
+
+namespace ppm::sched {
+
+/** Minimum (most favourable) nice value. */
+inline constexpr int kMinNice = -20;
+
+/** Maximum (least favourable) nice value. */
+inline constexpr int kMaxNice = 19;
+
+/** Weight of nice 0 (the kernel's NICE_0_LOAD). */
+inline constexpr double kNiceZeroWeight = 1024.0;
+
+/** CFS load weight for a nice value (clamped into [-20, 19]). */
+double weight_for_nice(int nice);
+
+/**
+ * Closest nice value realizing `share / max_share` relative to the
+ * task that should receive the largest share.  The largest share maps
+ * to nice 0 and smaller shares to increasingly positive nice values;
+ * the result is clamped into [0, kMaxNice].  Both arguments must be
+ * positive.
+ */
+int nice_for_relative_share(double share, double max_share);
+
+} // namespace ppm::sched
+
+#endif // PPM_SCHED_NICE_HH

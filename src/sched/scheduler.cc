@@ -1,0 +1,242 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sched/nice.hh"
+
+namespace ppm::sched {
+
+namespace {
+/** EWMA time constant for the load signals (PELT-like). */
+constexpr double kLoadTauSeconds = 0.1;
+} // namespace
+
+Scheduler::Scheduler(hw::Chip* chip, hw::MigrationModel migration)
+    : chip_(chip), migration_(migration),
+      core_util_(static_cast<std::size_t>(chip->num_cores()), 0.0)
+{
+    PPM_ASSERT(chip_ != nullptr, "scheduler needs a chip");
+}
+
+void
+Scheduler::add_task(workload::Task* task, CoreId core)
+{
+    PPM_ASSERT(task != nullptr, "null task");
+    PPM_ASSERT(core >= 0 && core < chip_->num_cores(),
+               "initial core out of range");
+    PPM_ASSERT(task->id() == num_tasks(),
+               "tasks must be added in id order starting at 0");
+    Entry e;
+    e.task = task;
+    e.core = core;
+    e.nice = 0;
+    e.weight = weight_for_nice(0);
+    entries_.push_back(e);
+}
+
+Scheduler::Entry&
+Scheduler::entry(TaskId t)
+{
+    PPM_ASSERT(t >= 0 && t < num_tasks(), "task id out of range");
+    return entries_[static_cast<std::size_t>(t)];
+}
+
+const Scheduler::Entry&
+Scheduler::entry(TaskId t) const
+{
+    PPM_ASSERT(t >= 0 && t < num_tasks(), "task id out of range");
+    return entries_[static_cast<std::size_t>(t)];
+}
+
+workload::Task&
+Scheduler::task(TaskId t)
+{
+    return *entry(t).task;
+}
+
+const workload::Task&
+Scheduler::task(TaskId t) const
+{
+    return *entry(t).task;
+}
+
+CoreId
+Scheduler::core_of(TaskId t) const
+{
+    return entry(t).core;
+}
+
+std::vector<TaskId>
+Scheduler::tasks_on(CoreId core) const
+{
+    std::vector<TaskId> out;
+    for (const Entry& e : entries_) {
+        if (e.core == core && e.active)
+            out.push_back(e.task->id());
+    }
+    return out;
+}
+
+void
+Scheduler::set_active(TaskId t, bool active)
+{
+    entry(t).active = active;
+}
+
+bool
+Scheduler::active(TaskId t) const
+{
+    return entry(t).active;
+}
+
+SimTime
+Scheduler::migrate(TaskId t, CoreId core, SimTime now)
+{
+    PPM_ASSERT(core >= 0 && core < chip_->num_cores(),
+               "target core out of range");
+    Entry& e = entry(t);
+    if (e.core == core)
+        return 0;
+    const SimTime cost = migration_.cost(*chip_, e.core, core);
+    e.core = core;
+    e.blocked_until = std::max(e.blocked_until, now + cost);
+    ++migrations_;
+    return cost;
+}
+
+void
+Scheduler::set_nice(TaskId t, int nice)
+{
+    Entry& e = entry(t);
+    e.nice = std::clamp(nice, kMinNice, kMaxNice);
+    e.weight = weight_for_nice(e.nice);
+}
+
+int
+Scheduler::nice_of(TaskId t) const
+{
+    return entry(t).nice;
+}
+
+void
+Scheduler::distribute(CoreId core, const std::vector<TaskId>& ids,
+                      SimTime now, SimTime dt)
+{
+    const hw::Cluster& cl = chip_->cluster(chip_->cluster_of(core));
+    const hw::CoreClass cls = cl.type().core_class;
+    const Cycles capacity = work_done(cl.supply(), dt);
+
+    // Partition into runnable (unblocked) and blocked tasks.
+    std::vector<TaskId> runnable;
+    for (TaskId t : ids) {
+        if (entry(t).blocked_until <= now)
+            runnable.push_back(t);
+    }
+
+    // Water-filling proportional share among runnable tasks.
+    std::vector<Cycles> granted(ids.size(), 0.0);
+    if (capacity > 0.0 && !runnable.empty()) {
+        std::vector<TaskId> active = runnable;
+        Cycles remaining = capacity;
+        while (!active.empty() && remaining > 1e-9) {
+            double total_weight = 0.0;
+            for (TaskId t : active)
+                total_weight += entry(t).weight;
+            std::vector<TaskId> still_hungry;
+            Cycles consumed = 0.0;
+            for (TaskId t : active) {
+                const Cycles quota =
+                    remaining * entry(t).weight / total_weight;
+                const Cycles want =
+                    entry(t).task->desired_cycles(dt, cls);
+                const auto idx = static_cast<std::size_t>(
+                    std::find(ids.begin(), ids.end(), t) - ids.begin());
+                const Cycles already = granted[idx];
+                const Cycles need = std::max(0.0, want - already);
+                if (need <= quota * (1.0 + 1e-12)) {
+                    granted[idx] += need;
+                    consumed += need;
+                } else {
+                    granted[idx] += quota;
+                    consumed += quota;
+                    still_hungry.push_back(t);
+                }
+            }
+            remaining -= consumed;
+            if (still_hungry.size() == active.size())
+                break;  // Everyone hungry: quotas fully used.
+            active = std::move(still_hungry);
+        }
+    }
+
+    // Advance tasks and update signals.
+    Cycles used_total = 0.0;
+    const double alpha =
+        1.0 - std::exp(-to_seconds(dt) / kLoadTauSeconds);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        Entry& e = entry(ids[i]);
+        const Cycles g = granted[i];
+        used_total += g;
+        e.task->advance(now, dt, g, cls);
+        e.supply_last = g / kCyclesPerPuSecond / to_seconds(dt);
+        const bool runnable_now = e.blocked_until <= now;
+        const double share = capacity > 0.0 ? g / capacity : 0.0;
+        // Runnable fraction (PELT-like): a task that still wants more
+        // cycles was runnable for the whole tick; a self-paced task
+        // that got everything it asked for slept the rest of it.
+        const Cycles want = e.task->desired_cycles(dt, cls);
+        double runnable_frac = 0.0;
+        if (runnable_now)
+            runnable_frac = g + 1e-6 >= want ? share : 1.0;
+        e.load_ewma += alpha * (runnable_frac - e.load_ewma);
+        e.share_ewma += alpha * (share - e.share_ewma);
+    }
+    core_util_[static_cast<std::size_t>(core)] =
+        capacity > 0.0 ? std::min(1.0, used_total / capacity) : 0.0;
+}
+
+void
+Scheduler::tick(SimTime now, SimTime dt)
+{
+    PPM_ASSERT(dt > 0, "tick must be positive");
+    // Group active tasks by core in one pass.
+    std::vector<std::vector<TaskId>> by_core(
+        static_cast<std::size_t>(chip_->num_cores()));
+    for (const Entry& e : entries_) {
+        if (e.active)
+            by_core[static_cast<std::size_t>(e.core)].push_back(
+                e.task->id());
+    }
+    for (CoreId c = 0; c < chip_->num_cores(); ++c)
+        distribute(c, by_core[static_cast<std::size_t>(c)], now, dt);
+}
+
+double
+Scheduler::core_utilization(CoreId core) const
+{
+    PPM_ASSERT(core >= 0 && core < chip_->num_cores(),
+               "core id out of range");
+    return core_util_[static_cast<std::size_t>(core)];
+}
+
+double
+Scheduler::task_load(TaskId t) const
+{
+    return entry(t).load_ewma;
+}
+
+double
+Scheduler::task_cpu_share(TaskId t) const
+{
+    return entry(t).share_ewma;
+}
+
+Pu
+Scheduler::task_supply_last(TaskId t) const
+{
+    return entry(t).supply_last;
+}
+
+} // namespace ppm::sched

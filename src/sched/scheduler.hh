@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Epoch-based proportional-share scheduler modelling the Linux fair
+ * scheduler at the granularity a power manager observes.
+ *
+ * Each tick, every core's cycle capacity (its cluster's supply) is
+ * divided among the runnable tasks mapped to it in proportion to
+ * their CFS nice weights, with water-filling so that self-pacing
+ * tasks return unused share.  Task migration is performed through a
+ * sched_setaffinity-like call and charged the hardware migration
+ * latency (the task is blocked for that long).  The scheduler also
+ * maintains the per-entity load signals that the HL baseline and the
+ * ondemand governor consume.
+ */
+
+#ifndef PPM_SCHED_SCHEDULER_HH
+#define PPM_SCHED_SCHEDULER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/migration.hh"
+#include "hw/platform.hh"
+#include "workload/task.hh"
+
+namespace ppm::sched {
+
+/** Default Linux scheduling epoch used by the paper (10 ms). */
+inline constexpr SimTime kLinuxSchedEpoch = 10 * kMillisecond;
+
+/** Scheduler for one chip; owns task placement and time sharing. */
+class Scheduler
+{
+  public:
+    /**
+     * @param chip      Platform topology (not owned; must outlive).
+     * @param migration Migration-latency model.
+     */
+    Scheduler(hw::Chip* chip, hw::MigrationModel migration);
+
+    /** Register a task and place it on `core`.  No migration charge. */
+    void add_task(workload::Task* task, CoreId core);
+
+    /** Number of registered tasks. */
+    int num_tasks() const { return static_cast<int>(entries_.size()); }
+
+    /** The task object with id `t`. */
+    workload::Task& task(TaskId t);
+    const workload::Task& task(TaskId t) const;
+
+    /** Core the task currently runs on. */
+    CoreId core_of(TaskId t) const;
+
+    /** Tasks currently mapped to `core`. */
+    std::vector<TaskId> tasks_on(CoreId core) const;
+
+    /**
+     * Move task `t` to `core` (sched_setaffinity).  Charges the
+     * migration latency: the task receives no cycles until the
+     * penalty elapses.  No-op if already there.
+     * @return the charged latency.
+     */
+    SimTime migrate(TaskId t, CoreId core, SimTime now);
+
+    /** Set the task's nice value (clamped to [-20, 19]). */
+    void set_nice(TaskId t, int nice);
+
+    /** Current nice value of the task. */
+    int nice_of(TaskId t) const;
+
+    /**
+     * Activate or deactivate a task (fork/exit).  An inactive task
+     * holds no run-queue slot: it receives no cycles, is invisible to
+     * tasks_on(), and its load signals decay.
+     */
+    void set_active(TaskId t, bool active);
+
+    /** Whether the task currently participates in scheduling. */
+    bool active(TaskId t) const;
+
+    /**
+     * Run one scheduling tick over [now, now+dt): distribute each
+     * core's cycles, advance all tasks, update load signals.
+     */
+    void tick(SimTime now, SimTime dt);
+
+    /** Busy fraction of `core` during the last tick, in [0, 1]. */
+    double core_utilization(CoreId core) const;
+
+    /** Per-core busy fractions of the last tick, indexed by core id. */
+    const std::vector<double>& utilizations() const { return core_util_; }
+
+    /**
+     * PELT-like runnable fraction of the task (EWMA, ~100 ms time
+     * constant).  CPU-bound tasks saturate at 1; self-pacing or
+     * blocked tasks decay.  Consumed by the HL baseline.
+     */
+    double task_load(TaskId t) const;
+
+    /** EWMA of the fraction of its core's capacity the task received. */
+    double task_cpu_share(TaskId t) const;
+
+    /** Supply in PU the task received during the last tick. */
+    Pu task_supply_last(TaskId t) const;
+
+    /** Number of migrations performed so far. */
+    long migrations() const { return migrations_; }
+
+    const hw::Chip& chip() const { return *chip_; }
+    const hw::MigrationModel& migration_model() const { return migration_; }
+
+  private:
+    struct Entry {
+        workload::Task* task = nullptr;
+        CoreId core = kInvalidId;
+        int nice = 0;
+        double weight = 0.0;
+        bool active = true;
+        SimTime blocked_until = 0;
+        double load_ewma = 0.0;
+        double share_ewma = 0.0;
+        Pu supply_last = 0.0;
+    };
+
+    Entry& entry(TaskId t);
+    const Entry& entry(TaskId t) const;
+
+    /** Water-filling split of `capacity` cycles among `ids` on `core`. */
+    void distribute(CoreId core, const std::vector<TaskId>& ids,
+                    SimTime now, SimTime dt);
+
+    hw::Chip* chip_;
+    hw::MigrationModel migration_;
+    std::vector<Entry> entries_;
+    std::vector<double> core_util_;
+    long migrations_ = 0;
+};
+
+} // namespace ppm::sched
+
+#endif // PPM_SCHED_SCHEDULER_HH

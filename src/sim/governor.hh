@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Abstract power-management governor interface.
+ *
+ * A governor is the decision-making layer above the platform: every
+ * simulation tick it may read sensors and scheduler state, and
+ * actuate the three knobs the paper coordinates -- cluster V-F
+ * levels, task placement (load balancing / migration), and per-task
+ * nice values.  PPM, HPM and HL are all implementations.
+ */
+
+#ifndef PPM_SIM_GOVERNOR_HH
+#define PPM_SIM_GOVERNOR_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace ppm::sim {
+
+class Simulation;
+
+/** Base class for power-management policies. */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /** Human-readable policy name ("PPM", "HPM", "HL"). */
+    virtual std::string name() const = 0;
+
+    /** Called once before the first tick, after tasks are placed. */
+    virtual void init(Simulation& sim) = 0;
+
+    /**
+     * Called every simulation tick *before* the scheduler runs.
+     * Implementations keep their own invocation periods internally.
+     */
+    virtual void tick(Simulation& sim, SimTime now, SimTime dt) = 0;
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_GOVERNOR_HH

@@ -1,0 +1,203 @@
+#include "sim/simulation.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace ppm::sim {
+
+Simulation::Simulation(hw::Chip chip,
+                       const std::vector<workload::TaskSpec>& specs,
+                       std::unique_ptr<Governor> governor, SimConfig config)
+    : chip_(std::move(chip)), sensors_(chip_.num_clusters()),
+      governor_(std::move(governor)), config_(config),
+      qos_(static_cast<int>(specs.size()))
+{
+    PPM_ASSERT(!specs.empty(), "simulation needs at least one task");
+    PPM_ASSERT(governor_ != nullptr, "simulation needs a governor");
+    scheduler_ = std::make_unique<sched::Scheduler>(&chip_,
+                                                    hw::MigrationModel{});
+    // Place tasks on the configured cores, or round-robin on
+    // cluster 0 (the boot cluster).
+    PPM_ASSERT(config_.placement.empty() ||
+                   config_.placement.size() == specs.size(),
+               "placement must name one core per task");
+    PPM_ASSERT(config_.lifetimes.empty() ||
+                   config_.lifetimes.size() == specs.size(),
+               "lifetimes must name one window per task");
+    const auto& boot_cores = chip_.cluster(0).cores();
+    TaskId next_id = 0;
+    for (const auto& spec : specs) {
+        owned_tasks_.push_back(
+            std::make_unique<workload::Task>(next_id, spec));
+        const CoreId core = config_.placement.empty()
+            ? boot_cores[static_cast<std::size_t>(next_id)
+                         % boot_cores.size()]
+            : config_.placement[static_cast<std::size_t>(next_id)];
+        scheduler_->add_task(owned_tasks_.back().get(), core);
+        ++next_id;
+    }
+    for (const auto& cl : chip_.clusters())
+        last_levels_.push_back(cl.level());
+
+    // Thermal model: explicit parameters, the TC2 calibration for the
+    // default 2-cluster chip, or a generic per-cluster sizing that
+    // puts each cluster's power peak near 80 deg C.
+    hw::ThermalParams thermal = config_.thermal;
+    if (thermal.nodes.empty()) {
+        if (chip_.num_clusters() == 2) {
+            thermal = hw::ThermalModel::tc2_defaults();
+        } else {
+            thermal.ambient_c = 30.0;
+            for (ClusterId v = 0; v < chip_.num_clusters(); ++v) {
+                const Watts pmax =
+                    hw::PowerModel::cluster_max_power(chip_, v);
+                const double r = 50.0 / std::max(0.5, pmax);
+                thermal.nodes.push_back({r, 10.0 / r});
+            }
+        }
+    }
+    thermal_ = std::make_unique<hw::ThermalModel>(thermal);
+}
+
+bool
+Simulation::task_alive(TaskId t) const
+{
+    PPM_ASSERT(t >= 0 &&
+                   static_cast<std::size_t>(t) < owned_tasks_.size(),
+               "task id out of range");
+    if (config_.lifetimes.empty())
+        return true;
+    const auto& life = config_.lifetimes[static_cast<std::size_t>(t)];
+    return now_ >= life.arrival && now_ < life.departure;
+}
+
+void
+Simulation::apply_lifetimes()
+{
+    if (config_.lifetimes.empty())
+        return;
+    for (TaskId t = 0;
+         t < static_cast<TaskId>(owned_tasks_.size()); ++t) {
+        const bool alive = task_alive(t);
+        if (scheduler_->active(t) != alive)
+            scheduler_->set_active(t, alive);
+    }
+}
+
+std::vector<workload::Task*>
+Simulation::tasks()
+{
+    std::vector<workload::Task*> out;
+    out.reserve(owned_tasks_.size());
+    for (auto& t : owned_tasks_)
+        out.push_back(t.get());
+    return out;
+}
+
+void
+Simulation::record_power(SimTime dt)
+{
+    std::vector<Watts> cluster_power;
+    cluster_power.reserve(chip_.clusters().size());
+    for (const auto& cl : chip_.clusters()) {
+        std::vector<double> util;
+        util.reserve(cl.cores().size());
+        for (CoreId c : cl.cores())
+            util.push_back(scheduler_->core_utilization(c));
+        const Watts w = hw::PowerModel::cluster_power(chip_, cl.id(), util);
+        sensors_.record(cl.id(), w, dt);
+        cluster_power.push_back(w);
+    }
+    thermal_->step(cluster_power, dt);
+}
+
+void
+Simulation::sample_traces()
+{
+    if (!config_.trace || config_.trace_period <= 0)
+        return;
+    if (now_ < next_trace_)
+        return;
+    next_trace_ = now_ + config_.trace_period;
+    recorder_.record("chip_power_w", now_, sensors_.instantaneous_chip());
+    for (const auto& cl : chip_.clusters()) {
+        recorder_.record("cluster" + std::to_string(cl.id()) + "_mhz",
+                         now_, cl.mhz());
+        recorder_.record("cluster" + std::to_string(cl.id()) + "_temp_c",
+                         now_, thermal_->temperature(cl.id()));
+    }
+    for (auto& t : owned_tasks_) {
+        const double target = t->hrm().target_hr();
+        recorder_.record(t->name() + "_norm_hr", now_,
+                         t->heart_rate(now_) / target);
+    }
+}
+
+void
+Simulation::step()
+{
+    if (!initialized_) {
+        governor_->init(*this);
+        initialized_ = true;
+    }
+    const SimTime dt = config_.tick;
+    apply_lifetimes();
+    governor_->tick(*this, now_, dt);
+    scheduler_->tick(now_, dt);
+    record_power(dt);
+    over_tdp_.add(sensors_.instantaneous_chip() > config_.tdp_for_metrics,
+                  dt);
+
+    // Count V-F transitions.
+    for (std::size_t v = 0; v < last_levels_.size(); ++v) {
+        const int level = chip_.cluster(static_cast<ClusterId>(v)).level();
+        if (level != last_levels_[v]) {
+            ++vf_transitions_;
+            last_levels_[v] = level;
+        }
+    }
+
+    now_ += dt;
+    std::vector<workload::Task*> views = tasks();
+    if (config_.lifetimes.empty()) {
+        qos_.sample(views, now_, dt, config_.warmup);
+    } else {
+        std::vector<bool> alive(views.size());
+        for (TaskId t = 0; t < static_cast<TaskId>(views.size()); ++t)
+            alive[static_cast<std::size_t>(t)] = task_alive(t);
+        qos_.sample(views, now_, dt, config_.warmup, &alive);
+    }
+    sample_traces();
+}
+
+RunSummary
+Simulation::run()
+{
+    while (now_ < config_.duration)
+        step();
+    return summary();
+}
+
+RunSummary
+Simulation::summary() const
+{
+    RunSummary s;
+    s.governor = governor_->name();
+    s.any_below_miss = qos_.any_below_fraction();
+    s.any_outside_miss = qos_.any_outside_fraction();
+    s.energy = sensors_.chip_energy();
+    s.avg_power = now_ > 0 ? s.energy / to_seconds(now_) : 0.0;
+    s.migrations = scheduler_->migrations();
+    s.vf_transitions = vf_transitions_;
+    s.over_tdp_fraction = over_tdp_.fraction();
+    s.peak_temp_c = thermal_->peak_temperature();
+    s.thermal_cycles = thermal_->thermal_cycles();
+    for (TaskId t = 0; t < static_cast<TaskId>(owned_tasks_.size()); ++t) {
+        s.task_below.push_back(qos_.task_below_fraction(t));
+        s.task_outside.push_back(qos_.task_outside_fraction(t));
+    }
+    return s;
+}
+
+} // namespace ppm::sim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Top-level simulation harness: wires the chip model, the scheduler,
+ * the sensor bank, a workload, and one governor, then advances
+ * simulated time in fixed ticks while collecting metrics.
+ */
+
+#ifndef PPM_SIM_SIMULATION_HH
+#define PPM_SIM_SIMULATION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/migration.hh"
+#include "hw/platform.hh"
+#include "hw/power_model.hh"
+#include "hw/sensors.hh"
+#include "hw/thermal.hh"
+#include "metrics/qos.hh"
+#include "metrics/recorder.hh"
+#include "sched/scheduler.hh"
+#include "sim/governor.hh"
+#include "workload/task.hh"
+
+namespace ppm::sim {
+
+/** Configuration of one simulation run. */
+struct SimConfig {
+    SimTime tick = kMillisecond;       ///< Simulation step.
+    SimTime duration = 300 * kSecond;  ///< Total simulated time.
+    SimTime warmup = 2 * kSecond;      ///< QoS accounting starts here.
+    SimTime trace_period = kSecond;    ///< Trace sampling period (0 = off).
+    bool trace = false;                ///< Record time series.
+    Watts tdp_for_metrics = 1e9;       ///< TDP used for violation stats.
+
+    /**
+     * Explicit initial core per task (by task id).  Empty = place
+     * round-robin across cluster 0's cores (the boot cluster).  Used
+     * by the pinned-task experiments (paper Figures 7 and 8).
+     */
+    std::vector<CoreId> placement;
+
+    /** Arrival/departure window of one task. */
+    struct Lifetime {
+        static constexpr SimTime kForever = 1LL << 60;
+        SimTime arrival = 0;                  ///< Activation time.
+        SimTime departure = kForever;         ///< Deactivation time.
+    };
+
+    /**
+     * Per-task lifetimes (by task id).  Empty = every task runs for
+     * the whole simulation.  A task outside its window holds no
+     * run-queue slot and is excluded from QoS accounting.
+     */
+    std::vector<Lifetime> lifetimes;
+
+    /**
+     * Thermal parameters.  Empty nodes = derive a default: the
+     * TC2 calibration for the 2-cluster chip, otherwise one node per
+     * cluster sized so its power peak lands near 80 deg C.
+     */
+    hw::ThermalParams thermal;
+};
+
+/** Aggregate results of a run. */
+struct RunSummary {
+    std::string governor;        ///< Policy name.
+    double any_below_miss = 0;   ///< Fig 4/6 metric: any-task miss fraction.
+    double any_outside_miss = 0; ///< Any-task outside-range fraction.
+    Watts avg_power = 0;         ///< Average chip power (Fig 5 metric).
+    Joules energy = 0;           ///< Total chip energy.
+    long migrations = 0;         ///< Task migrations performed.
+    long vf_transitions = 0;     ///< Cluster V-F level changes.
+    double over_tdp_fraction = 0;///< Fraction of time above the TDP.
+    double peak_temp_c = 0;      ///< Hottest cluster temperature seen.
+    long thermal_cycles = 0;     ///< Completed >=3 K thermal swings.
+    std::vector<double> task_below;   ///< Per-task below-range fraction.
+    std::vector<double> task_outside; ///< Per-task outside-range fraction.
+};
+
+/** One complete experiment instance. */
+class Simulation
+{
+  public:
+    /**
+     * @param chip     Platform (moved in; owned by the simulation).
+     * @param specs    Workload: one TaskSpec per task.
+     * @param governor Policy under test (owned by the simulation).
+     * @param config   Run parameters.
+     *
+     * Tasks are initially placed round-robin across the cores of
+     * cluster 0 (the paper boots Linux on the LITTLE cluster).
+     */
+    Simulation(hw::Chip chip, const std::vector<workload::TaskSpec>& specs,
+               std::unique_ptr<Governor> governor, SimConfig config);
+
+    /** Run to completion and return the summary. */
+    RunSummary run();
+
+    /** Advance exactly one tick (for fine-grained tests). */
+    void step();
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    hw::Chip& chip() { return chip_; }
+    const hw::Chip& chip() const { return chip_; }
+    sched::Scheduler& scheduler() { return *scheduler_; }
+    const sched::Scheduler& scheduler() const { return *scheduler_; }
+    hw::SensorBank& sensors() { return sensors_; }
+    const hw::SensorBank& sensors() const { return sensors_; }
+    const hw::ThermalModel& thermal() const { return *thermal_; }
+    metrics::TraceRecorder& recorder() { return recorder_; }
+    const SimConfig& config() const { return config_; }
+
+    /** All tasks (non-owning views). */
+    std::vector<workload::Task*> tasks();
+
+    /** Whether task `t` is inside its lifetime window right now. */
+    bool task_alive(TaskId t) const;
+
+    /** Count of V-F transitions observed so far. */
+    long vf_transitions() const { return vf_transitions_; }
+
+    /** Build the summary from the metrics collected so far. */
+    RunSummary summary() const;
+
+  private:
+    /** Record per-cluster power for the elapsed tick. */
+    void record_power(SimTime dt);
+
+    /** Apply lifetime windows to the scheduler's active flags. */
+    void apply_lifetimes();
+
+    /** Sample traces if due. */
+    void sample_traces();
+
+    hw::Chip chip_;
+    std::vector<std::unique_ptr<workload::Task>> owned_tasks_;
+    std::unique_ptr<sched::Scheduler> scheduler_;
+    hw::SensorBank sensors_;
+    std::unique_ptr<hw::ThermalModel> thermal_;
+    std::unique_ptr<Governor> governor_;
+    SimConfig config_;
+    metrics::QosTracker qos_;
+    metrics::TraceRecorder recorder_;
+    std::vector<int> last_levels_;
+    DutyCycle over_tdp_;
+    SimTime now_ = 0;
+    SimTime next_trace_ = 0;
+    long vf_transitions_ = 0;
+    bool initialized_ = false;
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_SIMULATION_HH

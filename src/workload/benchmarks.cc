@@ -1,0 +1,222 @@
+#include "workload/benchmarks.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ppm::workload {
+
+const char*
+benchmark_name(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::kSwaptions:
+        return "swaptions";
+      case Benchmark::kBodytrack:
+        return "bodytrack";
+      case Benchmark::kX264:
+        return "x264";
+      case Benchmark::kBlackscholes:
+        return "blackscholes";
+      case Benchmark::kH264:
+        return "h264";
+      case Benchmark::kTexture:
+        return "texture";
+      case Benchmark::kMulticnt:
+        return "multicnt";
+      case Benchmark::kTracking:
+        return "tracking";
+    }
+    return "?";
+}
+
+const char*
+input_suffix(Input i)
+{
+    switch (i) {
+      case Input::kVga:
+        return "v";
+      case Input::kFullhd:
+        return "f";
+      case Input::kNative:
+        return "n";
+      case Input::kLarge:
+        return "l";
+      case Input::kSoccer:
+        return "s";
+      case Input::kBluesky:
+        return "b";
+      case Input::kForeman:
+        return "fo";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+profile_name(Benchmark b, Input i)
+{
+    return std::string(benchmark_name(b)) + "_" + input_suffix(i);
+}
+
+/**
+ * Calibration table.  Average LITTLE demands are chosen so the nine
+ * Table 6 sets land in the paper's intensity classes, with the
+ * LITTLE-cluster aggregate supply at maximum frequency (3 cores x
+ * 1000 PU = 3000 PU) as the reference:
+ *   light  l1=2860 l2=2640 l3=2640  (sum <= 3000, fits on LITTLE),
+ *   medium m1=3100 m2=3610 m3=3380  (0 < intensity <= 0.30),
+ *   heavy  h1=4080 h2=3930 h3=4160  (intensity > 0.30, oversubscribed).
+ *
+ * A second calibration axis keeps the baselines' published behaviour
+ * reproducible: every light-set member's peak demand on a big core
+ * stays below 1200/3 = 400 PU, so the HL scheduler's crowd-onto-big
+ * placement still satisfies light sets (as in the paper) while
+ * medium/heavy members exceed that share and suffer under HL.
+ */
+std::vector<BenchmarkProfile>
+build_profiles()
+{
+    using B = Benchmark;
+    using I = Input;
+    using P = PhasePattern;
+    std::vector<BenchmarkProfile> v;
+    auto add = [&](B b, I i, Pu d, double speedup, double hr, P pat) {
+        v.push_back({b, i, profile_name(b, i), d, speedup, hr, pat});
+    };
+    // PARSEC.
+    add(B::kSwaptions, I::kLarge, 640, 2.0, 10, P::kSteady);
+    add(B::kSwaptions, I::kNative, 760, 2.0, 10, P::kSteady);
+    add(B::kBodytrack, I::kLarge, 600, 1.9, 20, P::kVariable);
+    add(B::kBodytrack, I::kNative, 720, 1.9, 20, P::kVariable);
+    add(B::kX264, I::kLarge, 430, 1.7, 30, P::kBimodal);
+    add(B::kX264, I::kNative, 720, 1.7, 30, P::kBimodal);
+    add(B::kBlackscholes, I::kLarge, 380, 1.9, 20, P::kSteady);
+    add(B::kBlackscholes, I::kNative, 560, 1.9, 20, P::kSteady);
+    // SPEC 2006 h264ref.
+    add(B::kH264, I::kSoccer, 450, 1.8, 30, P::kBimodal);
+    add(B::kH264, I::kBluesky, 520, 1.8, 30, P::kBimodal);
+    add(B::kH264, I::kForeman, 640, 1.8, 30, P::kBimodal);
+    // Vision suite.
+    add(B::kTexture, I::kVga, 340, 1.5, 30, P::kRamp);
+    add(B::kTexture, I::kFullhd, 680, 1.5, 30, P::kRamp);
+    add(B::kMulticnt, I::kVga, 160, 1.5, 30, P::kRamp);
+    add(B::kMulticnt, I::kFullhd, 720, 1.5, 30, P::kRamp);
+    add(B::kTracking, I::kVga, 620, 2.0, 30, P::kVariable);
+    add(B::kTracking, I::kFullhd, 800, 2.0, 30, P::kVariable);
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile>&
+all_profiles()
+{
+    static const std::vector<BenchmarkProfile> kProfiles = build_profiles();
+    return kProfiles;
+}
+
+const BenchmarkProfile&
+profile(Benchmark b, Input i)
+{
+    for (const auto& p : all_profiles()) {
+        if (p.bench == b && p.input == i)
+            return p;
+    }
+    fatal("no calibrated profile for %s", profile_name(b, i).c_str());
+}
+
+Pu
+avg_demand(const BenchmarkProfile& p, hw::CoreClass cls)
+{
+    return cls == hw::CoreClass::kBig
+        ? p.avg_demand_little / p.big_speedup
+        : p.avg_demand_little;
+}
+
+namespace {
+
+/** Demand-scale sequence for one pattern; mean scale is ~1.0. */
+struct PhaseShape {
+    double scale;
+    SimTime duration;
+};
+
+std::vector<PhaseShape>
+shapes_for(PhasePattern pattern, Rng& rng, SimTime horizon)
+{
+    std::vector<PhaseShape> out;
+    SimTime covered = 0;
+    int step = 0;
+    while (covered < horizon) {
+        PhaseShape s{1.0, 0};
+        switch (pattern) {
+          case PhasePattern::kSteady:
+            s.scale = 1.0 + rng.uniform(-0.05, 0.05);
+            s.duration = static_cast<SimTime>(
+                rng.uniform(20.0, 40.0) * kSecond);
+            break;
+          case PhasePattern::kBimodal:
+            s.scale = (step % 2 == 0) ? 0.65 : 1.35;
+            s.scale += rng.uniform(-0.03, 0.03);
+            s.duration = static_cast<SimTime>(
+                rng.uniform(60.0, 120.0) * kSecond);
+            break;
+          case PhasePattern::kVariable:
+            s.scale = 1.0 + rng.uniform(-0.25, 0.25);
+            s.duration = static_cast<SimTime>(
+                rng.uniform(15.0, 30.0) * kSecond);
+            break;
+          case PhasePattern::kRamp: {
+            // 0.8 -> 1.2 -> 0.8 staircase, 6 steps per cycle.
+            static const double kRamp[6] = {0.8, 0.95, 1.1, 1.2,
+                                            1.05, 0.9};
+            s.scale = kRamp[step % 6];
+            s.duration = 20 * kSecond;
+            break;
+          }
+        }
+        out.push_back(s);
+        covered += s.duration;
+        ++step;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Phase>
+generate_phases(const BenchmarkProfile& p, std::uint64_t seed,
+                SimTime horizon)
+{
+    Rng rng(seed);
+    // Average cycles per heartbeat on each class.
+    const Cycles w_little =
+        p.avg_demand_little * kCyclesPerPuSecond / p.target_hr;
+    const Cycles w_big = w_little / p.big_speedup;
+
+    std::vector<Phase> phases;
+    for (const PhaseShape& s : shapes_for(p.pattern, rng, horizon)) {
+        phases.push_back(Phase{s.duration, w_little * s.scale,
+                               w_big * s.scale});
+    }
+    return phases;
+}
+
+TaskSpec
+make_task_spec(Benchmark b, Input i, int priority, std::uint64_t seed,
+               SimTime horizon)
+{
+    const BenchmarkProfile& p = profile(b, i);
+    TaskSpec spec;
+    spec.name = p.name;
+    spec.priority = priority;
+    spec.min_hr = 0.95 * p.target_hr;
+    spec.max_hr = 1.05 * p.target_hr;
+    spec.phases = generate_phases(p, seed, horizon);
+    return spec;
+}
+
+} // namespace ppm::workload

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Profiles of the paper's benchmarks (Table 5).
+ *
+ * We cannot run PARSEC / SD-VBS / SPEC binaries inside the platform
+ * model, so each benchmark x input pair is modelled as a synthetic
+ * task profile calibrated along the axes the power manager actually
+ * observes: average demand in PU on a LITTLE core, big-core speedup
+ * (which sets the per-core-type demand ratio), target heart rate, and
+ * a phase pattern capturing the benchmark's demand variability.  The
+ * averages are chosen so the nine Table 6 workload sets land in the
+ * paper's light / medium / heavy intensity classes.
+ */
+
+#ifndef PPM_WORKLOAD_BENCHMARKS_HH
+#define PPM_WORKLOAD_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/task.hh"
+
+namespace ppm::workload {
+
+/** The eight benchmarks of Table 5. */
+enum class Benchmark {
+    kSwaptions,     ///< PARSEC: Monte-Carlo swaption pricing.
+    kBodytrack,     ///< PARSEC: body tracking through image sequences.
+    kX264,          ///< PARSEC: video encoder.
+    kBlackscholes,  ///< PARSEC: option pricing PDEs.
+    kH264,          ///< SPEC 2006: video encoder.
+    kTexture,       ///< Vision: texture synthesis.
+    kMulticnt,      ///< Vision: image analysis.
+    kTracking,      ///< Vision: motion tracking / stereo vision.
+};
+
+/** Benchmark inputs used in Tables 5 and 6. */
+enum class Input {
+    kVga,      ///< Vision suite: VGA frames.
+    kFullhd,   ///< Vision suite: full-HD frames.
+    kNative,   ///< PARSEC: native input.
+    kLarge,    ///< PARSEC: simlarge input.
+    kSoccer,   ///< h264ref: soccer sequence.
+    kBluesky,  ///< h264ref: bluesky sequence.
+    kForeman,  ///< h264ref: foreman sequence.
+};
+
+/** Demand-variability shape of a benchmark. */
+enum class PhasePattern {
+    kSteady,    ///< Small wobble around the average (swaptions).
+    kBimodal,   ///< Long dormant / active alternation (video encoders).
+    kVariable,  ///< Medium-length phases, +/-25% (trackers).
+    kRamp,      ///< Stepwise ramp up and down (vision kernels).
+};
+
+/** Static calibration of one benchmark x input pair. */
+struct BenchmarkProfile {
+    Benchmark bench;
+    Input input;
+    std::string name;        ///< e.g. "swaptions_n".
+    Pu avg_demand_little;    ///< Average demand on a LITTLE core (PU).
+    double big_speedup;      ///< Cycles-per-heartbeat ratio LITTLE/big.
+    double target_hr;        ///< Target heart rate (hb/s).
+    PhasePattern pattern;    ///< Demand-variability shape.
+};
+
+/** Short name of a benchmark ("swaptions", "x264", ...). */
+const char* benchmark_name(Benchmark b);
+
+/** Short suffix of an input ("v", "f", "n", "l", "s", "b", "fo"). */
+const char* input_suffix(Input i);
+
+/**
+ * Look up the calibrated profile of a benchmark x input pair.  Calls
+ * fatal() for combinations that do not appear in the paper.
+ */
+const BenchmarkProfile& profile(Benchmark b, Input i);
+
+/** All profiles (17 benchmark x input pairs). */
+const std::vector<BenchmarkProfile>& all_profiles();
+
+/** Average demand of a profile on the given core class, in PU. */
+Pu avg_demand(const BenchmarkProfile& p, hw::CoreClass cls);
+
+/**
+ * Generate the deterministic phase sequence of one task instance.
+ * @param p       Profile to instantiate.
+ * @param seed    Seed for phase-length/amplitude jitter.
+ * @param horizon Total duration to cover (phases loop afterwards).
+ */
+std::vector<Phase> generate_phases(const BenchmarkProfile& p,
+                                   std::uint64_t seed, SimTime horizon);
+
+/**
+ * Build a complete TaskSpec for a benchmark instance.  The reference
+ * heart-rate range is [0.95, 1.05] x target (the normalized goal used
+ * in the paper's Figures 7 and 8).
+ */
+TaskSpec make_task_spec(Benchmark b, Input i, int priority,
+                        std::uint64_t seed,
+                        SimTime horizon = 700 * kSecond);
+
+} // namespace ppm::workload
+
+#endif // PPM_WORKLOAD_BENCHMARKS_HH

@@ -1,0 +1,61 @@
+#include "workload/hrm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::workload {
+
+HeartRateMonitor::HeartRateMonitor(double min_hr, double max_hr,
+                                   SimTime window)
+    : min_hr_(min_hr), max_hr_(max_hr), beats_(window), supply_(window)
+{
+    PPM_ASSERT(min_hr > 0.0 && max_hr >= min_hr,
+               "reference heart-rate range must satisfy 0 < min <= max");
+}
+
+void
+HeartRateMonitor::record(SimTime now, double beats,
+                         double supplied_pu_seconds)
+{
+    beats_.add(now, beats);
+    supply_.add(now, supplied_pu_seconds);
+}
+
+double
+HeartRateMonitor::heart_rate(SimTime now) const
+{
+    return beats_.rate(now);
+}
+
+Pu
+HeartRateMonitor::supply(SimTime now) const
+{
+    // supply_ accumulates PU-seconds; its windowed rate is average PU.
+    return supply_.rate(now);
+}
+
+bool
+HeartRateMonitor::below_range(SimTime now) const
+{
+    return heart_rate(now) < min_hr_;
+}
+
+bool
+HeartRateMonitor::outside_range(SimTime now) const
+{
+    const double hr = heart_rate(now);
+    return hr < min_hr_ || hr > max_hr_;
+}
+
+Pu
+HeartRateMonitor::estimate_demand(SimTime now, Pu clamp) const
+{
+    const double hr = heart_rate(now);
+    const Pu s = supply(now);
+    if (hr <= 1e-9 || s <= 1e-9)
+        return clamp;  // Starved or cold: maximally hungry.
+    return std::clamp(target_hr() * s / hr, 0.0, clamp);
+}
+
+} // namespace ppm::workload

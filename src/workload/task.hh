@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Task model.
+ *
+ * A task is a greedy CPU consumer with phase-structured computational
+ * cost: in each phase it needs a given number of cycles per heartbeat,
+ * different for LITTLE and big cores (the per-core-type demand of
+ * Section 2 of the paper).  Its QoS goal is a reference heart-rate
+ * range enforced externally by the power manager -- the task itself
+ * never throttles unless an optional self-pacing rate cap is set.
+ */
+
+#ifndef PPM_WORKLOAD_TASK_HH
+#define PPM_WORKLOAD_TASK_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "hw/platform.hh"
+#include "workload/hrm.hh"
+
+namespace ppm::workload {
+
+/** One phase of a task's execution, delimited by wall-clock time. */
+struct Phase {
+    SimTime duration;        ///< Phase length in simulated time.
+    Cycles work_per_hb_little; ///< Cycles per heartbeat on a LITTLE core.
+    Cycles work_per_hb_big;    ///< Cycles per heartbeat on a big core.
+};
+
+/** Static description used to instantiate a Task. */
+struct TaskSpec {
+    std::string name;        ///< e.g. "swaptions_native".
+    int priority = 1;        ///< User priority r_t (>= 1, higher = better).
+    double min_hr = 0.0;     ///< Reference range lower edge (hb/s).
+    double max_hr = 0.0;     ///< Reference range upper edge (hb/s).
+    std::vector<Phase> phases; ///< Phase sequence (looped when exhausted).
+    double self_pace_hr = 0.0; ///< If > 0, task sleeps above this rate.
+};
+
+/**
+ * Convenience builder: a single-phase task whose demand on a LITTLE
+ * core is exactly `demand_little` PU at the target heart rate
+ * (midpoint of a +/-5% reference range).
+ *
+ * @param name         Task name.
+ * @param priority     User priority r_t (>= 1).
+ * @param demand_little Demand on a LITTLE core in PU.
+ * @param big_speedup  LITTLE/big cycles-per-heartbeat ratio.
+ * @param target_hr    Target heart rate in hb/s.
+ * @param self_pace_hr Optional self-pacing rate (0 = greedy).
+ */
+TaskSpec steady_task_spec(const std::string& name, int priority,
+                          Pu demand_little, double big_speedup = 1.6,
+                          double target_hr = 20.0,
+                          double self_pace_hr = 0.0);
+
+/**
+ * Runtime task instance.
+ *
+ * The scheduler grants the task cycles each tick via advance(); the
+ * task converts them to heartbeats at the current phase's cost on the
+ * granting core's type, and feeds its HeartRateMonitor.
+ */
+class Task
+{
+  public:
+    /** @param id Global task id.  @param spec Static description. */
+    Task(TaskId id, TaskSpec spec);
+
+    TaskId id() const { return id_; }
+    const std::string& name() const { return spec_.name; }
+    int priority() const { return spec_.priority; }
+    const TaskSpec& spec() const { return spec_; }
+
+    /** The task's heart-rate monitor (QoS reference and measurements). */
+    const HeartRateMonitor& hrm() const { return hrm_; }
+
+    /**
+     * Consume `granted` cycles over tick [now, now+dt) on a core of
+     * class `cls`, and advance phase time by dt.  Also records the HRM
+     * sample for this tick.
+     */
+    void advance(SimTime now, SimTime dt, Cycles granted,
+                 hw::CoreClass cls);
+
+    /**
+     * Cycles the task would consume this tick if given the chance:
+     * unbounded for greedy tasks, paced for self-throttling ones.
+     * `dt` is the tick length, `cls` the class of its current core.
+     */
+    Cycles desired_cycles(SimTime dt, hw::CoreClass cls) const;
+
+    /** Cycles per heartbeat on class `cls` in the current phase. */
+    Cycles work_per_hb(hw::CoreClass cls) const;
+
+    /**
+     * Ground-truth demand in PU on class `cls`: the supply needed to
+     * sustain the target heart rate in the current phase.
+     */
+    Pu true_demand(hw::CoreClass cls) const;
+
+    /** Total heartbeats emitted so far. */
+    double total_heartbeats() const { return total_hb_; }
+
+    /** Total cycles consumed so far. */
+    Cycles total_cycles() const { return total_cycles_; }
+
+    /** Measured heart rate at `now` (hb/s over the HRM window). */
+    double heart_rate(SimTime now) const { return hrm_.heart_rate(now); }
+
+    /** Index of the current phase. */
+    int phase_index() const { return phase_idx_; }
+
+  private:
+    /** Advance phase-relative time, looping over the phase list. */
+    void advance_phase_clock(SimTime dt);
+
+    const Phase& current_phase() const;
+
+    TaskId id_;
+    TaskSpec spec_;
+    HeartRateMonitor hrm_;
+    int phase_idx_ = 0;
+    SimTime time_in_phase_ = 0;
+    double total_hb_ = 0.0;
+    Cycles total_cycles_ = 0.0;
+};
+
+} // namespace ppm::workload
+
+#endif // PPM_WORKLOAD_TASK_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trace-driven task construction.
+ *
+ * Lets a measured demand trace -- e.g. sampled from a real device or
+ * exported from another simulator -- drive a task instead of the
+ * synthetic phase generators.  A trace is a sequence of
+ * (time, demand) points; each segment between points becomes one
+ * Phase whose demand (on a LITTLE core) is the segment's value.
+ *
+ * The CSV format is two columns, `time_s,demand_pu`, with optional
+ * comment lines starting with '#' and an optional header row.  Times
+ * must be strictly increasing and start at 0.
+ */
+
+#ifndef PPM_WORKLOAD_TRACE_HH
+#define PPM_WORKLOAD_TRACE_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "workload/task.hh"
+
+namespace ppm::workload {
+
+/** One point of a demand trace. */
+struct TracePoint {
+    SimTime time = 0;   ///< Segment start.
+    Pu demand = 0.0;    ///< Demand on a LITTLE core from this time on.
+};
+
+/**
+ * Parse a demand trace from CSV (`time_s,demand_pu`).  Ignores blank
+ * lines, '#' comments and a `time...` header row.  fatal() on
+ * malformed rows, non-monotone times or an empty trace.
+ */
+std::vector<TracePoint> load_demand_trace(std::istream& in);
+
+/** Convenience: load a trace from a file path. */
+std::vector<TracePoint> load_demand_trace_file(const std::string& path);
+
+/**
+ * Convert a trace into phases.  The final point's demand persists for
+ * `tail` after the last timestamp (the phase list then loops).
+ *
+ * @param trace      Points with strictly increasing times.
+ * @param big_speedup LITTLE/big cycles-per-heartbeat ratio.
+ * @param target_hr  Target heart rate used to express demand as work.
+ * @param tail       Duration of the final segment.
+ */
+std::vector<Phase> phases_from_trace(const std::vector<TracePoint>& trace,
+                                     double big_speedup,
+                                     double target_hr,
+                                     SimTime tail = 10 * kSecond);
+
+/**
+ * Build a complete TaskSpec from a demand trace with the standard
+ * [0.95, 1.05] x target reference range.
+ */
+TaskSpec make_trace_task_spec(const std::string& name, int priority,
+                              const std::vector<TracePoint>& trace,
+                              double big_speedup, double target_hr);
+
+} // namespace ppm::workload
+
+#endif // PPM_WORKLOAD_TRACE_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deeper behavioural tests for the baselines: HL's down-migration and
+ * ondemand relaxation, HPM's cap relaxation after TDP pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/hl_governor.hh"
+#include "baselines/hpm_governor.hh"
+#include "hw/platform.hh"
+#include "sim/simulation.hh"
+#include "tests/test_util.hh"
+
+namespace ppm::baselines {
+namespace {
+
+TEST(HlDetails, QuietTaskMigratesBackToLittle)
+{
+    // A self-paced task that needs only ~10% of a big core: its
+    // activeness decays below the down-threshold and HL repatriates
+    // it to the LITTLE cluster.
+    sim::SimConfig cfg;
+    cfg.duration = 30 * kSecond;
+    cfg.placement = {3};  // Start on a big core.
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("quiet", 1, 100.0, 1.6, 20.0,
+                          /*self_pace=*/20.0)};
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HlGovernor>(HlConfig{}), cfg);
+    sim.run();
+    EXPECT_EQ(sim.chip().cluster_of(sim.scheduler().core_of(0)), 0);
+}
+
+TEST(HlDetails, OndemandRelaxesForLightLoad)
+{
+    // A self-paced ~200 PU task alone: ondemand settles near the
+    // frequency that keeps utilization below the 80% threshold
+    // instead of pegging the maximum.
+    sim::SimConfig cfg;
+    cfg.duration = 30 * kSecond;
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("paced", 1, 200.0, 1.6, 20.0,
+                          /*self_pace=*/20.0)};
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HlGovernor>(HlConfig{}), cfg);
+    sim.run();
+    // 200 PU / 0.8 = 250 PU -> 350 MHz LITTLE or ~500 big suffices.
+    const ClusterId v =
+        sim.chip().cluster_of(sim.scheduler().core_of(0));
+    EXPECT_LE(sim.chip().cluster(v).mhz(), 600.0);
+}
+
+TEST(HlDetails, BigClusterStaysDeadAfterTdpKill)
+{
+    // Once the TDP kill fires, the big cluster never comes back even
+    // if power later drops far below the cap (the paper's emulation).
+    HlConfig hl;
+    hl.tdp = 4.0;
+    sim::SimConfig cfg;
+    cfg.duration = 60 * kSecond;
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 500.0), test::steady_spec("b", 1, 500.0)};
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HlGovernor>(hl), cfg);
+    sim.run();
+    EXPECT_FALSE(sim.chip().cluster(1).powered());
+    EXPECT_LT(sim.sensors().instantaneous_chip(), 4.0);
+}
+
+TEST(HpmDetails, CapsRelaxWhenHeadroomReturns)
+{
+    // Drive HPM into TDP throttling with a heavy phase, then drop the
+    // demand: the outer loop must relax the caps and the inner loop
+    // must settle at a modest frequency (not stay throttled).
+    HpmConfig hpm;
+    hpm.tdp = 3.0;
+    workload::TaskSpec phased = test::steady_spec("p", 1, 900.0);
+    const Cycles w = phased.phases[0].work_per_hb_little;
+    phased.phases.clear();
+    phased.phases.push_back(workload::Phase{30 * kSecond, w, w / 1.6});
+    phased.phases.push_back(
+        workload::Phase{60 * kSecond, w / 3.0, w / 4.8});
+    std::vector<workload::TaskSpec> specs{phased,
+                                          test::steady_spec("q", 1,
+                                                            900.0)};
+    sim::SimConfig cfg;
+    cfg.duration = 90 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HpmGovernor>(hpm), cfg);
+    const auto summary = sim.run();
+    // After the light phase the system must be meeting demand again.
+    EXPECT_LT(summary.task_below[0], 0.6);
+    EXPECT_LT(summary.avg_power, 3.3);
+}
+
+TEST(HpmDetails, PerTaskNiceFollowsDemand)
+{
+    // Hungry/modest pairs on every LITTLE core (six tasks, so the
+    // count balancer leaves the pairing intact): HPM's demand-
+    // proportional nice assignment must favour the hungry task of
+    // each pair.
+    std::vector<workload::TaskSpec> specs;
+    for (int i = 0; i < 3; ++i) {
+        specs.push_back(test::steady_spec("hungry" + std::to_string(i),
+                                          1, 700.0));
+        specs.push_back(test::steady_spec("modest" + std::to_string(i),
+                                          1, 150.0));
+    }
+    sim::SimConfig cfg;
+    cfg.duration = 20 * kSecond;
+    cfg.placement = {0, 0, 1, 1, 2, 2};
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HpmGovernor>(HpmConfig{}), cfg);
+    sim.run();
+    // Find a core still hosting one task of each kind and compare.
+    int compared = 0;
+    for (CoreId c = 0; c < sim.chip().num_cores(); ++c) {
+        TaskId hungry = kInvalidId;
+        TaskId modest = kInvalidId;
+        for (TaskId t : sim.scheduler().tasks_on(c)) {
+            if (t % 2 == 0)
+                hungry = t;
+            else
+                modest = t;
+        }
+        if (hungry != kInvalidId && modest != kInvalidId) {
+            EXPECT_LT(sim.scheduler().nice_of(hungry),
+                      sim.scheduler().nice_of(modest));
+            ++compared;
+        }
+    }
+    EXPECT_GE(compared, 1);
+}
+
+} // namespace
+} // namespace ppm::baselines

@@ -1,0 +1,162 @@
+/** @file Behavioural tests for the HL and HPM baseline governors. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/hl_governor.hh"
+#include "baselines/hpm_governor.hh"
+#include "hw/platform.hh"
+#include "sim/simulation.hh"
+#include "tests/test_util.hh"
+
+namespace ppm::baselines {
+namespace {
+
+std::vector<workload::TaskSpec>
+three_greedy_tasks(Pu demand)
+{
+    return {test::steady_spec("a", 1, demand),
+            test::steady_spec("b", 1, demand),
+            test::steady_spec("c", 1, demand)};
+}
+
+TEST(HlGovernor, CrowdsActiveTasksOntoBigCluster)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 20 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), three_greedy_tasks(400.0),
+                        std::make_unique<HlGovernor>(HlConfig{}), cfg);
+    sim.run();
+    // Greedy tasks saturate the activeness signal -> everything
+    // migrates to the big cluster "at the first opportunity".
+    for (TaskId t = 0; t < 3; ++t)
+        EXPECT_EQ(sim.chip().cluster_of(sim.scheduler().core_of(t)), 1);
+}
+
+TEST(HlGovernor, OndemandPegsBusyClusterAtMax)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 20 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), three_greedy_tasks(400.0),
+                        std::make_unique<HlGovernor>(HlConfig{}), cfg);
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.chip().cluster(1).mhz(), 1200.0);
+}
+
+TEST(HlGovernor, BurnsFarMorePowerThanNeeded)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 30 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), three_greedy_tasks(300.0),
+                        std::make_unique<HlGovernor>(HlConfig{}), cfg);
+    const auto summary = sim.run();
+    // Paper Figure 5: HL averages ~6 W where PPM needs ~2-3 W.
+    EXPECT_GT(summary.avg_power, 5.0);
+}
+
+TEST(HlGovernor, TdpCapKillsBigCluster)
+{
+    HlConfig hl;
+    hl.tdp = 4.0;
+    sim::SimConfig cfg;
+    cfg.duration = 30 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), three_greedy_tasks(400.0),
+                        std::make_unique<HlGovernor>(hl), cfg);
+    const auto summary = sim.run();
+    EXPECT_FALSE(sim.chip().cluster(1).powered());
+    // All tasks evacuated to LITTLE.
+    for (TaskId t = 0; t < 3; ++t)
+        EXPECT_EQ(sim.chip().cluster_of(sim.scheduler().core_of(t)), 0);
+    // And the cap holds from then on.
+    EXPECT_LT(summary.avg_power, 4.0);
+}
+
+TEST(HlGovernor, BalancesQueuesWithinCluster)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 20 * kSecond;
+    // Six tasks -> three per big core after crowding + balancing.
+    std::vector<workload::TaskSpec> specs;
+    for (int i = 0; i < 6; ++i)
+        specs.push_back(test::steady_spec("t" + std::to_string(i), 1,
+                                          300.0));
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HlGovernor>(HlConfig{}), cfg);
+    sim.run();
+    EXPECT_EQ(sim.scheduler().tasks_on(3).size(), 3u);
+    EXPECT_EQ(sim.scheduler().tasks_on(4).size(), 3u);
+}
+
+TEST(HpmGovernor, TracksDemandWithDvfs)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 60 * kSecond;
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("solo", 1, 500.0)};
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HpmGovernor>(HpmConfig{}), cfg);
+    const auto summary = sim.run();
+    EXPECT_LT(summary.any_below_miss, 0.15);
+    // The PI loop should not peg the cluster at max for a 500 PU task.
+    EXPECT_LE(sim.chip().cluster(0).mhz(), 800.0);
+}
+
+TEST(HpmGovernor, MigratesUpWhenLittleMaxedAndUnsatisfied)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 60 * kSecond;
+    // Two 700 PU tasks per LITTLE core exceed 1000 PU even at max:
+    // HPM's threshold migration must move someone to big.
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 700.0),
+        test::steady_spec("b", 1, 700.0),
+        test::steady_spec("c", 1, 700.0),
+        test::steady_spec("d", 1, 700.0),
+    };
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HpmGovernor>(HpmConfig{}), cfg);
+    sim.run();
+    int on_big = 0;
+    for (TaskId t = 0; t < 4; ++t) {
+        if (sim.chip().cluster_of(sim.scheduler().core_of(t)) == 1)
+            ++on_big;
+    }
+    EXPECT_GE(on_big, 1);
+}
+
+TEST(HpmGovernor, TdpLoopCapsPower)
+{
+    HpmConfig hpm;
+    hpm.tdp = 3.0;
+    sim::SimConfig cfg;
+    cfg.duration = 90 * kSecond;
+    cfg.tdp_for_metrics = 3.0;
+    std::vector<workload::TaskSpec> specs;
+    for (int i = 0; i < 5; ++i)
+        specs.push_back(test::steady_spec("t" + std::to_string(i), 1,
+                                          900.0));
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HpmGovernor>(hpm), cfg);
+    const auto summary = sim.run();
+    EXPECT_LT(summary.avg_power, 3.3);
+}
+
+TEST(HpmGovernor, LoadBalancesTaskCounts)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 20 * kSecond;
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 200.0),
+        test::steady_spec("b", 1, 200.0),
+        test::steady_spec("c", 1, 200.0),
+    };
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        std::make_unique<HpmGovernor>(HpmConfig{}), cfg);
+    sim.run();
+    // Initial round-robin places one per LITTLE core; balancing must
+    // not pile them up.
+    for (CoreId c = 0; c < 3; ++c)
+        EXPECT_LE(sim.scheduler().tasks_on(c).size(), 2u);
+}
+
+} // namespace
+} // namespace ppm::baselines

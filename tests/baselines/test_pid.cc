@@ -1,0 +1,60 @@
+/** @file Unit tests for the PI(D) controller used by HPM. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/hpm_governor.hh"
+
+namespace ppm::baselines {
+namespace {
+
+TEST(Pid, ProportionalOnly)
+{
+    Pid pid({/*kp=*/2.0, 0.0, 0.0, -10.0, 10.0});
+    EXPECT_DOUBLE_EQ(pid.step(1.5, 0.1), 3.0);
+    EXPECT_DOUBLE_EQ(pid.step(-1.0, 0.1), -2.0);
+}
+
+TEST(Pid, IntegralAccumulates)
+{
+    Pid pid({0.0, 1.0, 0.0, -10.0, 10.0});
+    EXPECT_NEAR(pid.step(1.0, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(pid.step(1.0, 1.0), 2.0, 1e-12);
+    EXPECT_NEAR(pid.step(-2.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(Pid, DerivativeRespondsToChange)
+{
+    Pid pid({0.0, 0.0, 1.0, -100.0, 100.0});
+    EXPECT_DOUBLE_EQ(pid.step(1.0, 1.0), 0.0);  // No previous error.
+    EXPECT_DOUBLE_EQ(pid.step(3.0, 1.0), 2.0);
+}
+
+TEST(Pid, OutputSaturates)
+{
+    Pid pid({10.0, 0.0, 0.0, -1.0, 1.0});
+    EXPECT_DOUBLE_EQ(pid.step(5.0, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(pid.step(-5.0, 0.1), -1.0);
+}
+
+TEST(Pid, AntiWindupPreventsIntegralRunaway)
+{
+    Pid pid({0.0, 1.0, 0.0, -1.0, 1.0});
+    // Saturating errors do not wind up the integrator.
+    for (int i = 0; i < 100; ++i)
+        pid.step(10.0, 1.0);
+    // One opposite step should swing the output away from +1 quickly.
+    pid.step(-10.0, 1.0);
+    const double out = pid.step(0.0, 1.0);
+    EXPECT_LT(out, 1.0);
+}
+
+TEST(Pid, ResetClearsState)
+{
+    Pid pid({0.0, 1.0, 1.0, -10.0, 10.0});
+    pid.step(2.0, 1.0);
+    pid.reset();
+    EXPECT_NEAR(pid.step(1.0, 1.0), 1.0, 1e-12);  // Fresh integrator.
+}
+
+} // namespace
+} // namespace ppm::baselines

@@ -1,0 +1,48 @@
+/** @file Unit tests for the logging / error-reporting facility. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace ppm {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    set_log_level(LogLevel::kSilent);
+    EXPECT_EQ(log_level(), LogLevel::kSilent);
+    set_log_level(before);
+}
+
+TEST(Logging, SuppressedMessagesDoNotCrash)
+{
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::kSilent);
+    inform("suppressed %d", 1);
+    warn("suppressed %s", "two");
+    debug("suppressed %f", 3.0);
+    set_log_level(before);
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("user error %d", 42),
+                ::testing::ExitedWithCode(1), "user error 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %s broke", "x"), "invariant x broke");
+}
+
+TEST(LoggingDeath, AssertMacroReportsExpression)
+{
+    const int x = 1;
+    EXPECT_DEATH(PPM_ASSERT(x == 2, "x must be two"), "x == 2");
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,126 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace ppm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = r.uniform();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.uniform(-3.0, 5.0);
+        EXPECT_GE(x, -3.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentred)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng r(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = r.uniform_int(2, 5);
+        EXPECT_GE(x, 2);
+        EXPECT_LE(x, 5);
+        saw_lo = saw_lo || x == 2;
+        saw_hi = saw_hi || x == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng r(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(5);
+    const int n = 100000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted)
+{
+    Rng r(5);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += r.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(9);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+} // namespace
+} // namespace ppm

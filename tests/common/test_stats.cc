@@ -1,0 +1,151 @@
+/** @file Unit tests for the statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace ppm {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample)
+{
+    OnlineStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, MeanAndVariance)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, NegativeValues)
+{
+    OnlineStats s;
+    s.add(-2.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
+TEST(OnlineStats, ResetClears)
+{
+    OnlineStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(DutyCycle, EmptyIsZero)
+{
+    DutyCycle d;
+    EXPECT_DOUBLE_EQ(d.fraction(), 0.0);
+    EXPECT_EQ(d.total_time(), 0);
+}
+
+TEST(DutyCycle, MixedConditions)
+{
+    DutyCycle d;
+    d.add(true, 30);
+    d.add(false, 70);
+    EXPECT_DOUBLE_EQ(d.fraction(), 0.3);
+    EXPECT_EQ(d.total_time(), 100);
+    EXPECT_EQ(d.true_time(), 30);
+}
+
+TEST(DutyCycle, AlwaysTrue)
+{
+    DutyCycle d;
+    d.add(true, 10);
+    d.add(true, 10);
+    EXPECT_DOUBLE_EQ(d.fraction(), 1.0);
+}
+
+TEST(DutyCycle, ResetClears)
+{
+    DutyCycle d;
+    d.add(true, 10);
+    d.reset();
+    EXPECT_DOUBLE_EQ(d.fraction(), 0.0);
+}
+
+TEST(WindowRate, RateWithinWindow)
+{
+    WindowRate w(kSecond);
+    // 10 events spread over 1 s -> 10 events/s.
+    for (int i = 1; i <= 10; ++i)
+        w.add(i * 100 * kMillisecond, 1.0);
+    EXPECT_DOUBLE_EQ(w.rate(kSecond), 10.0);
+}
+
+TEST(WindowRate, OldSamplesEvicted)
+{
+    WindowRate w(kSecond);
+    w.add(100 * kMillisecond, 5.0);
+    EXPECT_DOUBLE_EQ(w.rate(kSecond), 5.0);
+    // 2 s later the sample is outside the window.
+    EXPECT_DOUBLE_EQ(w.rate(2 * kSecond + 100 * kMillisecond), 0.0);
+}
+
+TEST(WindowRate, FractionalCounts)
+{
+    WindowRate w(kSecond);
+    w.add(500 * kMillisecond, 0.25);
+    w.add(kSecond, 0.25);
+    EXPECT_DOUBLE_EQ(w.rate(kSecond), 0.5);
+}
+
+TEST(WindowRate, BoundaryEviction)
+{
+    WindowRate w(kSecond);
+    w.add(0, 1.0);
+    // A sample exactly at (now - window) is evicted.
+    EXPECT_DOUBLE_EQ(w.rate(kSecond), 0.0);
+}
+
+TEST(Percentile, EmptyVector)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP)
+{
+    std::vector<double> v{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, -10.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 200.0), 2.0);
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,67 @@
+/** @file Unit tests for the table/CSV renderer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace ppm {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"A", "Metric"});
+    t.add_row({"workload-1", "3"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, separator, one data row.
+    EXPECT_NE(out.find("A           Metric"), std::string::npos);
+    EXPECT_NE(out.find("workload-1  3"), std::string::npos);
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.add_row({"1"});
+    t.add_row({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t({"name", "note"});
+    t.add_row({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainValuesUnquoted)
+{
+    Table t({"k"});
+    t.add_row({"simple"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "k\nsimple\n");
+}
+
+TEST(FmtDouble, Digits)
+{
+    EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_double(3.0, 0), "3");
+    EXPECT_EQ(fmt_double(-1.005, 1), "-1.0");
+}
+
+TEST(FmtPercent, FractionsRendered)
+{
+    EXPECT_EQ(fmt_percent(0.123, 1), "12.3%");
+    EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+    EXPECT_EQ(fmt_percent(0.0, 1), "0.0%");
+}
+
+} // namespace
+} // namespace ppm

@@ -1,0 +1,87 @@
+/** @file Unit tests for the migration-cost model (paper Section 5.1). */
+
+#include <gtest/gtest.h>
+
+#include "hw/migration.hh"
+
+namespace ppm::hw {
+namespace {
+
+class MigrationTest : public ::testing::Test
+{
+  protected:
+    Chip chip_ = tc2_chip();
+    MigrationModel model_;
+};
+
+TEST_F(MigrationTest, SameCoreIsFree)
+{
+    EXPECT_EQ(model_.cost(chip_, 0, 0), 0);
+}
+
+TEST_F(MigrationTest, IntraLittleRangeAtExtremes)
+{
+    // Paper: 71-167 us within the LITTLE cluster across frequencies.
+    chip_.cluster(0).set_level(chip_.cluster(0).vf().levels() - 1);
+    EXPECT_EQ(model_.cost(chip_, 0, 1), 71);
+    chip_.cluster(0).set_level(0);
+    EXPECT_EQ(model_.cost(chip_, 0, 1), 167);
+}
+
+TEST_F(MigrationTest, IntraBigRangeAtExtremes)
+{
+    // Paper: 54-105 us within the big cluster.
+    chip_.cluster(1).set_level(chip_.cluster(1).vf().levels() - 1);
+    EXPECT_EQ(model_.cost(chip_, 3, 4), 54);
+    chip_.cluster(1).set_level(0);
+    EXPECT_EQ(model_.cost(chip_, 3, 4), 105);
+}
+
+TEST_F(MigrationTest, LittleToBigRange)
+{
+    // Paper: 1.88-2.16 ms LITTLE -> big.
+    chip_.cluster(0).set_level(chip_.cluster(0).vf().levels() - 1);
+    EXPECT_EQ(model_.cost(chip_, 0, 3), 1880);
+    chip_.cluster(0).set_level(0);
+    EXPECT_EQ(model_.cost(chip_, 0, 3), 2160);
+}
+
+TEST_F(MigrationTest, BigToLittleRange)
+{
+    // Paper: 3.54-3.83 ms big -> LITTLE (the expensive direction).
+    chip_.cluster(1).set_level(chip_.cluster(1).vf().levels() - 1);
+    EXPECT_EQ(model_.cost(chip_, 3, 0), 3540);
+    chip_.cluster(1).set_level(0);
+    EXPECT_EQ(model_.cost(chip_, 3, 0), 3830);
+}
+
+TEST_F(MigrationTest, CrossClusterCostsDominateIntraCluster)
+{
+    const SimTime intra = model_.cost(chip_, 0, 1);
+    const SimTime l2b = model_.cost(chip_, 0, 3);
+    const SimTime b2l = model_.cost(chip_, 3, 0);
+    EXPECT_GT(l2b, 10 * intra);
+    EXPECT_GT(b2l, l2b);
+}
+
+TEST_F(MigrationTest, InterpolationIsMonotoneInFrequency)
+{
+    SimTime prev = 1 << 30;
+    for (int l = 0; l < chip_.cluster(0).vf().levels(); ++l) {
+        chip_.cluster(0).set_level(l);
+        const SimTime cost = model_.cost(chip_, 0, 3);
+        EXPECT_LE(cost, prev);  // Faster source -> cheaper migration.
+        prev = cost;
+    }
+}
+
+TEST_F(MigrationTest, CustomRangesRespected)
+{
+    const MigrationModel custom({10, 20}, {30, 40}, {50, 60}, {70, 80});
+    chip_.cluster(0).set_level(chip_.cluster(0).vf().levels() - 1);
+    EXPECT_EQ(custom.cost(chip_, 0, 1), 10);
+    EXPECT_EQ(custom.cost(chip_, 0, 3), 50);
+}
+
+} // namespace
+} // namespace ppm::hw

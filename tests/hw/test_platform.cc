@@ -1,0 +1,119 @@
+/** @file Unit tests for the chip/cluster/core topology model. */
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+
+namespace ppm::hw {
+namespace {
+
+TEST(Chip, Tc2Topology)
+{
+    const Chip chip = tc2_chip();
+    ASSERT_EQ(chip.num_clusters(), 2);
+    EXPECT_EQ(chip.num_cores(), 5);
+    EXPECT_EQ(chip.cluster(0).num_cores(), 3);  // LITTLE.
+    EXPECT_EQ(chip.cluster(1).num_cores(), 2);  // big.
+    EXPECT_EQ(chip.cluster(0).type().core_class, CoreClass::kLittle);
+    EXPECT_EQ(chip.cluster(1).type().core_class, CoreClass::kBig);
+}
+
+TEST(Chip, GlobalCoreIdsAreDense)
+{
+    const Chip chip = tc2_chip();
+    for (CoreId c = 0; c < chip.num_cores(); ++c)
+        EXPECT_EQ(chip.core(c).id, c);
+    EXPECT_EQ(chip.cluster_of(0), 0);
+    EXPECT_EQ(chip.cluster_of(2), 0);
+    EXPECT_EQ(chip.cluster_of(3), 1);
+    EXPECT_EQ(chip.cluster_of(4), 1);
+}
+
+TEST(Cluster, LevelStepsAndClamping)
+{
+    Chip chip = tc2_chip();
+    Cluster& cl = chip.cluster(0);
+    EXPECT_EQ(cl.level(), 0);
+    EXPECT_TRUE(cl.step_level(+1));
+    EXPECT_EQ(cl.level(), 1);
+    EXPECT_TRUE(cl.step_level(-5));  // Clamped to 0; still a change.
+    EXPECT_EQ(cl.level(), 0);
+}
+
+TEST(Cluster, StepAtBoundsReturnsFalse)
+{
+    Chip chip = tc2_chip();
+    Cluster& cl = chip.cluster(0);
+    cl.set_level(0);
+    EXPECT_FALSE(cl.step_level(-1));
+    cl.set_level(cl.vf().levels() - 1);
+    EXPECT_FALSE(cl.step_level(+1));
+}
+
+TEST(Cluster, SupplyTracksLevelAndPower)
+{
+    Chip chip = tc2_chip();
+    Cluster& cl = chip.cluster(0);
+    cl.set_level(0);
+    EXPECT_DOUBLE_EQ(cl.supply(), 350.0);
+    cl.set_level(7);
+    EXPECT_DOUBLE_EQ(cl.supply(), 1000.0);
+    cl.set_powered(false);
+    EXPECT_DOUBLE_EQ(cl.supply(), 0.0);
+    EXPECT_DOUBLE_EQ(cl.mhz(), 0.0);
+    EXPECT_DOUBLE_EQ(cl.volts(), 0.0);
+}
+
+TEST(Chip, TotalSupplySumsClusters)
+{
+    Chip chip = tc2_chip();
+    chip.cluster(0).set_level(7);  // 1000.
+    chip.cluster(1).set_level(7);  // 1200.
+    EXPECT_DOUBLE_EQ(chip.total_supply(), 2200.0);
+    chip.cluster(1).set_powered(false);
+    EXPECT_DOUBLE_EQ(chip.total_supply(), 1000.0);
+}
+
+TEST(Chip, CoreSupplyEqualsClusterSupply)
+{
+    Chip chip = tc2_chip();
+    chip.cluster(1).set_level(3);
+    EXPECT_DOUBLE_EQ(chip.core_supply(3), chip.cluster(1).supply());
+    EXPECT_DOUBLE_EQ(chip.core_supply(4), chip.core_supply(3));
+}
+
+TEST(SyntheticChip, DimensionsHonoured)
+{
+    const Chip chip = synthetic_chip(16, 4);
+    EXPECT_EQ(chip.num_clusters(), 16);
+    EXPECT_EQ(chip.num_cores(), 64);
+}
+
+TEST(SyntheticChip, SupplySpreadCoversPaperRange)
+{
+    const Chip chip = synthetic_chip(8, 2);
+    // Max supplies spread across [350, 3000] PU as in Table 7's setup.
+    EXPECT_DOUBLE_EQ(chip.cluster(0).vf().max_supply(), 350.0);
+    EXPECT_DOUBLE_EQ(chip.cluster(7).vf().max_supply(), 3000.0);
+    for (int v = 1; v < 8; ++v) {
+        EXPECT_GT(chip.cluster(v).vf().max_supply(),
+                  chip.cluster(v - 1).vf().max_supply());
+    }
+}
+
+TEST(SyntheticChip, AlternatesCoreClasses)
+{
+    const Chip chip = synthetic_chip(4, 1);
+    EXPECT_EQ(chip.cluster(0).type().core_class, CoreClass::kLittle);
+    EXPECT_EQ(chip.cluster(1).type().core_class, CoreClass::kBig);
+    EXPECT_EQ(chip.cluster(2).type().core_class, CoreClass::kLittle);
+}
+
+TEST(CoreClassName, Names)
+{
+    EXPECT_STREQ(core_class_name(CoreClass::kLittle), "LITTLE");
+    EXPECT_STREQ(core_class_name(CoreClass::kBig), "big");
+}
+
+} // namespace
+} // namespace ppm::hw

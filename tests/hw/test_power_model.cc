@@ -1,0 +1,102 @@
+/** @file Unit tests for the analytic power model. */
+
+#include <gtest/gtest.h>
+
+#include "hw/power_model.hh"
+
+namespace ppm::hw {
+namespace {
+
+TEST(PowerModel, IdleCoreDrawsOnlyLeakage)
+{
+    const CoreTypeParams t = big_core_params();
+    const Watts idle = PowerModel::core_power(t, 1200, 1.3, 1.3, 0.0);
+    EXPECT_DOUBLE_EQ(idle, t.leak_per_core_max);
+}
+
+TEST(PowerModel, DynamicScalesWithUtilization)
+{
+    const CoreTypeParams t = little_core_params();
+    const Watts full = PowerModel::core_power(t, 1000, 1.2, 1.2, 1.0);
+    const Watts half = PowerModel::core_power(t, 1000, 1.2, 1.2, 0.5);
+    const Watts leak = t.leak_per_core_max;
+    EXPECT_NEAR(half - leak, (full - leak) / 2.0, 1e-12);
+}
+
+TEST(PowerModel, DynamicScalesWithVSquaredF)
+{
+    const CoreTypeParams t = big_core_params();
+    const Watts a = PowerModel::core_power(t, 1000, 1.0, 1.0, 1.0);
+    const Watts b = PowerModel::core_power(t, 2000, 1.0, 1.0, 1.0);
+    EXPECT_NEAR(b - t.leak_per_core_max,
+                2.0 * (a - t.leak_per_core_max), 1e-9);
+}
+
+TEST(PowerModel, LeakageScalesWithVSquared)
+{
+    const CoreTypeParams t = big_core_params();
+    const Watts at_v = PowerModel::core_power(t, 500, 0.65, 1.3, 0.0);
+    EXPECT_NEAR(at_v, t.leak_per_core_max * 0.25, 1e-12);
+}
+
+TEST(PowerModel, ClusterEnvelopeMatchesPaper)
+{
+    // The paper reports ~2 W max for the A7 cluster and ~6 W for the
+    // A15 cluster (8 W chip TDP).
+    const Chip chip = tc2_chip();
+    const Watts little_max = PowerModel::cluster_max_power(chip, 0);
+    const Watts big_max = PowerModel::cluster_max_power(chip, 1);
+    EXPECT_NEAR(little_max, 2.0, 0.2);
+    EXPECT_NEAR(big_max, 6.0, 0.4);
+    EXPECT_NEAR(little_max + big_max, 8.0, 0.5);
+}
+
+TEST(PowerModel, GatedClusterDrawsNothing)
+{
+    Chip chip = tc2_chip();
+    chip.cluster(1).set_powered(false);
+    const Watts w =
+        PowerModel::cluster_power(chip, 1, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(w, 0.0);
+}
+
+TEST(PowerModel, ChipPowerSumsClusters)
+{
+    Chip chip = tc2_chip();
+    chip.cluster(0).set_level(7);
+    chip.cluster(1).set_level(7);
+    const std::vector<double> util(5, 1.0);
+    const Watts total = PowerModel::chip_power(chip, util);
+    const Watts little =
+        PowerModel::cluster_power(chip, 0, {1.0, 1.0, 1.0});
+    const Watts big = PowerModel::cluster_power(chip, 1, {1.0, 1.0});
+    EXPECT_NEAR(total, little + big, 1e-12);
+}
+
+TEST(PowerModel, HigherLevelDrawsMorePower)
+{
+    Chip chip = tc2_chip();
+    const std::vector<double> util{1.0, 1.0, 1.0};
+    Watts prev = 0.0;
+    for (int l = 0; l < chip.cluster(0).vf().levels(); ++l) {
+        chip.cluster(0).set_level(l);
+        const Watts w = PowerModel::cluster_power(chip, 0, util);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(PowerModel, BigPuCostsMoreThanLittlePu)
+{
+    // The heterogeneity premise: one PU on the big cluster costs more
+    // energy than one PU on the LITTLE cluster.
+    const Chip chip = tc2_chip();
+    const double little_wpp = PowerModel::cluster_max_power(chip, 0)
+        / (3 * 1000.0);
+    const double big_wpp = PowerModel::cluster_max_power(chip, 1)
+        / (2 * 1200.0);
+    EXPECT_GT(big_wpp, 2.0 * little_wpp);
+}
+
+} // namespace
+} // namespace ppm::hw

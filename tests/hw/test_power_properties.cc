@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Property sweeps over the hardware models: power monotonicity and
+ * superposition across randomized operating points, migration-cost
+ * interpolation bounds, and octa-core platform sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "hw/migration.hh"
+#include "hw/power_model.hh"
+
+namespace ppm::hw {
+namespace {
+
+class PowerPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PowerPropertyTest, PowerMonotoneInLevelAndUtil)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+    Chip chip = GetParam() % 2 == 0 ? tc2_chip() : octa_big_little_chip();
+    const ClusterId v = static_cast<ClusterId>(
+        rng.uniform_int(0, chip.num_clusters() - 1));
+    Cluster& cl = chip.cluster(v);
+    std::vector<double> util(static_cast<std::size_t>(cl.num_cores()));
+    for (auto& u : util)
+        u = rng.uniform(0.0, 1.0);
+
+    // Monotone in the V-F level at fixed utilization.
+    Watts prev = -1.0;
+    for (int l = 0; l < cl.vf().levels(); ++l) {
+        cl.set_level(l);
+        const Watts w = PowerModel::cluster_power(chip, v, util);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+
+    // Monotone in any single core's utilization at a fixed level.
+    cl.set_level(static_cast<int>(
+        rng.uniform_int(0, cl.vf().levels() - 1)));
+    const auto core = static_cast<std::size_t>(
+        rng.uniform_int(0, cl.num_cores() - 1));
+    const Watts before = PowerModel::cluster_power(chip, v, util);
+    util[core] = std::min(1.0, util[core] + 0.25);
+    const Watts after = PowerModel::cluster_power(chip, v, util);
+    EXPECT_GE(after, before);
+
+    // Bounded by the cluster's max power.
+    std::vector<double> full(util.size(), 1.0);
+    cl.set_level(cl.vf().levels() - 1);
+    EXPECT_LE(PowerModel::cluster_power(chip, v, full),
+              PowerModel::cluster_max_power(chip, v) + 1e-9);
+}
+
+TEST_P(PowerPropertyTest, ChipPowerIsSumOfClusters)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537);
+    Chip chip = octa_big_little_chip();
+    std::vector<double> util(static_cast<std::size_t>(chip.num_cores()));
+    for (auto& u : util)
+        u = rng.uniform(0.0, 1.0);
+    for (ClusterId v = 0; v < chip.num_clusters(); ++v) {
+        chip.cluster(v).set_level(static_cast<int>(rng.uniform_int(
+            0, chip.cluster(v).vf().levels() - 1)));
+    }
+    Watts sum = 0.0;
+    for (const Cluster& cl : chip.clusters()) {
+        std::vector<double> cluster_util;
+        for (CoreId c : cl.cores())
+            cluster_util.push_back(util[static_cast<std::size_t>(c)]);
+        sum += PowerModel::cluster_power(chip, cl.id(), cluster_util);
+    }
+    EXPECT_NEAR(PowerModel::chip_power(chip, util), sum, 1e-9);
+}
+
+TEST_P(PowerPropertyTest, MigrationCostsWithinConfiguredRanges)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+    Chip chip = tc2_chip();
+    const MigrationModel model;
+    for (ClusterId v = 0; v < chip.num_clusters(); ++v) {
+        chip.cluster(v).set_level(static_cast<int>(rng.uniform_int(
+            0, chip.cluster(v).vf().levels() - 1)));
+    }
+    // LITTLE cores are 0..2, big cores 3..4 on the TC2-like chip.
+    const SimTime intra_l = model.cost(chip, 0, 1);
+    EXPECT_GE(intra_l, 71);
+    EXPECT_LE(intra_l, 167);
+    const SimTime intra_b = model.cost(chip, 3, 4);
+    EXPECT_GE(intra_b, 54);
+    EXPECT_LE(intra_b, 105);
+    const SimTime l2b = model.cost(chip, 2, 3);
+    EXPECT_GE(l2b, 1880);
+    EXPECT_LE(l2b, 2160);
+    const SimTime b2l = model.cost(chip, 4, 0);
+    EXPECT_GE(b2l, 3540);
+    EXPECT_LE(b2l, 3830);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOperatingPoints, PowerPropertyTest,
+                         ::testing::Range(1, 13));
+
+TEST(OctaChip, Topology)
+{
+    const Chip chip = octa_big_little_chip();
+    EXPECT_EQ(chip.num_clusters(), 2);
+    EXPECT_EQ(chip.num_cores(), 8);
+    EXPECT_EQ(chip.cluster(0).num_cores(), 4);
+    EXPECT_EQ(chip.cluster(1).num_cores(), 4);
+    EXPECT_EQ(chip.cluster(1).type().core_class, CoreClass::kBig);
+}
+
+} // namespace
+} // namespace ppm::hw

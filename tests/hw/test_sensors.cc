@@ -1,0 +1,70 @@
+/** @file Unit tests for the hwmon-style sensor bank. */
+
+#include <gtest/gtest.h>
+
+#include "hw/sensors.hh"
+
+namespace ppm::hw {
+namespace {
+
+TEST(SensorBank, InstantaneousReadings)
+{
+    SensorBank bank(2);
+    bank.record(0, 1.5, kMillisecond);
+    bank.record(1, 3.0, kMillisecond);
+    EXPECT_DOUBLE_EQ(bank.instantaneous(0), 1.5);
+    EXPECT_DOUBLE_EQ(bank.instantaneous(1), 3.0);
+    EXPECT_DOUBLE_EQ(bank.instantaneous_chip(), 4.5);
+}
+
+TEST(SensorBank, EnergyIntegration)
+{
+    SensorBank bank(1);
+    // 2 W for 500 ms = 1 J.
+    for (int i = 0; i < 500; ++i)
+        bank.record(0, 2.0, kMillisecond);
+    EXPECT_NEAR(bank.energy(0), 1.0, 1e-9);
+    EXPECT_NEAR(bank.chip_energy(), 1.0, 1e-9);
+}
+
+TEST(SensorBank, AverageSinceMark)
+{
+    SensorBank bank(1);
+    bank.record(0, 4.0, kMillisecond);
+    bank.mark();
+    // After the mark: 1 W for 10 ms then 3 W for 10 ms -> 2 W average.
+    for (int i = 0; i < 10; ++i)
+        bank.record(0, 1.0, kMillisecond);
+    for (int i = 0; i < 10; ++i)
+        bank.record(0, 3.0, kMillisecond);
+    EXPECT_NEAR(bank.average_since_mark(0), 2.0, 1e-9);
+    EXPECT_NEAR(bank.chip_average_since_mark(), 2.0, 1e-9);
+}
+
+TEST(SensorBank, AverageFallsBackToInstantaneous)
+{
+    SensorBank bank(1);
+    bank.record(0, 5.0, kMillisecond);
+    bank.mark();
+    // No time elapsed since the mark.
+    EXPECT_DOUBLE_EQ(bank.average_since_mark(0), 5.0);
+}
+
+TEST(SensorBank, PerClusterEnergySeparated)
+{
+    SensorBank bank(2);
+    bank.record(0, 1.0, kSecond);
+    bank.record(1, 2.0, kSecond);
+    EXPECT_NEAR(bank.energy(0), 1.0, 1e-9);
+    EXPECT_NEAR(bank.energy(1), 2.0, 1e-9);
+    EXPECT_NEAR(bank.chip_energy(), 3.0, 1e-9);
+}
+
+TEST(SensorBankDeath, RejectsBadChannel)
+{
+    SensorBank bank(1);
+    EXPECT_DEATH(bank.record(3, 1.0, kMillisecond), "out of range");
+}
+
+} // namespace
+} // namespace ppm::hw

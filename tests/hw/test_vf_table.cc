@@ -1,0 +1,85 @@
+/** @file Unit tests for the discrete V-F tables. */
+
+#include <gtest/gtest.h>
+
+#include "hw/vf_table.hh"
+
+namespace ppm::hw {
+namespace {
+
+TEST(VfTable, DefaultLittleTable)
+{
+    const VfTable t = little_vf_table();
+    EXPECT_EQ(t.levels(), 8);
+    EXPECT_DOUBLE_EQ(t.min_mhz(), 350.0);
+    EXPECT_DOUBLE_EQ(t.max_mhz(), 1000.0);
+    EXPECT_DOUBLE_EQ(t.max_supply(), 1000.0);
+}
+
+TEST(VfTable, DefaultBigTable)
+{
+    const VfTable t = big_vf_table();
+    EXPECT_EQ(t.levels(), 8);
+    EXPECT_DOUBLE_EQ(t.min_mhz(), 500.0);
+    EXPECT_DOUBLE_EQ(t.max_mhz(), 1200.0);
+}
+
+TEST(VfTable, VoltageMonotone)
+{
+    const VfTable t = big_vf_table();
+    for (int l = 1; l < t.levels(); ++l)
+        EXPECT_GE(t.volts(l), t.volts(l - 1));
+}
+
+TEST(VfTable, SupplyEqualsMhz)
+{
+    const VfTable t = little_vf_table();
+    for (int l = 0; l < t.levels(); ++l)
+        EXPECT_DOUBLE_EQ(t.supply(l), t.mhz(l));
+}
+
+TEST(VfTable, LevelForDemandRoundsUp)
+{
+    const VfTable t = little_vf_table();
+    // The paper: "round up the demand to the next supply value".
+    EXPECT_EQ(t.level_for_demand(0.0), 0);
+    EXPECT_EQ(t.level_for_demand(350.0), 0);
+    EXPECT_EQ(t.level_for_demand(351.0), 1);
+    EXPECT_EQ(t.level_for_demand(850.0), 6);   // -> 900 MHz.
+    EXPECT_EQ(t.level_for_demand(1000.0), 7);
+}
+
+TEST(VfTable, LevelForDemandClampsAtTop)
+{
+    const VfTable t = little_vf_table();
+    EXPECT_EQ(t.level_for_demand(5000.0), t.levels() - 1);
+}
+
+TEST(VfTable, ClampLevel)
+{
+    const VfTable t = little_vf_table();
+    EXPECT_EQ(t.clamp_level(-3), 0);
+    EXPECT_EQ(t.clamp_level(3), 3);
+    EXPECT_EQ(t.clamp_level(99), t.levels() - 1);
+}
+
+TEST(VfTable, CustomSingleLevel)
+{
+    const VfTable t(std::vector<VfPoint>{{300.0, 1.0}});
+    EXPECT_EQ(t.levels(), 1);
+    EXPECT_EQ(t.level_for_demand(9999.0), 0);
+}
+
+TEST(VfTableDeath, RejectsUnsortedPoints)
+{
+    EXPECT_DEATH(VfTable(std::vector<VfPoint>{{500, 1.0}, {400, 1.1}}),
+                 "ascending");
+}
+
+TEST(VfTableDeath, RejectsEmptyTable)
+{
+    EXPECT_DEATH(VfTable(std::vector<VfPoint>{}), "at least one");
+}
+
+} // namespace
+} // namespace ppm::hw

@@ -1,0 +1,64 @@
+/** @file Tests for the one-call experiment runner. */
+
+#include <gtest/gtest.h>
+
+#include "experiment/experiment.hh"
+
+namespace ppm::experiment {
+namespace {
+
+TEST(Experiment, RunsEveryPolicyByName)
+{
+    const auto& set = workload::workload_set("l2");
+    for (const char* policy : {"PPM", "HPM", "HL"}) {
+        RunParams params;
+        params.policy = policy;
+        params.duration = 20 * kSecond;
+        const RunResult r = run_set(set, params);
+        EXPECT_EQ(r.summary.governor, policy);
+        EXPECT_GT(r.summary.avg_power, 0.1);
+        EXPECT_GE(r.summary.any_below_miss, 0.0);
+        EXPECT_LE(r.summary.any_below_miss, 1.0);
+    }
+}
+
+TEST(Experiment, TraceFlagPopulatesRecorder)
+{
+    RunParams params;
+    params.duration = 10 * kSecond;
+    params.trace = true;
+    const RunResult r = run_set(workload::workload_set("l1"), params);
+    EXPECT_FALSE(r.traces.series("chip_power_w").empty());
+}
+
+TEST(Experiment, SeedAveragingIsMeanOfRuns)
+{
+    RunParams params;
+    params.duration = 20 * kSecond;
+    const auto a = run_set(workload::workload_set("l3"), params).summary;
+    RunParams p2 = params;
+    p2.seed = params.seed + 100;
+    const auto b = run_set(workload::workload_set("l3"), p2).summary;
+    const auto avg = run_set_avg(workload::workload_set("l3"), params, 2);
+    EXPECT_NEAR(avg.avg_power, (a.avg_power + b.avg_power) / 2.0, 1e-9);
+    EXPECT_NEAR(avg.any_below_miss,
+                (a.any_below_miss + b.any_below_miss) / 2.0, 1e-9);
+}
+
+TEST(Experiment, OnlineSpeedupFlagReachesGovernor)
+{
+    RunParams params;
+    params.duration = 10 * kSecond;
+    params.online_speedup = true;
+    const RunResult r = run_set(workload::workload_set("m1"), params);
+    EXPECT_EQ(r.summary.governor, "PPM");
+}
+
+TEST(ExperimentDeath, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT(make_governor("FOO", 4.0, {}),
+                ::testing::ExitedWithCode(1), "unknown policy");
+}
+
+} // namespace
+} // namespace ppm::experiment

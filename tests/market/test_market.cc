@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit and property tests for the market mechanism beyond the
+ * paper's running examples: allowance distribution, price discovery
+ * invariants, state transitions, freezing, and market conservation
+ * properties over randomized scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "hw/platform.hh"
+#include "market/market.hh"
+#include "tests/market/market_test_util.hh"
+
+namespace ppm::market {
+namespace {
+
+TEST(Market, InitialBidsAndPriorityAllowances)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 3, 0);
+    market.add_task(1, 1, 0);
+    market.set_demand(0, 100.0);
+    market.set_demand(1, 100.0);
+    market.round();
+    // Allowance split 3:1 by priority.
+    EXPECT_NEAR(market.task(0).allowance, 4.5 * 0.75, 1e-9);
+    EXPECT_NEAR(market.task(1).allowance, 4.5 * 0.25, 1e-9);
+}
+
+TEST(Market, PurchasesExhaustSupplyExactly)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 2, 0);
+    market.add_task(1, 1, 0);
+    market.set_demand(0, 150.0);
+    market.set_demand(1, 150.0);
+    for (int i = 0; i < 5; ++i)
+        market.round();
+    // s_t = b_t / P_c with P_c = sum(b)/S_c implies sum(s) == S_c.
+    EXPECT_NEAR(market.task(0).supply + market.task(1).supply,
+                chip.cluster(0).supply(), 1e-6);
+}
+
+TEST(Market, BidFloorRespected)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 0.0);  // No demand: bid decays.
+    for (int i = 0; i < 50; ++i)
+        market.round();
+    EXPECT_GE(market.task(0).bid, market.config().min_bid - 1e-12);
+}
+
+TEST(Market, BidCapAtAllowancePlusSavings)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.initial_allowance = 1.0;  // Tight money.
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.add_task(1, 1, 0);
+    market.set_demand(0, 600.0);
+    market.set_demand(1, 600.0);
+    // Hold power high so the allowance cannot grow (threshold).
+    for (int i = 0; i < 30; ++i) {
+        market.set_cluster_power(0, 2.0);
+        market.round();
+        const auto& t = market.task(0);
+        EXPECT_LE(t.bid, t.allowance + t.savings + 1e-9);
+    }
+}
+
+TEST(Market, EmergencyShrinksAllowance)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 200.0);
+    market.set_cluster_power(0, 3.0);  // Above the 2.25 W TDP.
+    market.round();
+    const Money a1 = market.global_allowance();
+    market.set_cluster_power(0, 3.0);
+    market.round();
+    EXPECT_EQ(market.state(), ChipState::kEmergency);
+    EXPECT_LT(market.global_allowance(), a1);
+}
+
+TEST(Market, ThresholdFreezesAllowance)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 500.0);  // Unmet demand at 300 PU.
+    market.set_cluster_power(0, 2.0);  // Threshold band.
+    market.round();
+    market.set_cluster_power(0, 2.0);
+    market.round();
+    const Money frozen = market.global_allowance();
+    for (int i = 0; i < 5; ++i) {
+        market.set_cluster_power(0, 2.0);
+        market.round();
+        EXPECT_EQ(market.state(), ChipState::kThreshold);
+        EXPECT_NEAR(market.global_allowance(), frozen, 1e-9);
+    }
+}
+
+TEST(Market, NormalGrowsAllowanceOnlyWithDeficit)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 100.0);  // Satisfiable at 300 PU.
+    market.round();
+    market.round();
+    const Money a = market.global_allowance();
+    market.round();
+    EXPECT_NEAR(market.global_allowance(), a, 1e-9);  // No deficit.
+}
+
+TEST(Market, CrossClusterDeficitStillGrowsAllowance)
+{
+    // A starving cluster must trigger allowance growth even when
+    // another cluster has surplus supply (the global D < S).
+    hw::Chip chip = test::paper_chip(1, 2);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);  // Cluster 0: needs 500 > 300.
+    market.add_task(1, 1, 1);  // Cluster 1: tiny demand.
+    market.set_demand(0, 500.0);
+    market.set_demand(1, 10.0);
+    market.round();
+    market.round();
+    const Money a2 = market.global_allowance();
+    market.round();
+    EXPECT_GT(market.global_allowance(), a2);
+}
+
+TEST(Market, ConstrainedCoreIsHighestDemand)
+{
+    hw::Chip chip = test::paper_chip(3, 1);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.add_task(1, 1, 1);
+    market.add_task(2, 1, 2);
+    market.set_demand(0, 100.0);
+    market.set_demand(1, 250.0);
+    market.set_demand(2, 50.0);
+    market.round();
+    EXPECT_EQ(market.constrained_core(0), 1);
+}
+
+TEST(Market, EmptyClusterHasNoConstrainedCore)
+{
+    hw::Chip chip = test::paper_chip(1, 2);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 100.0);
+    market.round();
+    EXPECT_EQ(market.constrained_core(1), kInvalidId);
+}
+
+TEST(Market, AllowanceDistributionFormulaExact)
+{
+    // Two clusters, equal priorities: A_v = A * (W - W_v) / W
+    // (Section 3.2.3).  W = 1.0 + 3.0 = 4.0, so cluster 0 receives
+    // A * 3/4 and cluster 1 receives A * 1/4.
+    hw::Chip chip = test::paper_chip(1, 2);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.add_task(1, 1, 1);
+    market.set_demand(0, 100.0);
+    market.set_demand(1, 100.0);
+    market.set_cluster_power(0, 1.0);
+    market.set_cluster_power(1, 3.0);
+    market.round();
+    const Money a = market.global_allowance();
+    EXPECT_NEAR(market.task(0).allowance, a * 0.75, 1e-9);
+    EXPECT_NEAR(market.task(1).allowance, a * 0.25, 1e-9);
+}
+
+TEST(Market, CoreAllowanceSplitsByPrioritySums)
+{
+    // One cluster, two cores: A_c = A_v * R_c / R_v, then
+    // a_t = A_c * r_t / R_c (Section 3.2.3).
+    hw::Chip chip = test::paper_chip(2, 1);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 3, 0);  // Core 0: R_c = 3 + 1.
+    market.add_task(1, 1, 0);
+    market.add_task(2, 2, 1);  // Core 1: R_c = 2.
+    for (TaskId t = 0; t < 3; ++t)
+        market.set_demand(t, 50.0);
+    market.round();
+    const Money a = market.global_allowance();
+    // R = 6: core 0 gets 4/6 A, core 1 gets 2/6 A.
+    EXPECT_NEAR(market.task(0).allowance, a * (4.0 / 6.0) * 0.75, 1e-9);
+    EXPECT_NEAR(market.task(1).allowance, a * (4.0 / 6.0) * 0.25, 1e-9);
+    EXPECT_NEAR(market.task(2).allowance, a * (2.0 / 6.0), 1e-9);
+}
+
+TEST(Market, AllowanceInverseToPower)
+{
+    // Cluster 1 draws more power, so its task receives less
+    // allowance at equal priority (A_v = A * (W - W_v)/W).
+    hw::Chip chip = test::paper_chip(1, 2);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.add_task(1, 1, 1);
+    market.set_demand(0, 100.0);
+    market.set_demand(1, 100.0);
+    market.set_cluster_power(0, 0.2);
+    market.set_cluster_power(1, 0.8);
+    market.round();
+    EXPECT_GT(market.task(0).allowance, market.task(1).allowance);
+    // And the cluster allowances still sum to the global allowance.
+    EXPECT_NEAR(market.task(0).allowance + market.task(1).allowance,
+                market.global_allowance(), 1e-9);
+}
+
+TEST(Market, DeflationStepsSupplyDown)
+{
+    hw::Chip chip = test::paper_chip();
+    chip.cluster(0).set_level(3);  // Start at 600 PU.
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 500.0);
+    market.round();  // Base price established at 600 PU.
+    market.set_demand(0, 50.0);  // Demand collapses.
+    int downs = 0;
+    for (int i = 0; i < 30; ++i) {
+        const RoundReport r = market.round();
+        downs += r.vf_changes;
+    }
+    EXPECT_EQ(chip.cluster(0).level(), 0);
+    EXPECT_GE(downs, 3);
+}
+
+TEST(Market, TaskCoreReassignmentTracked)
+{
+    hw::Chip chip = test::paper_chip(2, 1);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 100.0);
+    market.round();
+    EXPECT_EQ(market.tasks_on(0).size(), 1u);
+    market.set_task_core(0, 1);
+    market.round();
+    EXPECT_TRUE(market.tasks_on(0).empty());
+    EXPECT_EQ(market.tasks_on(1).size(), 1u);
+    EXPECT_GT(market.task(0).supply, 0.0);
+}
+
+/**
+ * Property tests over randomized demands: market invariants that must
+ * hold in every round of every scenario.
+ */
+class MarketPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MarketPropertyTest, InvariantsHoldUnderRandomDemands)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const int cores = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    const int clusters = 1 + static_cast<int>(rng.uniform_int(0, 1));
+    hw::Chip chip = test::paper_chip(cores, clusters);
+    PpmConfig cfg = test::paper_config();
+    cfg.savings_cap_frac = rng.uniform(0.5, 5.0);
+    Market market(&chip, cfg);
+    const int tasks = 2 + static_cast<int>(rng.uniform_int(0, 5));
+    for (TaskId t = 0; t < tasks; ++t) {
+        market.add_task(t, 1 + static_cast<int>(rng.uniform_int(0, 6)),
+                        static_cast<CoreId>(
+                            rng.uniform_int(0, chip.num_cores() - 1)));
+    }
+    std::vector<Money> prev_savings(static_cast<std::size_t>(tasks),
+                                    0.0);
+    for (int round = 0; round < 60; ++round) {
+        for (TaskId t = 0; t < tasks; ++t)
+            market.set_demand(t, rng.uniform(0.0, 700.0));
+        for (ClusterId v = 0; v < chip.num_clusters(); ++v)
+            market.set_cluster_power(v, rng.uniform(0.0, 3.5));
+        market.round();
+
+        Money allowance_sum = 0.0;
+        for (TaskId t = 0; t < tasks; ++t) {
+            const TaskState& ts = market.task(t);
+            // Bids stay within [min_bid, allowance + savings], where
+            // the savings are the balance available at bid time
+            // (i.e. before this round's accrual/spend).
+            EXPECT_GE(ts.bid, cfg.min_bid - 1e-12);
+            EXPECT_LE(ts.bid,
+                      std::max(cfg.min_bid,
+                               ts.allowance
+                                   + prev_savings[static_cast<
+                                       std::size_t>(t)])
+                          + 1e-9);
+            // Savings are non-negative; the cap limits new accrual
+            // (balances may exceed a shrunken cap but never grow
+            // above it).
+            EXPECT_GE(ts.savings, -1e-12);
+            EXPECT_LE(ts.savings,
+                      std::max(prev_savings[static_cast<std::size_t>(t)],
+                               cfg.savings_cap_frac * ts.allowance)
+                          + 1e-9);
+            EXPECT_GE(ts.supply, -1e-12);
+            allowance_sum += ts.allowance;
+            prev_savings[static_cast<std::size_t>(t)] = ts.savings;
+        }
+        // The distributed allowances never exceed the global pool.
+        EXPECT_LE(allowance_sum, market.global_allowance() + 1e-6);
+
+        // Per-core conservation: purchases exactly exhaust the supply
+        // the core offered at price discovery (a V-F step at the end
+        // of the round takes effect in the next round).
+        for (CoreId c = 0; c < chip.num_cores(); ++c) {
+            const auto on_core = market.tasks_on(c);
+            if (on_core.empty())
+                continue;
+            Pu total = 0.0;
+            for (TaskId t : on_core)
+                total += market.task(t).supply;
+            EXPECT_NEAR(total, market.core(c).supply, 1e-6);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, MarketPropertyTest,
+                         ::testing::Range(1, 21));
+
+} // namespace
+} // namespace ppm::market

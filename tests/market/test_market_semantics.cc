@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Additional paper-semantics tests for the market: non-constrained
+ * core deflation to the bid floor, bid freezing visibility, input
+ * validation, and the round-up of cluster demand.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+#include "market/market.hh"
+#include "tests/market/market_test_util.hh"
+
+namespace ppm::market {
+namespace {
+
+TEST(MarketSemantics, NonConstrainedCoreBidsFallToFloor)
+{
+    // Two cores in one cluster: the constrained core pins the level;
+    // the over-supplied core's task agent has no reason to bid and
+    // its price falls until the bid hits b_min (Section 3.2.4).
+    hw::Chip chip = test::paper_chip(2, 1);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);  // Constrained: needs most of the core.
+    market.add_task(1, 1, 1);  // Over-supplied.
+    market.set_demand(0, 550.0);
+    market.set_demand(1, 50.0);
+    for (int i = 0; i < 100; ++i)
+        market.round();
+    EXPECT_EQ(market.constrained_core(0), 0);
+    EXPECT_NEAR(market.task(1).bid, market.config().min_bid, 1e-9);
+    // ... while the over-supplied task still receives the full core.
+    EXPECT_NEAR(market.task(1).supply, chip.core_supply(1), 1e-6);
+}
+
+TEST(MarketSemantics, FreezeIsVisibleExactlyOneRound)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 250.0);
+    market.round();
+    ASSERT_FALSE(market.bids_frozen(0));
+    // Demand above 300 PU forces an up-step.
+    market.set_demand(0, 380.0);
+    int frozen_rounds = 0;
+    for (int i = 0; i < 10; ++i) {
+        market.round();
+        if (market.bids_frozen(0))
+            ++frozen_rounds;
+    }
+    EXPECT_EQ(chip.cluster(0).supply(), 400.0);
+    EXPECT_EQ(frozen_rounds, 1);
+}
+
+TEST(MarketSemantics, ClusterLevelCoversConstrainedDemand)
+{
+    // Steady state honours the round-up rule: the level settles at
+    // the smallest supply >= constrained demand.
+    hw::Chip chip = test::paper_chip(2, 1);
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.add_task(1, 1, 1);
+    market.set_demand(0, 420.0);
+    market.set_demand(1, 100.0);
+    for (int i = 0; i < 120; ++i)
+        market.round();
+    EXPECT_DOUBLE_EQ(chip.cluster(0).supply(), 500.0);
+}
+
+TEST(MarketSemantics, SupplyNeverExceedsCoreSupply)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 3, 0);
+    market.add_task(1, 1, 0);
+    for (int round = 0; round < 50; ++round) {
+        market.set_demand(0, 100.0 + round * 10.0);
+        market.set_demand(1, 600.0 - round * 10.0);
+        market.round();
+        EXPECT_LE(market.task(0).supply,
+                  market.core(0).supply + 1e-9);
+        EXPECT_LE(market.task(1).supply,
+                  market.core(0).supply + 1e-9);
+    }
+}
+
+TEST(MarketSemanticsDeath, RejectsOutOfOrderTaskIds)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    EXPECT_DEATH(market.add_task(3, 1, 0), "dense");
+}
+
+TEST(MarketSemanticsDeath, RejectsBadPriority)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    EXPECT_DEATH(market.add_task(0, 0, 0), "priority");
+}
+
+TEST(MarketSemanticsDeath, RejectsNegativeDemand)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    EXPECT_DEATH(market.set_demand(0, -1.0), "non-negative");
+}
+
+TEST(MarketSemanticsDeath, RejectsInvertedTdpBand)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.w_th = cfg.w_tdp + 1.0;
+    EXPECT_DEATH(Market(&chip, cfg), "W_th");
+}
+
+} // namespace
+} // namespace ppm::market

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the monetary-policy mechanisms that keep the market
+ * well-conditioned over long runs: the money-supply anchor (quantity
+ * theory of money), the allowance growth cap, the emergency savings
+ * tax, and the headroom-gated deficit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+#include "market/lbt.hh"
+#include "market/market.hh"
+#include "tests/market/market_test_util.hh"
+
+namespace ppm::market {
+namespace {
+
+TEST(Money, GrowthCappedPerRound)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.allowance_growth_cap = 0.10;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 600.0);  // Huge deficit at 300 PU supply.
+    market.round();
+    const Money a1 = market.global_allowance();
+    market.round();
+    // Deficit/Demand = 0.5 would double-ish; the cap limits to +10%.
+    EXPECT_LE(market.global_allowance(), a1 * 1.10 + 1e-9);
+}
+
+TEST(Money, AnchorDecaysInflatedAllowance)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.money_anchor_rate = 0.05;
+    cfg.money_anchor_slack = 2.0;
+    cfg.initial_allowance = 1000.0;  // Wildly inflated money supply.
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 100.0);  // Satisfied at 300 PU: no deficit.
+    for (int i = 0; i < 400; ++i)
+        market.round();
+    // The allowance must have decayed toward slack * circulating bids.
+    const Money circulating = market.task(0).bid;
+    EXPECT_LT(market.global_allowance(), 3.0 * circulating + 1.0);
+}
+
+TEST(Money, AnchorDisabledKeepsAllowance)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();  // anchor rate 0.
+    cfg.initial_allowance = 1000.0;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 100.0);
+    for (int i = 0; i < 50; ++i)
+        market.round();
+    EXPECT_NEAR(market.global_allowance(), 1000.0, 1e-6);
+}
+
+TEST(Money, AnchorGatedByUnmetDemand)
+{
+    // An overloaded cluster pinned at its top level: no headroom so
+    // the allowance cannot grow, but demand is unmet so it must not
+    // decay either (starving tasks still need their money).
+    hw::Chip chip = test::paper_chip();
+    chip.cluster(0).set_level(3);  // 600 PU (top level).
+    PpmConfig cfg = test::paper_config();
+    cfg.money_anchor_rate = 0.05;
+    cfg.initial_allowance = 500.0;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.add_task(1, 1, 0);
+    market.set_demand(0, 500.0);
+    market.set_demand(1, 500.0);  // 1000 > 600: permanent deficit.
+    market.round();
+    const Money a = market.global_allowance();
+    for (int i = 0; i < 50; ++i)
+        market.round();
+    EXPECT_NEAR(market.global_allowance(), a, 1e-6);
+}
+
+TEST(Money, NoGrowthWithoutHeadroom)
+{
+    hw::Chip chip = test::paper_chip();
+    chip.cluster(0).set_level(3);  // Top level.
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 5000.0);  // Unsatisfiable.
+    market.round();
+    const Money a = market.global_allowance();
+    market.round();
+    market.round();
+    EXPECT_NEAR(market.global_allowance(), a, 1e-9);
+}
+
+TEST(Money, EmergencyTaxDrainsSavings)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.emergency_savings_tax = 0.25;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 10.0);  // Underspends: savings accrue.
+    for (int i = 0; i < 10; ++i) {
+        market.set_cluster_power(0, 0.5);
+        market.round();
+    }
+    const Money before = market.task(0).savings;
+    ASSERT_GT(before, 0.0);
+    market.set_cluster_power(0, 3.0);  // Above the 2.25 W TDP.
+    market.round();
+    ASSERT_EQ(market.state(), ChipState::kEmergency);
+    EXPECT_LE(market.task(0).savings, 0.75 * before + 1e-9);
+}
+
+TEST(Money, SavingsCapIsNonConfiscatory)
+{
+    // A balance accrued under a high allowance survives an allowance
+    // collapse (it only stops growing), rather than being seized.
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.savings_cap_frac = 1.0;
+    cfg.initial_allowance = 100.0;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.add_task(1, 1, 0);
+    market.set_demand(0, 10.0);
+    market.set_demand(1, 10.0);
+    for (int i = 0; i < 10; ++i)
+        market.round();
+    const Money banked = market.task(0).savings;
+    ASSERT_GT(banked, 10.0);
+    // Emergency collapses the allowance (no tax in this config).
+    for (int i = 0; i < 10; ++i) {
+        market.set_cluster_power(0, 3.0);
+        market.round();
+    }
+    EXPECT_GT(market.task(0).savings, 0.5 * banked);
+    // But it cannot grow any further while above the cap.
+    const Money held = market.task(0).savings;
+    market.set_cluster_power(0, 0.5);
+    market.round();
+    EXPECT_LE(market.task(0).savings, held + 1e-9);
+}
+
+TEST(Money, AllowanceCeilingHolds)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.max_allowance = 100.0;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 550.0);  // Persistent deficit with headroom.
+    for (int i = 0; i < 200; ++i)
+        market.round();
+    EXPECT_LE(market.global_allowance(), 100.0 + 1e-9);
+}
+
+TEST(Money, DistributedLbtRestrictsSourceCluster)
+{
+    // propose_migration_from(v) must only move tasks out of cluster v.
+    hw::Chip chip = hw::tc2_chip();
+    PpmConfig cfg;
+    cfg.w_tdp = 100.0;
+    cfg.w_th = 99.0;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);  // LITTLE, starving pair.
+    market.add_task(1, 1, 0);
+    market.add_task(2, 1, 3);  // big, starving pair.
+    market.add_task(3, 1, 3);
+    market.set_demand(0, 700.0);
+    market.set_demand(1, 700.0);
+    market.set_demand(2, 900.0);
+    market.set_demand(3, 900.0);
+    for (int i = 0; i < 30; ++i) {
+        market.set_cluster_power(0, 1.0);
+        market.set_cluster_power(1, 2.0);
+        market.round();
+    }
+    LbtModule lbt(&market,
+                  [&](TaskId t, ClusterId) {
+                      return market.task(t).demand;
+                  });
+    const Movement from_little = lbt.propose_migration_from(0);
+    if (from_little.valid()) {
+        EXPECT_EQ(chip.cluster_of(from_little.from), 0);
+    }
+    const Movement from_big = lbt.propose_migration_from(1);
+    if (from_big.valid()) {
+        EXPECT_EQ(chip.cluster_of(from_big.from), 1);
+    }
+}
+
+} // namespace
+} // namespace ppm::market

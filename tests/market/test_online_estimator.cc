@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the online cross-core-type demand estimator (the paper's
+ * future-work replacement of off-line profiling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "hw/platform.hh"
+#include "market/online_estimator.hh"
+#include "market/ppm_governor.hh"
+#include "sim/simulation.hh"
+#include "tests/test_util.hh"
+
+namespace ppm::market {
+namespace {
+
+using hw::CoreClass;
+
+TEST(OnlineEstimator, FallsBackUntilBothClassesSeen)
+{
+    OnlineSpeedupEstimator est(1);
+    EXPECT_FALSE(est.converged(0));
+    EXPECT_DOUBLE_EQ(est.speedup(0), 1.6);
+    // Observations on LITTLE only do not converge.
+    for (int i = 0; i < 50; ++i)
+        est.observe(0, CoreClass::kLittle, 600.0, 20.0);
+    EXPECT_FALSE(est.converged(0));
+    EXPECT_DOUBLE_EQ(est.speedup(0), 1.6);
+}
+
+TEST(OnlineEstimator, LearnsTrueRatioFromCleanObservations)
+{
+    // Ground truth: 30 PU-s/hb on LITTLE, 15 on big -> speedup 2.0.
+    OnlineSpeedupEstimator est(1);
+    for (int i = 0; i < 20; ++i) {
+        est.observe(0, CoreClass::kLittle, 600.0, 20.0);
+        est.observe(0, CoreClass::kBig, 300.0, 20.0);
+    }
+    ASSERT_TRUE(est.converged(0));
+    EXPECT_NEAR(est.speedup(0), 2.0, 1e-9);
+    EXPECT_NEAR(est.cost(0, CoreClass::kLittle), 30.0, 1e-9);
+    EXPECT_NEAR(est.cost(0, CoreClass::kBig), 15.0, 1e-9);
+}
+
+TEST(OnlineEstimator, RobustToNoisyObservations)
+{
+    OnlineSpeedupEstimator::Params p;
+    p.ewma_alpha = 0.1;
+    OnlineSpeedupEstimator est(1, p);
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+        const double noise = rng.uniform(0.85, 1.15);
+        est.observe(0, CoreClass::kLittle, 600.0 * noise, 20.0);
+        est.observe(0, CoreClass::kBig, 333.0 * noise, 20.0);
+    }
+    ASSERT_TRUE(est.converged(0));
+    EXPECT_NEAR(est.speedup(0), 1.8, 0.15);
+}
+
+TEST(OnlineEstimator, IgnoresStarvedWindows)
+{
+    OnlineSpeedupEstimator est(1);
+    // A starved window (hr ~ 0) would imply infinite cost; ignored.
+    est.observe(0, CoreClass::kLittle, 500.0, 0.01);
+    EXPECT_EQ(est.samples(0, CoreClass::kLittle), 0);
+    est.observe(0, CoreClass::kLittle, 0.0, 20.0);
+    EXPECT_EQ(est.samples(0, CoreClass::kLittle), 0);
+}
+
+TEST(OnlineEstimator, SpeedupClampedToPhysicalBounds)
+{
+    OnlineSpeedupEstimator est(1);
+    for (int i = 0; i < 20; ++i) {
+        // Nonsensical observations implying speedup 10.
+        est.observe(0, CoreClass::kLittle, 1000.0, 10.0);
+        est.observe(0, CoreClass::kBig, 100.0, 10.0);
+    }
+    EXPECT_DOUBLE_EQ(est.speedup(0), 4.0);
+}
+
+TEST(OnlineEstimator, PerTaskIndependence)
+{
+    OnlineSpeedupEstimator est(2);
+    for (int i = 0; i < 20; ++i) {
+        est.observe(0, CoreClass::kLittle, 600.0, 20.0);
+        est.observe(0, CoreClass::kBig, 300.0, 20.0);
+        est.observe(1, CoreClass::kLittle, 450.0, 30.0);
+        est.observe(1, CoreClass::kBig, 300.0, 30.0);
+    }
+    EXPECT_NEAR(est.speedup(0), 2.0, 1e-9);
+    EXPECT_NEAR(est.speedup(1), 1.5, 1e-9);
+}
+
+TEST(OnlineEstimator, GovernorLearnsResidentClassCosts)
+{
+    // A workload heavy enough that the LBT migrates some tasks to
+    // the big cluster: every task learns the cost of the class it
+    // lives on, with ground truth 35 PU-s/hb LITTLE / 17.5 big
+    // (700 PU at 20 hb/s, speedup 2.0).
+    PpmGovernorConfig cfg;
+    cfg.online_speedup = true;
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 700.0, 2.0),
+        test::steady_spec("b", 1, 700.0, 2.0),
+        test::steady_spec("c", 1, 700.0, 2.0),
+        test::steady_spec("d", 1, 700.0, 2.0),
+    };
+    auto gov = std::make_unique<PpmGovernor>(cfg);
+    auto* gp = gov.get();
+    sim::SimConfig sim_cfg;
+    sim_cfg.duration = 120 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), specs, std::move(gov), sim_cfg);
+    const auto summary = sim.run();
+
+    ASSERT_NE(gp->online_estimator(), nullptr);
+    const auto* est = gp->online_estimator();
+    int big_resident = 0;
+    for (TaskId t = 0; t < 4; ++t) {
+        if (est->samples(t, hw::CoreClass::kLittle) > 100) {
+            EXPECT_NEAR(est->cost(t, hw::CoreClass::kLittle), 35.0, 3.0);
+        }
+        if (est->samples(t, hw::CoreClass::kBig) > 100) {
+            EXPECT_NEAR(est->cost(t, hw::CoreClass::kBig), 17.5, 2.0);
+            ++big_resident;
+        }
+    }
+    EXPECT_GE(big_resident, 1);  // Someone ended up on big.
+    // And QoS should stay reasonable without any offline profile.
+    EXPECT_LT(summary.any_below_miss, 0.30);
+}
+
+TEST(OnlineEstimator, RoundTripTaskConverges)
+{
+    // A task whose demand collapses after a heavy phase is migrated
+    // up and later repatriated, observing both classes.
+    PpmGovernorConfig cfg;
+    cfg.online_speedup = true;
+    workload::TaskSpec wanderer = test::steady_spec("w", 1, 700.0, 2.0);
+    const Cycles w = wanderer.phases[0].work_per_hb_little;
+    wanderer.phases.clear();
+    wanderer.phases.push_back(workload::Phase{40 * kSecond, w, w / 2.0});
+    wanderer.phases.push_back(
+        workload::Phase{80 * kSecond, w / 4.0, w / 8.0});
+    std::vector<workload::TaskSpec> specs{
+        wanderer,
+        test::steady_spec("b", 1, 700.0, 2.0),
+        test::steady_spec("c", 1, 700.0, 2.0),
+        test::steady_spec("d", 1, 700.0, 2.0),
+    };
+    auto gov = std::make_unique<PpmGovernor>(cfg);
+    auto* gp = gov.get();
+    sim::SimConfig sim_cfg;
+    sim_cfg.duration = 120 * kSecond;
+    sim::Simulation sim(hw::tc2_chip(), specs, std::move(gov), sim_cfg);
+    sim.run();
+    const auto* est = gp->online_estimator();
+    // At least one of the four tasks visited both classes long enough
+    // to converge; its estimate must be near the true speedup 2.0.
+    int converged = 0;
+    for (TaskId t = 0; t < 4; ++t) {
+        if (est->converged(t)) {
+            ++converged;
+            EXPECT_NEAR(est->speedup(t), 2.0, 0.5);
+        }
+    }
+    if (converged > 0) {
+        // The population estimate reflects the converged tasks; an
+        // unconverged peer's speedup() stays at the neutral default.
+        EXPECT_NEAR(est->population_speedup(), 2.0, 0.5);
+        for (TaskId t = 0; t < 4; ++t) {
+            if (!est->converged(t)) {
+                EXPECT_DOUBLE_EQ(est->speedup(t), 1.6);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ppm::market

@@ -1,0 +1,110 @@
+/** @file Unit tests for the QoS tracker and trace recorder. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "metrics/qos.hh"
+#include "metrics/recorder.hh"
+#include "tests/test_util.hh"
+
+namespace ppm::metrics {
+namespace {
+
+/** Feed a task a constant rate so its HRM reads `hr` hb/s. */
+void
+drive(workload::Task& task, double hr, SimTime until)
+{
+    const Cycles w =
+        task.work_per_hb(hw::CoreClass::kLittle);
+    for (SimTime t = 0; t < until; t += 10 * kMillisecond) {
+        task.advance(t, 10 * kMillisecond, hr * 0.01 * w,
+                     hw::CoreClass::kLittle);
+    }
+}
+
+TEST(QosTracker, BelowAndOutsideChannels)
+{
+    // Target 20 hb/s, range [19, 21].
+    workload::Task low(0, test::steady_spec("low", 1, 400.0));
+    workload::Task ok(1, test::steady_spec("ok", 1, 400.0));
+    workload::Task high(2, test::steady_spec("high", 1, 400.0));
+    drive(low, 10.0, 2 * kSecond);
+    drive(ok, 20.0, 2 * kSecond);
+    drive(high, 40.0, 2 * kSecond);
+
+    QosTracker qos(3);
+    std::vector<workload::Task*> tasks{&low, &ok, &high};
+    qos.sample(tasks, 2 * kSecond, kMillisecond);
+
+    EXPECT_DOUBLE_EQ(qos.task_below_fraction(0), 1.0);
+    EXPECT_DOUBLE_EQ(qos.task_below_fraction(1), 0.0);
+    EXPECT_DOUBLE_EQ(qos.task_below_fraction(2), 0.0);
+    EXPECT_DOUBLE_EQ(qos.task_outside_fraction(2), 1.0);
+    EXPECT_DOUBLE_EQ(qos.any_below_fraction(), 1.0);
+    EXPECT_DOUBLE_EQ(qos.any_outside_fraction(), 1.0);
+}
+
+TEST(QosTracker, WarmupExcluded)
+{
+    workload::Task low(0, test::steady_spec("low", 1, 400.0));
+    QosTracker qos(1);
+    std::vector<workload::Task*> tasks{&low};
+    // Sampled before the warmup boundary: ignored entirely.
+    qos.sample(tasks, kSecond, kMillisecond, /*warmup=*/2 * kSecond);
+    EXPECT_DOUBLE_EQ(qos.any_below_fraction(), 0.0);
+    // After warmup, a starved task counts.
+    qos.sample(tasks, 3 * kSecond, kMillisecond, 2 * kSecond);
+    EXPECT_DOUBLE_EQ(qos.any_below_fraction(), 1.0);
+}
+
+TEST(QosTracker, AnyChannelIsUnionNotSum)
+{
+    workload::Task a(0, test::steady_spec("a", 1, 400.0));
+    workload::Task b(1, test::steady_spec("b", 1, 400.0));
+    drive(a, 20.0, 2 * kSecond);  // In range.
+    drive(b, 20.0, 2 * kSecond);
+    QosTracker qos(2);
+    std::vector<workload::Task*> tasks{&a, &b};
+    qos.sample(tasks, 2 * kSecond, kMillisecond);
+    EXPECT_DOUBLE_EQ(qos.any_below_fraction(), 0.0);
+}
+
+TEST(TraceRecorder, StoresSeries)
+{
+    TraceRecorder rec;
+    rec.record("power", kSecond, 1.5);
+    rec.record("power", 2 * kSecond, 2.5);
+    rec.record("mhz", kSecond, 600.0);
+    ASSERT_EQ(rec.series("power").size(), 2u);
+    EXPECT_DOUBLE_EQ(rec.series("power")[1].value, 2.5);
+    EXPECT_TRUE(rec.series("unknown").empty());
+    EXPECT_EQ(rec.names().size(), 2u);
+}
+
+TEST(TraceRecorder, CsvHasHeaderAndRows)
+{
+    TraceRecorder rec;
+    rec.record("a", kSecond, 1.0);
+    rec.record("b", 2 * kSecond, 2.0);
+    std::ostringstream os;
+    rec.write_csv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("time_s,a,b"), std::string::npos);
+    EXPECT_NE(csv.find("1.000,1.000000,"), std::string::npos);
+    EXPECT_NE(csv.find("2.000,,2.000000"), std::string::npos);
+}
+
+TEST(TraceRecorder, MeanAfterWindow)
+{
+    TraceRecorder rec;
+    rec.record("x", 0, 10.0);
+    rec.record("x", kSecond, 20.0);
+    rec.record("x", 2 * kSecond, 30.0);
+    EXPECT_DOUBLE_EQ(rec.mean_after("x", kSecond), 25.0);
+    EXPECT_DOUBLE_EQ(rec.mean_after("x", 0), 20.0);
+    EXPECT_DOUBLE_EQ(rec.mean_after("x", 10 * kSecond), 0.0);
+}
+
+} // namespace
+} // namespace ppm::metrics

@@ -1,0 +1,69 @@
+/** @file Unit tests for the Linux nice-weight table. */
+
+#include <gtest/gtest.h>
+
+#include "sched/nice.hh"
+
+namespace ppm::sched {
+namespace {
+
+TEST(NiceWeights, KernelAnchors)
+{
+    EXPECT_DOUBLE_EQ(weight_for_nice(0), 1024.0);
+    EXPECT_DOUBLE_EQ(weight_for_nice(-20), 88761.0);
+    EXPECT_DOUBLE_EQ(weight_for_nice(19), 15.0);
+}
+
+TEST(NiceWeights, MonotoneDecreasing)
+{
+    for (int n = kMinNice; n < kMaxNice; ++n)
+        EXPECT_GT(weight_for_nice(n), weight_for_nice(n + 1));
+}
+
+TEST(NiceWeights, EachStepIsRoughly25Percent)
+{
+    for (int n = kMinNice; n < kMaxNice; ++n) {
+        const double ratio =
+            weight_for_nice(n) / weight_for_nice(n + 1);
+        EXPECT_NEAR(ratio, 1.25, 0.07);
+    }
+}
+
+TEST(NiceWeights, OutOfRangeClamped)
+{
+    EXPECT_DOUBLE_EQ(weight_for_nice(-100), weight_for_nice(-20));
+    EXPECT_DOUBLE_EQ(weight_for_nice(100), weight_for_nice(19));
+}
+
+TEST(NiceForShare, LargestShareGetsNiceZero)
+{
+    EXPECT_EQ(nice_for_relative_share(100.0, 100.0), 0);
+    EXPECT_EQ(nice_for_relative_share(200.0, 100.0), 0);  // Clamped.
+}
+
+TEST(NiceForShare, HalfShareIsAboutThreeSteps)
+{
+    // 1.25^3 ~ 1.95, so a half share maps to nice 3.
+    EXPECT_EQ(nice_for_relative_share(50.0, 100.0), 3);
+}
+
+TEST(NiceForShare, TinyShareClampsAtMaxNice)
+{
+    EXPECT_EQ(nice_for_relative_share(1e-9, 100.0), kMaxNice);
+}
+
+TEST(NiceForShare, RealizedRatioTracksRequest)
+{
+    // The realized weight ratio should be within one nice step of the
+    // requested share ratio across the representable range.
+    for (double share : {0.9, 0.7, 0.5, 0.3, 0.2, 0.1, 0.05}) {
+        const int nice = nice_for_relative_share(share, 1.0);
+        const double realized =
+            weight_for_nice(nice) / weight_for_nice(0);
+        EXPECT_LT(realized / share, 1.35) << "share " << share;
+        EXPECT_GT(realized / share, 0.75) << "share " << share;
+    }
+}
+
+} // namespace
+} // namespace ppm::sched

@@ -1,0 +1,190 @@
+/** @file Unit tests for the proportional-share scheduler substrate. */
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+#include "sched/scheduler.hh"
+#include "tests/test_util.hh"
+
+namespace ppm::sched {
+namespace {
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest() : chip_(hw::tc2_chip()), sched_(&chip_, {}) {}
+
+    workload::Task& add(const workload::TaskSpec& spec, CoreId core)
+    {
+        tasks_.push_back(std::make_unique<workload::Task>(
+            static_cast<TaskId>(tasks_.size()), spec));
+        sched_.add_task(tasks_.back().get(), core);
+        return *tasks_.back();
+    }
+
+    void run(SimTime from, SimTime until, SimTime dt = kMillisecond)
+    {
+        for (SimTime t = from; t < until; t += dt)
+            sched_.tick(t, dt);
+    }
+
+    hw::Chip chip_;
+    Scheduler sched_;
+    std::vector<std::unique_ptr<workload::Task>> tasks_;
+};
+
+TEST_F(SchedulerTest, SingleGreedyTaskConsumesWholeCore)
+{
+    add(test::steady_spec("t0", 1, 500.0), 0);
+    chip_.cluster(0).set_level(7);  // 1000 PU.
+    run(0, kSecond);
+    // A greedy task alone eats the entire supply regardless of demand.
+    EXPECT_NEAR(tasks_[0]->total_cycles(), 1000.0 * kCyclesPerPuSecond,
+                1e6);
+    EXPECT_NEAR(sched_.core_utilization(0), 1.0, 1e-9);
+}
+
+TEST_F(SchedulerTest, EqualWeightsSplitEvenly)
+{
+    add(test::steady_spec("a", 1, 600.0), 0);
+    add(test::steady_spec("b", 1, 600.0), 0);
+    chip_.cluster(0).set_level(7);
+    run(0, kSecond);
+    EXPECT_NEAR(tasks_[0]->total_cycles(), tasks_[1]->total_cycles(),
+                1e3);
+    EXPECT_NEAR(tasks_[0]->total_cycles(),
+                500.0 * kCyclesPerPuSecond, 1e6);
+}
+
+TEST_F(SchedulerTest, NiceWeightsSkewShares)
+{
+    add(test::steady_spec("fav", 1, 900.0), 0);
+    add(test::steady_spec("poor", 1, 900.0), 0);
+    sched_.set_nice(0, 0);
+    sched_.set_nice(1, 5);  // weight 335 vs 1024.
+    chip_.cluster(0).set_level(7);
+    run(0, kSecond);
+    const double ratio =
+        tasks_[0]->total_cycles() / tasks_[1]->total_cycles();
+    EXPECT_NEAR(ratio, 1024.0 / 335.0, 0.01);
+}
+
+TEST_F(SchedulerTest, SelfPacedTaskReturnsSlack)
+{
+    // A self-paced task at its target rate leaves the rest to the
+    // greedy co-runner (water-filling).
+    add(test::steady_spec("paced", 1, 200.0, 1.6, 20.0,
+                          /*self_pace=*/20.0), 0);
+    add(test::steady_spec("greedy", 1, 900.0), 0);
+    chip_.cluster(0).set_level(7);
+    run(0, kSecond);
+    // Paced task: 20 hb/s * (200/20) PU-s per hb = 200 PU-seconds.
+    EXPECT_NEAR(tasks_[0]->total_cycles(),
+                200.0 * kCyclesPerPuSecond, 2e6);
+    EXPECT_NEAR(tasks_[1]->total_cycles(),
+                800.0 * kCyclesPerPuSecond, 2e6);
+}
+
+TEST_F(SchedulerTest, SelfPacedAloneIdlesCore)
+{
+    add(test::steady_spec("paced", 1, 200.0, 1.6, 20.0, 20.0), 0);
+    chip_.cluster(0).set_level(7);
+    run(0, kSecond);
+    EXPECT_NEAR(sched_.core_utilization(0), 0.2, 0.01);
+}
+
+TEST_F(SchedulerTest, MigrationChargesPenalty)
+{
+    add(test::steady_spec("t", 1, 500.0), 0);
+    chip_.cluster(0).set_level(7);
+    run(0, 100 * kMillisecond);
+    const Cycles before = tasks_[0]->total_cycles();
+    // Cross-cluster migration at min LITTLE frequency costs 2.16 ms.
+    chip_.cluster(0).set_level(0);
+    const SimTime cost = sched_.migrate(0, 3, 100 * kMillisecond);
+    EXPECT_EQ(cost, 2160);
+    EXPECT_EQ(sched_.core_of(0), 3);
+    EXPECT_EQ(sched_.migrations(), 1);
+    // The task is blocked during the penalty: tick 2 ms, no progress.
+    sched_.tick(100 * kMillisecond, 2 * kMillisecond);
+    EXPECT_DOUBLE_EQ(tasks_[0]->total_cycles(), before);
+    // After the penalty elapses it runs on the big core.
+    run(103 * kMillisecond, 203 * kMillisecond);
+    EXPECT_GT(tasks_[0]->total_cycles(), before);
+}
+
+TEST_F(SchedulerTest, MigrateToSameCoreIsFree)
+{
+    add(test::steady_spec("t", 1, 500.0), 2);
+    EXPECT_EQ(sched_.migrate(0, 2, 0), 0);
+    EXPECT_EQ(sched_.migrations(), 0);
+}
+
+TEST_F(SchedulerTest, TasksOnReportsPlacement)
+{
+    add(test::steady_spec("a", 1, 100.0), 0);
+    add(test::steady_spec("b", 1, 100.0), 0);
+    add(test::steady_spec("c", 1, 100.0), 4);
+    EXPECT_EQ(sched_.tasks_on(0).size(), 2u);
+    EXPECT_EQ(sched_.tasks_on(4).size(), 1u);
+    EXPECT_TRUE(sched_.tasks_on(1).empty());
+}
+
+TEST_F(SchedulerTest, GatedClusterStarvesTasks)
+{
+    add(test::steady_spec("t", 1, 500.0), 0);
+    chip_.cluster(0).set_powered(false);
+    run(0, 100 * kMillisecond);
+    EXPECT_DOUBLE_EQ(tasks_[0]->total_cycles(), 0.0);
+    EXPECT_DOUBLE_EQ(sched_.core_utilization(0), 0.0);
+}
+
+TEST_F(SchedulerTest, LoadSignalSaturatesForGreedyTask)
+{
+    add(test::steady_spec("t", 1, 500.0), 0);
+    chip_.cluster(0).set_level(7);
+    run(0, kSecond);
+    EXPECT_GT(sched_.task_load(0), 0.99);
+    EXPECT_GT(sched_.task_cpu_share(0), 0.99);
+}
+
+TEST_F(SchedulerTest, CpuShareReflectsContention)
+{
+    add(test::steady_spec("a", 1, 900.0), 0);
+    add(test::steady_spec("b", 1, 900.0), 0);
+    chip_.cluster(0).set_level(7);
+    run(0, kSecond);
+    EXPECT_NEAR(sched_.task_cpu_share(0), 0.5, 0.02);
+    EXPECT_NEAR(sched_.task_cpu_share(1), 0.5, 0.02);
+    // Both remain fully runnable.
+    EXPECT_GT(sched_.task_load(0), 0.99);
+}
+
+TEST_F(SchedulerTest, SupplyLastTracksAllocation)
+{
+    add(test::steady_spec("a", 1, 900.0), 0);
+    add(test::steady_spec("b", 1, 900.0), 0);
+    chip_.cluster(0).set_level(7);  // 1000 PU.
+    run(0, 100 * kMillisecond);
+    EXPECT_NEAR(sched_.task_supply_last(0), 500.0, 1.0);
+    EXPECT_NEAR(sched_.task_supply_last(1), 500.0, 1.0);
+}
+
+TEST_F(SchedulerTest, BigCoreRunsFasterPerHeartbeat)
+{
+    // Same spec on a LITTLE and a big core: the big core emits
+    // speedup-times more heartbeats per cycle.
+    add(test::steady_spec("little", 1, 500.0, 2.0), 0);
+    add(test::steady_spec("big", 1, 500.0, 2.0), 3);
+    chip_.cluster(0).set_level(7);  // 1000 PU.
+    chip_.cluster(1).set_level(3);  // 800 PU.
+    run(0, kSecond);
+    const double hb_little = tasks_[0]->total_heartbeats();
+    const double hb_big = tasks_[1]->total_heartbeats();
+    // LITTLE: 1000 PU / (500/20) -> 40 hb; big: 800 / (250/20) -> 64.
+    EXPECT_NEAR(hb_little, 40.0, 0.5);
+    EXPECT_NEAR(hb_big, 64.0, 0.5);
+}
+
+} // namespace
+} // namespace ppm::sched

@@ -1,0 +1,181 @@
+/** @file Tests for the simulation harness itself. */
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+#include "sim/simulation.hh"
+#include "tests/test_util.hh"
+
+namespace ppm::sim {
+namespace {
+
+/** A do-nothing governor for harness-level tests. */
+class NullGovernor : public Governor
+{
+  public:
+    std::string name() const override { return "null"; }
+    void init(Simulation&) override { ++inits_; }
+    void tick(Simulation&, SimTime, SimTime) override { ++ticks_; }
+
+    int inits_ = 0;
+    long ticks_ = 0;
+};
+
+/** A governor that pins the LITTLE cluster at a chosen level. */
+class FixedLevelGovernor : public Governor
+{
+  public:
+    explicit FixedLevelGovernor(int level) : level_(level) {}
+    std::string name() const override { return "fixed"; }
+    void init(Simulation& sim) override
+    {
+        sim.chip().cluster(0).set_level(level_);
+    }
+    void tick(Simulation&, SimTime, SimTime) override {}
+
+  private:
+    int level_;
+};
+
+TEST(Simulation, RoundRobinInitialPlacementOnBootCluster)
+{
+    std::vector<workload::TaskSpec> specs;
+    for (int i = 0; i < 5; ++i)
+        specs.push_back(test::steady_spec("t" + std::to_string(i), 1,
+                                          100.0));
+    SimConfig cfg;
+    cfg.duration = kMillisecond;
+    Simulation sim(hw::tc2_chip(), specs,
+                   std::make_unique<NullGovernor>(), cfg);
+    // Cluster 0 has cores {0,1,2}: round robin 0,1,2,0,1.
+    EXPECT_EQ(sim.scheduler().core_of(0), 0);
+    EXPECT_EQ(sim.scheduler().core_of(1), 1);
+    EXPECT_EQ(sim.scheduler().core_of(2), 2);
+    EXPECT_EQ(sim.scheduler().core_of(3), 0);
+    EXPECT_EQ(sim.scheduler().core_of(4), 1);
+}
+
+TEST(Simulation, GovernorLifecycle)
+{
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 100.0)};
+    SimConfig cfg;
+    cfg.duration = 100 * kMillisecond;
+    auto gov = std::make_unique<NullGovernor>();
+    auto* gp = gov.get();
+    Simulation sim(hw::tc2_chip(), specs, std::move(gov), cfg);
+    sim.run();
+    EXPECT_EQ(gp->inits_, 1);
+    EXPECT_EQ(gp->ticks_, 100);
+    EXPECT_EQ(sim.now(), 100 * kMillisecond);
+}
+
+TEST(Simulation, EnergyMatchesPowerIntegral)
+{
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 900.0)};
+    SimConfig cfg;
+    cfg.duration = 10 * kSecond;
+    Simulation sim(hw::tc2_chip(), specs,
+                   std::make_unique<FixedLevelGovernor>(7), cfg);
+    const auto summary = sim.run();
+    EXPECT_NEAR(summary.energy, summary.avg_power * 10.0, 1e-6);
+    EXPECT_GT(summary.avg_power, 0.5);
+}
+
+TEST(Simulation, VfTransitionCounting)
+{
+    class Wiggle : public Governor
+    {
+      public:
+        std::string name() const override { return "wiggle"; }
+        void init(Simulation&) override {}
+        void tick(Simulation& sim, SimTime now, SimTime) override
+        {
+            if (now % kSecond == 0) {
+                sim.chip().cluster(0).set_level(toggle_ ? 3 : 0);
+                toggle_ = !toggle_;
+            }
+        }
+
+      private:
+        bool toggle_ = false;
+    };
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 100.0)};
+    SimConfig cfg;
+    cfg.duration = 5 * kSecond;
+    Simulation sim(hw::tc2_chip(), specs, std::make_unique<Wiggle>(),
+                   cfg);
+    const auto summary = sim.run();
+    EXPECT_GE(summary.vf_transitions, 4);
+}
+
+TEST(Simulation, QosWarmupExcluded)
+{
+    // A task that is starved during the first second only: with a
+    // 2 s warmup the miss fraction is near zero.
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 300.0)};
+    SimConfig cfg;
+    cfg.duration = 30 * kSecond;
+    cfg.warmup = 2 * kSecond;
+    Simulation sim(hw::tc2_chip(), specs,
+                   std::make_unique<FixedLevelGovernor>(7), cfg);
+    const auto summary = sim.run();
+    EXPECT_LT(summary.any_below_miss, 0.02);
+}
+
+TEST(Simulation, TraceRecordsSeries)
+{
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("traced", 1, 300.0)};
+    SimConfig cfg;
+    cfg.duration = 5 * kSecond;
+    cfg.trace = true;
+    Simulation sim(hw::tc2_chip(), specs,
+                   std::make_unique<FixedLevelGovernor>(7), cfg);
+    sim.run();
+    EXPECT_FALSE(sim.recorder().series("chip_power_w").empty());
+    EXPECT_FALSE(sim.recorder().series("traced_norm_hr").empty());
+    EXPECT_FALSE(sim.recorder().series("cluster0_mhz").empty());
+}
+
+TEST(SimulationDeath, RejectsWrongSizedPlacement)
+{
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 100.0),
+        test::steady_spec("b", 1, 100.0)};
+    SimConfig cfg;
+    cfg.placement = {0};  // Two tasks, one core named.
+    EXPECT_DEATH(Simulation(hw::tc2_chip(), specs,
+                            std::make_unique<NullGovernor>(), cfg),
+                 "placement");
+}
+
+TEST(SimulationDeath, RejectsWrongSizedLifetimes)
+{
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 100.0)};
+    SimConfig cfg;
+    cfg.lifetimes = {{0, 10 * kSecond}, {0, 10 * kSecond}};
+    EXPECT_DEATH(Simulation(hw::tc2_chip(), specs,
+                            std::make_unique<NullGovernor>(), cfg),
+                 "lifetimes");
+}
+
+TEST(Simulation, OverTdpFractionTracked)
+{
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 900.0)};
+    SimConfig cfg;
+    cfg.duration = 10 * kSecond;
+    cfg.tdp_for_metrics = 0.5;  // Absurdly low: always violated.
+    Simulation sim(hw::tc2_chip(), specs,
+                   std::make_unique<FixedLevelGovernor>(7), cfg);
+    const auto summary = sim.run();
+    EXPECT_GT(summary.over_tdp_fraction, 0.95);
+}
+
+} // namespace
+} // namespace ppm::sim

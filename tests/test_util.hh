@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef PPM_TESTS_TEST_UTIL_HH
+#define PPM_TESTS_TEST_UTIL_HH
+
+#include <string>
+
+#include "workload/task.hh"
+
+namespace ppm::test {
+
+/**
+ * A single-phase task spec whose demand on a LITTLE core is exactly
+ * `demand_little` PU at the target heart rate.  Thin alias over the
+ * library's workload::steady_task_spec.
+ */
+inline workload::TaskSpec
+steady_spec(const std::string& name, int priority, Pu demand_little,
+            double speedup = 1.6, double target_hr = 20.0,
+            double self_pace = 0.0)
+{
+    return workload::steady_task_spec(name, priority, demand_little,
+                                      speedup, target_hr, self_pace);
+}
+
+} // namespace ppm::test
+
+#endif // PPM_TESTS_TEST_UTIL_HH

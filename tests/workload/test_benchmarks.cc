@@ -1,0 +1,159 @@
+/** @file Unit tests for the benchmark profiles (Table 5 model). */
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmarks.hh"
+#include "workload/sets.hh"
+
+namespace ppm::workload {
+namespace {
+
+TEST(Benchmarks, AllSeventeenProfilesPresent)
+{
+    EXPECT_EQ(all_profiles().size(), 17u);
+}
+
+TEST(Benchmarks, LookupReturnsMatchingProfile)
+{
+    const auto& p = profile(Benchmark::kSwaptions, Input::kNative);
+    EXPECT_EQ(p.bench, Benchmark::kSwaptions);
+    EXPECT_EQ(p.input, Input::kNative);
+    EXPECT_EQ(p.name, "swaptions_n");
+}
+
+TEST(Benchmarks, NamesFollowPaperConvention)
+{
+    EXPECT_EQ(profile(Benchmark::kH264, Input::kForeman).name,
+              "h264_fo");
+    EXPECT_EQ(profile(Benchmark::kTexture, Input::kVga).name,
+              "texture_v");
+    EXPECT_EQ(profile(Benchmark::kBlackscholes, Input::kLarge).name,
+              "blackscholes_l");
+}
+
+TEST(Benchmarks, BiggerInputsDemandMore)
+{
+    EXPECT_GT(profile(Benchmark::kSwaptions, Input::kNative)
+                  .avg_demand_little,
+              profile(Benchmark::kSwaptions, Input::kLarge)
+                  .avg_demand_little);
+    EXPECT_GT(profile(Benchmark::kTexture, Input::kFullhd)
+                  .avg_demand_little,
+              profile(Benchmark::kTexture, Input::kVga)
+                  .avg_demand_little);
+}
+
+TEST(Benchmarks, SpeedupsInPlausibleRange)
+{
+    for (const auto& p : all_profiles()) {
+        EXPECT_GE(p.big_speedup, 1.2) << p.name;
+        EXPECT_LE(p.big_speedup, 3.0) << p.name;
+    }
+}
+
+TEST(Benchmarks, AvgDemandScalesBySpeedup)
+{
+    const auto& p = profile(Benchmark::kTracking, Input::kVga);
+    EXPECT_DOUBLE_EQ(avg_demand(p, hw::CoreClass::kLittle),
+                     p.avg_demand_little);
+    EXPECT_DOUBLE_EQ(avg_demand(p, hw::CoreClass::kBig),
+                     p.avg_demand_little / p.big_speedup);
+}
+
+TEST(Benchmarks, PhasesCoverHorizon)
+{
+    const auto& p = profile(Benchmark::kX264, Input::kNative);
+    const auto phases = generate_phases(p, 1, 300 * kSecond);
+    SimTime total = 0;
+    for (const auto& ph : phases)
+        total += ph.duration;
+    EXPECT_GE(total, 300 * kSecond);
+}
+
+TEST(Benchmarks, PhasesDeterministicPerSeed)
+{
+    const auto& p = profile(Benchmark::kBodytrack, Input::kNative);
+    const auto a = generate_phases(p, 7, 100 * kSecond);
+    const auto b = generate_phases(p, 7, 100 * kSecond);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].duration, b[i].duration);
+        EXPECT_DOUBLE_EQ(a[i].work_per_hb_little,
+                         b[i].work_per_hb_little);
+    }
+}
+
+TEST(Benchmarks, PhaseAverageNearCalibratedDemand)
+{
+    // Duration-weighted mean demand of the generated phases should be
+    // close to the calibrated average (patterns are mean-1 by design).
+    for (const auto& p : all_profiles()) {
+        const auto phases = generate_phases(p, 11, 600 * kSecond);
+        double weighted = 0.0;
+        double total = 0.0;
+        for (const auto& ph : phases) {
+            const Pu d =
+                p.target_hr * ph.work_per_hb_little / kCyclesPerPuSecond;
+            weighted += d * to_seconds(ph.duration);
+            total += to_seconds(ph.duration);
+        }
+        EXPECT_NEAR(weighted / total, p.avg_demand_little,
+                    0.12 * p.avg_demand_little)
+            << p.name;
+    }
+}
+
+TEST(Benchmarks, BimodalAlternatesDormantActive)
+{
+    const auto& p = profile(Benchmark::kX264, Input::kNative);
+    const auto phases = generate_phases(p, 3, 600 * kSecond);
+    ASSERT_GE(phases.size(), 4u);
+    // Alternating low/high work per heartbeat.
+    for (std::size_t i = 0; i + 1 < phases.size(); ++i) {
+        const bool low_then_high = phases[i].work_per_hb_little
+            < phases[i + 1].work_per_hb_little;
+        EXPECT_EQ(low_then_high, i % 2 == 0);
+    }
+}
+
+TEST(Benchmarks, SpecHasPaperReferenceRange)
+{
+    const TaskSpec spec =
+        make_task_spec(Benchmark::kSwaptions, Input::kNative, 3, 42);
+    const auto& p = profile(Benchmark::kSwaptions, Input::kNative);
+    EXPECT_DOUBLE_EQ(spec.min_hr, 0.95 * p.target_hr);
+    EXPECT_DOUBLE_EQ(spec.max_hr, 1.05 * p.target_hr);
+    EXPECT_EQ(spec.priority, 3);
+    EXPECT_FALSE(spec.phases.empty());
+}
+
+TEST(Benchmarks, LightSetMembersPeakUnderBigCoreThirdShare)
+{
+    // Second calibration axis (see benchmarks.cc): every light-set
+    // member's peak demand on a big core stays below 1200/3 = 400 PU,
+    // so the HL baseline's crowd-onto-big placement still satisfies
+    // light sets as the paper reports.
+    const double kPeak[] = {1.05, 1.35, 1.25, 1.2};  // Per pattern.
+    for (const auto& set : standard_workload_sets()) {
+        if (set.expected_class != IntensityClass::kLight)
+            continue;
+        for (const auto& m : set.members) {
+            const auto& p = profile(m.bench, m.input);
+            const double amp =
+                kPeak[static_cast<int>(p.pattern)];
+            const Pu peak_big =
+                p.avg_demand_little * amp / p.big_speedup;
+            EXPECT_LE(peak_big, 400.0)
+                << p.name << " in " << set.name;
+        }
+    }
+}
+
+TEST(BenchmarksDeath, UnknownCombinationIsFatal)
+{
+    EXPECT_EXIT(profile(Benchmark::kSwaptions, Input::kVga),
+                ::testing::ExitedWithCode(1), "no calibrated profile");
+}
+
+} // namespace
+} // namespace ppm::workload

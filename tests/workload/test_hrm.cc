@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the Heart Rate Monitor, including the paper's
+ * Table 4 heart-rate-to-demand conversion examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/hrm.hh"
+
+namespace ppm::workload {
+namespace {
+
+/** Feed a constant rate of beats and supply over one window. */
+void
+feed(HeartRateMonitor& hrm, double hb_per_s, Pu supply, SimTime until,
+     SimTime dt = 10 * kMillisecond)
+{
+    for (SimTime t = dt; t <= until; t += dt) {
+        hrm.record(t, hb_per_s * to_seconds(dt),
+                   supply * to_seconds(dt));
+    }
+}
+
+TEST(Hrm, MeasuresSteadyRate)
+{
+    HeartRateMonitor hrm(24.0, 30.0);
+    feed(hrm, 15.0, 500.0, kSecond);
+    EXPECT_NEAR(hrm.heart_rate(kSecond), 15.0, 0.2);
+    EXPECT_NEAR(hrm.supply(kSecond), 500.0, 5.0);
+}
+
+TEST(Hrm, TargetIsRangeMidpoint)
+{
+    HeartRateMonitor hrm(24.0, 30.0);
+    EXPECT_DOUBLE_EQ(hrm.target_hr(), 27.0);
+}
+
+TEST(Hrm, Table4Phase1)
+{
+    // Table 4 phase 1: hr 15 hb/s at 500 PU, target 27 ->
+    // demand = 27 * 500 / 15 = 900 PU.
+    HeartRateMonitor hrm(24.0, 30.0);
+    feed(hrm, 15.0, 500.0, kSecond);
+    EXPECT_NEAR(hrm.estimate_demand(kSecond, 5000.0), 900.0, 15.0);
+}
+
+TEST(Hrm, Table4Phase2)
+{
+    // Phase 2: hr 10 at 800 MHz, 50% utilization -> supply 400 PU;
+    // demand = 27 * 400 / 10 = 1080 PU.
+    HeartRateMonitor hrm(24.0, 30.0);
+    feed(hrm, 10.0, 400.0, kSecond);
+    EXPECT_NEAR(hrm.estimate_demand(kSecond, 5000.0), 1080.0, 20.0);
+}
+
+TEST(Hrm, Table4Phase3LowersDemand)
+{
+    // Phase 3: hr 40 exceeds the range at 1000 PU ->
+    // demand = 27 * 1000 / 40 = 675 PU (lowered).
+    HeartRateMonitor hrm(24.0, 30.0);
+    feed(hrm, 40.0, 1000.0, kSecond);
+    EXPECT_NEAR(hrm.estimate_demand(kSecond, 5000.0), 675.0, 12.0);
+}
+
+TEST(Hrm, RangeClassification)
+{
+    HeartRateMonitor hrm(24.0, 30.0);
+    feed(hrm, 15.0, 500.0, kSecond);
+    EXPECT_TRUE(hrm.below_range(kSecond));
+    EXPECT_TRUE(hrm.outside_range(kSecond));
+
+    HeartRateMonitor in_range(24.0, 30.0);
+    feed(in_range, 27.0, 500.0, kSecond);
+    EXPECT_FALSE(in_range.below_range(kSecond));
+    EXPECT_FALSE(in_range.outside_range(kSecond));
+
+    HeartRateMonitor above(24.0, 30.0);
+    feed(above, 40.0, 500.0, kSecond);
+    EXPECT_FALSE(above.below_range(kSecond));
+    EXPECT_TRUE(above.outside_range(kSecond));
+}
+
+TEST(Hrm, StarvedTaskSaturatesAtClamp)
+{
+    HeartRateMonitor hrm(24.0, 30.0);
+    // No heartbeats at all.
+    EXPECT_DOUBLE_EQ(hrm.estimate_demand(kSecond, 1200.0), 1200.0);
+}
+
+TEST(Hrm, EstimateClampedAbove)
+{
+    // hr barely above zero with large supply would explode; clamp.
+    HeartRateMonitor hrm(24.0, 30.0);
+    feed(hrm, 0.01, 1000.0, kSecond);
+    EXPECT_DOUBLE_EQ(hrm.estimate_demand(kSecond, 1200.0), 1200.0);
+}
+
+TEST(Hrm, OldSamplesLeaveWindow)
+{
+    HeartRateMonitor hrm(24.0, 30.0);
+    feed(hrm, 30.0, 500.0, kSecond);
+    EXPECT_NEAR(hrm.heart_rate(kSecond), 30.0, 0.5);
+    // After 2 s of silence the measured rate decays to zero.
+    EXPECT_DOUBLE_EQ(hrm.heart_rate(3 * kSecond), 0.0);
+}
+
+TEST(HrmDeath, RejectsBadRange)
+{
+    EXPECT_DEATH(HeartRateMonitor(0.0, 10.0), "min");
+    EXPECT_DEATH(HeartRateMonitor(10.0, 5.0), "min");
+}
+
+} // namespace
+} // namespace ppm::workload

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the Table 6 workload sets and the intensity metric.
+ * The class assertions ARE the Table 6 reproduction: every set must
+ * land in the intensity class the paper assigns it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/sets.hh"
+
+namespace ppm::workload {
+namespace {
+
+/** LITTLE-cluster aggregate supply at max frequency (3 x 1000 PU). */
+constexpr Pu kLittleMax = 3000.0;
+
+TEST(Sets, NineStandardSets)
+{
+    const auto& sets = standard_workload_sets();
+    ASSERT_EQ(sets.size(), 9u);
+    const char* expected[] = {"l1", "l2", "l3", "m1", "m2",
+                              "m3", "h1", "h2", "h3"};
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(sets[i].name, expected[i]);
+}
+
+TEST(Sets, SixTasksEach)
+{
+    for (const auto& set : standard_workload_sets())
+        EXPECT_EQ(set.members.size(), 6u) << set.name;
+}
+
+TEST(Sets, Table6IntensityClasses)
+{
+    for (const auto& set : standard_workload_sets()) {
+        const double x = intensity(set, kLittleMax);
+        EXPECT_EQ(classify_intensity(x), set.expected_class)
+            << set.name << " intensity " << x;
+    }
+}
+
+TEST(Sets, IntensityOrderingAcrossClasses)
+{
+    // Every heavy set is more intense than every medium set, which is
+    // more intense than every light set.
+    double max_light = -1e9;
+    double min_medium = 1e9;
+    double max_medium = -1e9;
+    double min_heavy = 1e9;
+    for (const auto& set : standard_workload_sets()) {
+        const double x = intensity(set, kLittleMax);
+        switch (set.expected_class) {
+          case IntensityClass::kLight:
+            max_light = std::max(max_light, x);
+            break;
+          case IntensityClass::kMedium:
+            min_medium = std::min(min_medium, x);
+            max_medium = std::max(max_medium, x);
+            break;
+          case IntensityClass::kHeavy:
+            min_heavy = std::min(min_heavy, x);
+            break;
+        }
+    }
+    EXPECT_LT(max_light, min_medium);
+    EXPECT_LT(max_medium, min_heavy);
+}
+
+TEST(Sets, ClassifierThresholds)
+{
+    EXPECT_EQ(classify_intensity(-0.5), IntensityClass::kLight);
+    EXPECT_EQ(classify_intensity(0.0), IntensityClass::kLight);
+    EXPECT_EQ(classify_intensity(0.01), IntensityClass::kMedium);
+    EXPECT_EQ(classify_intensity(0.30), IntensityClass::kMedium);
+    EXPECT_EQ(classify_intensity(0.31), IntensityClass::kHeavy);
+}
+
+TEST(Sets, LookupByName)
+{
+    const auto& set = workload_set("h2");
+    EXPECT_EQ(set.name, "h2");
+    EXPECT_EQ(set.expected_class, IntensityClass::kHeavy);
+}
+
+TEST(SetsDeath, UnknownSetIsFatal)
+{
+    EXPECT_EXIT(workload_set("z9"), ::testing::ExitedWithCode(1),
+                "unknown workload set");
+}
+
+TEST(Sets, InstantiationMatchesMembers)
+{
+    const auto& set = workload_set("l1");
+    const auto specs = instantiate(set, 42, 3);
+    ASSERT_EQ(specs.size(), set.members.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(specs[i].name,
+                  profile(set.members[i].bench, set.members[i].input)
+                      .name);
+        EXPECT_EQ(specs[i].priority, 3);
+        EXPECT_FALSE(specs[i].phases.empty());
+    }
+}
+
+TEST(Sets, InstantiationSeedsDiffer)
+{
+    // Different tasks get different phase seeds: the two bimodal
+    // h264 instances in h3 should not be phase-locked.
+    const auto specs = instantiate(workload_set("h3"), 42);
+    ASSERT_GE(specs.size(), 2u);
+    EXPECT_NE(specs[0].phases[0].duration,
+              specs[1].phases[0].duration);
+}
+
+TEST(Sets, IntensityClassNames)
+{
+    EXPECT_STREQ(intensity_class_name(IntensityClass::kLight), "light");
+    EXPECT_STREQ(intensity_class_name(IntensityClass::kMedium),
+                 "medium");
+    EXPECT_STREQ(intensity_class_name(IntensityClass::kHeavy), "heavy");
+}
+
+} // namespace
+} // namespace ppm::workload

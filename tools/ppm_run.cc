@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Command-line driver: run any policy on any workload set under any
+ * TDP and print the run summary (optionally dumping time-series CSV).
+ *
+ * Usage:
+ *   ppm_run [--policy PPM|HPM|HL] [--set l1..h3] [--tdp WATTS]
+ *           [--seconds N] [--seed N] [--priority N] [--online]
+ *           [--trace FILE.csv] [--csv]
+ *
+ * Examples:
+ *   ppm_run --policy PPM --set h2 --tdp 4 --seconds 300
+ *   ppm_run --policy HL --set l1 --trace hl_l1.csv
+ *   ppm_run --set m2 --online --csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "experiment/experiment.hh"
+#include "workload/benchmarks.hh"
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--policy PPM|HPM|HL] [--set l1..h3] [--tdp WATTS]\n"
+        "          [--seconds N] [--seed N] [--priority N] [--online]\n"
+        "          [--trace FILE.csv] [--csv] [--list-sets]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ppm;
+    experiment::RunParams params;
+    std::string set_name = "m2";
+    std::string trace_path;
+    bool csv_summary = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--policy") {
+            params.policy = next();
+        } else if (arg == "--set") {
+            set_name = next();
+        } else if (arg == "--tdp") {
+            params.tdp = std::atof(next());
+        } else if (arg == "--seconds") {
+            params.duration =
+                static_cast<SimTime>(std::atof(next()) * kSecond);
+        } else if (arg == "--seed") {
+            params.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--priority") {
+            params.priority = std::atoi(next());
+        } else if (arg == "--online") {
+            params.online_speedup = true;
+        } else if (arg == "--trace") {
+            trace_path = next();
+            params.trace = true;
+        } else if (arg == "--csv") {
+            csv_summary = true;
+        } else if (arg == "--list-sets") {
+            Table sets({"set", "class", "intensity", "members"});
+            for (const auto& s : workload::standard_workload_sets()) {
+                std::string members;
+                for (const auto& m : s.members) {
+                    if (!members.empty())
+                        members += " ";
+                    members += workload::profile(m.bench, m.input).name;
+                }
+                sets.add_row(
+                    {s.name,
+                     workload::intensity_class_name(s.expected_class),
+                     fmt_double(workload::intensity(s, 3000.0), 2),
+                     members});
+            }
+            sets.print(std::cout);
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    const auto& set = workload::workload_set(set_name);
+    const experiment::RunResult result =
+        experiment::run_set(set, params);
+    const sim::RunSummary& s = result.summary;
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fatal("cannot write trace file '%s'", trace_path.c_str());
+        result.traces.write_csv(out);
+    }
+
+    Table table({"metric", "value"});
+    table.add_row({"policy", s.governor});
+    table.add_row({"workload", set.name});
+    table.add_row({"duration_s",
+                   fmt_double(to_seconds(params.duration), 0)});
+    table.add_row({"seed", std::to_string(params.seed)});
+    table.add_row({"tdp_w", params.tdp < 1e8 ? fmt_double(params.tdp, 1)
+                                             : "none"});
+    table.add_row({"qos_miss_any", fmt_percent(s.any_below_miss)});
+    table.add_row({"qos_outside_any", fmt_percent(s.any_outside_miss)});
+    table.add_row({"avg_power_w", fmt_double(s.avg_power, 3)});
+    table.add_row({"energy_j", fmt_double(s.energy, 1)});
+    table.add_row({"migrations", std::to_string(s.migrations)});
+    table.add_row({"vf_transitions", std::to_string(s.vf_transitions)});
+    table.add_row({"time_over_tdp", fmt_percent(s.over_tdp_fraction)});
+    if (csv_summary)
+        table.print_csv(std::cout);
+    else
+        table.print(std::cout);
+
+    if (!trace_path.empty())
+        std::printf("trace written to %s\n", trace_path.c_str());
+    return 0;
+}
