@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_profiling.dir/bench_ablation_profiling.cc.o"
+  "CMakeFiles/bench_ablation_profiling.dir/bench_ablation_profiling.cc.o.d"
+  "bench_ablation_profiling"
+  "bench_ablation_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

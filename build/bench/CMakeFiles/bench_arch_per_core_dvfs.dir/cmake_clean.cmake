@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arch_per_core_dvfs.dir/bench_arch_per_core_dvfs.cc.o"
+  "CMakeFiles/bench_arch_per_core_dvfs.dir/bench_arch_per_core_dvfs.cc.o.d"
+  "bench_arch_per_core_dvfs"
+  "bench_arch_per_core_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arch_per_core_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

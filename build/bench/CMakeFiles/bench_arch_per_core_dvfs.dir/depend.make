@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_arch_per_core_dvfs.
+# This may be replaced when dependencies are built.

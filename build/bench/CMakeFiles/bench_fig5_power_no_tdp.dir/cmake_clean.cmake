@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_power_no_tdp.dir/bench_fig5_power_no_tdp.cc.o"
+  "CMakeFiles/bench_fig5_power_no_tdp.dir/bench_fig5_power_no_tdp.cc.o.d"
+  "bench_fig5_power_no_tdp"
+  "bench_fig5_power_no_tdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_power_no_tdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

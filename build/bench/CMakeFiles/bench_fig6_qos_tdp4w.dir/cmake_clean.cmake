@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_qos_tdp4w.dir/bench_fig6_qos_tdp4w.cc.o"
+  "CMakeFiles/bench_fig6_qos_tdp4w.dir/bench_fig6_qos_tdp4w.cc.o.d"
+  "bench_fig6_qos_tdp4w"
+  "bench_fig6_qos_tdp4w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_qos_tdp4w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_priorities.dir/bench_fig7_priorities.cc.o"
+  "CMakeFiles/bench_fig7_priorities.dir/bench_fig7_priorities.cc.o.d"
+  "bench_fig7_priorities"
+  "bench_fig7_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

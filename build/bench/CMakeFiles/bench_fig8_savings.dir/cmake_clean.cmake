@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_savings.dir/bench_fig8_savings.cc.o"
+  "CMakeFiles/bench_fig8_savings.dir/bench_fig8_savings.cc.o.d"
+  "bench_fig8_savings"
+  "bench_fig8_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_2_3_dynamics.dir/bench_table1_2_3_dynamics.cc.o"
+  "CMakeFiles/bench_table1_2_3_dynamics.dir/bench_table1_2_3_dynamics.cc.o.d"
+  "bench_table1_2_3_dynamics"
+  "bench_table1_2_3_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_2_3_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

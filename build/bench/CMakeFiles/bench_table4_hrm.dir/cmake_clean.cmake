@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hrm.dir/bench_table4_hrm.cc.o"
+  "CMakeFiles/bench_table4_hrm.dir/bench_table4_hrm.cc.o.d"
+  "bench_table4_hrm"
+  "bench_table4_hrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_scalability.cc" "bench/CMakeFiles/bench_table7_scalability.dir/bench_table7_scalability.cc.o" "gcc" "bench/CMakeFiles/bench_table7_scalability.dir/bench_table7_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/ppm_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ppm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ppm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ppm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

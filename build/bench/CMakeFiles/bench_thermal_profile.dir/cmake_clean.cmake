@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thermal_profile.dir/bench_thermal_profile.cc.o"
+  "CMakeFiles/bench_thermal_profile.dir/bench_thermal_profile.cc.o.d"
+  "bench_thermal_profile"
+  "bench_thermal_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thermal_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

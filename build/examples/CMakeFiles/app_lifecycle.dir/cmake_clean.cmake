@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_lifecycle.dir/app_lifecycle.cpp.o"
+  "CMakeFiles/app_lifecycle.dir/app_lifecycle.cpp.o.d"
+  "app_lifecycle"
+  "app_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

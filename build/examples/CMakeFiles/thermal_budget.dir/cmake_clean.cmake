@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_budget.dir/thermal_budget.cpp.o"
+  "CMakeFiles/thermal_budget.dir/thermal_budget.cpp.o.d"
+  "thermal_budget"
+  "thermal_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

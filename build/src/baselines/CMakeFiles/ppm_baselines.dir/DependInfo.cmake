@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hl_governor.cc" "src/baselines/CMakeFiles/ppm_baselines.dir/hl_governor.cc.o" "gcc" "src/baselines/CMakeFiles/ppm_baselines.dir/hl_governor.cc.o.d"
+  "/root/repo/src/baselines/hpm_governor.cc" "src/baselines/CMakeFiles/ppm_baselines.dir/hpm_governor.cc.o" "gcc" "src/baselines/CMakeFiles/ppm_baselines.dir/hpm_governor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ppm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ppm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ppm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

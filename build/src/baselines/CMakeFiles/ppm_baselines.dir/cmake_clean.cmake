@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_baselines.dir/hl_governor.cc.o"
+  "CMakeFiles/ppm_baselines.dir/hl_governor.cc.o.d"
+  "CMakeFiles/ppm_baselines.dir/hpm_governor.cc.o"
+  "CMakeFiles/ppm_baselines.dir/hpm_governor.cc.o.d"
+  "libppm_baselines.a"
+  "libppm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_common.dir/logging.cc.o"
+  "CMakeFiles/ppm_common.dir/logging.cc.o.d"
+  "CMakeFiles/ppm_common.dir/rng.cc.o"
+  "CMakeFiles/ppm_common.dir/rng.cc.o.d"
+  "CMakeFiles/ppm_common.dir/stats.cc.o"
+  "CMakeFiles/ppm_common.dir/stats.cc.o.d"
+  "CMakeFiles/ppm_common.dir/table.cc.o"
+  "CMakeFiles/ppm_common.dir/table.cc.o.d"
+  "libppm_common.a"
+  "libppm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_experiment.dir/experiment.cc.o"
+  "CMakeFiles/ppm_experiment.dir/experiment.cc.o.d"
+  "libppm_experiment.a"
+  "libppm_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/migration.cc" "src/hw/CMakeFiles/ppm_hw.dir/migration.cc.o" "gcc" "src/hw/CMakeFiles/ppm_hw.dir/migration.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/hw/CMakeFiles/ppm_hw.dir/platform.cc.o" "gcc" "src/hw/CMakeFiles/ppm_hw.dir/platform.cc.o.d"
+  "/root/repo/src/hw/power_model.cc" "src/hw/CMakeFiles/ppm_hw.dir/power_model.cc.o" "gcc" "src/hw/CMakeFiles/ppm_hw.dir/power_model.cc.o.d"
+  "/root/repo/src/hw/sensors.cc" "src/hw/CMakeFiles/ppm_hw.dir/sensors.cc.o" "gcc" "src/hw/CMakeFiles/ppm_hw.dir/sensors.cc.o.d"
+  "/root/repo/src/hw/thermal.cc" "src/hw/CMakeFiles/ppm_hw.dir/thermal.cc.o" "gcc" "src/hw/CMakeFiles/ppm_hw.dir/thermal.cc.o.d"
+  "/root/repo/src/hw/vf_table.cc" "src/hw/CMakeFiles/ppm_hw.dir/vf_table.cc.o" "gcc" "src/hw/CMakeFiles/ppm_hw.dir/vf_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

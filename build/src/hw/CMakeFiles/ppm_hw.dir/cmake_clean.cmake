@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_hw.dir/migration.cc.o"
+  "CMakeFiles/ppm_hw.dir/migration.cc.o.d"
+  "CMakeFiles/ppm_hw.dir/platform.cc.o"
+  "CMakeFiles/ppm_hw.dir/platform.cc.o.d"
+  "CMakeFiles/ppm_hw.dir/power_model.cc.o"
+  "CMakeFiles/ppm_hw.dir/power_model.cc.o.d"
+  "CMakeFiles/ppm_hw.dir/sensors.cc.o"
+  "CMakeFiles/ppm_hw.dir/sensors.cc.o.d"
+  "CMakeFiles/ppm_hw.dir/thermal.cc.o"
+  "CMakeFiles/ppm_hw.dir/thermal.cc.o.d"
+  "CMakeFiles/ppm_hw.dir/vf_table.cc.o"
+  "CMakeFiles/ppm_hw.dir/vf_table.cc.o.d"
+  "libppm_hw.a"
+  "libppm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_market.dir/lbt.cc.o"
+  "CMakeFiles/ppm_market.dir/lbt.cc.o.d"
+  "CMakeFiles/ppm_market.dir/market.cc.o"
+  "CMakeFiles/ppm_market.dir/market.cc.o.d"
+  "CMakeFiles/ppm_market.dir/online_estimator.cc.o"
+  "CMakeFiles/ppm_market.dir/online_estimator.cc.o.d"
+  "CMakeFiles/ppm_market.dir/ppm_governor.cc.o"
+  "CMakeFiles/ppm_market.dir/ppm_governor.cc.o.d"
+  "libppm_market.a"
+  "libppm_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

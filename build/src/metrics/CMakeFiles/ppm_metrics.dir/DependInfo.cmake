@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/qos.cc" "src/metrics/CMakeFiles/ppm_metrics.dir/qos.cc.o" "gcc" "src/metrics/CMakeFiles/ppm_metrics.dir/qos.cc.o.d"
+  "/root/repo/src/metrics/recorder.cc" "src/metrics/CMakeFiles/ppm_metrics.dir/recorder.cc.o" "gcc" "src/metrics/CMakeFiles/ppm_metrics.dir/recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ppm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_metrics.dir/qos.cc.o"
+  "CMakeFiles/ppm_metrics.dir/qos.cc.o.d"
+  "CMakeFiles/ppm_metrics.dir/recorder.cc.o"
+  "CMakeFiles/ppm_metrics.dir/recorder.cc.o.d"
+  "libppm_metrics.a"
+  "libppm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_sched.dir/nice.cc.o"
+  "CMakeFiles/ppm_sched.dir/nice.cc.o.d"
+  "CMakeFiles/ppm_sched.dir/scheduler.cc.o"
+  "CMakeFiles/ppm_sched.dir/scheduler.cc.o.d"
+  "libppm_sched.a"
+  "libppm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_sim.dir/simulation.cc.o"
+  "CMakeFiles/ppm_sim.dir/simulation.cc.o.d"
+  "libppm_sim.a"
+  "libppm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cc" "src/workload/CMakeFiles/ppm_workload.dir/benchmarks.cc.o" "gcc" "src/workload/CMakeFiles/ppm_workload.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workload/hrm.cc" "src/workload/CMakeFiles/ppm_workload.dir/hrm.cc.o" "gcc" "src/workload/CMakeFiles/ppm_workload.dir/hrm.cc.o.d"
+  "/root/repo/src/workload/sets.cc" "src/workload/CMakeFiles/ppm_workload.dir/sets.cc.o" "gcc" "src/workload/CMakeFiles/ppm_workload.dir/sets.cc.o.d"
+  "/root/repo/src/workload/task.cc" "src/workload/CMakeFiles/ppm_workload.dir/task.cc.o" "gcc" "src/workload/CMakeFiles/ppm_workload.dir/task.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/ppm_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/ppm_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ppm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

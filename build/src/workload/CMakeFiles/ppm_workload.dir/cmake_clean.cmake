@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/ppm_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/ppm_workload.dir/hrm.cc.o"
+  "CMakeFiles/ppm_workload.dir/hrm.cc.o.d"
+  "CMakeFiles/ppm_workload.dir/sets.cc.o"
+  "CMakeFiles/ppm_workload.dir/sets.cc.o.d"
+  "CMakeFiles/ppm_workload.dir/task.cc.o"
+  "CMakeFiles/ppm_workload.dir/task.cc.o.d"
+  "CMakeFiles/ppm_workload.dir/trace.cc.o"
+  "CMakeFiles/ppm_workload.dir/trace.cc.o.d"
+  "libppm_workload.a"
+  "libppm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

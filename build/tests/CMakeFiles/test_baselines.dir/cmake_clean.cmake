@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_baseline_details.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_baseline_details.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_governors.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_governors.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_pid.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_pid.cc.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

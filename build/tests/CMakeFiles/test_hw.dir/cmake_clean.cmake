@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_migration.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_migration.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_platform.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_platform.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_power_model.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_power_model.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_power_properties.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_power_properties.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_sensors.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_sensors.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_thermal.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_thermal.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_vf_table.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_vf_table.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

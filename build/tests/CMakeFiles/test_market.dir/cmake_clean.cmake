@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market.dir/market/test_governor_cadence.cc.o"
+  "CMakeFiles/test_market.dir/market/test_governor_cadence.cc.o.d"
+  "CMakeFiles/test_market.dir/market/test_lbt.cc.o"
+  "CMakeFiles/test_market.dir/market/test_lbt.cc.o.d"
+  "CMakeFiles/test_market.dir/market/test_market.cc.o"
+  "CMakeFiles/test_market.dir/market/test_market.cc.o.d"
+  "CMakeFiles/test_market.dir/market/test_market_semantics.cc.o"
+  "CMakeFiles/test_market.dir/market/test_market_semantics.cc.o.d"
+  "CMakeFiles/test_market.dir/market/test_money.cc.o"
+  "CMakeFiles/test_market.dir/market/test_money.cc.o.d"
+  "CMakeFiles/test_market.dir/market/test_online_estimator.cc.o"
+  "CMakeFiles/test_market.dir/market/test_online_estimator.cc.o.d"
+  "CMakeFiles/test_market.dir/market/test_paper_tables.cc.o"
+  "CMakeFiles/test_market.dir/market/test_paper_tables.cc.o.d"
+  "CMakeFiles/test_market.dir/market/test_ppm_governor.cc.o"
+  "CMakeFiles/test_market.dir/market/test_ppm_governor.cc.o.d"
+  "test_market"
+  "test_market.pdb"
+  "test_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_run.dir/ppm_run.cc.o"
+  "CMakeFiles/ppm_run.dir/ppm_run.cc.o.d"
+  "ppm_run"
+  "ppm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
