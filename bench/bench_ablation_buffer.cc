@@ -14,13 +14,14 @@
 #include <memory>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
 #include "sim/simulation.hh"
 #include "workload/sets.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     constexpr Watts kTdp = 4.0;
@@ -28,24 +29,35 @@ main()
                 "(workload h2, 300 s, TDP 4 W)\n\n");
 
     const auto& set = workload::workload_set("h2");
+    const std::vector<double> buffers{0.2, 0.5, 1.0, 1.5, 2.0};
+    std::vector<std::function<sim::RunSummary()>> cells;
+    for (double buffer : buffers) {
+        cells.push_back([&set, buffer]() {
+            market::PpmGovernorConfig cfg;
+            cfg.market.w_tdp = kTdp;
+            cfg.market.w_th = kTdp - buffer;
+            for (const auto& m : set.members) {
+                cfg.big_speedup.push_back(
+                    workload::profile(m.bench, m.input).big_speedup);
+            }
+            sim::SimConfig sim_cfg;
+            sim_cfg.duration = 300 * kSecond;
+            sim_cfg.tdp_for_metrics = kTdp;
+            sim::Simulation sim(
+                hw::tc2_chip(), workload::instantiate(set, 42),
+                std::make_unique<market::PpmGovernor>(cfg), sim_cfg);
+            return sim.run();
+        });
+    }
+    const auto results =
+        bench::run_cells<sim::RunSummary>(cells,
+                                          bench::jobs_arg(argc, argv));
+
     Table table({"buffer [W]", "QoS miss", "avg power [W]",
                  "time > TDP", "V-F transitions"});
-    for (double buffer : {0.2, 0.5, 1.0, 1.5, 2.0}) {
-        market::PpmGovernorConfig cfg;
-        cfg.market.w_tdp = kTdp;
-        cfg.market.w_th = kTdp - buffer;
-        for (const auto& m : set.members) {
-            cfg.big_speedup.push_back(
-                workload::profile(m.bench, m.input).big_speedup);
-        }
-        sim::SimConfig sim_cfg;
-        sim_cfg.duration = 300 * kSecond;
-        sim_cfg.tdp_for_metrics = kTdp;
-        sim::Simulation sim(
-            hw::tc2_chip(), workload::instantiate(set, 42),
-            std::make_unique<market::PpmGovernor>(cfg), sim_cfg);
-        const sim::RunSummary s = sim.run();
-        table.add_row({fmt_double(buffer, 1),
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+        const sim::RunSummary& s = results[i];
+        table.add_row({fmt_double(buffers[i], 1),
                        fmt_percent(s.any_below_miss),
                        fmt_double(s.avg_power, 2),
                        fmt_percent(s.over_tdp_fraction),

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
 #include "sim/simulation.hh"
@@ -46,26 +47,40 @@ run_variant(const workload::WorkloadSet& set, bool lbt, bool dvfs)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     std::printf("Ablation: knob coordination (PPM variants, 300 s, "
                 "no TDP, seed 42)\n\n");
-    Table table({"Workload", "variant", "QoS miss", "avg power [W]",
-                 "migrations"});
     struct Variant {
         const char* name;
         bool lbt;
         bool dvfs;
     };
-    const Variant variants[] = {{"full", true, true},
-                                {"no-lbt", false, true},
-                                {"no-dvfs", true, false},
-                                {"neither", false, false}};
-    for (const char* name : {"l1", "m2", "h2"}) {
+    const std::vector<Variant> variants{{"full", true, true},
+                                        {"no-lbt", false, true},
+                                        {"no-dvfs", true, false},
+                                        {"neither", false, false}};
+    const std::vector<const char*> set_names{"l1", "m2", "h2"};
+
+    std::vector<std::function<sim::RunSummary()>> cells;
+    for (const char* name : set_names) {
         const auto& set = workload::workload_set(name);
         for (const Variant& v : variants) {
-            const auto s = run_variant(set, v.lbt, v.dvfs);
+            cells.push_back(
+                [&set, v]() { return run_variant(set, v.lbt, v.dvfs); });
+        }
+    }
+    const auto results =
+        bench::run_cells<sim::RunSummary>(cells,
+                                          bench::jobs_arg(argc, argv));
+
+    Table table({"Workload", "variant", "QoS miss", "avg power [W]",
+                 "migrations"});
+    std::size_t i = 0;
+    for (const char* name : set_names) {
+        for (const Variant& v : variants) {
+            const sim::RunSummary& s = results[i++];
             table.add_row({name, v.name, fmt_percent(s.any_below_miss),
                            fmt_double(s.avg_power, 2),
                            std::to_string(s.migrations)});

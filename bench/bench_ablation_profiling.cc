@@ -14,8 +14,10 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
 #include "sim/simulation.hh"
@@ -49,30 +51,49 @@ run_variant(const workload::WorkloadSet& set, const char* variant,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     std::printf("Ablation: offline vs online vs no cross-core-type "
                 "profiling\n(PPM, 300 s, no TDP, averaged over 2 "
                 "seeds)\n\n");
+    const std::vector<const char*> set_names{"l2", "m2", "h2"};
+    const std::vector<const char*> variants{"offline", "online", "none"};
+    const std::vector<std::uint64_t> seeds{42ull, 142ull};
+
+    // One cell per (set, variant, seed), enumerated seed-innermost so
+    // the seed pairs sit adjacent for the per-variant reduction.
+    std::vector<std::function<sim::RunSummary()>> cells;
+    for (const char* name : set_names) {
+        const auto& set = workload::workload_set(name);
+        for (const char* variant : variants) {
+            for (std::uint64_t seed : seeds) {
+                cells.push_back([&set, variant, seed]() {
+                    return run_variant(set, variant, seed);
+                });
+            }
+        }
+    }
+    const auto results =
+        bench::run_cells<sim::RunSummary>(cells,
+                                          bench::jobs_arg(argc, argv));
+
     Table table({"Workload", "offline miss", "online miss", "none miss",
                  "offline W", "online W", "none W"});
-    for (const char* name : {"l2", "m2", "h2"}) {
-        const auto& set = workload::workload_set(name);
-        double miss[3] = {0, 0, 0};
-        double power[3] = {0, 0, 0};
-        int i = 0;
-        for (const char* variant : {"offline", "online", "none"}) {
-            for (std::uint64_t seed : {42ull, 142ull}) {
-                const auto s = run_variant(set, variant, seed);
-                miss[i] += s.any_below_miss / 2.0;
-                power[i] += s.avg_power / 2.0;
-            }
-            ++i;
+    std::size_t i = 0;
+    for (const char* name : set_names) {
+        std::vector<std::string> misses;
+        std::vector<std::string> powers;
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            std::vector<sim::RunSummary> per_seed;
+            for (std::size_t s = 0; s < seeds.size(); ++s)
+                per_seed.push_back(results[i++]);
+            const sim::RunSummary avg = bench::aggregate_summaries(per_seed);
+            misses.push_back(fmt_percent(avg.any_below_miss));
+            powers.push_back(fmt_double(avg.avg_power, 2));
         }
-        table.add_row({name, fmt_percent(miss[0]), fmt_percent(miss[1]),
-                       fmt_percent(miss[2]), fmt_double(power[0], 2),
-                       fmt_double(power[1], 2), fmt_double(power[2], 2)});
+        table.add_row({name, misses[0], misses[1], misses[2], powers[0],
+                       powers[1], powers[2]});
     }
     table.print(std::cout);
     std::printf("\nexpected shape: offline and online comparable; "

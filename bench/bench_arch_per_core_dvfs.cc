@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
 #include "sim/simulation.hh"
@@ -65,25 +66,37 @@ run_on(hw::Chip chip, const workload::WorkloadSet& set,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     std::printf("Per-cluster vs per-core DVFS under PPM "
                 "(300 s, no TDP, seed 42)\n\n");
+    const std::vector<const char*> set_names{"l1", "m2", "h2"};
+
+    // Two cells per set: the TC2 shared-domain chip, then the
+    // per-core-domain chip.
+    std::vector<std::function<sim::RunSummary()>> cells;
+    for (const char* name : set_names) {
+        const auto& set = workload::workload_set(name);
+        cells.push_back(
+            [&set]() { return run_on(hw::tc2_chip(), set, 42); });
+        cells.push_back(
+            [&set]() { return run_on(per_core_dvfs_chip(), set, 42); });
+    }
+    const auto results =
+        bench::run_cells<sim::RunSummary>(cells,
+                                          bench::jobs_arg(argc, argv));
+
     Table table({"Workload", "domain", "QoS miss", "avg power [W]",
                  "V-F transitions"});
-    for (const char* name : {"l1", "m2", "h2"}) {
-        const auto& set = workload::workload_set(name);
-        const auto cluster = run_on(hw::tc2_chip(), set, 42);
-        const auto per_core = run_on(per_core_dvfs_chip(), set, 42);
-        table.add_row({name, "per-cluster",
-                       fmt_percent(cluster.any_below_miss),
-                       fmt_double(cluster.avg_power, 2),
-                       std::to_string(cluster.vf_transitions)});
-        table.add_row({name, "per-core",
-                       fmt_percent(per_core.any_below_miss),
-                       fmt_double(per_core.avg_power, 2),
-                       std::to_string(per_core.vf_transitions)});
+    std::size_t i = 0;
+    for (const char* name : set_names) {
+        for (const char* domain : {"per-cluster", "per-core"}) {
+            const sim::RunSummary& s = results[i++];
+            table.add_row({name, domain, fmt_percent(s.any_below_miss),
+                           fmt_double(s.avg_power, 2),
+                           std::to_string(s.vf_transitions)});
+        }
     }
     table.print(std::cout);
     return 0;

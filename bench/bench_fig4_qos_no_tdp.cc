@@ -15,23 +15,26 @@
 #include "harness.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     std::printf("Figure 4: %% of time reference heart rate missed "
                 "(no TDP constraint)\n");
     std::printf("300 s per run, averaged over 3 seeds\n\n");
 
+    bench::SweepConfig sweep;
+    sweep.sets = workload::standard_workload_sets();
+    sweep.policies = {"PPM", "HPM", "HL"};
+    sweep.jobs = bench::jobs_arg(argc, argv);
+    const bench::SweepResult results = bench::run_sweep(sweep);
+
     Table table({"Workload", "Class", "PPM", "HPM", "HL"});
-    for (const auto& set : workload::standard_workload_sets()) {
+    for (int s = 0; s < results.n_sets(); ++s) {
+        const auto& set = sweep.sets[static_cast<std::size_t>(s)];
         std::vector<std::string> row{
             set.name, workload::intensity_class_name(set.expected_class)};
-        for (const char* policy : {"PPM", "HPM", "HL"}) {
-            bench::RunParams params;
-            params.policy = policy;
-            const sim::RunSummary r = bench::run_set_avg(set, params);
-            row.push_back(fmt_percent(r.any_below_miss));
-        }
+        for (int p = 0; p < results.n_policies(); ++p)
+            row.push_back(fmt_percent(results.averaged(s, p).any_below_miss));
         table.add_row(row);
     }
     table.print(std::cout);

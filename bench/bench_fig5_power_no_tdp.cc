@@ -16,36 +16,34 @@
 #include "harness.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     std::printf("Figure 5: average chip power [W] (no TDP constraint)\n");
     std::printf("300 s per run, averaged over 3 seeds\n\n");
 
+    bench::SweepConfig sweep;
+    sweep.sets = workload::standard_workload_sets();
+    sweep.policies = {"PPM", "HPM", "HL"};
+    sweep.jobs = bench::jobs_arg(argc, argv);
+    const bench::SweepResult results = bench::run_sweep(sweep);
+
     Table table({"Workload", "Class", "PPM", "HPM", "HL"});
-    double sum_ppm = 0.0;
-    double sum_hpm = 0.0;
-    double sum_hl = 0.0;
-    for (const auto& set : workload::standard_workload_sets()) {
+    std::vector<double> sums(sweep.policies.size(), 0.0);
+    for (int s = 0; s < results.n_sets(); ++s) {
+        const auto& set = sweep.sets[static_cast<std::size_t>(s)];
         std::vector<std::string> row{
             set.name, workload::intensity_class_name(set.expected_class)};
-        for (const char* policy : {"PPM", "HPM", "HL"}) {
-            bench::RunParams params;
-            params.policy = policy;
-            const sim::RunSummary r = bench::run_set_avg(set, params);
-            row.push_back(fmt_double(r.avg_power, 2));
-            if (std::string(policy) == "PPM")
-                sum_ppm += r.avg_power;
-            else if (std::string(policy) == "HPM")
-                sum_hpm += r.avg_power;
-            else
-                sum_hl += r.avg_power;
+        for (int p = 0; p < results.n_policies(); ++p) {
+            const double power = results.averaged(s, p).avg_power;
+            row.push_back(fmt_double(power, 2));
+            sums[static_cast<std::size_t>(p)] += power;
         }
         table.add_row(row);
     }
-    const double n = 9.0;
-    table.add_row({"mean", "", fmt_double(sum_ppm / n, 2),
-                   fmt_double(sum_hpm / n, 2), fmt_double(sum_hl / n, 2)});
+    const double n = results.n_sets();
+    table.add_row({"mean", "", fmt_double(sums[0] / n, 2),
+                   fmt_double(sums[1] / n, 2), fmt_double(sums[2] / n, 2)});
     table.print(std::cout);
     std::printf("\npaper means: PPM 2.96 W, HPM 3.43 W, HL 5.99 W\n");
     return 0;

@@ -16,7 +16,7 @@
 #include "harness.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     constexpr Watts kTdp = 4.0;
@@ -24,33 +24,34 @@ main()
                 "(TDP = %.1f W)\n", kTdp);
     std::printf("300 s per run, averaged over 3 seeds\n\n");
 
+    bench::SweepConfig sweep;
+    sweep.sets = workload::standard_workload_sets();
+    sweep.policies = {"PPM", "HPM", "HL"};
+    sweep.base.tdp = kTdp;
+    sweep.jobs = bench::jobs_arg(argc, argv);
+    const bench::SweepResult results = bench::run_sweep(sweep);
+
     Table table({"Workload", "Class", "PPM", "HPM", "HL", "PPM>tdp",
                  "HPM>tdp", "HL>tdp"});
-    double sum_ppm = 0.0;
-    double sum_hpm = 0.0;
-    double sum_hl = 0.0;
-    for (const auto& set : workload::standard_workload_sets()) {
+    std::vector<double> sums(sweep.policies.size(), 0.0);
+    for (int s = 0; s < results.n_sets(); ++s) {
+        const auto& set = sweep.sets[static_cast<std::size_t>(s)];
         std::vector<std::string> row{
             set.name, workload::intensity_class_name(set.expected_class)};
         std::vector<std::string> over;
-        for (const char* policy : {"PPM", "HPM", "HL"}) {
-            bench::RunParams params;
-            params.policy = policy;
-            params.tdp = kTdp;
-            const sim::RunSummary r = bench::run_set_avg(set, params);
+        for (int p = 0; p < results.n_policies(); ++p) {
+            const sim::RunSummary r = results.averaged(s, p);
             row.push_back(fmt_percent(r.any_below_miss));
             over.push_back(fmt_percent(r.over_tdp_fraction));
-            if (std::string(policy) == "PPM")
-                sum_ppm += r.any_below_miss;
-            else if (std::string(policy) == "HPM")
-                sum_hpm += r.any_below_miss;
-            else
-                sum_hl += r.any_below_miss;
+            sums[static_cast<std::size_t>(p)] += r.any_below_miss;
         }
         row.insert(row.end(), over.begin(), over.end());
         table.add_row(row);
     }
-    const double n = 9.0;
+    const double n = results.n_sets();
+    const double sum_ppm = sums[0];
+    const double sum_hpm = sums[1];
+    const double sum_hl = sums[2];
     table.add_row({"mean", "", fmt_percent(sum_ppm / n),
                    fmt_percent(sum_hpm / n), fmt_percent(sum_hl / n),
                    "", "", ""});

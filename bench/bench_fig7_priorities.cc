@@ -24,6 +24,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
 #include "sim/simulation.hh"
@@ -82,15 +83,24 @@ run_case(int prio_swaptions, int prio_bodytrack, const char* csv_path)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     std::cout << "Figure 7: normalized performance under priorities\n"
               << "swaptions_n + bodytrack_n pinned to one LITTLE core, "
                  "LBT off, 300 s\n\n";
 
-    const sim::RunSummary a = run_case(1, 1, "fig7a.csv");
-    const sim::RunSummary b = run_case(7, 1, "fig7b.csv");
+    // The two priority cases are independent cells (each writes its
+    // own CSV, so they can run on different workers).
+    const std::vector<std::function<sim::RunSummary()>> cells{
+        []() { return run_case(1, 1, "fig7a.csv"); },
+        []() { return run_case(7, 1, "fig7b.csv"); },
+    };
+    const auto results =
+        bench::run_cells<sim::RunSummary>(cells,
+                                          bench::jobs_arg(argc, argv));
+    const sim::RunSummary& a = results[0];
+    const sim::RunSummary& b = results[1];
 
     Table table({"Case", "Priorities", "swaptions outside", "bodytrack "
                  "outside"});

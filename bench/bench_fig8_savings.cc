@@ -21,6 +21,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
 #include "sim/simulation.hh"
@@ -73,16 +74,18 @@ scripted_swaptions()
     return spec;
 }
 
-} // namespace
+/** Everything the driver prints, computed inside the sweep cell. */
+struct SavingsRun {
+    sim::RunSummary summary;
+    double outside_dormant = 0;   ///< x264 outside, 0-100 s.
+    double outside_active = 0;    ///< x264 outside, 100-250 s.
+    double outside_exhausted = 0; ///< x264 outside, 250-350 s.
+    double x264_savings_at_100s = 0;
+};
 
-int
-main()
+SavingsRun
+run_savings_cell()
 {
-    using namespace ppm;
-    std::cout << "Figure 8: savings dynamics (swaptions_n + x264_n, "
-                 "equal priority,\npinned to one LITTLE core, LBT off, "
-                 "600 s)\n\n";
-
     std::vector<workload::TaskSpec> specs{
         scripted_swaptions(),
         scripted_x264(),
@@ -122,7 +125,9 @@ main()
                 gov->market().task(1).savings);
         }
     }
-    const sim::RunSummary summary = simulation.summary();
+
+    SavingsRun run;
+    run.summary = simulation.summary();
 
     // Phase-resolved miss fractions for x264 (the savings story).
     const auto& series = simulation.recorder().series("x264_n_norm_hr");
@@ -138,17 +143,42 @@ main()
         }
         return n ? static_cast<double>(outside) / n : 0.0;
     };
+    run.outside_dormant = outside_between(0, 100 * kSecond);
+    run.outside_active = outside_between(100 * kSecond, 250 * kSecond);
+    run.outside_exhausted = outside_between(250 * kSecond, 350 * kSecond);
+    run.x264_savings_at_100s =
+        simulation.recorder().series("x264_savings")[100].value;
+
+    std::ofstream csv("fig8.csv");
+    simulation.recorder().write_csv(csv);
+    return run;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ppm;
+    std::cout << "Figure 8: savings dynamics (swaptions_n + x264_n, "
+                 "equal priority,\npinned to one LITTLE core, LBT off, "
+                 "600 s)\n\n";
+
+    // One scripted cell; run_cells keeps the driver on the shared
+    // sweep plumbing (and the --jobs flag a no-op but accepted).
+    const std::vector<std::function<SavingsRun()>> cells{
+        []() { return run_savings_cell(); }};
+    const SavingsRun run =
+        bench::run_cells<SavingsRun>(cells,
+                                     bench::jobs_arg(argc, argv))[0];
+    const sim::RunSummary& summary = run.summary;
 
     Table table({"Window", "x264 outside range", "note"});
-    table.add_row({"0-100 s", fmt_percent(outside_between(0, 100 * kSecond)),
+    table.add_row({"0-100 s", fmt_percent(run.outside_dormant),
                    "dormant: exceeds goal, banks savings"});
-    table.add_row({"100-250 s",
-                   fmt_percent(outside_between(100 * kSecond,
-                                               250 * kSecond)),
+    table.add_row({"100-250 s", fmt_percent(run.outside_active),
                    "active: savings sustain the demand"});
-    table.add_row({"250-350 s",
-                   fmt_percent(outside_between(250 * kSecond,
-                                               350 * kSecond)),
+    table.add_row({"250-350 s", fmt_percent(run.outside_exhausted),
                    "savings exhausted: demand unsustainable"});
     table.print(std::cout);
 
@@ -156,13 +186,8 @@ main()
               << fmt_percent(summary.task_outside[0]) << ", x264 outside "
               << fmt_percent(summary.task_outside[1]) << "\n"
               << "x264 savings at 100 s: "
-              << fmt_double(simulation.recorder()
-                                .series("x264_savings")[100]
-                                .value, 2)
+              << fmt_double(run.x264_savings_at_100s, 2)
               << " (banked in the dormant phase)\n"
               << "time series written to fig8.csv\n";
-
-    std::ofstream csv("fig8.csv");
-    simulation.recorder().write_csv(csv);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hw/platform.hh"
 #include "market/market.hh"
 
@@ -39,12 +40,13 @@ toy_power(Pu supply)
     return 0.8;
 }
 
-} // namespace
-
-int
-main()
+/**
+ * The scripted 24-round market dialogue.  Rounds feed each other, so
+ * this is one sequential sweep cell returning the finished table.
+ */
+Table
+run_dynamics_cell()
 {
-    using namespace ppm;
     hw::Chip chip = toy_chip();
     market::PpmConfig cfg;
     cfg.tolerance = 0.2;
@@ -63,11 +65,6 @@ main()
     market.add_task(1, 1, 0);  // tb.
     market.set_demand(0, 200.0);
     market.set_demand(1, 100.0);
-
-    std::cout << "Tables 1-3: running example of the market dynamics\n"
-              << "(toy platform: 1 core, supplies {300,400,500,600}, "
-                 "delta=0.2,\n priorities ta:tb = 2:1, Wtdp=2.25W, "
-                 "Wth=1.75W)\n\n";
 
     Table table({"Rnd", "state", "A", "a_ta", "a_tb", "b_ta", "b_tb",
                  "m_ta", "m_tb", "P_c", "PBase", "d_ta", "d_tb", "s_ta",
@@ -104,6 +101,24 @@ main()
                        fmt_double(core.supply, 0),
                        fmt_double(toy_power(core.supply), 1)});
     }
+    return table;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ppm;
+    std::cout << "Tables 1-3: running example of the market dynamics\n"
+              << "(toy platform: 1 core, supplies {300,400,500,600}, "
+                 "delta=0.2,\n priorities ta:tb = 2:1, Wtdp=2.25W, "
+                 "Wth=1.75W)\n\n";
+
+    const std::vector<std::function<Table()>> cells{
+        []() { return run_dynamics_cell(); }};
+    const Table table =
+        bench::run_cells<Table>(cells, bench::jobs_arg(argc, argv))[0];
     table.print(std::cout);
 
     std::cout << "\npaper reference points:\n"

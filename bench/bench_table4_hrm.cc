@@ -9,10 +9,11 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "workload/hrm.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     struct PhaseRow {
@@ -23,7 +24,7 @@ main()
         Pu paper_demand;
     };
     // Rows exactly as in Table 4.
-    const PhaseRow rows[] = {
+    const std::vector<PhaseRow> rows{
         {1, 15.0, 500.0, 1.00, 900.0},
         {2, 10.0, 800.0, 0.50, 1080.0},
         {3, 40.0, 1000.0, 1.00, 675.0},
@@ -31,24 +32,34 @@ main()
 
     std::cout << "Table 4: heart rate -> demand conversion "
                  "(range [24,30] hb/s, target 27)\n\n";
+
+    // Each phase's HRM feed is an independent cell.
+    std::vector<std::function<std::vector<std::string>()>> cells;
+    for (const PhaseRow& row : rows) {
+        cells.push_back([row]() -> std::vector<std::string> {
+            workload::HeartRateMonitor hrm(24.0, 30.0);
+            const Pu supply = row.mhz * row.utilization;
+            // Feed one window of steady observation.
+            for (SimTime t = 10 * kMillisecond; t <= kSecond;
+                 t += 10 * kMillisecond) {
+                hrm.record(t, row.current_hr * 0.01, supply * 0.01);
+            }
+            const Pu demand = hrm.estimate_demand(kSecond, 5000.0);
+            return {std::to_string(row.phase),
+                    fmt_double(row.current_hr, 0),
+                    fmt_double(row.mhz, 0),
+                    fmt_double(row.utilization * 100.0, 0),
+                    fmt_double(supply, 0), fmt_double(demand, 0),
+                    fmt_double(row.paper_demand, 0)};
+        });
+    }
+    const auto results = bench::run_cells<std::vector<std::string>>(
+        cells, bench::jobs_arg(argc, argv));
+
     Table table({"Phase", "hr (hb/s)", "freq (MHz)", "util (%)",
                  "s (PU)", "d est (PU)", "d paper (PU)"});
-    for (const PhaseRow& row : rows) {
-        workload::HeartRateMonitor hrm(24.0, 30.0);
-        const Pu supply = row.mhz * row.utilization;
-        // Feed one window of steady observation.
-        for (SimTime t = 10 * kMillisecond; t <= kSecond;
-             t += 10 * kMillisecond) {
-            hrm.record(t, row.current_hr * 0.01, supply * 0.01);
-        }
-        const Pu demand = hrm.estimate_demand(kSecond, 5000.0);
-        table.add_row({std::to_string(row.phase),
-                       fmt_double(row.current_hr, 0),
-                       fmt_double(row.mhz, 0),
-                       fmt_double(row.utilization * 100.0, 0),
-                       fmt_double(supply, 0), fmt_double(demand, 0),
-                       fmt_double(row.paper_demand, 0)});
-    }
+    for (const auto& row : results)
+        table.add_row(row);
     table.print(std::cout);
     return 0;
 }

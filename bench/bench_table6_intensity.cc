@@ -7,10 +7,11 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "workload/sets.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     constexpr Pu kLittleMax = 3000.0;  // 3 cores x 1000 PU.
@@ -18,26 +19,36 @@ main()
     std::cout << "Table 6: workload sets and intensity classes\n"
               << "(intensity = (sum d_A7 - S_A7max) / S_A7max, "
                  "S_A7max = 3000 PU aggregate)\n\n";
+
+    // One cell per set (pure metadata, but on the shared plumbing so
+    // every driver takes --jobs and reduces in fixed order).
+    std::vector<std::function<std::vector<std::string>()>> cells;
+    for (const auto& set : workload::standard_workload_sets()) {
+        cells.push_back([&set]() -> std::vector<std::string> {
+            std::string members;
+            Pu total = 0.0;
+            for (const auto& m : set.members) {
+                const auto& p = workload::profile(m.bench, m.input);
+                if (!members.empty())
+                    members += " ";
+                members += p.name;
+                total += p.avg_demand_little;
+            }
+            const double x = workload::intensity(set, kLittleMax);
+            return {set.name, members, fmt_double(total, 0),
+                    fmt_double(x, 2),
+                    workload::intensity_class_name(
+                        workload::classify_intensity(x)),
+                    workload::intensity_class_name(set.expected_class)};
+        });
+    }
+    const auto results = bench::run_cells<std::vector<std::string>>(
+        cells, bench::jobs_arg(argc, argv));
+
     Table table({"Set", "Members", "Sum d_A7", "Intensity", "Class",
                  "Expected"});
-    for (const auto& set : workload::standard_workload_sets()) {
-        std::string members;
-        Pu total = 0.0;
-        for (const auto& m : set.members) {
-            const auto& p = workload::profile(m.bench, m.input);
-            if (!members.empty())
-                members += " ";
-            members += p.name;
-            total += p.avg_demand_little;
-        }
-        const double x = workload::intensity(set, kLittleMax);
-        table.add_row({set.name, members, fmt_double(total, 0),
-                       fmt_double(x, 2),
-                       workload::intensity_class_name(
-                           workload::classify_intensity(x)),
-                       workload::intensity_class_name(
-                           set.expected_class)});
-    }
+    for (const auto& row : results)
+        table.add_row(row);
     table.print(std::cout);
     return 0;
 }

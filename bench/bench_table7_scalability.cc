@@ -10,6 +10,10 @@
  * one constrained core (the per-core share of the distributed
  * computation, which is what the paper's Table 7 reports -- e.g.
  * 11.4 ms for V=256, C=16, T=32 on a 350 MHz Cortex-A7).
+ *
+ * This driver intentionally stays off the experiment::Sweep runner:
+ * it measures wall-clock latency with Google Benchmark, and co-running
+ * cells on pool workers would corrupt the timings.
  */
 
 #include <benchmark/benchmark.h>

@@ -13,29 +13,35 @@
 
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
 #include "common/table.hh"
-#include "experiment/experiment.hh"
+#include "harness.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ppm;
     std::printf("Thermal profile (300 s, no TDP, ambient 30 C)\n\n");
+
+    bench::SweepConfig sweep;
+    sweep.sets = {workload::workload_set("m2"),
+                  workload::workload_set("h2")};
+    sweep.policies = {"PPM", "HPM", "HL"};
+    sweep.n_seeds = 1;
+    sweep.jobs = bench::jobs_arg(argc, argv);
+    const bench::SweepResult results = bench::run_sweep(sweep);
+
     Table table({"Workload", "Policy", "QoS miss", "avg power [W]",
                  "peak temp [C]", "thermal cycles"});
-    for (const char* set_name : {"m2", "h2"}) {
-        const auto& set = workload::workload_set(set_name);
-        for (const char* policy : {"PPM", "HPM", "HL"}) {
-            experiment::RunParams params;
-            params.policy = policy;
-            const auto r = experiment::run_set(set, params);
-            table.add_row({set_name, policy,
-                           fmt_percent(r.summary.any_below_miss),
-                           fmt_double(r.summary.avg_power, 2),
-                           fmt_double(r.summary.peak_temp_c, 1),
-                           std::to_string(r.summary.thermal_cycles)});
+    for (int s = 0; s < results.n_sets(); ++s) {
+        for (int p = 0; p < results.n_policies(); ++p) {
+            const sim::RunSummary& r = results.summary(s, p, 0);
+            table.add_row({sweep.sets[static_cast<std::size_t>(s)].name,
+                           sweep.policies[static_cast<std::size_t>(p)],
+                           fmt_percent(r.any_below_miss),
+                           fmt_double(r.avg_power, 2),
+                           fmt_double(r.peak_temp_c, 1),
+                           std::to_string(r.thermal_cycles)});
         }
     }
     table.print(std::cout);

@@ -4,9 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja -DPPM_WERROR=ON
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPPM_WERROR=ON
 cmake --build build
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Fast smoke pass over the benches (full runs are minutes; see
 # EXPERIMENTS.md for the real regeneration command).
@@ -23,5 +23,15 @@ ctest --test-dir build --output-on-failure
 ./build/examples/app_lifecycle 5 > /dev/null
 (cd /tmp && "$OLDPWD"/build/examples/trace_replay > /dev/null)
 ./build/tools/ppm_run --set l1 --seconds 5 > /dev/null
+
+# Race check: the parallel sweep is only deterministic if cells share
+# no mutable state, so run the threaded tests under ThreadSanitizer.
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPPM_TSAN=ON
+cmake --build build-tsan --target test_common test_integration
+./build-tsan/tests/test_common \
+    --gtest_filter='ThreadPool.*' > /dev/null
+./build-tsan/tests/test_integration \
+    --gtest_filter='Sweep.*:RunCells.*' > /dev/null
 
 echo "all checks passed"

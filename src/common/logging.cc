@@ -1,12 +1,15 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace ppm {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so the parallel experiment runner's workers can read the
+// level while the main thread (re)configures it without a data race.
+std::atomic<LogLevel> g_level = LogLevel::kWarn;
 
 void
 vreport(const char* tag, const char* fmt, std::va_list args)
@@ -20,19 +23,19 @@ vreport(const char* tag, const char* fmt, std::va_list args)
 void
 set_log_level(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const char* fmt, ...)
 {
-    if (g_level < LogLevel::kInform)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::kInform)
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -43,7 +46,7 @@ inform(const char* fmt, ...)
 void
 warn(const char* fmt, ...)
 {
-    if (g_level < LogLevel::kWarn)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::kWarn)
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -54,7 +57,7 @@ warn(const char* fmt, ...)
 void
 debug(const char* fmt, ...)
 {
-    if (g_level < LogLevel::kDebug)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::kDebug)
         return;
     std::va_list args;
     va_start(args, fmt);

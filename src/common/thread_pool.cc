@@ -1,0 +1,52 @@
+#include "common/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace ppm {
+
+int
+ThreadPool::resolve_jobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const int n = resolve_jobs(num_threads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back(
+            [this](std::stop_token stop) { work(stop); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    for (auto& w : workers_)
+        w.request_stop();
+    ready_.notify_all();
+    // jthread joins on destruction; workers drain the queue first so
+    // every submitted future is eventually satisfied.
+}
+
+void
+ThreadPool::work(std::stop_token stop)
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock, stop, [this] { return !queue_.empty(); });
+            if (queue_.empty())
+                return; // Stop requested and nothing left to run.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task captures any exception in the future.
+    }
+}
+
+} // namespace ppm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for the parallel experiment runner.
+ *
+ * Workers are std::jthread instances draining a FIFO task queue;
+ * submit() returns a std::future so results and exceptions propagate
+ * to the caller.  The pool itself imposes no ordering on task
+ * *completion* -- callers that need deterministic output must reduce
+ * results in submission order (as experiment::run_cells does).
+ */
+
+#ifndef PPM_COMMON_THREAD_POOL_HH
+#define PPM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ppm {
+
+/** Fixed-size FIFO worker pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; <= 0 means one worker per
+     *                    hardware thread (at least one).
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    /** Joins all workers; queued tasks still run to completion. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue `fn` for execution on some worker and return a future
+     * for its result.  An exception thrown by `fn` is captured and
+     * rethrown from future::get().
+     */
+    template <typename Fn>
+    auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::move(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        ready_.notify_one();
+        return future;
+    }
+
+    /** Resolve a worker-count request: <= 0 -> hardware concurrency. */
+    static int resolve_jobs(int requested);
+
+  private:
+    /** Worker loop: drain the queue until stop is requested. */
+    void work(std::stop_token stop);
+
+    std::mutex mutex_;
+    std::condition_variable_any ready_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::jthread> workers_;
+};
+
+} // namespace ppm
+
+#endif // PPM_COMMON_THREAD_POOL_HH

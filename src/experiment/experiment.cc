@@ -1,8 +1,12 @@
 #include "experiment/experiment.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "baselines/hl_governor.hh"
 #include "baselines/hpm_governor.hh"
 #include "common/logging.hh"
+#include "experiment/sweep.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
 #include "workload/benchmarks.hh"
@@ -50,7 +54,12 @@ run_specs(const std::vector<workload::TaskSpec>& specs,
                       params.online_speedup),
         sim_cfg);
     RunResult result;
+    const auto start = std::chrono::steady_clock::now();
     result.summary = simulation.run();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     if (params.trace)
         result.traces = simulation.recorder();
     return result;
@@ -71,36 +80,62 @@ run_set(const workload::WorkloadSet& set, const RunParams& params)
 }
 
 sim::RunSummary
-run_set_avg(const workload::WorkloadSet& set, RunParams params,
-            int n_seeds)
+aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
 {
-    PPM_ASSERT(n_seeds >= 1, "need at least one seed");
-    sim::RunSummary avg;
-    for (int i = 0; i < n_seeds; ++i) {
-        RunParams p = params;
-        p.seed = params.seed + 100ull * static_cast<unsigned>(i);
-        const sim::RunSummary s = run_set(set, p).summary;
-        if (i == 0) {
-            avg = s;
-            continue;
-        }
+    PPM_ASSERT(!summaries.empty(), "need at least one summary");
+    sim::RunSummary avg = summaries.front();
+    for (std::size_t i = 1; i < summaries.size(); ++i) {
+        const sim::RunSummary& s = summaries[i];
+        PPM_ASSERT(s.task_below.size() == avg.task_below.size() &&
+                       s.task_outside.size() == avg.task_outside.size(),
+                   "summaries must cover the same task count");
         avg.any_below_miss += s.any_below_miss;
         avg.any_outside_miss += s.any_outside_miss;
         avg.avg_power += s.avg_power;
+        avg.avg_power_post_warmup += s.avg_power_post_warmup;
         avg.energy += s.energy;
         avg.migrations += s.migrations;
         avg.vf_transitions += s.vf_transitions;
         avg.over_tdp_fraction += s.over_tdp_fraction;
+        // Worst seed sets the thermal envelope.
+        avg.peak_temp_c = std::max(avg.peak_temp_c, s.peak_temp_c);
+        avg.thermal_cycles += s.thermal_cycles;
+        for (std::size_t t = 0; t < avg.task_below.size(); ++t)
+            avg.task_below[t] += s.task_below[t];
+        for (std::size_t t = 0; t < avg.task_outside.size(); ++t)
+            avg.task_outside[t] += s.task_outside[t];
     }
-    const double n = n_seeds;
+    const double n = static_cast<double>(summaries.size());
     avg.any_below_miss /= n;
     avg.any_outside_miss /= n;
     avg.avg_power /= n;
+    avg.avg_power_post_warmup /= n;
     avg.energy /= n;
     avg.migrations = static_cast<long>(avg.migrations / n);
     avg.vf_transitions = static_cast<long>(avg.vf_transitions / n);
+    avg.thermal_cycles = static_cast<long>(avg.thermal_cycles / n);
     avg.over_tdp_fraction /= n;
+    for (double& f : avg.task_below)
+        f /= n;
+    for (double& f : avg.task_outside)
+        f /= n;
     return avg;
+}
+
+sim::RunSummary
+run_set_avg(const workload::WorkloadSet& set, RunParams params,
+            int n_seeds, int jobs)
+{
+    PPM_ASSERT(n_seeds >= 1, "need at least one seed");
+    std::vector<std::function<sim::RunSummary()>> cells;
+    cells.reserve(static_cast<std::size_t>(n_seeds));
+    for (int i = 0; i < n_seeds; ++i) {
+        RunParams p = params;
+        p.seed = params.seed + 100ull * static_cast<unsigned>(i);
+        cells.push_back(
+            [&set, p]() { return run_set(set, p).summary; });
+    }
+    return aggregate_summaries(run_cells<sim::RunSummary>(cells, jobs));
 }
 
 } // namespace ppm::experiment

@@ -36,6 +36,13 @@ struct RunParams {
 struct RunResult {
     sim::RunSummary summary;
     metrics::TraceRecorder traces;
+    /**
+     * Host wall-clock seconds spent simulating this cell.  Diagnostic
+     * only: it depends on machine load, so deterministic consumers
+     * (the sweep reductions, the bench tables) must not print it into
+     * their comparable output.
+     */
+    double wall_seconds = 0.0;
 };
 
 /**
@@ -61,11 +68,30 @@ RunResult run_specs(const std::vector<workload::TaskSpec>& specs,
                     const RunParams& params);
 
 /**
+ * Reduce per-seed summaries into one cross-seed summary.  Aggregation
+ * semantics, per field:
+ *  - mean: any_below_miss, any_outside_miss, avg_power,
+ *    avg_power_post_warmup, energy, over_tdp_fraction;
+ *  - elementwise mean: task_below, task_outside (all inputs must have
+ *    the same task count);
+ *  - max: peak_temp_c (the thermal envelope is set by the worst seed);
+ *  - sum-then-divide (rounded to long): migrations, vf_transitions,
+ *    thermal_cycles.
+ * The governor name is taken from the first summary.  panic()s on an
+ * empty input or mismatched task counts.
+ */
+sim::RunSummary
+aggregate_summaries(const std::vector<sim::RunSummary>& summaries);
+
+/**
  * Run `set` `n_seeds` times (seeds params.seed, +100, +200, ...) and
- * return the summary with fractions and power averaged across runs.
+ * return the aggregate_summaries() reduction of the per-seed runs.
+ * Seeds run in parallel on up to `jobs` workers (0 = one per hardware
+ * thread); the result is identical for every `jobs` value.
  */
 sim::RunSummary run_set_avg(const workload::WorkloadSet& set,
-                            RunParams params, int n_seeds = 3);
+                            RunParams params, int n_seeds = 3,
+                            int jobs = 0);
 
 } // namespace ppm::experiment
 

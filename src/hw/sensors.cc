@@ -7,7 +7,9 @@ namespace ppm::hw {
 SensorBank::SensorBank(int num_clusters)
     : instantaneous_(static_cast<std::size_t>(num_clusters), 0.0),
       energy_(static_cast<std::size_t>(num_clusters), 0.0),
-      energy_at_mark_(static_cast<std::size_t>(num_clusters), 0.0)
+      energy_at_mark_(static_cast<std::size_t>(num_clusters), 0.0),
+      elapsed_(static_cast<std::size_t>(num_clusters), 0),
+      elapsed_at_mark_(static_cast<std::size_t>(num_clusters), 0)
 {
     PPM_ASSERT(num_clusters > 0, "sensor bank needs at least one channel");
 }
@@ -20,10 +22,7 @@ SensorBank::record(ClusterId v, Watts watts, SimTime duration)
     auto idx = static_cast<std::size_t>(v);
     instantaneous_[idx] = watts;
     energy_[idx] += watts * to_seconds(duration);
-    // Advance elapsed time once per full sweep: caller records cluster 0
-    // last-to-first order agnostic, so track time on channel 0 only.
-    if (v == 0)
-        elapsed_ += duration;
+    elapsed_[idx] += duration;
 }
 
 Watts
@@ -62,10 +61,10 @@ Watts
 SensorBank::average_since_mark(ClusterId v) const
 {
     PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster channel out of range");
-    const SimTime dt = elapsed_ - elapsed_at_mark_;
+    const auto idx = static_cast<std::size_t>(v);
+    const SimTime dt = elapsed_[idx] - elapsed_at_mark_[idx];
     if (dt <= 0)
         return instantaneous(v);
-    const auto idx = static_cast<std::size_t>(v);
     return (energy_[idx] - energy_at_mark_[idx]) / to_seconds(dt);
 }
 

@@ -22,7 +22,12 @@ class SensorBank
     /** @param num_clusters Number of cluster channels. */
     explicit SensorBank(int num_clusters);
 
-    /** Record that cluster `v` drew `watts` for `duration`. */
+    /**
+     * Record that cluster `v` drew `watts` for `duration`.  Each
+     * channel accumulates its own elapsed time, so channels may be
+     * recorded in any order or at different rates without corrupting
+     * one another's averaging windows.
+     */
     void record(ClusterId v, Watts watts, SimTime duration);
 
     /** Most recent instantaneous power reading of cluster `v`. */
@@ -59,8 +64,11 @@ class SensorBank
     std::vector<Watts> instantaneous_;
     std::vector<Joules> energy_;
     std::vector<Joules> energy_at_mark_;
-    SimTime elapsed_ = 0;
-    SimTime elapsed_at_mark_ = 0;
+    // Elapsed time is tracked per channel: a caller that skips a
+    // channel (or records one twice) only affects that channel's own
+    // average_since_mark() denominator, never the others'.
+    std::vector<SimTime> elapsed_;
+    std::vector<SimTime> elapsed_at_mark_;
 };
 
 } // namespace ppm::hw

@@ -142,6 +142,14 @@ Simulation::step()
         initialized_ = true;
     }
     const SimTime dt = config_.tick;
+    // Snapshot energy/time just before the first tick the QoS tracker
+    // counts (it samples once `now + dt >= warmup`), so summary() can
+    // report post-warmup average power over exactly the QoS window.
+    if (!warmup_snapshotted_ && now_ + dt >= config_.warmup) {
+        warmup_energy_ = sensors_.chip_energy();
+        warmup_end_ = now_;
+        warmup_snapshotted_ = true;
+    }
     apply_lifetimes();
     governor_->tick(*this, now_, dt);
     scheduler_->tick(now_, dt);
@@ -188,6 +196,10 @@ Simulation::summary() const
     s.any_outside_miss = qos_.any_outside_fraction();
     s.energy = sensors_.chip_energy();
     s.avg_power = now_ > 0 ? s.energy / to_seconds(now_) : 0.0;
+    s.avg_power_post_warmup =
+        warmup_snapshotted_ && now_ > warmup_end_
+            ? (s.energy - warmup_energy_) / to_seconds(now_ - warmup_end_)
+            : s.avg_power;
     s.migrations = scheduler_->migrations();
     s.vf_transitions = vf_transitions_;
     s.over_tdp_fraction = over_tdp_.fraction();

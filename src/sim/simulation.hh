@@ -64,13 +64,25 @@ struct SimConfig {
     hw::ThermalParams thermal;
 };
 
-/** Aggregate results of a run. */
+/**
+ * Aggregate results of a run.
+ *
+ * Accounting windows: the QoS fractions (any_*_miss, task_below,
+ * task_outside) exclude the warmup period, while energy and avg_power
+ * cover the whole run including warmup (the chip burns that energy
+ * regardless).  avg_power_post_warmup is the average over the same
+ * window as the QoS fractions, for consumers that need the two
+ * metrics on a consistent footing.
+ */
 struct RunSummary {
     std::string governor;        ///< Policy name.
     double any_below_miss = 0;   ///< Fig 4/6 metric: any-task miss fraction.
     double any_outside_miss = 0; ///< Any-task outside-range fraction.
-    Watts avg_power = 0;         ///< Average chip power (Fig 5 metric).
-    Joules energy = 0;           ///< Total chip energy.
+    Watts avg_power = 0;         ///< Average chip power (Fig 5 metric),
+                                 ///< whole run including warmup.
+    Watts avg_power_post_warmup = 0; ///< Average chip power over the
+                                 ///< QoS window (warmup excluded).
+    Joules energy = 0;           ///< Total chip energy (whole run).
     long migrations = 0;         ///< Task migrations performed.
     long vf_transitions = 0;     ///< Cluster V-F level changes.
     double over_tdp_fraction = 0;///< Fraction of time above the TDP.
@@ -152,6 +164,12 @@ class Simulation
     SimTime next_trace_ = 0;
     long vf_transitions_ = 0;
     bool initialized_ = false;
+    // Snapshot at the end of warmup, for avg_power_post_warmup.
+    // Kept here (not via SensorBank::mark()) because governors own
+    // the sensor bank's marking for their own control epochs.
+    Joules warmup_energy_ = 0.0;
+    SimTime warmup_end_ = 0;
+    bool warmup_snapshotted_ = false;
 };
 
 } // namespace ppm::sim

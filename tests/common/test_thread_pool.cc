@@ -1,0 +1,92 @@
+/** @file Unit tests for the worker pool under the sweep runner. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/thread_pool.hh"
+
+namespace ppm {
+namespace {
+
+TEST(ThreadPool, ResolveJobsDefaultsToHardwareConcurrency)
+{
+    const int resolved = ThreadPool::resolve_jobs(0);
+    EXPECT_GE(resolved, 1);
+    EXPECT_EQ(ThreadPool::resolve_jobs(-3), resolved);
+    EXPECT_EQ(ThreadPool::resolve_jobs(7), 7);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([&counter]() { ++counter; }));
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, FuturesPreserveSubmissionOrderValues)
+{
+    // Completion order is arbitrary, but reading the futures in
+    // submission order must yield each task's own result -- the
+    // property the sweep's fixed-order reduction rests on.
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SingleThreadFallbackStillCompletes)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(pool.submit([i]() { return i; }));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 1; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("cell failed"); });
+    EXPECT_EQ(ok.get(), 1);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([]() { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            futures.push_back(pool.submit([&counter]() {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                ++counter;
+            }));
+        }
+    }
+    // Every future is satisfied even though the pool died right away.
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 32);
+}
+
+} // namespace
+} // namespace ppm

@@ -60,6 +60,51 @@ TEST(SensorBank, PerClusterEnergySeparated)
     EXPECT_NEAR(bank.chip_energy(), 3.0, 1e-9);
 }
 
+TEST(SensorBank, SkippedChannelDoesNotCorruptOthers)
+{
+    // Channel time is tracked per channel: never recording channel 1
+    // must not distort channel 0's average (the old implementation
+    // advanced a single clock on channel-0 records only).
+    SensorBank bank(2);
+    bank.mark();
+    for (int i = 0; i < 10; ++i)
+        bank.record(0, 2.0, kMillisecond);
+    EXPECT_NEAR(bank.average_since_mark(0), 2.0, 1e-9);
+    // The idle channel has no elapsed time: falls back to its last
+    // instantaneous reading (0 W), not a division by channel 0's time.
+    EXPECT_DOUBLE_EQ(bank.average_since_mark(1), 0.0);
+}
+
+TEST(SensorBank, UnevenRecordCountsKeepAveragesExact)
+{
+    // Channels recorded at different cadences (e.g. a cluster gated
+    // off mid-epoch) each average over their own elapsed time.
+    SensorBank bank(2);
+    bank.mark();
+    for (int i = 0; i < 20; ++i)
+        bank.record(0, 1.0, kMillisecond);
+    for (int i = 0; i < 5; ++i)
+        bank.record(1, 4.0, kMillisecond);
+    EXPECT_NEAR(bank.average_since_mark(0), 1.0, 1e-9);
+    EXPECT_NEAR(bank.average_since_mark(1), 4.0, 1e-9);
+}
+
+TEST(SensorBank, DoubleRecordCountsTwiceOnThatChannelOnly)
+{
+    SensorBank bank(2);
+    bank.mark();
+    // Channel 0 recorded twice per tick (2 x 10 ms), channel 1 once.
+    for (int i = 0; i < 10; ++i) {
+        bank.record(0, 3.0, kMillisecond);
+        bank.record(0, 1.0, kMillisecond);
+        bank.record(1, 2.0, kMillisecond);
+    }
+    EXPECT_NEAR(bank.average_since_mark(0), 2.0, 1e-9);
+    EXPECT_NEAR(bank.average_since_mark(1), 2.0, 1e-9);
+    EXPECT_NEAR(bank.energy(0), 0.04, 1e-9);
+    EXPECT_NEAR(bank.energy(1), 0.02, 1e-9);
+}
+
 TEST(SensorBankDeath, RejectsBadChannel)
 {
     SensorBank bank(1);

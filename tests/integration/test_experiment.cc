@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "experiment/experiment.hh"
 
 namespace ppm::experiment {
@@ -43,6 +45,22 @@ TEST(Experiment, SeedAveragingIsMeanOfRuns)
     EXPECT_NEAR(avg.avg_power, (a.avg_power + b.avg_power) / 2.0, 1e-9);
     EXPECT_NEAR(avg.any_below_miss,
                 (a.any_below_miss + b.any_below_miss) / 2.0, 1e-9);
+    // Every field must reflect both seeds, not just seed 0.
+    EXPECT_NEAR(avg.energy, (a.energy + b.energy) / 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(avg.peak_temp_c,
+                     std::max(a.peak_temp_c, b.peak_temp_c));
+    EXPECT_EQ(avg.thermal_cycles,
+              (a.thermal_cycles + b.thermal_cycles) / 2);
+    EXPECT_EQ(avg.migrations, (a.migrations + b.migrations) / 2);
+    EXPECT_EQ(avg.vf_transitions,
+              (a.vf_transitions + b.vf_transitions) / 2);
+    ASSERT_EQ(avg.task_below.size(), a.task_below.size());
+    for (std::size_t t = 0; t < avg.task_below.size(); ++t) {
+        EXPECT_NEAR(avg.task_below[t],
+                    (a.task_below[t] + b.task_below[t]) / 2.0, 1e-9);
+        EXPECT_NEAR(avg.task_outside[t],
+                    (a.task_outside[t] + b.task_outside[t]) / 2.0, 1e-9);
+    }
 }
 
 TEST(Experiment, OnlineSpeedupFlagReachesGovernor)

@@ -1,0 +1,208 @@
+/** @file Tests for the deterministic parallel sweep runner. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "experiment/sweep.hh"
+
+namespace ppm::experiment {
+namespace {
+
+sim::RunSummary
+make_summary(double scale)
+{
+    sim::RunSummary s;
+    s.governor = "PPM";
+    s.any_below_miss = 0.1 * scale;
+    s.any_outside_miss = 0.2 * scale;
+    s.avg_power = 1.0 * scale;
+    s.avg_power_post_warmup = 1.5 * scale;
+    s.energy = 100.0 * scale;
+    s.migrations = static_cast<long>(10 * scale);
+    s.vf_transitions = static_cast<long>(20 * scale);
+    s.over_tdp_fraction = 0.05 * scale;
+    s.peak_temp_c = 50.0 * scale;
+    s.thermal_cycles = static_cast<long>(4 * scale);
+    s.task_below = {0.1 * scale, 0.2 * scale};
+    s.task_outside = {0.3 * scale, 0.4 * scale};
+    return s;
+}
+
+TEST(AggregateSummaries, MeansEveryScalarField)
+{
+    const auto avg =
+        aggregate_summaries({make_summary(1.0), make_summary(3.0)});
+    EXPECT_EQ(avg.governor, "PPM");
+    EXPECT_NEAR(avg.any_below_miss, 0.2, 1e-12);
+    EXPECT_NEAR(avg.any_outside_miss, 0.4, 1e-12);
+    EXPECT_NEAR(avg.avg_power, 2.0, 1e-12);
+    EXPECT_NEAR(avg.avg_power_post_warmup, 3.0, 1e-12);
+    EXPECT_NEAR(avg.energy, 200.0, 1e-12);
+    EXPECT_NEAR(avg.over_tdp_fraction, 0.1, 1e-12);
+}
+
+TEST(AggregateSummaries, PeakTempIsMaxNotSeedZero)
+{
+    // Seed 0 is the coolest run: a seed-0-only "aggregate" would
+    // report 40 C and hide the 80 C excursion of seed 2.
+    auto a = make_summary(1.0);
+    auto b = make_summary(1.0);
+    auto c = make_summary(1.0);
+    a.peak_temp_c = 40.0;
+    b.peak_temp_c = 55.0;
+    c.peak_temp_c = 80.0;
+    EXPECT_DOUBLE_EQ(aggregate_summaries({a, b, c}).peak_temp_c, 80.0);
+}
+
+TEST(AggregateSummaries, CountersAreSumThenDivide)
+{
+    auto a = make_summary(1.0);
+    auto b = make_summary(1.0);
+    a.thermal_cycles = 7;
+    b.thermal_cycles = 2;
+    a.migrations = 11;
+    b.migrations = 4;
+    a.vf_transitions = 9;
+    b.vf_transitions = 2;
+    const auto avg = aggregate_summaries({a, b});
+    // (7 + 2) / 2 truncated, not a.thermal_cycles.
+    EXPECT_EQ(avg.thermal_cycles, 4);
+    EXPECT_EQ(avg.migrations, 7);
+    EXPECT_EQ(avg.vf_transitions, 5);
+}
+
+TEST(AggregateSummaries, TaskVectorsAreElementwiseMeans)
+{
+    auto a = make_summary(1.0);
+    auto b = make_summary(1.0);
+    a.task_below = {0.0, 1.0, 0.5};
+    b.task_below = {1.0, 0.0, 0.5};
+    a.task_outside = {0.2, 0.4, 0.6};
+    b.task_outside = {0.4, 0.8, 1.0};
+    const auto avg = aggregate_summaries({a, b});
+    ASSERT_EQ(avg.task_below.size(), 3u);
+    EXPECT_NEAR(avg.task_below[0], 0.5, 1e-12);
+    EXPECT_NEAR(avg.task_below[1], 0.5, 1e-12);
+    EXPECT_NEAR(avg.task_below[2], 0.5, 1e-12);
+    ASSERT_EQ(avg.task_outside.size(), 3u);
+    EXPECT_NEAR(avg.task_outside[0], 0.3, 1e-12);
+    EXPECT_NEAR(avg.task_outside[1], 0.6, 1e-12);
+    EXPECT_NEAR(avg.task_outside[2], 0.8, 1e-12);
+}
+
+TEST(AggregateSummaries, SingleSummaryIsIdentity)
+{
+    const auto s = make_summary(2.0);
+    const auto avg = aggregate_summaries({s});
+    EXPECT_DOUBLE_EQ(avg.avg_power, s.avg_power);
+    EXPECT_EQ(avg.thermal_cycles, s.thermal_cycles);
+    EXPECT_EQ(avg.task_below, s.task_below);
+}
+
+TEST(RunCells, PreservesInputOrder)
+{
+    std::vector<std::function<int()>> cells;
+    for (int i = 0; i < 20; ++i) {
+        cells.push_back([i]() {
+            // Early cells sleep longest so completion order inverts
+            // submission order; the reduction must not care.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20 - i));
+            return i;
+        });
+    }
+    const auto parallel = run_cells<int>(cells, 4);
+    const auto serial = run_cells<int>(cells, 1);
+    ASSERT_EQ(parallel.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(parallel[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(RunCells, CellExceptionPropagates)
+{
+    std::vector<std::function<int()>> cells{
+        []() { return 1; },
+        []() -> int { throw std::runtime_error("boom"); }};
+    EXPECT_THROW(run_cells<int>(cells, 4), std::runtime_error);
+    EXPECT_THROW(run_cells<int>(cells, 1), std::runtime_error);
+}
+
+void
+expect_identical(const sim::RunSummary& a, const sim::RunSummary& b)
+{
+    // Bitwise equality: the determinism guarantee is bit-identical
+    // output for any --jobs value, not merely "close".
+    EXPECT_EQ(a.governor, b.governor);
+    EXPECT_EQ(a.any_below_miss, b.any_below_miss);
+    EXPECT_EQ(a.any_outside_miss, b.any_outside_miss);
+    EXPECT_EQ(a.avg_power, b.avg_power);
+    EXPECT_EQ(a.avg_power_post_warmup, b.avg_power_post_warmup);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.vf_transitions, b.vf_transitions);
+    EXPECT_EQ(a.over_tdp_fraction, b.over_tdp_fraction);
+    EXPECT_EQ(a.peak_temp_c, b.peak_temp_c);
+    EXPECT_EQ(a.thermal_cycles, b.thermal_cycles);
+    EXPECT_EQ(a.task_below, b.task_below);
+    EXPECT_EQ(a.task_outside, b.task_outside);
+}
+
+TEST(Sweep, JobCountDoesNotChangeResults)
+{
+    SweepConfig config;
+    config.sets = {workload::workload_set("l1"),
+                   workload::workload_set("m1")};
+    config.policies = {"PPM", "HL"};
+    config.n_seeds = 2;
+    config.base.duration = 10 * kSecond;
+
+    config.jobs = 1;
+    const SweepResult serial = run_sweep(config);
+    config.jobs = 4;
+    const SweepResult parallel = run_sweep(config);
+
+    ASSERT_EQ(serial.n_sets(), 2);
+    ASSERT_EQ(parallel.n_sets(), 2);
+    for (int s = 0; s < 2; ++s) {
+        for (int p = 0; p < 2; ++p) {
+            for (int k = 0; k < 2; ++k)
+                expect_identical(serial.summary(s, p, k),
+                                 parallel.summary(s, p, k));
+            expect_identical(serial.averaged(s, p),
+                             parallel.averaged(s, p));
+        }
+    }
+}
+
+TEST(Sweep, SeedAxisUsesStride)
+{
+    SweepConfig config;
+    config.sets = {workload::workload_set("l1")};
+    config.policies = {"PPM"};
+    config.n_seeds = 2;
+    config.base.duration = 10 * kSecond;
+    config.jobs = 1;
+    const SweepResult r = run_sweep(config);
+
+    RunParams p2 = config.base;
+    p2.seed = config.base.seed + config.seed_stride;
+    const auto direct = run_set(config.sets[0], p2).summary;
+    expect_identical(r.summary(0, 0, 1), direct);
+}
+
+TEST(Sweep, RunSetAvgMatchesAnyJobCount)
+{
+    RunParams params;
+    params.duration = 10 * kSecond;
+    const auto& set = workload::workload_set("l2");
+    expect_identical(run_set_avg(set, params, 2, 1),
+                     run_set_avg(set, params, 2, 4));
+}
+
+} // namespace
+} // namespace ppm::experiment

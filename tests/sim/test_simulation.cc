@@ -126,6 +126,62 @@ TEST(Simulation, QosWarmupExcluded)
     EXPECT_LT(summary.any_below_miss, 0.02);
 }
 
+TEST(Simulation, AvgPowerPostWarmupExcludesWarmupWindow)
+{
+    /** Runs cheap during warmup, then jumps to the top level. */
+    class StepUp : public Governor
+    {
+      public:
+        std::string name() const override { return "stepup"; }
+        void init(Simulation& sim) override
+        {
+            sim.chip().cluster(0).set_level(0);
+        }
+        void tick(Simulation& sim, SimTime now, SimTime) override
+        {
+            sim.chip().cluster(0).set_level(now < 2 * kSecond ? 0 : 7);
+        }
+    };
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 900.0)};
+    SimConfig cfg;
+    cfg.duration = 10 * kSecond;
+    cfg.warmup = 2 * kSecond;
+    Simulation sim(hw::tc2_chip(), specs, std::make_unique<StepUp>(),
+                   cfg);
+    const auto full = sim.run();
+
+    // The full-run average is dragged down by the cheap warmup; the
+    // post-warmup average covers the same window as the QoS metrics.
+    EXPECT_GT(full.avg_power_post_warmup, full.avg_power);
+
+    // Consistency: a warmup-length run of the same (deterministic)
+    // scenario measures the warmup energy, so the post-warmup average
+    // must equal the remaining energy over the remaining 8 s.
+    SimConfig warm_cfg = cfg;
+    warm_cfg.duration = cfg.warmup;
+    Simulation warm(hw::tc2_chip(), specs, std::make_unique<StepUp>(),
+                    warm_cfg);
+    const auto warmup_only = warm.run();
+    const double expected =
+        (full.energy - warmup_only.energy) / to_seconds(10 * kSecond -
+                                                        cfg.warmup);
+    EXPECT_NEAR(full.avg_power_post_warmup, expected, 0.02);
+}
+
+TEST(Simulation, AvgPowerPostWarmupMatchesFullRunWithoutWarmup)
+{
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 900.0)};
+    SimConfig cfg;
+    cfg.duration = 10 * kSecond;
+    cfg.warmup = 0;
+    Simulation sim(hw::tc2_chip(), specs,
+                   std::make_unique<FixedLevelGovernor>(7), cfg);
+    const auto summary = sim.run();
+    EXPECT_NEAR(summary.avg_power_post_warmup, summary.avg_power, 1e-9);
+}
+
 TEST(Simulation, TraceRecordsSeries)
 {
     std::vector<workload::TaskSpec> specs{

@@ -6,14 +6,21 @@
  * Usage:
  *   ppm_run [--policy PPM|HPM|HL] [--set l1..h3] [--tdp WATTS]
  *           [--seconds N] [--seed N] [--priority N] [--online]
- *           [--trace FILE.csv] [--csv]
+ *           [--avg-seeds N] [--jobs N] [--trace FILE.csv] [--csv]
+ *
+ * --avg-seeds N runs N seeds (seed, +100, +200, ...) and prints the
+ * cross-seed aggregate (see experiment::aggregate_summaries); --jobs
+ * caps the worker threads the seeds run on (0 = all hardware
+ * threads).  The summary is identical for every --jobs value.
  *
  * Examples:
  *   ppm_run --policy PPM --set h2 --tdp 4 --seconds 300
  *   ppm_run --policy HL --set l1 --trace hl_l1.csv
  *   ppm_run --set m2 --online --csv
+ *   ppm_run --set h2 --avg-seeds 5 --jobs 4
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +42,8 @@ usage(const char* argv0)
         stderr,
         "usage: %s [--policy PPM|HPM|HL] [--set l1..h3] [--tdp WATTS]\n"
         "          [--seconds N] [--seed N] [--priority N] [--online]\n"
-        "          [--trace FILE.csv] [--csv] [--list-sets]\n",
+        "          [--avg-seeds N] [--jobs N] [--trace FILE.csv] [--csv]\n"
+        "          [--list-sets]\n",
         argv0);
     std::exit(2);
 }
@@ -50,6 +58,8 @@ main(int argc, char** argv)
     std::string set_name = "m2";
     std::string trace_path;
     bool csv_summary = false;
+    int avg_seeds = 1;
+    int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -73,6 +83,14 @@ main(int argc, char** argv)
             params.priority = std::atoi(next());
         } else if (arg == "--online") {
             params.online_speedup = true;
+        } else if (arg == "--avg-seeds") {
+            avg_seeds = std::atoi(next());
+            if (avg_seeds < 1)
+                usage(argv[0]);
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(next());
+            if (jobs < 0)
+                usage(argv[0]);
         } else if (arg == "--trace") {
             trace_path = next();
             params.trace = true;
@@ -101,15 +119,28 @@ main(int argc, char** argv)
     }
 
     const auto& set = workload::workload_set(set_name);
-    const experiment::RunResult result =
-        experiment::run_set(set, params);
-    const sim::RunSummary& s = result.summary;
+    if (avg_seeds > 1 && !trace_path.empty())
+        fatal("--trace records one run; drop it or --avg-seeds");
 
-    if (!trace_path.empty()) {
-        std::ofstream out(trace_path);
-        if (!out)
-            fatal("cannot write trace file '%s'", trace_path.c_str());
-        result.traces.write_csv(out);
+    sim::RunSummary s;
+    double wall_seconds = 0.0;
+    if (avg_seeds > 1) {
+        const auto start = std::chrono::steady_clock::now();
+        s = experiment::run_set_avg(set, params, avg_seeds, jobs);
+        wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    } else {
+        const experiment::RunResult result =
+            experiment::run_set(set, params);
+        s = result.summary;
+        wall_seconds = result.wall_seconds;
+        if (!trace_path.empty()) {
+            std::ofstream out(trace_path);
+            if (!out)
+                fatal("cannot write trace file '%s'", trace_path.c_str());
+            result.traces.write_csv(out);
+        }
     }
 
     Table table({"metric", "value"});
@@ -118,19 +149,28 @@ main(int argc, char** argv)
     table.add_row({"duration_s",
                    fmt_double(to_seconds(params.duration), 0)});
     table.add_row({"seed", std::to_string(params.seed)});
+    if (avg_seeds > 1)
+        table.add_row({"seeds_averaged", std::to_string(avg_seeds)});
     table.add_row({"tdp_w", params.tdp < 1e8 ? fmt_double(params.tdp, 1)
                                              : "none"});
     table.add_row({"qos_miss_any", fmt_percent(s.any_below_miss)});
     table.add_row({"qos_outside_any", fmt_percent(s.any_outside_miss)});
     table.add_row({"avg_power_w", fmt_double(s.avg_power, 3)});
     table.add_row({"energy_j", fmt_double(s.energy, 1)});
+    table.add_row({"avg_power_post_warmup_w",
+                   fmt_double(s.avg_power_post_warmup, 3)});
     table.add_row({"migrations", std::to_string(s.migrations)});
     table.add_row({"vf_transitions", std::to_string(s.vf_transitions)});
     table.add_row({"time_over_tdp", fmt_percent(s.over_tdp_fraction)});
+    table.add_row({"peak_temp_c", fmt_double(s.peak_temp_c, 1)});
     if (csv_summary)
         table.print_csv(std::cout);
     else
         table.print(std::cout);
+
+    // Wall clock is machine-dependent; keep it off the summary table
+    // (stdout stays comparable across hosts and --jobs values).
+    std::fprintf(stderr, "wall-clock: %.2f s\n", wall_seconds);
 
     if (!trace_path.empty())
         std::printf("trace written to %s\n", trace_path.c_str());
