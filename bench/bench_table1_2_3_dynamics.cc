@@ -66,6 +66,12 @@ run_dynamics_cell()
     market.set_demand(0, 200.0);
     market.set_demand(1, 100.0);
 
+    // Every row below reads the per-round MarketTelemetry snapshot
+    // that round() fills -- the same record PpmGovernor streams over
+    // the trace bus -- rather than poking the live market state.
+    market::MarketTelemetry snap;
+    market.set_telemetry(&snap);
+
     Table table({"Rnd", "state", "A", "a_ta", "a_tb", "b_ta", "b_tb",
                  "m_ta", "m_tb", "P_c", "PBase", "d_ta", "d_tb", "s_ta",
                  "s_tb", "S_c", "W"});
@@ -81,12 +87,12 @@ run_dynamics_cell()
         prev_supply = chip.cluster(0).supply();
         market.round();
 
-        const auto& ta = market.task(0);
-        const auto& tb = market.task(1);
-        const auto& core = market.core(0);
-        table.add_row({std::to_string(round),
-                       market::chip_state_name(market.state()),
-                       fmt_double(market.global_allowance(), 2),
+        const auto& ta = snap.tasks.at(0);
+        const auto& tb = snap.tasks.at(1);
+        const auto& core = snap.cores.at(0);
+        table.add_row({std::to_string(snap.round),
+                       market::chip_state_name(snap.report.state),
+                       fmt_double(snap.report.allowance, 2),
                        fmt_double(ta.allowance, 2),
                        fmt_double(tb.allowance, 2),
                        fmt_double(ta.bid, 2), fmt_double(tb.bid, 2),

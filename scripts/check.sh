@@ -24,13 +24,27 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 (cd /tmp && "$OLDPWD"/build/examples/trace_replay > /dev/null)
 ./build/tools/ppm_run --set l1 --seconds 5 > /dev/null
 
+# Streaming telemetry round-trip: both sink formats through trace_stats.
+./build/tools/ppm_run --set l1 --seconds 5 \
+    --trace-format=jsonl --trace-out=/tmp/ppm_check.jsonl > /dev/null
+./build/tools/trace_stats /tmp/ppm_check.jsonl > /dev/null
+./build/tools/ppm_run --set l1 --seconds 5 \
+    --trace-out=/tmp/ppm_check.csv > /dev/null
+./build/tools/trace_stats /tmp/ppm_check.csv > /dev/null
+rm -f /tmp/ppm_check.jsonl /tmp/ppm_check.csv
+
 # Race check: the parallel sweep is only deterministic if cells share
 # no mutable state, so run the threaded tests under ThreadSanitizer.
+# The trace/telemetry tests ride along: each cell must own its bus
+# and sinks, so traced parallel runs are the racy case to sanitize.
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPPM_TSAN=ON
-cmake --build build-tsan --target test_common test_integration
+cmake --build build-tsan --target test_common test_integration \
+    test_metrics
 ./build-tsan/tests/test_common \
     --gtest_filter='ThreadPool.*' > /dev/null
+./build-tsan/tests/test_metrics \
+    --gtest_filter='TraceBus.*:TraceSink.*:TraceRecorder.*' > /dev/null
 ./build-tsan/tests/test_integration \
     --gtest_filter='Sweep.*:RunCells.*' > /dev/null
 

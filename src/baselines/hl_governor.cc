@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "metrics/telemetry.hh"
 
 namespace ppm::baselines {
 
@@ -95,6 +96,7 @@ HlGovernor::schedule(sim::Simulation& sim, SimTime now)
 void
 HlGovernor::run_ondemand(sim::Simulation& sim)
 {
+    metrics::TraceEvent epoch("hl_dvfs_epoch", sim.now());
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
         hw::Cluster& cl = sim.chip().cluster(v);
         if (!cl.powered())
@@ -113,7 +115,14 @@ HlGovernor::run_ondemand(sim::Simulation& sim)
             const Pu needed = max_util * cl.supply() / cfg_.ondemand_up;
             cl.set_level(cl.vf().level_for_demand(needed));
         }
+        if (sim.bus().enabled()) {
+            const std::string p = "cluster" + std::to_string(v) + "_";
+            epoch.set(p + "util", max_util);
+            epoch.set(p + "level", cl.level());
+        }
     }
+    if (sim.bus().enabled())
+        sim.bus().event(epoch);
 }
 
 void

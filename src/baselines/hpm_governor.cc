@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "metrics/telemetry.hh"
 #include "sched/nice.hh"
 
 namespace ppm::baselines {
@@ -80,6 +81,7 @@ HpmGovernor::least_loaded_core(sim::Simulation& sim, ClusterId v) const
 void
 HpmGovernor::run_dvfs(sim::Simulation& sim, SimTime dt)
 {
+    metrics::TraceEvent epoch("hpm_dvfs_epoch", sim.now());
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
         hw::Cluster& cl = sim.chip().cluster(v);
         // Constrained-core demand from the tasks' HRM estimates.
@@ -101,7 +103,17 @@ HpmGovernor::run_dvfs(sim::Simulation& sim, SimTime dt)
                         static_cast<double>(
                             level_cap_[static_cast<std::size_t>(v)]));
         cl.set_level(static_cast<int>(std::lround(lf)));
+        if (sim.bus().enabled()) {
+            const std::string p = "cluster" + std::to_string(v) + "_";
+            epoch.set(p + "demand", constrained);
+            epoch.set(p + "pid_out", out);
+            epoch.set(p + "level", cl.level());
+            epoch.set(p + "level_cap",
+                      level_cap_[static_cast<std::size_t>(v)]);
+        }
     }
+    if (sim.bus().enabled())
+        sim.bus().event(epoch);
 }
 
 void

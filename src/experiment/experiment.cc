@@ -53,6 +53,8 @@ run_specs(const std::vector<workload::TaskSpec>& specs,
         make_governor(params.policy, params.tdp, big_speedups,
                       params.online_speedup),
         sim_cfg);
+    if (params.extra_sink != nullptr)
+        simulation.bus().add_sink(params.extra_sink);
     RunResult result;
     const auto start = std::chrono::steady_clock::now();
     result.summary = simulation.run();
@@ -97,6 +99,7 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
         avg.migrations += s.migrations;
         avg.vf_transitions += s.vf_transitions;
         avg.over_tdp_fraction += s.over_tdp_fraction;
+        avg.over_tdp_post_warmup += s.over_tdp_post_warmup;
         // Worst seed sets the thermal envelope.
         avg.peak_temp_c = std::max(avg.peak_temp_c, s.peak_temp_c);
         avg.thermal_cycles += s.thermal_cycles;
@@ -115,6 +118,7 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
     avg.vf_transitions = static_cast<long>(avg.vf_transitions / n);
     avg.thermal_cycles = static_cast<long>(avg.thermal_cycles / n);
     avg.over_tdp_fraction /= n;
+    avg.over_tdp_post_warmup /= n;
     for (double& f : avg.task_below)
         f /= n;
     for (double& f : avg.task_outside)
@@ -127,6 +131,8 @@ run_set_avg(const workload::WorkloadSet& set, RunParams params,
             int n_seeds, int jobs)
 {
     PPM_ASSERT(n_seeds >= 1, "need at least one seed");
+    PPM_ASSERT(params.extra_sink == nullptr,
+               "streaming sinks are single-run; seeds would interleave");
     std::vector<std::function<sim::RunSummary()>> cells;
     cells.reserve(static_cast<std::size_t>(n_seeds));
     for (int i = 0; i < n_seeds; ++i) {

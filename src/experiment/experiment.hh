@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "metrics/recorder.hh"
+#include "metrics/telemetry.hh"
 #include "sim/simulation.hh"
 #include "workload/sets.hh"
 
@@ -30,6 +31,15 @@ struct RunParams {
     int priority = 1;                 ///< Priority for all tasks.
     bool trace = false;               ///< Record time series.
     bool online_speedup = false;      ///< PPM: learn speedups online.
+
+    /**
+     * Extra telemetry sink (streaming CSV/JSONL) attached to the
+     * simulation's TraceBus for the duration of the run.  Not owned;
+     * must outlive the run.  Single-run only: multi-seed aggregation
+     * (run_set_avg, sweeps) would interleave cells into one stream,
+     * so those paths reject a non-null sink.
+     */
+    metrics::TraceSink* extra_sink = nullptr;
 };
 
 /** Result of one run: summary plus optional traces. */
@@ -71,7 +81,8 @@ RunResult run_specs(const std::vector<workload::TaskSpec>& specs,
  * Reduce per-seed summaries into one cross-seed summary.  Aggregation
  * semantics, per field:
  *  - mean: any_below_miss, any_outside_miss, avg_power,
- *    avg_power_post_warmup, energy, over_tdp_fraction;
+ *    avg_power_post_warmup, energy, over_tdp_fraction,
+ *    over_tdp_post_warmup;
  *  - elementwise mean: task_below, task_outside (all inputs must have
  *    the same task count);
  *  - max: peak_temp_c (the thermal envelope is set by the worst seed);

@@ -58,6 +58,8 @@ run_sweep(const SweepConfig& config)
     PPM_ASSERT(!config.policies.empty(),
                "sweep needs at least one policy");
     PPM_ASSERT(config.n_seeds >= 1, "sweep needs at least one seed");
+    PPM_ASSERT(config.base.extra_sink == nullptr,
+               "streaming sinks are single-run; cells would interleave");
 
     std::vector<std::function<RunResult()>> cells;
     cells.reserve(config.sets.size() * config.policies.size() *

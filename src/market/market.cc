@@ -198,8 +198,9 @@ Market::update_allowance(Watts chip_power, Pu total_demand, Pu deficit,
     }
     const Money floor = cfg_.min_bid
         * static_cast<double>(std::max<std::size_t>(1, tasks_.size()));
-    allowance_ = std::clamp(allowance_ + delta, floor,
-                            cfg_.max_allowance);
+    const Money unclamped = allowance_ + delta;
+    allowance_ = std::clamp(unclamped, floor, cfg_.max_allowance);
+    allowance_clamped_ = allowance_ != unclamped;
     return state;
 }
 
@@ -478,7 +479,35 @@ Market::round()
     report.total_supply = total_supply;
     report.chip_power = chip_power;
     report.vf_changes = vf_changes;
+    report.deficit = deficit;
+    report.raw_deficit = raw_deficit;
+    report.allowance_clamped = allowance_clamped_;
+    if (telemetry_ != nullptr)
+        fill_telemetry(report);
     return report;
+}
+
+void
+Market::fill_telemetry(const RoundReport& report)
+{
+    MarketTelemetry& t = *telemetry_;
+    t.round = rounds_;
+    t.report = report;
+    t.tasks = tasks_;
+    t.cores = cores_;
+    t.clusters.resize(clusters_.size());
+    for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
+        const hw::Cluster& cl = chip_->cluster(v);
+        ClusterTelemetry& ct = t.clusters[static_cast<std::size_t>(v)];
+        const ClusterCtl& ctl = clusters_[static_cast<std::size_t>(v)];
+        ct.id = v;
+        ct.freeze_bids = ctl.freeze_bids;
+        ct.pending_base_reset = ctl.pending_base_reset;
+        ct.power = ctl.power;
+        ct.level = cl.level();
+        ct.mhz = cl.mhz();
+        ct.powered = cl.powered();
+    }
 }
 
 } // namespace ppm::market

@@ -56,6 +56,34 @@ struct RoundReport {
     Pu total_supply = 0.0;                 ///< S.
     Watts chip_power = 0.0;                ///< W used this round.
     int vf_changes = 0;                    ///< Cluster level changes.
+    Pu deficit = 0.0;        ///< Unmet demand with V-F headroom.
+    Pu raw_deficit = 0.0;    ///< All unmet demand.
+    bool allowance_clamped = false;  ///< Allowance hit its floor/cap.
+};
+
+/** Market-visible state of one cluster agent, for telemetry. */
+struct ClusterTelemetry {
+    ClusterId id = kInvalidId;
+    bool freeze_bids = false;   ///< Bids held this round (V-F step).
+    bool pending_base_reset = false;  ///< Base re-anchors next round.
+    Watts power = 0.0;          ///< Sensor reading fed this round.
+    int level = 0;              ///< V-F level after this round.
+    double mhz = 0.0;           ///< Frequency after this round.
+    bool powered = true;        ///< Power-gate state.
+};
+
+/**
+ * Full per-round market snapshot: everything the paper's Tables 1-3
+ * tabulate, filled by Market::round() when attached via
+ * Market::set_telemetry().  Task and core entries are indexed by id;
+ * cluster entries by cluster id.
+ */
+struct MarketTelemetry {
+    long round = 0;                        ///< 1-based round number.
+    RoundReport report;                    ///< Chip-level outcome.
+    std::vector<TaskState> tasks;          ///< Post-round task agents.
+    std::vector<CoreState> cores;          ///< Post-round core agents.
+    std::vector<ClusterTelemetry> clusters;///< Post-round cluster agents.
 };
 
 /** The market mechanism (supply-demand module). */
@@ -99,6 +127,15 @@ class Market
 
     /** Number of rounds executed. */
     long rounds() const { return rounds_; }
+
+    /**
+     * Attach (or detach, with nullptr) a telemetry snapshot: every
+     * subsequent round() fills `out` with the complete post-round
+     * market state.  The snapshot's vectors are reused across rounds,
+     * so steady-state rounds allocate nothing.  Zero-cost when
+     * detached (the default).
+     */
+    void set_telemetry(MarketTelemetry* out) { telemetry_ = out; }
 
     /** State of task `t`. */
     const TaskState& task(TaskId t) const;
@@ -166,6 +203,9 @@ class Market
     /** Cluster-agent DVFS decisions; returns number of level changes. */
     int control_supply();
 
+    /** Fill the attached telemetry snapshot from the post-round state. */
+    void fill_telemetry(const RoundReport& report);
+
     hw::Chip* chip_;
     PpmConfig cfg_;
     std::vector<TaskState> tasks_;
@@ -174,6 +214,8 @@ class Market
     Money allowance_ = 0.0;
     ChipState state_ = ChipState::kNormal;
     long rounds_ = 0;
+    bool allowance_clamped_ = false;  ///< Set by update_allowance().
+    MarketTelemetry* telemetry_ = nullptr;  ///< Not owned; may be null.
 };
 
 } // namespace ppm::market

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "hw/power_model.hh"
+#include "metrics/telemetry.hh"
 #include "sched/nice.hh"
 
 namespace ppm::market {
@@ -188,9 +189,62 @@ PpmGovernor::bid_round(sim::Simulation& sim, SimTime now)
     }
     sim.sensors().mark();
 
+    market_->set_telemetry(sim.bus().enabled() ? &telemetry_ : nullptr);
     market_->round();
+    if (sim.bus().enabled())
+        emit_telemetry(sim, now);
     enact_nice(sim);
     apply_power_gating(sim);
+}
+
+void
+PpmGovernor::emit_telemetry(sim::Simulation& sim, SimTime now)
+{
+    metrics::TraceBus& bus = sim.bus();
+    const RoundReport& report = telemetry_.report;
+
+    metrics::TraceEvent e("market_round", now);
+    e.set("state", std::string(chip_state_name(report.state)));
+    e.set("round", static_cast<double>(telemetry_.round));
+    e.set("chip_state", static_cast<double>(report.state));
+    e.set("allowance", report.allowance);
+    e.set("total_demand", report.total_demand);
+    e.set("total_supply", report.total_supply);
+    e.set("market_power_w", report.chip_power);
+    e.set("deficit", report.deficit);
+    for (const TaskState& t : telemetry_.tasks) {
+        const std::string p = "task" + std::to_string(t.id) + "_";
+        e.set(p + "bid", t.bid);
+        e.set(p + "supply", t.supply);
+        e.set(p + "demand", t.demand);
+        e.set(p + "savings", t.savings);
+        e.set(p + "allowance", t.allowance);
+    }
+    for (const CoreState& c : telemetry_.cores) {
+        const std::string p = "core" + std::to_string(c.id) + "_";
+        e.set(p + "price", c.price);
+        e.set(p + "base_price", c.base_price);
+        e.set(p + "demand", c.demand);
+    }
+    for (const ClusterTelemetry& cl : telemetry_.clusters) {
+        const std::string p = "cluster" + std::to_string(cl.id) + "_";
+        e.set(p + "freeze", cl.freeze_bids ? 1.0 : 0.0);
+        e.set(p + "level", static_cast<double>(cl.level));
+        e.set(p + "power_w", cl.power);
+    }
+    bus.event(e);
+    bus.observe("market_allowance", report.allowance);
+
+    // Counters: a bid-freeze epoch starts on the freeze rising edge;
+    // allowance clamps mark rounds pinned at the floor or ceiling.
+    prev_freeze_.resize(telemetry_.clusters.size(), false);
+    for (std::size_t v = 0; v < telemetry_.clusters.size(); ++v) {
+        if (telemetry_.clusters[v].freeze_bids && !prev_freeze_[v])
+            bus.count("bid_freeze_epochs");
+        prev_freeze_[v] = telemetry_.clusters[v].freeze_bids;
+    }
+    if (report.allowance_clamped)
+        bus.count("allowance_clamps");
 }
 
 void

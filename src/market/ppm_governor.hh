@@ -102,6 +102,9 @@ class PpmGovernor : public sim::Governor
     /** Feed demands + power, run a market round, enact nice values. */
     void bid_round(sim::Simulation& sim, SimTime now);
 
+    /** Emit the post-round market snapshot onto the telemetry bus. */
+    void emit_telemetry(sim::Simulation& sim, SimTime now);
+
     /** Run the LBT module and enact at most one movement. */
     void lbt_round(sim::Simulation& sim, SimTime now, bool migration);
 
@@ -126,6 +129,13 @@ class PpmGovernor : public sim::Governor
         SimTime since = 0;
     };
     std::vector<Residency> residency_;
+
+    /** Snapshot round() fills while a telemetry sink is attached. */
+    MarketTelemetry telemetry_;
+
+    /** Previous freeze flags, for the bid-freeze-epoch counter. */
+    std::vector<bool> prev_freeze_;
+
     SimTime bid_period_ = 0;
     sim::Simulation* sim_ = nullptr;
     SimTime next_bid_ = 0;

@@ -23,9 +23,11 @@ QosTracker::sample(const std::vector<workload::Task*>& tasks, SimTime now,
         return;
     bool any_b = false;
     bool any_o = false;
+    bool any_alive = false;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
         if (alive != nullptr && !(*alive)[i])
             continue;
+        any_alive = true;
         const bool b = tasks[i]->hrm().below_range(now);
         const bool o = tasks[i]->hrm().outside_range(now);
         below_[i].add(b, dt);
@@ -33,8 +35,14 @@ QosTracker::sample(const std::vector<workload::Task*>& tasks, SimTime now,
         any_b = any_b || b;
         any_o = any_o || o;
     }
-    any_below_.add(any_b, dt);
-    any_outside_.add(any_o, dt);
+    // An interval with no live task has no QoS to meet or miss:
+    // counting it as "meeting QoS" would deflate the any-task miss
+    // fractions of lifetime scenarios with idle gaps, so it must not
+    // enter the any-* denominators at all.
+    if (any_alive) {
+        any_below_.add(any_b, dt);
+        any_outside_.add(any_o, dt);
+    }
 }
 
 double

@@ -36,7 +36,9 @@ class QosTracker
      * now < warmup) are ignored so cold-start HRM windows do not
      * count as misses.  `alive`, when given, masks tasks outside
      * their lifetime window: they accrue no per-task time and do not
-     * contribute to the any-task channels.
+     * contribute to the any-task channels.  An interval in which no
+     * task is alive accrues no any-task time at all (there is no QoS
+     * to meet), so idle gaps never dilute the miss fractions.
      */
     void sample(const std::vector<workload::Task*>& tasks, SimTime now,
                 SimTime dt, SimTime warmup = 0,

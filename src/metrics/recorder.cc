@@ -45,6 +45,10 @@ TraceRecorder::write_csv(std::ostream& os) const
     os << '\n';
 
     // Per-series cursor walk over the sorted union of timestamps.
+    // A series may hold several samples at one timestamp (e.g. an
+    // event re-recorded within one tick); emit the last value per
+    // (series, time) and advance the cursor past the whole group so
+    // later timestamps still line up.
     std::map<std::string, std::size_t> cursor;
     for (SimTime t : times) {
         os << fmt_double(to_seconds(t), 3);
@@ -52,6 +56,9 @@ TraceRecorder::write_csv(std::ostream& os) const
             os << ',';
             std::size_t& i = cursor[name];
             if (i < samples.size() && samples[i].time == t) {
+                while (i + 1 < samples.size() &&
+                       samples[i + 1].time == t)
+                    ++i;
                 os << fmt_double(samples[i].value, 6);
                 ++i;
             }

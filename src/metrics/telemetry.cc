@@ -1,0 +1,191 @@
+#include "metrics/telemetry.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace ppm::metrics {
+
+namespace {
+
+/** Compact JSON number: up to 9 significant digits, no trailing cruft. */
+std::string
+json_number(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** JSON string escaping for our own series/field names and labels. */
+std::string
+json_string(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace
+
+TraceEvent&
+TraceEvent::set(std::string key, double value)
+{
+    num.emplace_back(std::move(key), value);
+    return *this;
+}
+
+TraceEvent&
+TraceEvent::set(std::string key, std::string value)
+{
+    str.emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+void
+TraceSink::event(const TraceEvent& e)
+{
+    for (const auto& [key, value] : e.num)
+        sample(key, e.time, value);
+}
+
+MemorySink::MemorySink(TraceRecorder* recorder) : recorder_(recorder)
+{
+    PPM_ASSERT(recorder_ != nullptr, "memory sink needs a recorder");
+}
+
+void
+MemorySink::sample(const std::string& series, SimTime time, double value)
+{
+    recorder_->record(series, time, value);
+}
+
+CsvStreamSink::CsvStreamSink(std::ostream& os) : os_(&os)
+{
+    *os_ << "time_s,series,value\n";
+}
+
+void
+CsvStreamSink::sample(const std::string& series, SimTime time,
+                      double value)
+{
+    *os_ << fmt_double(to_seconds(time), 3) << ',' << series << ','
+         << fmt_double(value, 6) << '\n';
+}
+
+void
+CsvStreamSink::flush()
+{
+    os_->flush();
+}
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+void
+JsonlSink::sample(const std::string& series, SimTime time, double value)
+{
+    *os_ << "{\"type\":\"sample\",\"t_s\":"
+         << fmt_double(to_seconds(time), 3)
+         << ",\"series\":" << json_string(series)
+         << ",\"value\":" << json_number(value) << "}\n";
+}
+
+void
+JsonlSink::event(const TraceEvent& e)
+{
+    *os_ << "{\"type\":" << json_string(e.type)
+         << ",\"t_s\":" << fmt_double(to_seconds(e.time), 3);
+    for (const auto& [key, value] : e.str)
+        *os_ << ',' << json_string(key) << ':' << json_string(value);
+    for (const auto& [key, value] : e.num)
+        *os_ << ',' << json_string(key) << ':' << json_number(value);
+    *os_ << "}\n";
+}
+
+void
+JsonlSink::flush()
+{
+    os_->flush();
+}
+
+void
+TraceBus::add_sink(std::unique_ptr<TraceSink> sink)
+{
+    PPM_ASSERT(sink != nullptr, "cannot attach a null sink");
+    sinks_.push_back(sink.get());
+    owned_.push_back(std::move(sink));
+}
+
+void
+TraceBus::add_sink(TraceSink* sink)
+{
+    PPM_ASSERT(sink != nullptr, "cannot attach a null sink");
+    sinks_.push_back(sink);
+}
+
+void
+TraceBus::sample(const std::string& series, SimTime time, double value)
+{
+    for (TraceSink* s : sinks_)
+        s->sample(series, time, value);
+}
+
+void
+TraceBus::event(const TraceEvent& e)
+{
+    for (TraceSink* s : sinks_)
+        s->event(e);
+}
+
+void
+TraceBus::count(const std::string& name, long delta)
+{
+    if (!enabled())
+        return;
+    counters_[name] += delta;
+}
+
+void
+TraceBus::observe(const std::string& name, double value)
+{
+    if (!enabled())
+        return;
+    histograms_[name].add(value);
+}
+
+long
+TraceBus::counter(const std::string& name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+const OnlineStats*
+TraceBus::histogram(const std::string& name) const
+{
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+TraceBus::flush()
+{
+    for (TraceSink* s : sinks_)
+        s->flush();
+}
+
+} // namespace ppm::metrics

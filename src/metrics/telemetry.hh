@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Structured telemetry bus: the fan-out layer between the simulation /
+ * governors and pluggable trace sinks.
+ *
+ * A `TraceBus` carries two kinds of records:
+ *  - *samples*: one (series, time, value) point, the unit the classic
+ *    `TraceRecorder` stores;
+ *  - *events*: a named record at one timestamp with flat numeric and
+ *    string fields (e.g. one "market_round" event per bid round with
+ *    every task bid, core price and cluster freeze flag).
+ *
+ * Sinks decide the rendering: `MemorySink` appends samples to a
+ * `TraceRecorder` (the historical in-memory behaviour), `CsvStreamSink`
+ * streams narrow `time_s,series,value` rows, and `JsonlSink` writes one
+ * JSON object per record.  A sink that does not override `event()`
+ * receives each numeric field as an individual sample, so per-round
+ * market telemetry reaches every sink format without emitters knowing
+ * which sinks are attached.
+ *
+ * The bus also keeps cheap named counters and histograms (migrations,
+ * V-F steps per cluster, bid-freeze epochs, allowance clamps, ...).
+ * Every entry point is zero-cost when no sink is attached: emitters may
+ * guard expensive record construction with `enabled()`, and the bus
+ * itself early-returns before touching any map.
+ */
+
+#ifndef PPM_METRICS_TELEMETRY_HH
+#define PPM_METRICS_TELEMETRY_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "metrics/recorder.hh"
+
+namespace ppm::metrics {
+
+/** A named record at one timestamp with flat numeric/string fields. */
+struct TraceEvent {
+    std::string type;  ///< Record kind, e.g. "market_round".
+    SimTime time = 0;
+
+    /** Numeric fields, in emission order. */
+    std::vector<std::pair<std::string, double>> num;
+
+    /** String fields (labels such as the chip state name). */
+    std::vector<std::pair<std::string, std::string>> str;
+
+    TraceEvent(std::string type_, SimTime time_)
+        : type(std::move(type_)), time(time_)
+    {
+    }
+
+    /** Append a numeric field; returns *this for chaining. */
+    TraceEvent& set(std::string key, double value);
+
+    /** Append a string field; returns *this for chaining. */
+    TraceEvent& set(std::string key, std::string value);
+};
+
+/** Destination for telemetry records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Receive one sample. */
+    virtual void sample(const std::string& series, SimTime time,
+                        double value) = 0;
+
+    /**
+     * Receive one structured event.  The default rendering forwards
+     * each numeric field as a sample named after the field, so sinks
+     * without a structured format still see every per-round value.
+     */
+    virtual void event(const TraceEvent& e);
+
+    /** Flush buffered output (no-op by default). */
+    virtual void flush() {}
+};
+
+/** Appends samples to a caller-owned TraceRecorder. */
+class MemorySink : public TraceSink
+{
+  public:
+    /** @param recorder Destination; must outlive the sink. */
+    explicit MemorySink(TraceRecorder* recorder);
+
+    void sample(const std::string& series, SimTime time,
+                double value) override;
+
+  private:
+    TraceRecorder* recorder_;
+};
+
+/**
+ * Streaming narrow CSV: a `time_s,series,value` header followed by one
+ * row per sample, written as records arrive (constant memory).
+ */
+class CsvStreamSink : public TraceSink
+{
+  public:
+    /** @param os Destination stream; must outlive the sink. */
+    explicit CsvStreamSink(std::ostream& os);
+
+    void sample(const std::string& series, SimTime time,
+                double value) override;
+    void flush() override;
+
+  private:
+    std::ostream* os_;
+};
+
+/**
+ * JSONL event sink: one JSON object per line.  Samples render as
+ * {"type":"sample","t_s":T,"series":S,"value":V}; events render as
+ * {"type":E,"t_s":T,<field>:<value>,...} with every numeric and string
+ * field inline.
+ */
+class JsonlSink : public TraceSink
+{
+  public:
+    /** @param os Destination stream; must outlive the sink. */
+    explicit JsonlSink(std::ostream& os);
+
+    void sample(const std::string& series, SimTime time,
+                double value) override;
+    void event(const TraceEvent& e) override;
+    void flush() override;
+
+  private:
+    std::ostream* os_;
+};
+
+/**
+ * The telemetry fan-out point.  One bus per Simulation; each sweep
+ * cell owns its bus, its sinks and their streams, so parallel cells
+ * share no mutable telemetry state (the determinism audit in
+ * experiment/sweep.hh extends to tracing).
+ */
+class TraceBus
+{
+  public:
+    /** Attach a sink the bus takes ownership of. */
+    void add_sink(std::unique_ptr<TraceSink> sink);
+
+    /** Attach a caller-owned sink; it must outlive the bus. */
+    void add_sink(TraceSink* sink);
+
+    /** True when at least one sink is attached. */
+    bool enabled() const { return !sinks_.empty(); }
+
+    /** Fan a sample out to every sink (no-op when disabled). */
+    void sample(const std::string& series, SimTime time, double value);
+
+    /** Fan an event out to every sink (no-op when disabled). */
+    void event(const TraceEvent& e);
+
+    /** Bump counter `name` by `delta` (no-op when disabled). */
+    void count(const std::string& name, long delta = 1);
+
+    /** Feed histogram `name` one value (no-op when disabled). */
+    void observe(const std::string& name, double value);
+
+    /** Value of counter `name` (0 if never bumped). */
+    long counter(const std::string& name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, long>& counters() const
+    {
+        return counters_;
+    }
+
+    /** Histogram `name`, or nullptr if never observed. */
+    const OnlineStats* histogram(const std::string& name) const;
+
+    /** All histograms, sorted by name. */
+    const std::map<std::string, OnlineStats>& histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Flush every sink. */
+    void flush();
+
+  private:
+    std::vector<TraceSink*> sinks_;  ///< Fan-out list (owned + external).
+    std::vector<std::unique_ptr<TraceSink>> owned_;
+    std::map<std::string, long> counters_;
+    std::map<std::string, OnlineStats> histograms_;
+};
+
+} // namespace ppm::metrics
+
+#endif // PPM_METRICS_TELEMETRY_HH

@@ -58,6 +58,11 @@ Simulation::Simulation(hw::Chip chip,
         }
     }
     thermal_ = std::make_unique<hw::ThermalModel>(thermal);
+
+    // The classic in-memory trace path: config.trace routes every
+    // bus record into recorder_ (callers may attach further sinks).
+    if (config_.trace)
+        bus_.add_sink(std::make_unique<metrics::MemorySink>(&recorder_));
 }
 
 bool
@@ -115,22 +120,30 @@ Simulation::record_power(SimTime dt)
 void
 Simulation::sample_traces()
 {
-    if (!config_.trace || config_.trace_period <= 0)
+    if (!bus_.enabled() || config_.trace_period <= 0)
         return;
     if (now_ < next_trace_)
         return;
     next_trace_ = now_ + config_.trace_period;
-    recorder_.record("chip_power_w", now_, sensors_.instantaneous_chip());
+    const Watts chip_power = sensors_.instantaneous_chip();
+    bus_.sample("chip_power_w", now_, chip_power);
+    bus_.observe("chip_power_w", chip_power);
     for (const auto& cl : chip_.clusters()) {
-        recorder_.record("cluster" + std::to_string(cl.id()) + "_mhz",
-                         now_, cl.mhz());
-        recorder_.record("cluster" + std::to_string(cl.id()) + "_temp_c",
-                         now_, thermal_->temperature(cl.id()));
+        bus_.sample("cluster" + std::to_string(cl.id()) + "_mhz",
+                    now_, cl.mhz());
+        bus_.sample("cluster" + std::to_string(cl.id()) + "_temp_c",
+                    now_, thermal_->temperature(cl.id()));
     }
     for (auto& t : owned_tasks_) {
+        // A task with an unset reference range (target 0) has no
+        // normalization; record its raw heart rate instead of an
+        // inf/nan-poisoned series.
         const double target = t->hrm().target_hr();
-        recorder_.record(t->name() + "_norm_hr", now_,
-                         t->heart_rate(now_) / target);
+        const double hr = t->heart_rate(now_);
+        if (target > 0.0)
+            bus_.sample(t->name() + "_norm_hr", now_, hr / target);
+        else
+            bus_.sample(t->name() + "_hr", now_, hr);
     }
 }
 
@@ -154,16 +167,29 @@ Simulation::step()
     governor_->tick(*this, now_, dt);
     scheduler_->tick(now_, dt);
     record_power(dt);
-    over_tdp_.add(sensors_.instantaneous_chip() > config_.tdp_for_metrics,
-                  dt);
+    const bool over_tdp =
+        sensors_.instantaneous_chip() > config_.tdp_for_metrics;
+    over_tdp_.add(over_tdp, dt);
+    // The post-warmup counter covers exactly the QoS window (the
+    // tracker counts ticks with now + dt >= warmup).
+    if (now_ + dt >= config_.warmup)
+        over_tdp_post_.add(over_tdp, dt);
 
     // Count V-F transitions.
     for (std::size_t v = 0; v < last_levels_.size(); ++v) {
         const int level = chip_.cluster(static_cast<ClusterId>(v)).level();
         if (level != last_levels_[v]) {
             ++vf_transitions_;
+            bus_.count("vf_steps_cluster" + std::to_string(v));
             last_levels_[v] = level;
         }
+    }
+
+    // Telemetry counters for scheduler-driven migrations.
+    const long migs = scheduler_->migrations();
+    if (migs != last_migrations_) {
+        bus_.count("migrations", migs - last_migrations_);
+        last_migrations_ = migs;
     }
 
     now_ += dt;
@@ -184,6 +210,15 @@ Simulation::run()
 {
     while (now_ < config_.duration)
         step();
+    if (bus_.enabled()) {
+        // Final record: every counter value, so streamed traces carry
+        // the run's event totals without a side channel.
+        metrics::TraceEvent e("counters", now_);
+        for (const auto& [name, value] : bus_.counters())
+            e.set(name, static_cast<double>(value));
+        bus_.event(e);
+        bus_.flush();
+    }
     return summary();
 }
 
@@ -203,6 +238,7 @@ Simulation::summary() const
     s.migrations = scheduler_->migrations();
     s.vf_transitions = vf_transitions_;
     s.over_tdp_fraction = over_tdp_.fraction();
+    s.over_tdp_post_warmup = over_tdp_post_.fraction();
     s.peak_temp_c = thermal_->peak_temperature();
     s.thermal_cycles = thermal_->thermal_cycles();
     for (TaskId t = 0; t < static_cast<TaskId>(owned_tasks_.size()); ++t) {

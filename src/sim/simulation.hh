@@ -20,6 +20,7 @@
 #include "hw/thermal.hh"
 #include "metrics/qos.hh"
 #include "metrics/recorder.hh"
+#include "metrics/telemetry.hh"
 #include "sched/scheduler.hh"
 #include "sim/governor.hh"
 #include "workload/task.hh"
@@ -85,7 +86,15 @@ struct RunSummary {
     Joules energy = 0;           ///< Total chip energy (whole run).
     long migrations = 0;         ///< Task migrations performed.
     long vf_transitions = 0;     ///< Cluster V-F level changes.
-    double over_tdp_fraction = 0;///< Fraction of time above the TDP.
+    double over_tdp_fraction = 0;///< Fraction of time above the TDP,
+                                 ///< whole run *including* warmup
+                                 ///< (kept for continuity with older
+                                 ///< tables; prefer the post-warmup
+                                 ///< field for QoS-comparable numbers).
+    double over_tdp_post_warmup = 0; ///< Fraction of time above the
+                                 ///< TDP over the QoS window (warmup
+                                 ///< excluded, mirroring
+                                 ///< avg_power_post_warmup).
     double peak_temp_c = 0;      ///< Hottest cluster temperature seen.
     long thermal_cycles = 0;     ///< Completed >=3 K thermal swings.
     std::vector<double> task_below;   ///< Per-task below-range fraction.
@@ -127,6 +136,15 @@ class Simulation
     metrics::TraceRecorder& recorder() { return recorder_; }
     const SimConfig& config() const { return config_; }
 
+    /**
+     * The telemetry bus.  `config.trace` attaches an in-memory sink
+     * feeding `recorder()`; callers may attach further sinks (CSV,
+     * JSONL) before run().  Governors emit their per-epoch telemetry
+     * here; everything is zero-cost while no sink is attached.
+     */
+    metrics::TraceBus& bus() { return bus_; }
+    const metrics::TraceBus& bus() const { return bus_; }
+
     /** All tasks (non-owning views). */
     std::vector<workload::Task*> tasks();
 
@@ -158,11 +176,14 @@ class Simulation
     SimConfig config_;
     metrics::QosTracker qos_;
     metrics::TraceRecorder recorder_;
+    metrics::TraceBus bus_;
     std::vector<int> last_levels_;
     DutyCycle over_tdp_;
+    DutyCycle over_tdp_post_;  ///< Same condition, QoS window only.
     SimTime now_ = 0;
     SimTime next_trace_ = 0;
     long vf_transitions_ = 0;
+    long last_migrations_ = 0;  ///< For the migrations counter delta.
     bool initialized_ = false;
     // Snapshot at the end of warmup, for avg_power_post_warmup.
     // Kept here (not via SensorBank::mark()) because governors own

@@ -10,8 +10,10 @@ HeartRateMonitor::HeartRateMonitor(double min_hr, double max_hr,
                                    SimTime window)
     : min_hr_(min_hr), max_hr_(max_hr), beats_(window), supply_(window)
 {
-    PPM_ASSERT(min_hr > 0.0 && max_hr >= min_hr,
-               "reference heart-rate range must satisfy 0 < min <= max");
+    PPM_ASSERT((min_hr == 0.0 && max_hr == 0.0) ||
+                   (min_hr > 0.0 && max_hr >= min_hr),
+               "reference heart-rate range must satisfy 0 < min <= max "
+               "(or min == max == 0 for no range)");
 }
 
 void
@@ -44,6 +46,8 @@ HeartRateMonitor::below_range(SimTime now) const
 bool
 HeartRateMonitor::outside_range(SimTime now) const
 {
+    if (!has_range())
+        return false;
     const double hr = heart_rate(now);
     return hr < min_hr_ || hr > max_hr_;
 }
@@ -51,6 +55,8 @@ HeartRateMonitor::outside_range(SimTime now) const
 Pu
 HeartRateMonitor::estimate_demand(SimTime now, Pu clamp) const
 {
+    if (!has_range())
+        return 0.0;  // No QoS goal: nothing to demand.
     const double hr = heart_rate(now);
     const Pu s = supply(now);
     if (hr <= 1e-9 || s <= 1e-9)

@@ -31,6 +31,9 @@ class HeartRateMonitor
      * @param min_hr Lower edge of the reference heart-rate range (hb/s).
      * @param max_hr Upper edge of the reference range.
      * @param window Sliding measurement window (default 1 s).
+     *
+     * A (0, 0) range means "no reference range": the task free-runs,
+     * is never below/outside range, and demands nothing.
      */
     HeartRateMonitor(double min_hr, double max_hr,
                      SimTime window = kSecond);
@@ -50,7 +53,10 @@ class HeartRateMonitor
     /** Reference range upper edge. */
     double max_hr() const { return max_hr_; }
 
-    /** Target heart rate: midpoint of the reference range. */
+    /** True when a reference range was set (min > 0). */
+    bool has_range() const { return min_hr_ > 0.0; }
+
+    /** Target heart rate: midpoint of the range (0 with no range). */
     double target_hr() const { return 0.5 * (min_hr_ + max_hr_); }
 
     /** True if the measured rate at `now` is below the range. */

@@ -32,6 +32,34 @@ TEST(HlGovernor, CrowdsActiveTasksOntoBigCluster)
         EXPECT_EQ(sim.chip().cluster_of(sim.scheduler().core_of(t)), 1);
 }
 
+TEST(HlGovernor, EmitsDvfsEpochTelemetry)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 5 * kSecond;
+    cfg.trace = true;
+    sim::Simulation sim(hw::tc2_chip(), three_greedy_tasks(400.0),
+                        std::make_unique<HlGovernor>(HlConfig{}), cfg);
+    sim.run();
+    // One hl_dvfs_epoch record per DVFS period, rendered into
+    // per-cluster util/level series by the memory sink.
+    EXPECT_FALSE(sim.recorder().series("cluster0_util").empty());
+    EXPECT_FALSE(sim.recorder().series("cluster0_level").empty());
+    EXPECT_FALSE(sim.recorder().series("cluster1_level").empty());
+}
+
+TEST(HpmGovernor, EmitsDvfsEpochTelemetry)
+{
+    sim::SimConfig cfg;
+    cfg.duration = 5 * kSecond;
+    cfg.trace = true;
+    sim::Simulation sim(hw::tc2_chip(), three_greedy_tasks(400.0),
+                        std::make_unique<HpmGovernor>(HpmConfig{}), cfg);
+    sim.run();
+    EXPECT_FALSE(sim.recorder().series("cluster0_demand").empty());
+    EXPECT_FALSE(sim.recorder().series("cluster0_pid_out").empty());
+    EXPECT_FALSE(sim.recorder().series("cluster0_level_cap").empty());
+}
+
 TEST(HlGovernor, OndemandPegsBusyClusterAtMax)
 {
     sim::SimConfig cfg;

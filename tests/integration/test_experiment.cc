@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "experiment/experiment.hh"
+#include "metrics/telemetry.hh"
 
 namespace ppm::experiment {
 namespace {
@@ -61,6 +63,64 @@ TEST(Experiment, SeedAveragingIsMeanOfRuns)
         EXPECT_NEAR(avg.task_outside[t],
                     (a.task_outside[t] + b.task_outside[t]) / 2.0, 1e-9);
     }
+}
+
+TEST(Experiment, ExtraSinkStreamsMarketTelemetry)
+{
+    // A caller-owned streaming sink attached via RunParams receives
+    // the periodic samples AND the per-round market telemetry, plus
+    // the final counters record.
+    std::ostringstream os;
+    metrics::JsonlSink sink(os);
+    RunParams params;
+    params.duration = 5 * kSecond;
+    params.extra_sink = &sink;
+    run_set(workload::workload_set("l1"), params);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"type\":\"sample\""), std::string::npos);
+    EXPECT_NE(out.find("\"type\":\"market_round\""), std::string::npos);
+    EXPECT_NE(out.find("\"task0_bid\""), std::string::npos);
+    EXPECT_NE(out.find("\"core0_price\""), std::string::npos);
+    EXPECT_NE(out.find("\"cluster0_freeze\""), std::string::npos);
+    EXPECT_NE(out.find("\"allowance\""), std::string::npos);
+    EXPECT_NE(out.find("\"state\":"), std::string::npos);
+    EXPECT_NE(out.find("\"type\":\"counters\""), std::string::npos);
+}
+
+TEST(Experiment, ExtraSinkDoesNotPerturbSummary)
+{
+    RunParams plain;
+    plain.duration = 10 * kSecond;
+    const auto a = run_set(workload::workload_set("l1"), plain).summary;
+
+    std::ostringstream os;
+    metrics::CsvStreamSink sink(os);
+    RunParams traced = plain;
+    traced.extra_sink = &sink;
+    const auto b = run_set(workload::workload_set("l1"), traced).summary;
+
+    EXPECT_EQ(a.any_below_miss, b.any_below_miss);
+    EXPECT_EQ(a.any_outside_miss, b.any_outside_miss);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.avg_power, b.avg_power);
+    EXPECT_EQ(a.avg_power_post_warmup, b.avg_power_post_warmup);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.vf_transitions, b.vf_transitions);
+    EXPECT_EQ(a.over_tdp_fraction, b.over_tdp_fraction);
+    EXPECT_EQ(a.over_tdp_post_warmup, b.over_tdp_post_warmup);
+    EXPECT_EQ(a.peak_temp_c, b.peak_temp_c);
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(ExperimentDeath, ExtraSinkRejectedForMultiSeed)
+{
+    std::ostringstream os;
+    metrics::CsvStreamSink sink(os);
+    RunParams params;
+    params.duration = kSecond;
+    params.extra_sink = &sink;
+    EXPECT_DEATH(run_set_avg(workload::workload_set("l1"), params, 2, 1),
+                 "single-run");
 }
 
 TEST(Experiment, OnlineSpeedupFlagReachesGovernor)

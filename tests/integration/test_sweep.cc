@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -193,6 +194,36 @@ TEST(Sweep, SeedAxisUsesStride)
     p2.seed = config.base.seed + config.seed_stride;
     const auto direct = run_set(config.sets[0], p2).summary;
     expect_identical(r.summary(0, 0, 1), direct);
+}
+
+TEST(Sweep, TracesAreByteIdenticalForAnyJobCount)
+{
+    // Each cell owns its TraceBus, sinks and recorder, so the full
+    // trace stream -- not just the summary -- must be byte-identical
+    // whether the cells run serially or on four workers.
+    auto make_cell = [](std::uint64_t seed) {
+        return [seed]() {
+            RunParams p;
+            p.duration = 5 * kSecond;
+            p.trace = true;
+            p.seed = seed;
+            const RunResult r =
+                run_set(workload::workload_set("l1"), p);
+            std::ostringstream os;
+            r.traces.write_csv(os);
+            return os.str();
+        };
+    };
+    std::vector<std::function<std::string()>> cells;
+    for (int k = 0; k < 4; ++k)
+        cells.push_back(make_cell(42 + 100 * static_cast<std::uint64_t>(k)));
+    const auto serial = run_cells<std::string>(cells, 1);
+    const auto parallel = run_cells<std::string>(cells, 4);
+    ASSERT_EQ(serial.size(), 4u);
+    for (std::size_t k = 0; k < 4; ++k) {
+        EXPECT_FALSE(serial[k].empty());
+        EXPECT_EQ(serial[k], parallel[k]) << "cell " << k;
+    }
 }
 
 TEST(Sweep, RunSetAvgMatchesAnyJobCount)

@@ -30,6 +30,60 @@ TEST(Market, InitialBidsAndPriorityAllowances)
     EXPECT_NEAR(market.task(1).allowance, 4.5 * 0.25, 1e-9);
 }
 
+TEST(Market, TelemetrySnapshotMirrorsRoundState)
+{
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 2, 0);
+    market.add_task(1, 1, 0);
+    market.set_demand(0, 200.0);
+    market.set_demand(1, 100.0);
+
+    MarketTelemetry snap;
+    market.set_telemetry(&snap);
+    const RoundReport report = market.round();
+
+    EXPECT_EQ(snap.round, 1);
+    EXPECT_EQ(snap.report.state, report.state);
+    EXPECT_DOUBLE_EQ(snap.report.allowance, report.allowance);
+    ASSERT_EQ(snap.tasks.size(), 2u);
+    EXPECT_DOUBLE_EQ(snap.tasks[0].bid, market.task(0).bid);
+    EXPECT_DOUBLE_EQ(snap.tasks[0].supply, market.task(0).supply);
+    EXPECT_DOUBLE_EQ(snap.tasks[1].allowance, market.task(1).allowance);
+    ASSERT_EQ(snap.cores.size(),
+              static_cast<std::size_t>(chip.num_cores()));
+    EXPECT_DOUBLE_EQ(snap.cores[0].price, market.core(0).price);
+    ASSERT_EQ(snap.clusters.size(),
+              static_cast<std::size_t>(chip.num_clusters()));
+    EXPECT_EQ(snap.clusters[0].level, chip.cluster(0).level());
+    EXPECT_DOUBLE_EQ(snap.clusters[0].mhz, chip.cluster(0).mhz());
+    EXPECT_TRUE(snap.clusters[0].powered);
+
+    // Detach: the next round must leave the snapshot untouched.
+    market.set_telemetry(nullptr);
+    market.round();
+    EXPECT_EQ(snap.round, 1);
+}
+
+TEST(Market, AllowanceClampFlaggedInReport)
+{
+    hw::Chip chip = test::paper_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.max_allowance = cfg.initial_allowance;  // Already at the cap.
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 600.0);  // Deficit: allowance wants to grow.
+    market.set_cluster_power(0, 0.5);
+    RoundReport last;
+    bool clamped = false;
+    for (int i = 0; i < 10; ++i) {
+        last = market.round();
+        clamped = clamped || last.allowance_clamped;
+    }
+    EXPECT_TRUE(clamped);
+    EXPECT_LE(market.global_allowance(), cfg.max_allowance + 1e-12);
+}
+
 TEST(Market, PurchasesExhaustSupplyExactly)
 {
     hw::Chip chip = test::paper_chip();

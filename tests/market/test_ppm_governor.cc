@@ -169,6 +169,68 @@ TEST(PpmGovernor, AutoBidPeriodFloorsAtSchedEpoch)
     EXPECT_EQ(gp->bid_period(), 10 * kMillisecond);
 }
 
+TEST(PpmGovernor, EmitsMarketRoundTelemetry)
+{
+    // With tracing on, every bid round must land one market_round
+    // record on the bus: task bids, core prices, cluster freeze
+    // state, the chip allowance and the chip state.
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 400.0),
+        test::steady_spec("b", 1, 400.0),
+    };
+    sim::SimConfig sim_cfg;
+    sim_cfg.duration = 10 * kSecond;
+    sim_cfg.trace = true;
+    sim::Simulation sim(
+        hw::tc2_chip(), specs,
+        std::make_unique<PpmGovernor>(PpmGovernorConfig{}), sim_cfg);
+    sim.run();
+
+    const auto& rec = sim.recorder();
+    for (const char* series :
+         {"round", "chip_state", "allowance", "total_demand",
+          "total_supply", "task0_bid", "task0_supply", "task1_savings",
+          "core0_price", "core0_base_price", "cluster0_freeze",
+          "cluster0_level", "cluster0_power_w"}) {
+        EXPECT_FALSE(rec.series(series).empty()) << series;
+    }
+    // One record per 32 ms bid round over 10 s.
+    EXPECT_GT(rec.series("task0_bid").size(), 100u);
+    // The histogram and counter channels ride along.
+    EXPECT_NE(sim.bus().histogram("market_allowance"), nullptr);
+    EXPECT_GE(sim.bus().counter("bid_freeze_epochs"), 1);
+}
+
+TEST(PpmGovernor, NoTelemetryOverheadWhenDisabled)
+{
+    // Identical runs with and without tracing must produce identical
+    // summaries: telemetry observes the market, never steers it.
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("a", 1, 400.0),
+        test::steady_spec("b", 1, 400.0),
+    };
+    sim::SimConfig plain_cfg;
+    plain_cfg.duration = 20 * kSecond;
+    sim::Simulation plain(
+        hw::tc2_chip(), specs,
+        std::make_unique<PpmGovernor>(PpmGovernorConfig{}), plain_cfg);
+    const auto a = plain.run();
+
+    sim::SimConfig traced_cfg = plain_cfg;
+    traced_cfg.trace = true;
+    sim::Simulation traced(
+        hw::tc2_chip(), specs,
+        std::make_unique<PpmGovernor>(PpmGovernorConfig{}), traced_cfg);
+    const auto b = traced.run();
+
+    EXPECT_EQ(a.any_below_miss, b.any_below_miss);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.avg_power, b.avg_power);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.vf_transitions, b.vf_transitions);
+    EXPECT_EQ(a.peak_temp_c, b.peak_temp_c);
+}
+
 TEST(PpmGovernor, StableWorkloadSettlesVfTransitions)
 {
     // After convergence, a steady workload should cause almost no

@@ -70,6 +70,25 @@ TEST(QosTracker, AnyChannelIsUnionNotSum)
     EXPECT_DOUBLE_EQ(qos.any_below_fraction(), 0.0);
 }
 
+TEST(QosTracker, AllDeadIntervalDoesNotDiluteAnyChannels)
+{
+    // One task, alive for only part of the run; while it is dead the
+    // any-task channels must accrue no time at all.  Before the fix
+    // the dead interval entered the denominators as "QoS met", halving
+    // the reported miss fraction.
+    workload::Task starved(0, test::steady_spec("s", 1, 400.0));
+    QosTracker qos(1);
+    std::vector<workload::Task*> tasks{&starved};
+    const std::vector<bool> dead{false};
+    const std::vector<bool> alive{true};
+    // 1 s with no live task, then 1 s starved (HRM reads 0 hb/s).
+    qos.sample(tasks, kSecond, kSecond, 0, &dead);
+    qos.sample(tasks, 2 * kSecond, kSecond, 0, &alive);
+    EXPECT_DOUBLE_EQ(qos.any_below_fraction(), 1.0);
+    EXPECT_DOUBLE_EQ(qos.any_outside_fraction(), 1.0);
+    EXPECT_DOUBLE_EQ(qos.task_below_fraction(0), 1.0);
+}
+
 TEST(TraceRecorder, StoresSeries)
 {
     TraceRecorder rec;
@@ -93,6 +112,25 @@ TEST(TraceRecorder, CsvHasHeaderAndRows)
     EXPECT_NE(csv.find("time_s,a,b"), std::string::npos);
     EXPECT_NE(csv.find("1.000,1.000000,"), std::string::npos);
     EXPECT_NE(csv.find("2.000,,2.000000"), std::string::npos);
+}
+
+TEST(TraceRecorder, DuplicateTimestampsDoNotDesyncCsvCursor)
+{
+    // Two samples of "a" share one timestamp.  The cursor walk used to
+    // emit the first and leave the cursor behind, silently dropping
+    // every later "a" sample from the CSV; the last value per
+    // (series, time) must win and later rows must still line up.
+    TraceRecorder rec;
+    rec.record("a", kSecond, 1.0);
+    rec.record("a", kSecond, 2.0);
+    rec.record("a", 2 * kSecond, 3.0);
+    rec.record("b", 2 * kSecond, 4.0);
+    std::ostringstream os;
+    rec.write_csv(os);
+    EXPECT_EQ(os.str(),
+              "time_s,a,b\n"
+              "1.000,2.000000,\n"
+              "2.000,3.000000,4.000000\n");
 }
 
 TEST(TraceRecorder, MeanAfterWindow)

@@ -1,5 +1,7 @@
 /** @file Tests for the simulation harness itself. */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "hw/platform.hh"
@@ -231,6 +233,141 @@ TEST(Simulation, OverTdpFractionTracked)
                    std::make_unique<FixedLevelGovernor>(7), cfg);
     const auto summary = sim.run();
     EXPECT_GT(summary.over_tdp_fraction, 0.95);
+    // Without a warmup both windows are the whole run.
+    EXPECT_DOUBLE_EQ(summary.over_tdp_post_warmup,
+                     summary.over_tdp_fraction);
+}
+
+TEST(Simulation, OverTdpPostWarmupCoversQosWindow)
+{
+    /** Runs cheap during warmup, then jumps to the top level. */
+    class StepUp : public Governor
+    {
+      public:
+        std::string name() const override { return "stepup"; }
+        void init(Simulation& sim) override
+        {
+            sim.chip().cluster(0).set_level(0);
+        }
+        void tick(Simulation& sim, SimTime now, SimTime) override
+        {
+            sim.chip().cluster(0).set_level(now < 2 * kSecond ? 0 : 7);
+        }
+    };
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 900.0)};
+
+    // Calibrate a TDP between the low-level and high-level draw.
+    SimConfig probe_cfg;
+    probe_cfg.duration = 5 * kSecond;
+    Simulation low(hw::tc2_chip(), specs,
+                   std::make_unique<FixedLevelGovernor>(0), probe_cfg);
+    Simulation high(hw::tc2_chip(), specs,
+                    std::make_unique<FixedLevelGovernor>(7), probe_cfg);
+    const double low_w = low.run().avg_power;
+    const double high_w = high.run().avg_power;
+    ASSERT_LT(low_w, high_w);
+
+    SimConfig cfg;
+    cfg.duration = 10 * kSecond;
+    cfg.warmup = 2 * kSecond;
+    cfg.tdp_for_metrics = 0.5 * (low_w + high_w);
+    Simulation sim(hw::tc2_chip(), specs, std::make_unique<StepUp>(),
+                   cfg);
+    const auto summary = sim.run();
+    // The whole-run fraction is diluted by the 2 s of cheap warmup;
+    // the post-warmup window (the same one QoS and
+    // avg_power_post_warmup use) is violated throughout.
+    EXPECT_GT(summary.over_tdp_post_warmup, 0.95);
+    EXPECT_LT(summary.over_tdp_fraction,
+              summary.over_tdp_post_warmup);
+    EXPECT_GT(summary.over_tdp_fraction, 0.7);
+}
+
+TEST(Simulation, NormHrGuardRecordsRawHeartRate)
+{
+    // A task whose reference range was never set (min = max = 0) has
+    // no target to normalize by: the trace must carry its raw heart
+    // rate, not an inf/nan-poisoned *_norm_hr series.
+    workload::TaskSpec spec;
+    spec.name = "free";
+    spec.priority = 1;
+    spec.min_hr = 0.0;
+    spec.max_hr = 0.0;
+    const Cycles w = 400.0 * kCyclesPerPuSecond / 20.0;
+    spec.phases.push_back(
+        workload::Phase{365LL * 24 * 3600 * kSecond, w, w / 1.6});
+    SimConfig cfg;
+    cfg.duration = 5 * kSecond;
+    cfg.trace = true;
+    Simulation sim(hw::tc2_chip(), {spec},
+                   std::make_unique<FixedLevelGovernor>(3), cfg);
+    sim.run();
+    EXPECT_TRUE(sim.recorder().series("free_norm_hr").empty());
+    const auto& raw = sim.recorder().series("free_hr");
+    ASSERT_FALSE(raw.empty());
+    for (const auto& s : raw)
+        EXPECT_TRUE(std::isfinite(s.value));
+}
+
+TEST(Simulation, BusCountersMatchSummary)
+{
+    /** Wiggles the LITTLE cluster level and bounces a task between
+     *  clusters, so both counters see real traffic. */
+    class Churn : public Governor
+    {
+      public:
+        std::string name() const override { return "churn"; }
+        void init(Simulation&) override {}
+        void tick(Simulation& sim, SimTime now, SimTime) override
+        {
+            if (now == 0 || now % kSecond != 0)
+                return;
+            sim.chip().cluster(0).set_level(toggle_ ? 3 : 0);
+            sim.scheduler().migrate(0, toggle_ ? 3 : 0, now);
+            toggle_ = !toggle_;
+        }
+
+      private:
+        bool toggle_ = false;
+    };
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 300.0)};
+    SimConfig cfg;
+    cfg.duration = 6 * kSecond;
+    cfg.trace = true;
+    Simulation sim(hw::tc2_chip(), specs, std::make_unique<Churn>(),
+                   cfg);
+    const auto summary = sim.run();
+    ASSERT_GT(summary.migrations, 0);
+    ASSERT_GT(summary.vf_transitions, 0);
+
+    // The cheap bus counters must agree with the summary's canonical
+    // accounting, which is derived independently.
+    EXPECT_EQ(sim.bus().counter("migrations"), summary.migrations);
+    long vf_steps = 0;
+    for (const auto& [name, value] : sim.bus().counters()) {
+        if (name.rfind("vf_steps_cluster", 0) == 0)
+            vf_steps += value;
+    }
+    EXPECT_EQ(vf_steps, summary.vf_transitions);
+}
+
+TEST(Simulation, LifetimeGapsDoNotDiluteAnyMiss)
+{
+    // The task exists for 1 s of a 10 s run and is starved while
+    // alive: the any-task miss must read ~100%, not ~10% (the dead
+    // 9 s have no QoS to meet and must not enter the denominator).
+    std::vector<workload::TaskSpec> specs{
+        test::steady_spec("t", 1, 900.0)};
+    SimConfig cfg;
+    cfg.duration = 10 * kSecond;
+    cfg.lifetimes = {{2 * kSecond, 3 * kSecond}};
+    Simulation sim(hw::tc2_chip(), specs,
+                   std::make_unique<FixedLevelGovernor>(0), cfg);
+    const auto summary = sim.run();
+    EXPECT_GT(summary.any_below_miss, 0.9);
+    EXPECT_GT(summary.any_outside_miss, 0.9);
 }
 
 } // namespace

@@ -6,17 +6,29 @@
  * Usage:
  *   ppm_run [--policy PPM|HPM|HL] [--set l1..h3] [--tdp WATTS]
  *           [--seconds N] [--seed N] [--priority N] [--online]
- *           [--avg-seeds N] [--jobs N] [--trace FILE.csv] [--csv]
+ *           [--avg-seeds N] [--jobs N] [--trace FILE.csv]
+ *           [--trace-format csv|jsonl] [--trace-out PATH] [--csv]
  *
  * --avg-seeds N runs N seeds (seed, +100, +200, ...) and prints the
  * cross-seed aggregate (see experiment::aggregate_summaries); --jobs
  * caps the worker threads the seeds run on (0 = all hardware
  * threads).  The summary is identical for every --jobs value.
  *
+ * Tracing comes in two flavours:
+ *  - --trace FILE.csv buffers the sampled time series in memory and
+ *    writes one wide CSV at the end (the historical behaviour);
+ *  - --trace-out PATH streams every telemetry record -- including the
+ *    per-round market telemetry (task bids, core prices, cluster
+ *    freeze state, allowance, chip state) -- through a CSV or JSONL
+ *    sink as the run executes, in constant memory.  --trace-format
+ *    picks the sink (default: inferred from the extension, .csv ->
+ *    csv, otherwise jsonl).  Summarize either stream with
+ *    tools/trace_stats.  Every flag also accepts --flag=value.
+ *
  * Examples:
  *   ppm_run --policy PPM --set h2 --tdp 4 --seconds 300
  *   ppm_run --policy HL --set l1 --trace hl_l1.csv
- *   ppm_run --set m2 --online --csv
+ *   ppm_run --set m2 --trace-format=jsonl --trace-out=m2.jsonl
  *   ppm_run --set h2 --avg-seeds 5 --jobs 4
  */
 
@@ -26,11 +38,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "experiment/experiment.hh"
+#include "metrics/telemetry.hh"
 #include "workload/benchmarks.hh"
 
 namespace {
@@ -42,7 +56,8 @@ usage(const char* argv0)
         stderr,
         "usage: %s [--policy PPM|HPM|HL] [--set l1..h3] [--tdp WATTS]\n"
         "          [--seconds N] [--seed N] [--priority N] [--online]\n"
-        "          [--avg-seeds N] [--jobs N] [--trace FILE.csv] [--csv]\n"
+        "          [--avg-seeds N] [--jobs N] [--trace FILE.csv]\n"
+        "          [--trace-format csv|jsonl] [--trace-out PATH] [--csv]\n"
         "          [--list-sets]\n",
         argv0);
     std::exit(2);
@@ -57,13 +72,28 @@ main(int argc, char** argv)
     experiment::RunParams params;
     std::string set_name = "m2";
     std::string trace_path;
+    std::string stream_path;
+    std::string stream_format;
     bool csv_summary = false;
     int avg_seeds = 1;
     int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.erase(eq);
+                has_inline = true;
+            }
+        }
         auto next = [&]() -> const char* {
+            if (has_inline)
+                return inline_value.c_str();
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -94,6 +124,12 @@ main(int argc, char** argv)
         } else if (arg == "--trace") {
             trace_path = next();
             params.trace = true;
+        } else if (arg == "--trace-out") {
+            stream_path = next();
+        } else if (arg == "--trace-format") {
+            stream_format = next();
+            if (stream_format != "csv" && stream_format != "jsonl")
+                usage(argv[0]);
         } else if (arg == "--csv") {
             csv_summary = true;
         } else if (arg == "--list-sets") {
@@ -121,6 +157,34 @@ main(int argc, char** argv)
     const auto& set = workload::workload_set(set_name);
     if (avg_seeds > 1 && !trace_path.empty())
         fatal("--trace records one run; drop it or --avg-seeds");
+    if (avg_seeds > 1 && !stream_path.empty())
+        fatal("--trace-out streams one run; drop it or --avg-seeds");
+    if (stream_path.empty() && !stream_format.empty())
+        fatal("--trace-format needs --trace-out PATH");
+
+    // Streaming sink: CSV or JSONL, inferred from the extension when
+    // --trace-format is absent (.csv -> csv, anything else -> jsonl).
+    std::ofstream stream_out;
+    std::unique_ptr<metrics::TraceSink> stream_sink;
+    if (!stream_path.empty()) {
+        if (stream_format.empty()) {
+            const bool csv_ext = stream_path.size() >= 4 &&
+                stream_path.compare(stream_path.size() - 4, 4, ".csv")
+                    == 0;
+            stream_format = csv_ext ? "csv" : "jsonl";
+        }
+        stream_out.open(stream_path);
+        if (!stream_out)
+            fatal("cannot write trace file '%s'", stream_path.c_str());
+        if (stream_format == "csv")
+            stream_sink =
+                std::make_unique<metrics::CsvStreamSink>(stream_out);
+        else
+            stream_sink =
+                std::make_unique<metrics::JsonlSink>(stream_out);
+        params.extra_sink = stream_sink.get();
+        params.trace = true; // enable periodic sampling too
+    }
 
     sim::RunSummary s;
     double wall_seconds = 0.0;
@@ -162,6 +226,8 @@ main(int argc, char** argv)
     table.add_row({"migrations", std::to_string(s.migrations)});
     table.add_row({"vf_transitions", std::to_string(s.vf_transitions)});
     table.add_row({"time_over_tdp", fmt_percent(s.over_tdp_fraction)});
+    table.add_row({"time_over_tdp_post_warmup",
+                   fmt_percent(s.over_tdp_post_warmup)});
     table.add_row({"peak_temp_c", fmt_double(s.peak_temp_c, 1)});
     if (csv_summary)
         table.print_csv(std::cout);
@@ -174,5 +240,11 @@ main(int argc, char** argv)
 
     if (!trace_path.empty())
         std::printf("trace written to %s\n", trace_path.c_str());
+    if (!stream_path.empty()) {
+        stream_sink->flush();
+        stream_out.close();
+        std::printf("%s trace streamed to %s\n", stream_format.c_str(),
+                    stream_path.c_str());
+    }
     return 0;
 }
