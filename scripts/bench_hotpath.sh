@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Build and run the hot-path microbenchmarks, emitting BENCH_hotpath.json
+# at the repo root so every PR leaves a comparable perf trajectory.
+#
+# Usage: scripts/bench_hotpath.sh [--quick] [--out FILE]
+#   --quick   one repetition with a tiny min-time (CI smoke: proves the
+#             driver runs and produces valid JSON; timings are noisy)
+#   --out F   write the JSON to F instead of BENCH_hotpath.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_TIME=0.5
+OUT=BENCH_hotpath.json
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --quick) MIN_TIME=0.01; shift ;;
+      --out) OUT="$2"; shift 2 ;;
+      *) echo "usage: $0 [--quick] [--out FILE]" >&2; exit 2 ;;
+    esac
+done
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build --target bench_hotpath > /dev/null
+
+./build/bench/bench_hotpath \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+# The emitted JSON must parse; fail loudly if the driver wrote garbage.
+python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+names = [b["name"] for b in doc["benchmarks"]]
+assert any(n.startswith("BM_SimulationStep/") for n in names), names
+print(f"{sys.argv[1]}: {len(names)} benchmark entries, JSON ok")
+EOF

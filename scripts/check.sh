@@ -16,6 +16,12 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 ./build/bench/bench_table7_scalability \
     --benchmark_min_time=0.01 --benchmark_filter='/2/4/8$' > /dev/null
 
+# Perf smoke: one quick repetition of the hot-path benchmark, with the
+# JSON output validated (the full run regenerates BENCH_hotpath.json).
+./scripts/bench_hotpath.sh --quick --out /tmp/ppm_bench_hotpath.json \
+    > /dev/null
+rm -f /tmp/ppm_bench_hotpath.json
+
 ./build/examples/quickstart l1 5 > /dev/null
 ./build/examples/mixed_criticality 5 > /dev/null
 ./build/examples/thermal_budget l1 > /dev/null || true

@@ -29,6 +29,14 @@ HlGovernor::init(sim::Simulation& sim)
         sim.chip().cluster(v).set_level(0);
     next_sched_ = cfg_.sched_period;
     next_dvfs_ = cfg_.dvfs_period;
+    cluster_keys_.clear();
+    cluster_keys_.reserve(
+        static_cast<std::size_t>(sim.chip().num_clusters()) * 2);
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        const std::string p = "cluster" + std::to_string(v) + "_";
+        cluster_keys_.push_back(p + "util");
+        cluster_keys_.push_back(p + "level");
+    }
 }
 
 CoreId
@@ -96,7 +104,9 @@ HlGovernor::schedule(sim::Simulation& sim, SimTime now)
 void
 HlGovernor::run_ondemand(sim::Simulation& sim)
 {
-    metrics::TraceEvent epoch("hl_dvfs_epoch", sim.now());
+    const bool traced = sim.bus().enabled();
+    if (traced)
+        epoch_event_.begin(sim.now());
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
         hw::Cluster& cl = sim.chip().cluster(v);
         if (!cl.powered())
@@ -115,14 +125,15 @@ HlGovernor::run_ondemand(sim::Simulation& sim)
             const Pu needed = max_util * cl.supply() / cfg_.ondemand_up;
             cl.set_level(cl.vf().level_for_demand(needed));
         }
-        if (sim.bus().enabled()) {
-            const std::string p = "cluster" + std::to_string(v) + "_";
-            epoch.set(p + "util", max_util);
-            epoch.set(p + "level", cl.level());
+        if (traced) {
+            const std::string* k =
+                &cluster_keys_[static_cast<std::size_t>(v) * 2];
+            epoch_event_.num(k[0].c_str(), max_util)
+                .num(k[1].c_str(), cl.level());
         }
     }
-    if (sim.bus().enabled())
-        sim.bus().event(epoch);
+    if (traced)
+        sim.bus().event(epoch_event_.finish());
 }
 
 void

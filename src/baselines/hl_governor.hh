@@ -23,7 +23,11 @@
 #ifndef PPM_BASELINES_HL_GOVERNOR_HH
 #define PPM_BASELINES_HL_GOVERNOR_HH
 
+#include <string>
+#include <vector>
+
 #include "common/types.hh"
+#include "metrics/telemetry.hh"
 #include "sim/governor.hh"
 #include "sim/simulation.hh"
 
@@ -79,6 +83,11 @@ class HlGovernor : public sim::Governor
     SimTime next_sched_ = 0;
     SimTime next_dvfs_ = 0;
     bool big_killed_ = false;
+
+    // Reusable epoch event + cached "clusterN_*" keys (built at init;
+    // stable c_str() pointers) so tracing adds no per-epoch allocation.
+    metrics::EventScratch epoch_event_{"hl_dvfs_epoch"};
+    std::vector<std::string> cluster_keys_;  ///< 2 keys per cluster id.
 };
 
 } // namespace ppm::baselines

@@ -61,6 +61,16 @@ HpmGovernor::init(sim::Simulation& sim)
     next_lbt_ = cfg_.lbt_period;
     next_tdp_ = cfg_.tdp_period;
     sim.sensors().mark();
+    cluster_keys_.clear();
+    cluster_keys_.reserve(
+        static_cast<std::size_t>(sim.chip().num_clusters()) * 4);
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        const std::string p = "cluster" + std::to_string(v) + "_";
+        cluster_keys_.push_back(p + "demand");
+        cluster_keys_.push_back(p + "pid_out");
+        cluster_keys_.push_back(p + "level");
+        cluster_keys_.push_back(p + "level_cap");
+    }
 }
 
 CoreId
@@ -81,7 +91,9 @@ HpmGovernor::least_loaded_core(sim::Simulation& sim, ClusterId v) const
 void
 HpmGovernor::run_dvfs(sim::Simulation& sim, SimTime dt)
 {
-    metrics::TraceEvent epoch("hpm_dvfs_epoch", sim.now());
+    const bool traced = sim.bus().enabled();
+    if (traced)
+        epoch_event_.begin(sim.now());
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
         hw::Cluster& cl = sim.chip().cluster(v);
         // Constrained-core demand from the tasks' HRM estimates.
@@ -103,17 +115,18 @@ HpmGovernor::run_dvfs(sim::Simulation& sim, SimTime dt)
                         static_cast<double>(
                             level_cap_[static_cast<std::size_t>(v)]));
         cl.set_level(static_cast<int>(std::lround(lf)));
-        if (sim.bus().enabled()) {
-            const std::string p = "cluster" + std::to_string(v) + "_";
-            epoch.set(p + "demand", constrained);
-            epoch.set(p + "pid_out", out);
-            epoch.set(p + "level", cl.level());
-            epoch.set(p + "level_cap",
-                      level_cap_[static_cast<std::size_t>(v)]);
+        if (traced) {
+            const std::string* k =
+                &cluster_keys_[static_cast<std::size_t>(v) * 4];
+            epoch_event_.num(k[0].c_str(), constrained)
+                .num(k[1].c_str(), out)
+                .num(k[2].c_str(), cl.level())
+                .num(k[3].c_str(),
+                     level_cap_[static_cast<std::size_t>(v)]);
         }
     }
-    if (sim.bus().enabled())
-        sim.bus().event(epoch);
+    if (traced)
+        sim.bus().event(epoch_event_.finish());
 }
 
 void

@@ -20,9 +20,11 @@
 #ifndef PPM_BASELINES_HPM_GOVERNOR_HH
 #define PPM_BASELINES_HPM_GOVERNOR_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "metrics/telemetry.hh"
 #include "sim/governor.hh"
 #include "sim/simulation.hh"
 
@@ -106,6 +108,11 @@ class HpmGovernor : public sim::Governor
     SimTime next_dvfs_ = 0;
     SimTime next_lbt_ = 0;
     SimTime next_tdp_ = 0;
+
+    // Reusable epoch event + cached "clusterN_*" keys (built at init;
+    // stable c_str() pointers) so tracing adds no per-epoch allocation.
+    metrics::EventScratch epoch_event_{"hpm_dvfs_epoch"};
+    std::vector<std::string> cluster_keys_;  ///< 4 keys per cluster id.
 };
 
 } // namespace ppm::baselines

@@ -76,19 +76,34 @@ void
 WindowRate::evict(SimTime now) const
 {
     const SimTime start = now - window_;
-    while (!samples_.empty() && samples_.front().first <= start) {
-        window_sum_ -= samples_.front().second;
-        samples_.pop_front();
+    while (count_ > 0 && ring_[head_].time <= start) {
+        window_sum_ -= ring_[head_].count;
+        head_ = (head_ + 1) % ring_.size();
+        --count_;
     }
-    if (samples_.empty())
+    if (count_ == 0)
         window_sum_ = 0.0;  // Clear floating-point residue.
+}
+
+void
+WindowRate::grow()
+{
+    const std::size_t cap = ring_.size();
+    std::vector<Sample> next(std::max<std::size_t>(8, cap * 2));
+    for (std::size_t i = 0; i < count_; ++i)
+        next[i] = ring_[(head_ + i) % cap];
+    ring_ = std::move(next);
+    head_ = 0;
 }
 
 void
 WindowRate::add(SimTime now, double count)
 {
     evict(now);
-    samples_.emplace_back(now, count);
+    if (count_ == ring_.size())
+        grow();
+    ring_[(head_ + count_) % ring_.size()] = {now, count};
+    ++count_;
     window_sum_ += count;
 }
 

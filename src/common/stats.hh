@@ -9,7 +9,6 @@
 #define PPM_COMMON_STATS_HH
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -93,6 +92,11 @@ class DutyCycle
  * Sliding-window event-rate estimator: events per second over the most
  * recent `window` of simulated time.  The Heart Rate Monitor is built
  * on this (heartbeats per second).
+ *
+ * Storage is a ring buffer whose capacity converges to the window's
+ * steady-state sample count and is then reused forever -- unlike a
+ * deque, which allocates a fresh chunk every few dozen pushes and so
+ * keeps the per-tick HRM updates off an allocation-free hot path.
  */
 class WindowRate
 {
@@ -110,11 +114,21 @@ class WindowRate
     SimTime window() const { return window_; }
 
   private:
+    struct Sample {
+        SimTime time;
+        double count;
+    };
+
     /** Drop samples older than the window start (logically const). */
     void evict(SimTime now) const;
 
+    /** Double the ring capacity, linearizing the live samples. */
+    void grow();
+
     SimTime window_;
-    mutable std::deque<std::pair<SimTime, double>> samples_;
+    mutable std::vector<Sample> ring_;  ///< Capacity = ring_.size().
+    mutable std::size_t head_ = 0;      ///< Index of the oldest sample.
+    mutable std::size_t count_ = 0;     ///< Live samples in the ring.
     mutable double window_sum_ = 0.0;
 };
 

@@ -207,9 +207,13 @@ Market::update_allowance(Watts chip_power, Pu total_demand, Pu deficit,
 void
 Market::distribute_allowance(Watts chip_power)
 {
-    // Priority sums per core and cluster.
-    std::vector<double> core_prio(cores_.size(), 0.0);
-    std::vector<double> cluster_prio(clusters_.size(), 0.0);
+    // Priority sums per core and cluster (reusable scratch: the
+    // market rounds on the governor's bid cadence, so per-round
+    // allocations would land on the simulation hot path).
+    std::vector<double>& core_prio = scratch_core_prio_;
+    std::vector<double>& cluster_prio = scratch_cluster_prio_;
+    core_prio.assign(cores_.size(), 0.0);
+    cluster_prio.assign(clusters_.size(), 0.0);
     for (const TaskState& t : tasks_) {
         if (!t.active)
             continue;
@@ -223,7 +227,8 @@ Market::distribute_allowance(Watts chip_power)
     // (A_v = A * (W - W_v) / W, normalized over clusters that actually
     // host tasks).  Falls back to priority-proportional weights when
     // the power readings carry no signal.
-    std::vector<double> weight(clusters_.size(), 0.0);
+    std::vector<double>& weight = scratch_weight_;
+    weight.assign(clusters_.size(), 0.0);
     double weight_sum = 0.0;
     for (std::size_t v = 0; v < clusters_.size(); ++v) {
         if (cluster_prio[v] <= 0.0)
@@ -299,8 +304,9 @@ Market::place_bids()
 void
 Market::discover_prices()
 {
-    // Sum of bids per core.
-    std::vector<Money> bid_sum(cores_.size(), 0.0);
+    // Sum of bids per core (reusable scratch, cf. distribute_allowance).
+    std::vector<Money>& bid_sum = scratch_bid_sum_;
+    bid_sum.assign(cores_.size(), 0.0);
     for (const TaskState& t : tasks_) {
         if (t.active)
             bid_sum[static_cast<std::size_t>(t.core)] += t.bid;
@@ -391,16 +397,20 @@ Market::control_supply()
             // longer signal over-supply.  The paper expects such a
             // cluster to settle at the minimum frequency that covers
             // its demand, so walk down while a lower level suffices.
-            const auto on_core = tasks_on(constrained);
-            bool all_floor = !on_core.empty();
-            for (TaskId t : on_core) {
-                if (tasks_[static_cast<std::size_t>(t)].bid >
-                    cfg_.min_bid + 1e-12) {
+            // Inline scan over the task agents -- this runs every
+            // round per cluster, so no tasks_on() vector is built.
+            bool any_on_core = false;
+            bool all_floor = true;
+            for (const TaskState& t : tasks_) {
+                if (t.core != constrained || !t.active)
+                    continue;
+                any_on_core = true;
+                if (t.bid > cfg_.min_bid + 1e-12) {
                     all_floor = false;
                     break;
                 }
             }
-            if (all_floor &&
+            if (any_on_core && all_floor &&
                 cl.vf().supply(cl.level() - 1) >= cc.demand) {
                 changed = cl.step_level(-1);
             }

@@ -216,6 +216,13 @@ class Market
     long rounds_ = 0;
     bool allowance_clamped_ = false;  ///< Set by update_allowance().
     MarketTelemetry* telemetry_ = nullptr;  ///< Not owned; may be null.
+
+    // Reusable per-round scratch (capacity kept across rounds) so a
+    // steady-state round allocates nothing.
+    std::vector<double> scratch_core_prio_;     ///< distribute_allowance.
+    std::vector<double> scratch_cluster_prio_;  ///< distribute_allowance.
+    std::vector<double> scratch_weight_;        ///< distribute_allowance.
+    std::vector<Money> scratch_bid_sum_;        ///< discover_prices.
 };
 
 } // namespace ppm::market

@@ -105,25 +105,67 @@ PpmGovernor::init(sim::Simulation& sim)
     }
     sim.sensors().mark();
     next_bid_ = bid_period_;
+
+    // Telemetry handles and field-key strings, resolved once so the
+    // per-round emission in emit_telemetry() is allocation-free.
+    metrics::TraceBus& bus = sim.bus();
+    market_allowance_id_ = bus.intern("market_allowance");
+    bid_freeze_id_ = bus.intern("bid_freeze_epochs");
+    allowance_clamps_id_ = bus.intern("allowance_clamps");
+    task_keys_.clear();
+    task_keys_.reserve(sim.tasks().size() * 5);
+    for (const workload::Task* t : sim.tasks()) {
+        const std::string p = "task" + std::to_string(t->id()) + "_";
+        task_keys_.push_back(p + "bid");
+        task_keys_.push_back(p + "supply");
+        task_keys_.push_back(p + "demand");
+        task_keys_.push_back(p + "savings");
+        task_keys_.push_back(p + "allowance");
+    }
+    core_keys_.clear();
+    core_keys_.reserve(
+        static_cast<std::size_t>(sim.chip().num_cores()) * 3);
+    for (CoreId c = 0; c < sim.chip().num_cores(); ++c) {
+        const std::string p = "core" + std::to_string(c) + "_";
+        core_keys_.push_back(p + "price");
+        core_keys_.push_back(p + "base_price");
+        core_keys_.push_back(p + "demand");
+    }
+    cluster_keys_.clear();
+    cluster_keys_.reserve(
+        static_cast<std::size_t>(sim.chip().num_clusters()) * 3);
+    for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+        const std::string p = "cluster" + std::to_string(v) + "_";
+        cluster_keys_.push_back(p + "freeze");
+        cluster_keys_.push_back(p + "level");
+        cluster_keys_.push_back(p + "power_w");
+    }
 }
 
 void
 PpmGovernor::enact_nice(sim::Simulation& sim)
 {
-    for (CoreId c = 0; c < sim.chip().num_cores(); ++c) {
-        const std::vector<TaskId> on_core = market_->tasks_on(c);
-        if (on_core.empty())
+    // Two passes over the task agents instead of a tasks_on() vector
+    // per core: first the per-core maximum purchased supply, then the
+    // nice value of each task relative to its core's maximum.
+    max_supply_scratch_.assign(
+        static_cast<std::size_t>(sim.chip().num_cores()), 0.0);
+    for (const TaskState& t : market_->tasks()) {
+        if (!t.active)
             continue;
-        Pu max_supply = 0.0;
-        for (TaskId t : on_core)
-            max_supply = std::max(max_supply, market_->task(t).supply);
+        Pu& m = max_supply_scratch_[static_cast<std::size_t>(t.core)];
+        m = std::max(m, t.supply);
+    }
+    for (const TaskState& t : market_->tasks()) {
+        if (!t.active)
+            continue;
+        const Pu max_supply =
+            max_supply_scratch_[static_cast<std::size_t>(t.core)];
         if (max_supply <= 1e-9)
             continue;
-        for (TaskId t : on_core) {
-            const Pu s = std::max(1e-6, market_->task(t).supply);
-            sim.scheduler().set_nice(
-                t, sched::nice_for_relative_share(s, max_supply));
-        }
+        const Pu s = std::max(1e-6, t.supply);
+        sim.scheduler().set_nice(
+            t.id, sched::nice_for_relative_share(s, max_supply));
     }
 }
 
@@ -132,14 +174,18 @@ PpmGovernor::apply_power_gating(sim::Simulation& sim)
 {
     if (!cfg_.power_gate_idle)
         return;
+    // One pass over the task agents marks populated clusters (no
+    // tasks_on() vector per core).
+    cluster_has_tasks_.assign(
+        static_cast<std::size_t>(sim.chip().num_clusters()), 0);
+    for (const TaskState& t : market_->tasks()) {
+        if (t.active)
+            cluster_has_tasks_[static_cast<std::size_t>(
+                sim.chip().cluster_of(t.core))] = 1;
+    }
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
-        bool has_tasks = false;
-        for (CoreId c : sim.chip().cluster(v).cores()) {
-            if (!market_->tasks_on(c).empty()) {
-                has_tasks = true;
-                break;
-            }
-        }
+        const bool has_tasks =
+            cluster_has_tasks_[static_cast<std::size_t>(v)] != 0;
         hw::Cluster& cl = sim.chip().cluster(v);
         if (has_tasks && !cl.powered()) {
             cl.set_powered(true);
@@ -203,48 +249,53 @@ PpmGovernor::emit_telemetry(sim::Simulation& sim, SimTime now)
     metrics::TraceBus& bus = sim.bus();
     const RoundReport& report = telemetry_.report;
 
-    metrics::TraceEvent e("market_round", now);
-    e.set("state", std::string(chip_state_name(report.state)));
-    e.set("round", static_cast<double>(telemetry_.round));
-    e.set("chip_state", static_cast<double>(report.state));
-    e.set("allowance", report.allowance);
-    e.set("total_demand", report.total_demand);
-    e.set("total_supply", report.total_supply);
-    e.set("market_power_w", report.chip_power);
-    e.set("deficit", report.deficit);
+    // Field layout and key strings were built at init; steady-state
+    // rounds overwrite the values in place.
+    round_event_.begin(now);
+    round_event_.str("state", chip_state_name(report.state));
+    round_event_.num("round", static_cast<double>(telemetry_.round))
+        .num("chip_state", static_cast<double>(report.state))
+        .num("allowance", report.allowance)
+        .num("total_demand", report.total_demand)
+        .num("total_supply", report.total_supply)
+        .num("market_power_w", report.chip_power)
+        .num("deficit", report.deficit);
     for (const TaskState& t : telemetry_.tasks) {
-        const std::string p = "task" + std::to_string(t.id) + "_";
-        e.set(p + "bid", t.bid);
-        e.set(p + "supply", t.supply);
-        e.set(p + "demand", t.demand);
-        e.set(p + "savings", t.savings);
-        e.set(p + "allowance", t.allowance);
+        const std::string* k =
+            &task_keys_[static_cast<std::size_t>(t.id) * 5];
+        round_event_.num(k[0].c_str(), t.bid)
+            .num(k[1].c_str(), t.supply)
+            .num(k[2].c_str(), t.demand)
+            .num(k[3].c_str(), t.savings)
+            .num(k[4].c_str(), t.allowance);
     }
     for (const CoreState& c : telemetry_.cores) {
-        const std::string p = "core" + std::to_string(c.id) + "_";
-        e.set(p + "price", c.price);
-        e.set(p + "base_price", c.base_price);
-        e.set(p + "demand", c.demand);
+        const std::string* k =
+            &core_keys_[static_cast<std::size_t>(c.id) * 3];
+        round_event_.num(k[0].c_str(), c.price)
+            .num(k[1].c_str(), c.base_price)
+            .num(k[2].c_str(), c.demand);
     }
     for (const ClusterTelemetry& cl : telemetry_.clusters) {
-        const std::string p = "cluster" + std::to_string(cl.id) + "_";
-        e.set(p + "freeze", cl.freeze_bids ? 1.0 : 0.0);
-        e.set(p + "level", static_cast<double>(cl.level));
-        e.set(p + "power_w", cl.power);
+        const std::string* k =
+            &cluster_keys_[static_cast<std::size_t>(cl.id) * 3];
+        round_event_.num(k[0].c_str(), cl.freeze_bids ? 1.0 : 0.0)
+            .num(k[1].c_str(), static_cast<double>(cl.level))
+            .num(k[2].c_str(), cl.power);
     }
-    bus.event(e);
-    bus.observe("market_allowance", report.allowance);
+    bus.event(round_event_.finish());
+    bus.observe(market_allowance_id_, report.allowance);
 
     // Counters: a bid-freeze epoch starts on the freeze rising edge;
     // allowance clamps mark rounds pinned at the floor or ceiling.
     prev_freeze_.resize(telemetry_.clusters.size(), false);
     for (std::size_t v = 0; v < telemetry_.clusters.size(); ++v) {
         if (telemetry_.clusters[v].freeze_bids && !prev_freeze_[v])
-            bus.count("bid_freeze_epochs");
+            bus.count(bid_freeze_id_);
         prev_freeze_[v] = telemetry_.clusters[v].freeze_bids;
     }
     if (report.allowance_clamped)
-        bus.count("allowance_clamps");
+        bus.count(allowance_clamps_id_);
 }
 
 void

@@ -15,11 +15,13 @@
 #define PPM_MARKET_PPM_GOVERNOR_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "market/lbt.hh"
 #include "market/market.hh"
 #include "market/online_estimator.hh"
+#include "metrics/telemetry.hh"
 #include "sim/governor.hh"
 #include "sim/simulation.hh"
 
@@ -135,6 +137,23 @@ class PpmGovernor : public sim::Governor
 
     /** Previous freeze flags, for the bid-freeze-epoch counter. */
     std::vector<bool> prev_freeze_;
+
+    // Reusable telemetry plumbing, built once at init so each bid
+    // round's emission is allocation-free: the scratch event keeps its
+    // field layout, the key strings cache the "taskN_bid"-style names
+    // (stable c_str() pointers -- the vectors never grow after init),
+    // and the counters/histograms go through interned handles.
+    metrics::EventScratch round_event_{"market_round"};
+    std::vector<std::string> task_keys_;     ///< 5 keys per task id.
+    std::vector<std::string> core_keys_;     ///< 3 keys per core id.
+    std::vector<std::string> cluster_keys_;  ///< 3 keys per cluster id.
+    metrics::SeriesId market_allowance_id_ = 0;
+    metrics::SeriesId bid_freeze_id_ = 0;
+    metrics::SeriesId allowance_clamps_id_ = 0;
+
+    // Per-core / per-cluster scratch for enact_nice / power gating.
+    std::vector<Pu> max_supply_scratch_;
+    std::vector<unsigned char> cluster_has_tasks_;
 
     SimTime bid_period_ = 0;
     sim::Simulation* sim_ = nullptr;

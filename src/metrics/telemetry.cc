@@ -56,6 +56,67 @@ TraceEvent::set(std::string key, std::string value)
     return *this;
 }
 
+EventScratch::EventScratch(std::string type)
+    : event_(std::move(type), 0)
+{
+}
+
+void
+EventScratch::begin(SimTime time)
+{
+    event_.time = time;
+    num_i_ = 0;
+    str_i_ = 0;
+}
+
+EventScratch&
+EventScratch::num(const char* key, double value)
+{
+    if (num_i_ < num_keys_.size() && num_keys_[num_i_] == key) {
+        event_.num[num_i_].second = value;  // Steady state: in place.
+    } else {
+        // Layout changed at this position: drop the stale tail and
+        // rebuild from here (allocates -- once per layout change).
+        num_keys_.resize(num_i_);
+        event_.num.resize(num_i_);
+        num_keys_.push_back(key);
+        event_.num.emplace_back(key, value);
+    }
+    ++num_i_;
+    return *this;
+}
+
+EventScratch&
+EventScratch::str(const char* key, const char* value)
+{
+    if (str_i_ < str_keys_.size() && str_keys_[str_i_] == key) {
+        event_.str[str_i_].second = value;  // SSO labels: no alloc.
+    } else {
+        str_keys_.resize(str_i_);
+        event_.str.resize(str_i_);
+        str_keys_.push_back(key);
+        event_.str.emplace_back(key, value);
+    }
+    ++str_i_;
+    return *this;
+}
+
+const TraceEvent&
+EventScratch::finish()
+{
+    // An emission with fewer fields than the last one leaves a stale
+    // tail; truncate so the event carries exactly what was emitted.
+    if (num_i_ < num_keys_.size()) {
+        num_keys_.resize(num_i_);
+        event_.num.resize(num_i_);
+    }
+    if (str_i_ < str_keys_.size()) {
+        str_keys_.resize(str_i_);
+        event_.str.resize(str_i_);
+    }
+    return event_;
+}
+
 void
 TraceSink::event(const TraceEvent& e)
 {
@@ -137,6 +198,86 @@ TraceBus::add_sink(TraceSink* sink)
     sinks_.push_back(sink);
 }
 
+SeriesId
+TraceBus::intern(std::string_view name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const auto id = static_cast<SeriesId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+}
+
+const std::string&
+TraceBus::name_of(SeriesId id) const
+{
+    PPM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < names_.size(),
+               "series id was not interned on this bus");
+    return names_[static_cast<std::size_t>(id)];
+}
+
+void
+TraceBus::reserve_id(SeriesId id)
+{
+    const auto need = static_cast<std::size_t>(id) + 1;
+    if (counter_vals_.size() < need) {
+        // Size to the full intern table: one growth covers every id
+        // handed out so far instead of creeping up id by id.
+        const std::size_t to = std::max(need, names_.size());
+        counter_vals_.resize(to, 0);
+        hist_vals_.resize(to);
+        counter_touched_.resize(to, 0);
+        hist_touched_.resize(to, 0);
+    }
+}
+
+void
+TraceBus::sample(SeriesId series, SimTime time, double value)
+{
+    if (!enabled())
+        return;
+    const std::string& name = name_of(series);
+    for (TraceSink* s : sinks_)
+        s->sample(name, time, value);
+}
+
+void
+TraceBus::count(SeriesId id, long delta)
+{
+    if (!enabled())
+        return;
+    reserve_id(id);
+    counter_vals_[static_cast<std::size_t>(id)] += delta;
+    counter_touched_[static_cast<std::size_t>(id)] = 1;
+}
+
+void
+TraceBus::observe(SeriesId id, double value)
+{
+    if (!enabled())
+        return;
+    reserve_id(id);
+    hist_vals_[static_cast<std::size_t>(id)].add(value);
+    hist_touched_[static_cast<std::size_t>(id)] = 1;
+}
+
+long
+TraceBus::counter(SeriesId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    return i < counter_vals_.size() ? counter_vals_[i] : 0;
+}
+
+const OnlineStats*
+TraceBus::histogram(SeriesId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    return i < hist_vals_.size() && hist_touched_[i] ? &hist_vals_[i]
+                                                     : nullptr;
+}
+
 void
 TraceBus::sample(const std::string& series, SimTime time, double value)
 {
@@ -156,7 +297,7 @@ TraceBus::count(const std::string& name, long delta)
 {
     if (!enabled())
         return;
-    counters_[name] += delta;
+    count(intern(name), delta);
 }
 
 void
@@ -164,21 +305,43 @@ TraceBus::observe(const std::string& name, double value)
 {
     if (!enabled())
         return;
-    histograms_[name].add(value);
+    observe(intern(name), value);
 }
 
 long
 TraceBus::counter(const std::string& name) const
 {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0 : counter(it->second);
+}
+
+std::map<std::string, long>
+TraceBus::counters() const
+{
+    std::map<std::string, long> out;
+    for (std::size_t i = 0; i < counter_vals_.size(); ++i) {
+        if (counter_touched_[i])
+            out.emplace(names_[i], counter_vals_[i]);
+    }
+    return out;
 }
 
 const OnlineStats*
 TraceBus::histogram(const std::string& name) const
 {
-    const auto it = histograms_.find(name);
-    return it == histograms_.end() ? nullptr : &it->second;
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : histogram(it->second);
+}
+
+std::map<std::string, OnlineStats>
+TraceBus::histograms() const
+{
+    std::map<std::string, OnlineStats> out;
+    for (std::size_t i = 0; i < hist_vals_.size(); ++i) {
+        if (hist_touched_[i])
+            out.emplace(names_[i], hist_vals_[i]);
+    }
+    return out;
 }
 
 void

@@ -20,18 +20,27 @@
  *
  * The bus also keeps cheap named counters and histograms (migrations,
  * V-F steps per cluster, bid-freeze epochs, allowance clamps, ...).
- * Every entry point is zero-cost when no sink is attached: emitters may
- * guard expensive record construction with `enabled()`, and the bus
- * itself early-returns before touching any map.
+ *
+ * Hot-path emitters resolve their names ONCE via `intern()` and then
+ * record through the `SeriesId` overloads: O(1) flat-vector access,
+ * no string hashing, no allocation.  The string-keyed entry points
+ * remain as a compatibility layer over the interned core and produce
+ * byte-identical output; they pay a map lookup per record and are fine
+ * for cold paths.  Every entry point is zero-cost when no sink is
+ * attached: emitters may guard expensive record construction with
+ * `enabled()`, and the bus itself early-returns before touching any
+ * storage.
  */
 
 #ifndef PPM_METRICS_TELEMETRY_HH
 #define PPM_METRICS_TELEMETRY_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -40,6 +49,14 @@
 #include "metrics/recorder.hh"
 
 namespace ppm::metrics {
+
+/**
+ * Stable integer handle of a name interned on a TraceBus.  One id
+ * space covers series, counters and histograms: interning the same
+ * name twice yields the same id, and ids never change for the
+ * lifetime of the bus (they survive flushes and sink changes).
+ */
+using SeriesId = std::int32_t;
 
 /** A named record at one timestamp with flat numeric/string fields. */
 struct TraceEvent {
@@ -62,6 +79,46 @@ struct TraceEvent {
 
     /** Append a string field; returns *this for chaining. */
     TraceEvent& set(std::string key, std::string value);
+};
+
+/**
+ * A reusable TraceEvent for periodic emitters: the first emission
+ * builds the field keys, every following emission with the same
+ * key sequence overwrites the values in place -- no allocation.
+ *
+ * Usage per emission: `begin(time)`, then one `num()` / `str()` call
+ * per field in a stable order (keys must be pointers that are stable
+ * across emissions: string literals or strings cached by the caller),
+ * then `finish()` to get the event to pass to TraceBus::event().
+ * A changed key sequence (e.g. a cluster dropping out of the epoch
+ * report while power-gated) is detected per position and rebuilds the
+ * tail, so correctness never depends on a stable layout -- only the
+ * steady-state allocation count does.
+ */
+class EventScratch
+{
+  public:
+    explicit EventScratch(std::string type);
+
+    /** Start a (re)emission at `time`. */
+    void begin(SimTime time);
+
+    /** Emit the next numeric field. */
+    EventScratch& num(const char* key, double value);
+
+    /** Emit the next string field (value must be SSO-small to stay
+     *  allocation-free; chip-state names and similar labels are). */
+    EventScratch& str(const char* key, const char* value);
+
+    /** Close the emission and return the event to fan out. */
+    const TraceEvent& finish();
+
+  private:
+    TraceEvent event_;
+    std::vector<const char*> num_keys_;  ///< Key identity per position.
+    std::vector<const char*> str_keys_;
+    std::size_t num_i_ = 0;
+    std::size_t str_i_ = 0;
 };
 
 /** Destination for telemetry records. */
@@ -156,6 +213,33 @@ class TraceBus
     /** True when at least one sink is attached. */
     bool enabled() const { return !sinks_.empty(); }
 
+    /**
+     * Intern `name`, returning its stable id.  Idempotent: the same
+     * name always maps to the same id.  Works whether or not a sink
+     * is attached, so emitters can resolve handles at construction.
+     */
+    SeriesId intern(std::string_view name);
+
+    /** The name interned as `id`. */
+    const std::string& name_of(SeriesId id) const;
+
+    /** Fan a sample out to every sink: O(1), allocation-free. */
+    void sample(SeriesId series, SimTime time, double value);
+
+    /** Bump counter `id` by `delta`: flat-vector access, no lookup. */
+    void count(SeriesId id, long delta = 1);
+
+    /** Feed histogram `id` one value: flat-vector access, no lookup. */
+    void observe(SeriesId id, double value);
+
+    /** Value of counter `id` (0 if never bumped). */
+    long counter(SeriesId id) const;
+
+    /** Histogram `id`, or nullptr if never observed. */
+    const OnlineStats* histogram(SeriesId id) const;
+
+    // ---- String-keyed compatibility layer (cold paths) ----------------
+
     /** Fan a sample out to every sink (no-op when disabled). */
     void sample(const std::string& series, SimTime time, double value);
 
@@ -171,29 +255,37 @@ class TraceBus
     /** Value of counter `name` (0 if never bumped). */
     long counter(const std::string& name) const;
 
-    /** All counters, sorted by name. */
-    const std::map<std::string, long>& counters() const
-    {
-        return counters_;
-    }
+    /** All counters ever bumped, sorted by name. */
+    std::map<std::string, long> counters() const;
 
     /** Histogram `name`, or nullptr if never observed. */
     const OnlineStats* histogram(const std::string& name) const;
 
-    /** All histograms, sorted by name. */
-    const std::map<std::string, OnlineStats>& histograms() const
-    {
-        return histograms_;
-    }
+    /** All histograms ever observed, sorted by name. */
+    std::map<std::string, OnlineStats> histograms() const;
 
     /** Flush every sink. */
     void flush();
 
   private:
+    /** Grow the per-id storage to cover `id`. */
+    void reserve_id(SeriesId id);
+
     std::vector<TraceSink*> sinks_;  ///< Fan-out list (owned + external).
     std::vector<std::unique_ptr<TraceSink>> owned_;
-    std::map<std::string, long> counters_;
-    std::map<std::string, OnlineStats> histograms_;
+
+    // Interning: name -> id and id -> name.  std::less<> enables
+    // lookups from string_view without a temporary string.
+    std::map<std::string, SeriesId, std::less<>> index_;
+    std::vector<std::string> names_;
+
+    // Flat per-id storage.  `touched` distinguishes "interned but
+    // never recorded" from a genuine zero so the map accessors list
+    // exactly the names that were bumped/observed.
+    std::vector<long> counter_vals_;
+    std::vector<OnlineStats> hist_vals_;
+    std::vector<unsigned char> counter_touched_;
+    std::vector<unsigned char> hist_touched_;
 };
 
 } // namespace ppm::metrics

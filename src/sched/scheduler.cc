@@ -15,7 +15,8 @@ constexpr double kLoadTauSeconds = 0.1;
 
 Scheduler::Scheduler(hw::Chip* chip, hw::MigrationModel migration)
     : chip_(chip), migration_(migration),
-      core_util_(static_cast<std::size_t>(chip->num_cores()), 0.0)
+      core_util_(static_cast<std::size_t>(chip->num_cores()), 0.0),
+      by_core_(static_cast<std::size_t>(chip->num_cores()))
 {
     PPM_ASSERT(chip_ != nullptr, "scheduler needs a chip");
 }
@@ -128,46 +129,46 @@ Scheduler::distribute(CoreId core, const std::vector<TaskId>& ids,
     const hw::CoreClass cls = cl.type().core_class;
     const Cycles capacity = work_done(cl.supply(), dt);
 
-    // Partition into runnable (unblocked) and blocked tasks.
-    std::vector<TaskId> runnable;
-    for (TaskId t : ids) {
-        if (entry(t).blocked_until <= now)
-            runnable.push_back(t);
+    // Partition into runnable (unblocked) and blocked tasks.  The
+    // scratch holds positions into `ids` so the water-filling passes
+    // index `granted_` directly instead of re-searching `ids` per
+    // task per pass.
+    active_idx_.clear();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (entry(ids[i]).blocked_until <= now)
+            active_idx_.push_back(i);
     }
 
     // Water-filling proportional share among runnable tasks.
-    std::vector<Cycles> granted(ids.size(), 0.0);
-    if (capacity > 0.0 && !runnable.empty()) {
-        std::vector<TaskId> active = runnable;
+    granted_.assign(ids.size(), 0.0);
+    if (capacity > 0.0 && !active_idx_.empty()) {
         Cycles remaining = capacity;
-        while (!active.empty() && remaining > 1e-9) {
+        while (!active_idx_.empty() && remaining > 1e-9) {
             double total_weight = 0.0;
-            for (TaskId t : active)
-                total_weight += entry(t).weight;
-            std::vector<TaskId> still_hungry;
+            for (const std::size_t i : active_idx_)
+                total_weight += entry(ids[i]).weight;
+            hungry_idx_.clear();
             Cycles consumed = 0.0;
-            for (TaskId t : active) {
+            for (const std::size_t i : active_idx_) {
+                const Entry& e = entry(ids[i]);
                 const Cycles quota =
-                    remaining * entry(t).weight / total_weight;
-                const Cycles want =
-                    entry(t).task->desired_cycles(dt, cls);
-                const auto idx = static_cast<std::size_t>(
-                    std::find(ids.begin(), ids.end(), t) - ids.begin());
-                const Cycles already = granted[idx];
+                    remaining * e.weight / total_weight;
+                const Cycles want = e.task->desired_cycles(dt, cls);
+                const Cycles already = granted_[i];
                 const Cycles need = std::max(0.0, want - already);
                 if (need <= quota * (1.0 + 1e-12)) {
-                    granted[idx] += need;
+                    granted_[i] += need;
                     consumed += need;
                 } else {
-                    granted[idx] += quota;
+                    granted_[i] += quota;
                     consumed += quota;
-                    still_hungry.push_back(t);
+                    hungry_idx_.push_back(i);
                 }
             }
             remaining -= consumed;
-            if (still_hungry.size() == active.size())
+            if (hungry_idx_.size() == active_idx_.size())
                 break;  // Everyone hungry: quotas fully used.
-            active = std::move(still_hungry);
+            std::swap(active_idx_, hungry_idx_);
         }
     }
 
@@ -177,7 +178,7 @@ Scheduler::distribute(CoreId core, const std::vector<TaskId>& ids,
         1.0 - std::exp(-to_seconds(dt) / kLoadTauSeconds);
     for (std::size_t i = 0; i < ids.size(); ++i) {
         Entry& e = entry(ids[i]);
-        const Cycles g = granted[i];
+        const Cycles g = granted_[i];
         used_total += g;
         e.task->advance(now, dt, g, cls);
         e.supply_last = g / kCyclesPerPuSecond / to_seconds(dt);
@@ -201,16 +202,18 @@ void
 Scheduler::tick(SimTime now, SimTime dt)
 {
     PPM_ASSERT(dt > 0, "tick must be positive");
-    // Group active tasks by core in one pass.
-    std::vector<std::vector<TaskId>> by_core(
-        static_cast<std::size_t>(chip_->num_cores()));
+    // Group active tasks by core in one pass.  The per-core vectors
+    // are members that keep their capacity, so steady-state ticks
+    // allocate nothing.
+    for (auto& ids : by_core_)
+        ids.clear();
     for (const Entry& e : entries_) {
         if (e.active)
-            by_core[static_cast<std::size_t>(e.core)].push_back(
+            by_core_[static_cast<std::size_t>(e.core)].push_back(
                 e.task->id());
     }
     for (CoreId c = 0; c < chip_->num_cores(); ++c)
-        distribute(c, by_core[static_cast<std::size_t>(c)], now, dt);
+        distribute(c, by_core_[static_cast<std::size_t>(c)], now, dt);
 }
 
 double

@@ -134,6 +134,16 @@ class Scheduler
     std::vector<Entry> entries_;
     std::vector<double> core_util_;
     long migrations_ = 0;
+
+    // Reusable per-tick scratch (sized once, cleared per use) so the
+    // steady-state tick allocates nothing.  by_core_ groups task ids
+    // per core; the index vectors drive the water-filling loop with
+    // positions into the current core's id list, replacing the
+    // O(n^2) std::find of the id-keyed formulation.
+    std::vector<std::vector<TaskId>> by_core_;
+    std::vector<Cycles> granted_;
+    std::vector<std::size_t> active_idx_;
+    std::vector<std::size_t> hungry_idx_;
 };
 
 } // namespace ppm::sched

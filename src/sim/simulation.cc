@@ -63,6 +63,31 @@ Simulation::Simulation(hw::Chip chip,
     // bus record into recorder_ (callers may attach further sinks).
     if (config_.trace)
         bus_.add_sink(std::make_unique<metrics::MemorySink>(&recorder_));
+
+    // Cached task views: step() and the governors walk these every
+    // tick, so build the vector once.
+    task_views_.reserve(owned_tasks_.size());
+    for (auto& t : owned_tasks_)
+        task_views_.push_back(t.get());
+
+    // Intern every series/counter name this simulation can emit.
+    // Interning is independent of attached sinks, so handles resolved
+    // here stay valid for sinks attached later (before run()).
+    chip_power_id_ = bus_.intern("chip_power_w");
+    migrations_id_ = bus_.intern("migrations");
+    for (const auto& cl : chip_.clusters()) {
+        const std::string prefix =
+            "cluster" + std::to_string(cl.id());
+        cluster_mhz_ids_.push_back(bus_.intern(prefix + "_mhz"));
+        cluster_temp_ids_.push_back(bus_.intern(prefix + "_temp_c"));
+        vf_step_ids_.push_back(
+            bus_.intern("vf_steps_" + prefix));
+    }
+    for (auto& t : owned_tasks_) {
+        task_hr_ids_.push_back(bus_.intern(t->name() + "_hr"));
+        task_norm_hr_ids_.push_back(
+            bus_.intern(t->name() + "_norm_hr"));
+    }
 }
 
 bool
@@ -90,31 +115,20 @@ Simulation::apply_lifetimes()
     }
 }
 
-std::vector<workload::Task*>
-Simulation::tasks()
-{
-    std::vector<workload::Task*> out;
-    out.reserve(owned_tasks_.size());
-    for (auto& t : owned_tasks_)
-        out.push_back(t.get());
-    return out;
-}
-
 void
 Simulation::record_power(SimTime dt)
 {
-    std::vector<Watts> cluster_power;
-    cluster_power.reserve(chip_.clusters().size());
+    power_scratch_.clear();
     for (const auto& cl : chip_.clusters()) {
-        std::vector<double> util;
-        util.reserve(cl.cores().size());
+        util_scratch_.clear();
         for (CoreId c : cl.cores())
-            util.push_back(scheduler_->core_utilization(c));
-        const Watts w = hw::PowerModel::cluster_power(chip_, cl.id(), util);
+            util_scratch_.push_back(scheduler_->core_utilization(c));
+        const Watts w =
+            hw::PowerModel::cluster_power(chip_, cl.id(), util_scratch_);
         sensors_.record(cl.id(), w, dt);
-        cluster_power.push_back(w);
+        power_scratch_.push_back(w);
     }
-    thermal_->step(cluster_power, dt);
+    thermal_->step(power_scratch_, dt);
 }
 
 void
@@ -126,24 +140,25 @@ Simulation::sample_traces()
         return;
     next_trace_ = now_ + config_.trace_period;
     const Watts chip_power = sensors_.instantaneous_chip();
-    bus_.sample("chip_power_w", now_, chip_power);
-    bus_.observe("chip_power_w", chip_power);
+    bus_.sample(chip_power_id_, now_, chip_power);
+    bus_.observe(chip_power_id_, chip_power);
     for (const auto& cl : chip_.clusters()) {
-        bus_.sample("cluster" + std::to_string(cl.id()) + "_mhz",
-                    now_, cl.mhz());
-        bus_.sample("cluster" + std::to_string(cl.id()) + "_temp_c",
-                    now_, thermal_->temperature(cl.id()));
+        const auto v = static_cast<std::size_t>(cl.id());
+        bus_.sample(cluster_mhz_ids_[v], now_, cl.mhz());
+        bus_.sample(cluster_temp_ids_[v], now_,
+                    thermal_->temperature(cl.id()));
     }
-    for (auto& t : owned_tasks_) {
+    for (std::size_t t = 0; t < owned_tasks_.size(); ++t) {
         // A task with an unset reference range (target 0) has no
         // normalization; record its raw heart rate instead of an
         // inf/nan-poisoned series.
-        const double target = t->hrm().target_hr();
-        const double hr = t->heart_rate(now_);
+        const workload::Task& task = *owned_tasks_[t];
+        const double target = task.hrm().target_hr();
+        const double hr = task.heart_rate(now_);
         if (target > 0.0)
-            bus_.sample(t->name() + "_norm_hr", now_, hr / target);
+            bus_.sample(task_norm_hr_ids_[t], now_, hr / target);
         else
-            bus_.sample(t->name() + "_hr", now_, hr);
+            bus_.sample(task_hr_ids_[t], now_, hr);
     }
 }
 
@@ -180,7 +195,7 @@ Simulation::step()
         const int level = chip_.cluster(static_cast<ClusterId>(v)).level();
         if (level != last_levels_[v]) {
             ++vf_transitions_;
-            bus_.count("vf_steps_cluster" + std::to_string(v));
+            bus_.count(vf_step_ids_[v]);
             last_levels_[v] = level;
         }
     }
@@ -188,19 +203,20 @@ Simulation::step()
     // Telemetry counters for scheduler-driven migrations.
     const long migs = scheduler_->migrations();
     if (migs != last_migrations_) {
-        bus_.count("migrations", migs - last_migrations_);
+        bus_.count(migrations_id_, migs - last_migrations_);
         last_migrations_ = migs;
     }
 
     now_ += dt;
-    std::vector<workload::Task*> views = tasks();
     if (config_.lifetimes.empty()) {
-        qos_.sample(views, now_, dt, config_.warmup);
+        qos_.sample(task_views_, now_, dt, config_.warmup);
     } else {
-        std::vector<bool> alive(views.size());
-        for (TaskId t = 0; t < static_cast<TaskId>(views.size()); ++t)
-            alive[static_cast<std::size_t>(t)] = task_alive(t);
-        qos_.sample(views, now_, dt, config_.warmup, &alive);
+        alive_scratch_.assign(task_views_.size(), false);
+        for (TaskId t = 0; t < static_cast<TaskId>(task_views_.size());
+             ++t)
+            alive_scratch_[static_cast<std::size_t>(t)] = task_alive(t);
+        qos_.sample(task_views_, now_, dt, config_.warmup,
+                    &alive_scratch_);
     }
     sample_traces();
 }

@@ -145,8 +145,8 @@ class Simulation
     metrics::TraceBus& bus() { return bus_; }
     const metrics::TraceBus& bus() const { return bus_; }
 
-    /** All tasks (non-owning views). */
-    std::vector<workload::Task*> tasks();
+    /** All tasks (non-owning views, built once at construction). */
+    const std::vector<workload::Task*>& tasks() { return task_views_; }
 
     /** Whether task `t` is inside its lifetime window right now. */
     bool task_alive(TaskId t) const;
@@ -169,6 +169,7 @@ class Simulation
 
     hw::Chip chip_;
     std::vector<std::unique_ptr<workload::Task>> owned_tasks_;
+    std::vector<workload::Task*> task_views_;  ///< Cached non-owning views.
     std::unique_ptr<sched::Scheduler> scheduler_;
     hw::SensorBank sensors_;
     std::unique_ptr<hw::ThermalModel> thermal_;
@@ -191,6 +192,21 @@ class Simulation
     Joules warmup_energy_ = 0.0;
     SimTime warmup_end_ = 0;
     bool warmup_snapshotted_ = false;
+
+    // Interned trace handles, resolved once at construction so the
+    // per-tick and per-sample paths never rebuild series names.
+    metrics::SeriesId chip_power_id_ = 0;
+    metrics::SeriesId migrations_id_ = 0;
+    std::vector<metrics::SeriesId> cluster_mhz_ids_;
+    std::vector<metrics::SeriesId> cluster_temp_ids_;
+    std::vector<metrics::SeriesId> vf_step_ids_;
+    std::vector<metrics::SeriesId> task_hr_ids_;       ///< "<name>_hr".
+    std::vector<metrics::SeriesId> task_norm_hr_ids_;  ///< "<name>_norm_hr".
+
+    // Reusable per-tick scratch (capacity kept across ticks).
+    std::vector<Watts> power_scratch_;    ///< record_power: per cluster.
+    std::vector<double> util_scratch_;    ///< record_power: per core.
+    std::vector<bool> alive_scratch_;     ///< step: lifetime mask.
 };
 
 } // namespace ppm::sim

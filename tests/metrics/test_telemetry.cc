@@ -122,6 +122,116 @@ TEST(JsonlSink, EscapesQuotesAndBackslashes)
     EXPECT_NE(line.find("\"a\\\"b\\\\c\""), std::string::npos);
 }
 
+TEST(TraceBus, InterningIsIdempotentAndStable)
+{
+    TraceBus bus;
+    // Interning works with no sink attached (emitters resolve handles
+    // at construction, before sinks exist).
+    const SeriesId a = bus.intern("chip_power_w");
+    const SeriesId b = bus.intern("cluster0_mhz");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(bus.intern("chip_power_w"), a);
+    EXPECT_EQ(bus.intern("cluster0_mhz"), b);
+    EXPECT_EQ(bus.name_of(a), "chip_power_w");
+    EXPECT_EQ(bus.name_of(b), "cluster0_mhz");
+    // Ids survive sink attachment and flushes.
+    TraceRecorder rec;
+    bus.add_sink(std::make_unique<MemorySink>(&rec));
+    bus.flush();
+    EXPECT_EQ(bus.intern("chip_power_w"), a);
+}
+
+TEST(TraceBus, InternedAndStringPathsAreEquivalent)
+{
+    // The same records through the SeriesId overloads and the
+    // string-keyed compatibility layer must be indistinguishable to
+    // sinks and to the counter/histogram accessors.
+    TraceRecorder rec_id;
+    TraceBus bus_id;
+    bus_id.add_sink(std::make_unique<MemorySink>(&rec_id));
+    const SeriesId power = bus_id.intern("power");
+    const SeriesId migs = bus_id.intern("migrations");
+    bus_id.sample(power, kSecond, 1.5);
+    bus_id.sample(power, 2 * kSecond, 2.5);
+    bus_id.count(migs, 2);
+    bus_id.observe(power, 4.0);
+
+    TraceRecorder rec_str;
+    TraceBus bus_str;
+    bus_str.add_sink(std::make_unique<MemorySink>(&rec_str));
+    bus_str.sample("power", kSecond, 1.5);
+    bus_str.sample("power", 2 * kSecond, 2.5);
+    bus_str.count("migrations", 2);
+    bus_str.observe("power", 4.0);
+
+    std::ostringstream a;
+    std::ostringstream b;
+    rec_id.write_csv(a);
+    rec_str.write_csv(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(bus_id.counters(), bus_str.counters());
+    EXPECT_EQ(bus_id.counter(migs), bus_str.counter("migrations"));
+    ASSERT_NE(bus_id.histogram(power), nullptr);
+    ASSERT_NE(bus_str.histogram("power"), nullptr);
+    EXPECT_EQ(bus_id.histogram(power)->count(),
+              bus_str.histogram("power")->count());
+    EXPECT_DOUBLE_EQ(bus_id.histogram(power)->mean(),
+                     bus_str.histogram("power")->mean());
+}
+
+TEST(TraceBus, InternedCountersListOnlyTouchedNames)
+{
+    // An interned-but-never-recorded name must not appear in the
+    // aggregate maps (it would pollute the end-of-run counters event).
+    TraceBus bus;
+    TraceRecorder rec;
+    bus.add_sink(std::make_unique<MemorySink>(&rec));
+    const SeriesId used = bus.intern("used");
+    bus.intern("never_touched");
+    bus.count(used, 5);
+    const auto counters = bus.counters();
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters.count("used"), 1u);
+    EXPECT_EQ(counters.at("used"), 5);
+    EXPECT_TRUE(bus.histograms().empty());
+}
+
+TEST(TraceBus, EventScratchReusesLayoutAndRebuildsOnChange)
+{
+    TraceRecorder rec;
+    TraceBus bus;
+    bus.add_sink(std::make_unique<MemorySink>(&rec));
+
+    EventScratch scratch("epoch");
+    scratch.begin(kSecond);
+    scratch.num("a", 1.0).num("b", 2.0);
+    bus.event(scratch.finish());
+
+    // Same layout: values overwritten in place.
+    scratch.begin(2 * kSecond);
+    scratch.num("a", 3.0).num("b", 4.0);
+    bus.event(scratch.finish());
+    ASSERT_EQ(rec.series("a").size(), 2u);
+    EXPECT_DOUBLE_EQ(rec.series("a")[1].value, 3.0);
+    EXPECT_DOUBLE_EQ(rec.series("b")[1].value, 4.0);
+
+    // Shrunk layout (e.g. a power-gated cluster dropping out): the
+    // stale tail must not leak into the event.
+    scratch.begin(3 * kSecond);
+    scratch.num("a", 5.0);
+    bus.event(scratch.finish());
+    ASSERT_EQ(rec.series("a").size(), 3u);
+    EXPECT_EQ(rec.series("b").size(), 2u);
+
+    // Different key at a reused position: the tail rebuilds.
+    scratch.begin(4 * kSecond);
+    scratch.num("c", 6.0);
+    bus.event(scratch.finish());
+    ASSERT_EQ(rec.series("c").size(), 1u);
+    EXPECT_DOUBLE_EQ(rec.series("c")[0].value, 6.0);
+    EXPECT_EQ(rec.series("a").size(), 3u);
+}
+
 TEST(TraceBus, MemorySinkMatchesDirectRecording)
 {
     // The classic trace path must be unchanged: routing through the
