@@ -333,6 +333,50 @@ BM_MarketRound(benchmark::State& state)
     state.SetLabel("tasks=" + std::to_string(id));
 }
 
+/**
+ * A complete run (construction + Simulation::run + summary) with the
+ * macro-stepping engine on or off.  Unlike the step() benchmarks,
+ * this exercises the event-horizon time advance: with `macro` set the
+ * engine coalesces every quiescent inter-epoch gap, so the per-tick
+ * equivalent cost (items are simulated ticks) is the number that must
+ * beat BM_SimulationStep by the PR's 5x bar.  The traced variant
+ * shows the horizon being capped at the trace sampling period.
+ */
+void
+BM_EndToEndRun(benchmark::State& state)
+{
+    const int clusters = static_cast<int>(state.range(0));
+    const int cores = static_cast<int>(state.range(1));
+    const int tasks =
+        clusters * cores * static_cast<int>(state.range(2));
+    const bool macro = state.range(3) != 0;
+    const bool traced = state.range(4) != 0;
+    const SimTime duration = 30 * kSecond;
+    const long ticks = duration / kMillisecond;
+    for (auto _ : state) {
+        market::PpmGovernorConfig cfg;
+        cfg.market.w_tdp = 1e9;
+        cfg.market.w_th = 1e9 - 0.5;
+        sim::SimConfig sim_cfg;
+        sim_cfg.duration = duration;
+        sim_cfg.macro_step = macro;
+        sim::Simulation sim(
+            hw::synthetic_chip(clusters, cores), table7_specs(tasks),
+            std::make_unique<market::PpmGovernor>(cfg), sim_cfg);
+        if (traced)
+            sim.bus().add_sink(std::make_unique<NullSink>());
+        benchmark::DoNotOptimize(sim.run());
+    }
+    // items/s = simulated ticks per wall second, comparable across
+    // the macro/per-tick variants and against BM_SimulationStep.
+    state.SetItemsProcessed(state.iterations() * ticks);
+    state.SetLabel("V=" + std::to_string(clusters) +
+                   " C=" + std::to_string(cores) +
+                   " tasks=" + std::to_string(tasks) +
+                   (macro ? " macro" : " per-tick") +
+                   (traced ? " traced" : " untraced"));
+}
+
 void
 hotpath_args(benchmark::internal::Benchmark* b)
 {
@@ -359,6 +403,13 @@ BENCHMARK(BM_MarketRound)
     ->Args({2, 4, 2})
     ->Args({16, 8, 8})
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EndToEndRun)
+    ->ArgNames({"v", "c", "t", "macro", "traced"})
+    ->Args({2, 4, 2, 0, 0})   // per-tick baseline, 16 tasks
+    ->Args({2, 4, 2, 1, 0})   // macro-stepping, 16 tasks
+    ->Args({2, 4, 2, 1, 1})   // macro + trace sink (horizon capped)
+    ->Args({4, 8, 2, 1, 0})   // macro, 64 tasks
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

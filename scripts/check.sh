@@ -39,6 +39,14 @@ rm -f /tmp/ppm_bench_hotpath.json
 ./build/tools/trace_stats /tmp/ppm_check.csv > /dev/null
 rm -f /tmp/ppm_check.jsonl /tmp/ppm_check.csv
 
+# Macro-stepping equivalence smoke: the event-horizon engine must be
+# byte-identical to the historical per-tick loop on a real workload.
+./build/tools/ppm_run --set l1 --seconds 8 --csv > /tmp/ppm_macro.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --per-tick \
+    > /tmp/ppm_tick.csv
+cmp /tmp/ppm_macro.csv /tmp/ppm_tick.csv
+rm -f /tmp/ppm_macro.csv /tmp/ppm_tick.csv
+
 # Race check: the parallel sweep is only deterministic if cells share
 # no mutable state, so run the threaded tests under ThreadSanitizer.
 # The trace/telemetry tests ride along: each cell must own its bus
@@ -52,6 +60,6 @@ cmake --build build-tsan --target test_common test_integration \
 ./build-tsan/tests/test_metrics \
     --gtest_filter='TraceBus.*:TraceSink.*:TraceRecorder.*' > /dev/null
 ./build-tsan/tests/test_integration \
-    --gtest_filter='Sweep.*:RunCells.*' > /dev/null
+    --gtest_filter='Sweep.*:RunCells.*:Macrostep.*' > /dev/null
 
 echo "all checks passed"

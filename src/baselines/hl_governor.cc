@@ -149,6 +149,13 @@ HlGovernor::kill_big_cluster(sim::Simulation& sim, SimTime now)
     sim.chip().cluster(big_).set_powered(false);
 }
 
+bool
+HlGovernor::quiescent(const sim::Simulation& sim) const
+{
+    return big_killed_ || big_ == kInvalidId ||
+        sim.sensors().instantaneous_chip() <= cfg_.tdp;
+}
+
 void
 HlGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
 {

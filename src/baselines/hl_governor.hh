@@ -64,6 +64,22 @@ class HlGovernor : public sim::Governor
     void init(sim::Simulation& sim) override;
     void tick(sim::Simulation& sim, SimTime now, SimTime dt) override;
 
+    /** HL acts on the earlier of its scheduling and DVFS timers. */
+    SimTime next_wake(SimTime now) const override
+    {
+        (void)now;
+        return next_sched_ < next_dvfs_ ? next_sched_ : next_dvfs_;
+    }
+
+    /**
+     * HL polls an always-on TDP kill check every tick, so it is only
+     * quiescent while that check cannot fire: once the big cluster is
+     * gone, or while chip power sits at or under the cap (power is
+     * constant between governor/task events, so the comparison cannot
+     * change mid-interval).
+     */
+    bool quiescent(const sim::Simulation& sim) const override;
+
   private:
     /** Activeness-threshold migrations plus intra-cluster balancing. */
     void schedule(sim::Simulation& sim, SimTime now);

@@ -20,6 +20,7 @@
 #ifndef PPM_BASELINES_HPM_GOVERNOR_HH
 #define PPM_BASELINES_HPM_GOVERNOR_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,13 @@ class HpmGovernor : public sim::Governor
     std::string name() const override { return "HPM"; }
     void init(sim::Simulation& sim) override;
     void tick(sim::Simulation& sim, SimTime now, SimTime dt) override;
+
+    /** HPM acts on the earliest of its three loop timers. */
+    SimTime next_wake(SimTime now) const override
+    {
+        (void)now;
+        return std::min(next_dvfs_, std::min(next_tdp_, next_lbt_));
+    }
 
   private:
     /** Inner loop: per-cluster PI on the constrained-core demand. */

@@ -1,11 +1,28 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.hh"
 
 namespace ppm {
+
+namespace {
+
+/**
+ * Bitwise double equality.  The coalescing and fixed-point checks must
+ * distinguish 0.0 from -0.0 (operator== does not): substituting one
+ * for the other would change later subtraction results by a sign bit.
+ */
+bool
+bit_equal(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+} // namespace
 
 void
 OnlineStats::add(double x)
@@ -76,10 +93,30 @@ void
 WindowRate::evict(SimTime now) const
 {
     const SimTime start = now - window_;
-    while (count_ > 0 && ring_[head_].time <= start) {
-        window_sum_ -= ring_[head_].count;
-        head_ = (head_ + 1) % ring_.size();
-        --count_;
+    while (runs_ > 0) {
+        Run& r = ring_[head_];
+        if (r.first > start)
+            break;
+        // How many of the run's samples fall at or before the window
+        // start.  r.first <= start here, so k >= 1; skip the division
+        // in the common steady case where only the oldest sample ages
+        // out (the run's second sample is already past the start).
+        long k = 1;
+        if (r.n >= 2 && r.first + r.stride <= start)
+            k = std::min<long>(r.n, (start - r.first) / r.stride + 1);
+        // One subtraction per evicted sample, oldest first: the exact
+        // floating-point op sequence of the per-sample ring.
+        for (long i = 0; i < k; ++i)
+            window_sum_ -= r.count;
+        count_ -= k;
+        if (k == r.n) {
+            head_ = (head_ + 1) & (ring_.size() - 1);
+            --runs_;
+        } else {
+            r.first += k * r.stride;
+            r.n -= k;
+            break;  // Remaining samples are newer than the start.
+        }
     }
     if (count_ == 0)
         window_sum_ = 0.0;  // Clear floating-point residue.
@@ -89,9 +126,9 @@ void
 WindowRate::grow()
 {
     const std::size_t cap = ring_.size();
-    std::vector<Sample> next(std::max<std::size_t>(8, cap * 2));
-    for (std::size_t i = 0; i < count_; ++i)
-        next[i] = ring_[(head_ + i) % cap];
+    std::vector<Run> next(std::max<std::size_t>(8, cap * 2));
+    for (std::size_t i = 0; i < runs_; ++i)
+        next[i] = ring_[(head_ + i) & (cap - 1)];
     ring_ = std::move(next);
     head_ = 0;
 }
@@ -99,10 +136,47 @@ WindowRate::grow()
 void
 WindowRate::add(SimTime now, double count)
 {
+    // Steady-window fast path: a single uniform run, the new sample
+    // extends it at the same stride with the same bits, and exactly
+    // one sample ages out.  The net effect of evict-then-append is
+    // then "-= count, += count, shift the run by one stride", with
+    // the identical floating-point op sequence the general path would
+    // execute and no run bookkeeping.
+    if (runs_ == 1) {
+        Run& r = ring_[head_];
+        const SimTime start = now - window_;
+        if (r.n >= 2 && now - r.last() == r.stride &&
+            bit_equal(r.count, count) && r.first <= start &&
+            r.first + r.stride > start) {
+            window_sum_ -= count;
+            window_sum_ += count;
+            r.first += r.stride;
+            return;
+        }
+    }
     evict(now);
-    if (count_ == ring_.size())
+    if (runs_ > 0) {
+        Run& back = ring_[(head_ + runs_ - 1) & (ring_.size() - 1)];
+        const SimTime gap = now - back.last();
+        // Coalesce into the newest run when the sample value repeats
+        // bit-for-bit at a uniform positive spacing.  Repeated
+        // timestamps (gap == 0) stay separate runs so eviction order
+        // is well defined.
+        if (bit_equal(back.count, count) && gap > 0 &&
+            (back.n == 1 || gap == back.stride)) {
+            if (back.n == 1)
+                back.stride = gap;
+            ++back.n;
+            ++count_;
+            window_sum_ += count;
+            return;
+        }
+    }
+    if (runs_ == ring_.size())
         grow();
-    ring_[(head_ + count_) % ring_.size()] = {now, count};
+    ring_[(head_ + runs_) & (ring_.size() - 1)] =
+        Run{now, 0, 1, count};
+    ++runs_;
     ++count_;
     window_sum_ += count;
 }
@@ -112,6 +186,34 @@ WindowRate::rate(SimTime now) const
 {
     evict(now);
     return window_sum_ / to_seconds(window_);
+}
+
+bool
+WindowRate::replay_steady(SimTime now, SimTime dt, double count) const
+{
+    PPM_ASSERT(dt > 0, "sampling period must be positive");
+    evict(now);
+    if (runs_ != 1 || window_ % dt != 0)
+        return false;
+    const Run& r = ring_[head_];
+    if (r.n != window_ / dt || r.last() != now)
+        return false;
+    if (r.n >= 2 && r.stride != dt)
+        return false;
+    if (!bit_equal(r.count, count))
+        return false;
+    // One more add would evict exactly one sample and append one:
+    // sum' = (sum - count) + count.  Steady only if that round-trips
+    // to the same bits, making every further step the identity.
+    return bit_equal((window_sum_ - count) + count, window_sum_);
+}
+
+void
+WindowRate::advance_steady(SimTime shift)
+{
+    PPM_ASSERT(shift >= 0, "negative shift");
+    PPM_ASSERT(runs_ == 1, "advance_steady needs a steady window");
+    ring_[head_].first += shift;
 }
 
 double

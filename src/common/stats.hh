@@ -93,10 +93,15 @@ class DutyCycle
  * recent `window` of simulated time.  The Heart Rate Monitor is built
  * on this (heartbeats per second).
  *
- * Storage is a ring buffer whose capacity converges to the window's
- * steady-state sample count and is then reused forever -- unlike a
- * deque, which allocates a fresh chunk every few dozen pushes and so
- * keeps the per-tick HRM updates off an allocation-free hot path.
+ * Storage is a ring of *runs*: maximal groups of consecutive samples
+ * with a uniform spacing and a bitwise-identical per-sample count.
+ * The per-tick steady state -- one identical sample every simulation
+ * tick -- collapses to a single run, so memory stays O(distinct
+ * sample values) instead of O(window / tick), and the macro-stepping
+ * engine can fast-forward a steady window in O(1) (advance_steady).
+ * Eviction still subtracts sample counts one at a time, in FIFO
+ * order, so the floating-point trajectory of the window sum is
+ * bit-identical to the historical one-sample-per-slot ring.
  */
 class WindowRate
 {
@@ -113,22 +118,53 @@ class WindowRate
     /** Window width. */
     SimTime window() const { return window_; }
 
+    /**
+     * True when the window is in the uniform steady state under a
+     * `dt` sampling period: it holds exactly window/dt live samples,
+     * all spaced `dt` apart with the last at `now`, every sample's
+     * count is bitwise equal to `count`, and one more
+     * evict-oldest/add-newest step provably returns the window sum to
+     * the same bits (the floating-point fixed point).  When this
+     * holds, any number of further `add(now + k*dt, count)` calls
+     * leaves the sum and rate bit-identical, so a replay engine may
+     * substitute advance_steady() for them.
+     */
+    bool replay_steady(SimTime now, SimTime dt, double count) const;
+
+    /**
+     * Fast-forward a steady window by `shift` of simulated time, as
+     * if shift/dt identical samples had been added (and as many
+     * evicted).  Caller must have established replay_steady(); the
+     * sum, live count and rate are unchanged, only the sample
+     * timestamps advance.
+     */
+    void advance_steady(SimTime shift);
+
   private:
-    struct Sample {
-        SimTime time;
+    /** `n` samples at first, first+stride, ..., each worth `count`. */
+    struct Run {
+        SimTime first;
+        SimTime stride;  ///< Sample spacing; meaningful when n >= 2.
+        long n;
         double count;
+
+        SimTime last() const
+        {
+            return n >= 2 ? first + (n - 1) * stride : first;
+        }
     };
 
     /** Drop samples older than the window start (logically const). */
     void evict(SimTime now) const;
 
-    /** Double the ring capacity, linearizing the live samples. */
+    /** Double the run-ring capacity, linearizing the live runs. */
     void grow();
 
     SimTime window_;
-    mutable std::vector<Sample> ring_;  ///< Capacity = ring_.size().
-    mutable std::size_t head_ = 0;      ///< Index of the oldest sample.
-    mutable std::size_t count_ = 0;     ///< Live samples in the ring.
+    mutable std::vector<Run> ring_;  ///< Capacity = ring_.size() (pow2).
+    mutable std::size_t head_ = 0;   ///< Index of the oldest run.
+    mutable std::size_t runs_ = 0;   ///< Live runs in the ring.
+    mutable long count_ = 0;         ///< Live samples across all runs.
     mutable double window_sum_ = 0.0;
 };
 

@@ -47,6 +47,7 @@ run_specs(const std::vector<workload::TaskSpec>& specs,
     sim_cfg.duration = params.duration;
     sim_cfg.trace = params.trace;
     sim_cfg.tdp_for_metrics = params.tdp;
+    sim_cfg.macro_step = params.macro_step;
 
     sim::Simulation simulation(
         hw::tc2_chip(), specs,
@@ -141,7 +142,8 @@ run_set_avg(const workload::WorkloadSet& set, RunParams params,
         cells.push_back(
             [&set, p]() { return run_set(set, p).summary; });
     }
-    return aggregate_summaries(run_cells<sim::RunSummary>(cells, jobs));
+    return aggregate_summaries(
+        run_cells<sim::RunSummary>(std::move(cells), jobs));
 }
 
 } // namespace ppm::experiment

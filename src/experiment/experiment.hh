@@ -31,6 +31,9 @@ struct RunParams {
     int priority = 1;                 ///< Priority for all tasks.
     bool trace = false;               ///< Record time series.
     bool online_speedup = false;      ///< PPM: learn speedups online.
+    bool macro_step = true;           ///< Event-horizon time advance
+                                      ///< (see SimConfig::macro_step);
+                                      ///< false = per-tick loop.
 
     /**
      * Extra telemetry sink (streaming CSV/JSONL) attached to the

@@ -79,13 +79,14 @@ run_sweep(const SweepConfig& config)
         }
     }
 
+    const std::size_t n_cells = cells.size();
     std::vector<RunResult> results =
-        run_cells<RunResult>(cells, config.jobs);
+        run_cells<RunResult>(std::move(cells), config.jobs);
     SweepResult sweep(static_cast<int>(config.sets.size()),
                       static_cast<int>(config.policies.size()),
                       config.n_seeds, std::move(results));
     inform("sweep: %zu cells, %.2f s simulated wall-clock total",
-           cells.size(), sweep.total_wall_seconds());
+           n_cells, sweep.total_wall_seconds());
     return sweep;
 }
 

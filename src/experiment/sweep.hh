@@ -27,6 +27,7 @@
 
 #include <functional>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hh"
@@ -37,9 +38,16 @@ namespace ppm::experiment {
 /**
  * Run arbitrary cell functions on up to `jobs` workers (0 = one per
  * hardware thread) and return their results *in input order*.  With
- * jobs == 1 the cells run inline on the calling thread -- the serial
- * fallback used for debugging and determinism comparisons.  A cell's
- * exception propagates to the caller.
+ * jobs == 1, or with a single cell, the cells run inline on the
+ * calling thread (no pool is constructed) -- the serial fallback used
+ * for debugging and determinism comparisons.  A cell's exception
+ * propagates to the caller.
+ *
+ * Takes the cell vector by value and moves each closure to its
+ * worker: cell closures capture whole RunParams/spec payloads, so
+ * copying every std::function into the pool would reallocate all of
+ * that per cell.  Callers that reuse their vector should pass a copy
+ * explicitly.
  *
  * This is the generic layer under run_sweep(): benches whose cells
  * are custom governor configurations (the ablations) rather than
@@ -47,20 +55,20 @@ namespace ppm::experiment {
  */
 template <typename T>
 std::vector<T>
-run_cells(const std::vector<std::function<T()>>& cells, int jobs = 0)
+run_cells(std::vector<std::function<T()>> cells, int jobs = 0)
 {
     std::vector<T> results;
     results.reserve(cells.size());
-    if (ThreadPool::resolve_jobs(jobs) == 1) {
-        for (const auto& cell : cells)
-            results.push_back(cell());
+    if (cells.size() <= 1 || ThreadPool::resolve_jobs(jobs) == 1) {
+        for (auto& cell : cells)
+            results.push_back(std::move(cell)());
         return results;
     }
     ThreadPool pool(jobs);
     std::vector<std::future<T>> futures;
     futures.reserve(cells.size());
-    for (const auto& cell : cells)
-        futures.push_back(pool.submit(cell));
+    for (auto& cell : cells)
+        futures.push_back(pool.submit(std::move(cell)));
     // Reduce in submission order: completion order never leaks.
     for (auto& f : futures)
         results.push_back(f.get());

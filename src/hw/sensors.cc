@@ -25,6 +25,18 @@ SensorBank::record(ClusterId v, Watts watts, SimTime duration)
     elapsed_[idx] += duration;
 }
 
+void
+SensorBank::advance(ClusterId v, Joules energy_per_tick, SimTime tick,
+                    long n)
+{
+    PPM_ASSERT(v >= 0 && v < num_clusters(), "cluster channel out of range");
+    PPM_ASSERT(tick >= 0 && n >= 0, "negative advance");
+    auto idx = static_cast<std::size_t>(v);
+    for (long i = 0; i < n; ++i)
+        energy_[idx] += energy_per_tick;
+    elapsed_[idx] += n * tick;
+}
+
 Watts
 SensorBank::instantaneous(ClusterId v) const
 {

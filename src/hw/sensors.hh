@@ -30,6 +30,18 @@ class SensorBank
      */
     void record(ClusterId v, Watts watts, SimTime duration);
 
+    /**
+     * Apply `n` ticks of constant power in one call: bit-identical to
+     * n record() calls whose per-tick energy increment is
+     * `energy_per_tick` (the caller hoists watts * to_seconds(tick)
+     * out of the loop; the additions themselves stay per-tick because
+     * floating-point accumulation does not associate).  Leaves the
+     * instantaneous reading untouched -- the boundary record() that
+     * preceded a quiescent interval already stored it.
+     */
+    void advance(ClusterId v, Joules energy_per_tick, SimTime tick,
+                 long n);
+
     /** Most recent instantaneous power reading of cluster `v`. */
     Watts instantaneous(ClusterId v) const;
 

@@ -45,7 +45,12 @@ ThermalModel::step(const std::vector<Watts>& cluster_power, SimTime dt)
         temp_[v] = target + (temp_[v] - target) * decay;
     }
 
-    const double hottest = max_temperature();
+    observe_extremes(max_temperature());
+}
+
+void
+ThermalModel::observe_extremes(double hottest)
+{
     peak_ = std::max(peak_, hottest);
 
     // Peak/valley cycle counting on the hottest node.
@@ -64,6 +69,49 @@ ThermalModel::step(const std::vector<Watts>& cluster_power, SimTime dt)
             cycle_ref_ = hottest;
             ++cycles_;  // One full valley-to-rise completes a cycle.
         }
+    }
+}
+
+void
+ThermalModel::advance(const std::vector<Watts>& cluster_power,
+                      SimTime dt, long n)
+{
+    PPM_ASSERT(cluster_power.size() == temp_.size(),
+               "power vector size mismatch");
+    PPM_ASSERT(dt >= 0 && n >= 0, "negative advance");
+    const double dt_s = to_seconds(dt);
+    adv_target_.resize(temp_.size());
+    adv_decay_.resize(temp_.size());
+    for (std::size_t v = 0; v < temp_.size(); ++v) {
+        const auto& node = params_.nodes[v];
+        adv_target_[v] =
+            params_.ambient_c + cluster_power[v] * node.resistance_k_per_w;
+        const double tau =
+            node.resistance_k_per_w * node.capacitance_j_per_k;
+        adv_decay_[v] = std::exp(-dt_s / tau);
+    }
+    for (long i = 0; i < n; ++i) {
+        bool temps_changed = false;
+        for (std::size_t v = 0; v < temp_.size(); ++v) {
+            const double next =
+                adv_target_[v] + (temp_[v] - adv_target_[v]) * adv_decay_[v];
+            if (next != temp_[v] ||
+                std::signbit(next) != std::signbit(temp_[v]))
+                temps_changed = true;
+            temp_[v] = next;
+        }
+        const double prev_peak = peak_;
+        const double prev_ref = cycle_ref_;
+        const bool prev_rising = rising_;
+        const long prev_cycles = cycles_;
+        observe_extremes(max_temperature());
+        // Once the temperatures and the extremes detector jointly
+        // stop changing, every remaining step is the identity; the
+        // remaining (n - i - 1) iterations can be skipped exactly.
+        if (!temps_changed && peak_ == prev_peak &&
+            cycle_ref_ == prev_ref && rising_ == prev_rising &&
+            cycles_ == prev_cycles)
+            break;
     }
 }
 

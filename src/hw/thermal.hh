@@ -44,6 +44,18 @@ class ThermalModel
      */
     void step(const std::vector<Watts>& cluster_power, SimTime dt);
 
+    /**
+     * Advance the model by `n` steps of `dt` at constant power:
+     * bit-identical to n step() calls (the per-node relaxation target
+     * and decay factor are hoisted -- they are recomputed to the same
+     * bits every step anyway).  Stops integrating early once the
+     * temperatures and the peak/cycle detector reach their joint
+     * fixed point, which for the exponential map is guaranteed to be
+     * stable under further steps.
+     */
+    void advance(const std::vector<Watts>& cluster_power, SimTime dt,
+                 long n);
+
     /** Current temperature of cluster `v` (deg C). */
     double temperature(ClusterId v) const;
 
@@ -73,6 +85,9 @@ class ThermalModel
     static ThermalParams tc2_defaults();
 
   private:
+    /** Fold one step's hottest reading into peak/cycle tracking. */
+    void observe_extremes(double hottest);
+
     ThermalParams params_;
     std::vector<double> temp_;
     double peak_;
@@ -81,6 +96,10 @@ class ThermalModel
     bool rising_ = true;
     double cycle_threshold_ = 3.0;
     long cycles_ = 0;
+    // Scratch for advance() (sized once; keeps the hot path
+    // allocation-free).
+    std::vector<double> adv_target_;
+    std::vector<double> adv_decay_;
 };
 
 } // namespace ppm::hw

@@ -85,6 +85,13 @@ class PpmGovernor : public sim::Governor
     void init(sim::Simulation& sim) override;
     void tick(sim::Simulation& sim, SimTime now, SimTime dt) override;
 
+    /** PPM acts only on bid-round edges. */
+    SimTime next_wake(SimTime now) const override
+    {
+        (void)now;
+        return next_bid_;
+    }
+
     /** The underlying market (for inspection in tests/benches). */
     const Market& market() const { return *market_; }
 

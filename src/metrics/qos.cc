@@ -28,8 +28,13 @@ QosTracker::sample(const std::vector<workload::Task*>& tasks, SimTime now,
         if (alive != nullptr && !(*alive)[i])
             continue;
         any_alive = true;
-        const bool b = tasks[i]->hrm().below_range(now);
-        const bool o = tasks[i]->hrm().outside_range(now);
+        // One heart-rate read per task: below_range()/outside_range()
+        // would each re-derive the windowed rate.
+        const workload::HeartRateMonitor& h = tasks[i]->hrm();
+        const double hr = h.heart_rate(now);
+        const bool b = hr < h.min_hr();
+        const bool o =
+            h.has_range() && (hr < h.min_hr() || hr > h.max_hr());
         below_[i].add(b, dt);
         outside_[i].add(o, dt);
         any_b = any_b || b;

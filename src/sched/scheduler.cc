@@ -1,7 +1,9 @@
 #include "sched/scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.hh"
 #include "sched/nice.hh"
@@ -11,6 +13,13 @@ namespace ppm::sched {
 namespace {
 /** EWMA time constant for the load signals (PELT-like). */
 constexpr double kLoadTauSeconds = 0.1;
+
+/** Bitwise double equality (distinguishes 0.0 from -0.0). */
+bool
+bit_equal(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
 } // namespace
 
 Scheduler::Scheduler(hw::Chip* chip, hw::MigrationModel migration)
@@ -35,6 +44,7 @@ Scheduler::add_task(workload::Task* task, CoreId core)
     e.nice = 0;
     e.weight = weight_for_nice(0);
     entries_.push_back(e);
+    replay_cache_valid_ = false;
 }
 
 Scheduler::Entry&
@@ -83,7 +93,11 @@ Scheduler::tasks_on(CoreId core) const
 void
 Scheduler::set_active(TaskId t, bool active)
 {
-    entry(t).active = active;
+    Entry& e = entry(t);
+    if (e.active == active)
+        return;
+    e.active = active;
+    replay_cache_valid_ = false;
 }
 
 bool
@@ -104,6 +118,7 @@ Scheduler::migrate(TaskId t, CoreId core, SimTime now)
     e.core = core;
     e.blocked_until = std::max(e.blocked_until, now + cost);
     ++migrations_;
+    replay_cache_valid_ = false;
     return cost;
 }
 
@@ -111,8 +126,12 @@ void
 Scheduler::set_nice(TaskId t, int nice)
 {
     Entry& e = entry(t);
-    e.nice = std::clamp(nice, kMinNice, kMaxNice);
-    e.weight = weight_for_nice(e.nice);
+    const int clamped = std::clamp(nice, kMinNice, kMaxNice);
+    if (e.nice == clamped)
+        return;  // weight_for_nice is pure: nothing would change.
+    e.nice = clamped;
+    e.weight = weight_for_nice(clamped);
+    replay_cache_valid_ = false;
 }
 
 int
@@ -121,9 +140,9 @@ Scheduler::nice_of(TaskId t) const
     return entry(t).nice;
 }
 
-void
-Scheduler::distribute(CoreId core, const std::vector<TaskId>& ids,
-                      SimTime now, SimTime dt)
+Cycles
+Scheduler::fill_granted(CoreId core, const std::vector<TaskId>& ids,
+                        SimTime now, SimTime dt)
 {
     const hw::Cluster& cl = chip_->cluster(chip_->cluster_of(core));
     const hw::CoreClass cls = cl.type().core_class;
@@ -171,6 +190,16 @@ Scheduler::distribute(CoreId core, const std::vector<TaskId>& ids,
             std::swap(active_idx_, hungry_idx_);
         }
     }
+    return capacity;
+}
+
+void
+Scheduler::distribute(CoreId core, const std::vector<TaskId>& ids,
+                      SimTime now, SimTime dt)
+{
+    const hw::Cluster& cl = chip_->cluster(chip_->cluster_of(core));
+    const hw::CoreClass cls = cl.type().core_class;
+    const Cycles capacity = fill_granted(core, ids, now, dt);
 
     // Advance tasks and update signals.
     Cycles used_total = 0.0;
@@ -202,6 +231,14 @@ void
 Scheduler::tick(SimTime now, SimTime dt)
 {
     PPM_ASSERT(dt > 0, "tick must be positive");
+    // A valid replay cache means this tick's water-fill would
+    // reproduce the cached grants bit-for-bit (begin_replay() and
+    // replay_tick() decompose tick() without reordering any
+    // floating-point operation), so skip straight to the advance.
+    if (replay_cache_reusable(dt)) {
+        replay_tick(now, dt);
+        return;
+    }
     // Group active tasks by core in one pass.  The per-core vectors
     // are members that keep their capacity, so steady-state ticks
     // allocate nothing.
@@ -214,6 +251,181 @@ Scheduler::tick(SimTime now, SimTime dt)
     }
     for (CoreId c = 0; c < chip_->num_cores(); ++c)
         distribute(c, by_core_[static_cast<std::size_t>(c)], now, dt);
+}
+
+bool
+Scheduler::replay_cache_reusable(SimTime dt) const
+{
+    if (!replay_cache_valid_ || dt != replay_dt_ || !replay_all_unblocked_)
+        return false;
+    for (std::size_t v = 0; v < replay_supplies_.size(); ++v) {
+        if (chip_->cluster(static_cast<ClusterId>(v)).supply() !=
+            replay_supplies_[v])
+            return false;
+    }
+    for (const ReplaySlot& s : replay_slots_) {
+        if (s.task->phase_index() != s.phase_idx)
+            return false;
+    }
+    return true;
+}
+
+void
+Scheduler::begin_replay(SimTime now, SimTime dt)
+{
+    PPM_ASSERT(dt > 0, "tick must be positive");
+    if (replay_cache_reusable(dt)) {
+        replay_cache_hit_ = true;  // The cached slots are still exact.
+        return;
+    }
+    replay_cache_hit_ = false;
+    replay_alpha_ = 1.0 - std::exp(-to_seconds(dt) / kLoadTauSeconds);
+    replay_slots_.clear();
+    for (auto& ids : by_core_)
+        ids.clear();
+    for (const Entry& e : entries_) {
+        if (e.active)
+            by_core_[static_cast<std::size_t>(e.core)].push_back(
+                e.task->id());
+    }
+    for (CoreId c = 0; c < chip_->num_cores(); ++c) {
+        const auto& ids = by_core_[static_cast<std::size_t>(c)];
+        const hw::Cluster& cl = chip_->cluster(chip_->cluster_of(c));
+        const hw::CoreClass cls = cl.type().core_class;
+        const Cycles capacity = fill_granted(c, ids, now, dt);
+        Cycles used_total = 0.0;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            Entry& e = entry(ids[i]);
+            const Cycles g = granted_[i];
+            used_total += g;
+            ReplaySlot s;
+            s.task = e.task;
+            s.entry = static_cast<std::size_t>(ids[i]);
+            s.granted = g;
+            s.beats = g / e.task->work_per_hb(cls);
+            s.supplied = g / kCyclesPerPuSecond;
+            e.supply_last = g / kCyclesPerPuSecond / to_seconds(dt);
+            s.share = capacity > 0.0 ? g / capacity : 0.0;
+            const bool runnable_now = e.blocked_until <= now;
+            const Cycles want = e.task->desired_cycles(dt, cls);
+            s.runnable_frac = 0.0;
+            if (runnable_now)
+                s.runnable_frac = g + 1e-6 >= want ? s.share : 1.0;
+            replay_slots_.push_back(s);
+        }
+        core_util_[static_cast<std::size_t>(c)] =
+            capacity > 0.0 ? std::min(1.0, used_total / capacity) : 0.0;
+    }
+
+    // Condition the cache (see replay_cache_reusable).  blocked_until
+    // never decreases and only grows through migrate(), so an interval
+    // that starts with every active task runnable stays representative
+    // for any later start time while no invalidating mutation occurs.
+    replay_dt_ = dt;
+    replay_all_unblocked_ = true;
+    for (const Entry& e : entries_) {
+        if (e.active && e.blocked_until > now)
+            replay_all_unblocked_ = false;
+    }
+    replay_supplies_.clear();
+    for (const auto& cl : chip_->clusters())
+        replay_supplies_.push_back(cl.supply());
+    for (ReplaySlot& s : replay_slots_)
+        s.phase_idx = s.task->phase_index();
+    replay_cache_valid_ = true;
+}
+
+void
+Scheduler::replay_tick(SimTime now, SimTime dt)
+{
+    for (const ReplaySlot& s : replay_slots_) {
+        s.task->replay_advance(now, dt, s.granted, s.beats, s.supplied);
+        Entry& e = entries_[s.entry];
+        e.load_ewma += replay_alpha_ * (s.runnable_frac - e.load_ewma);
+        e.share_ewma += replay_alpha_ * (s.share - e.share_ewma);
+    }
+}
+
+bool
+Scheduler::replay_bulk_ready(SimTime now, SimTime dt) const
+{
+    // A steady verdict persists while the slot cache keeps hitting:
+    // bulk advances and cached boundary ticks only shift the steady
+    // windows and re-apply fixed-point EWMA updates, neither of which
+    // changes a bit of the checked state.  Any mutation that could
+    // break steadiness invalidates the slot cache, which forces a
+    // cache miss and a fresh verification here.
+    if (replay_steady_hold_ && replay_cache_hit_)
+        return true;
+    replay_steady_hold_ = false;
+    for (const ReplaySlot& s : replay_slots_) {
+        const Entry& e = entries_[s.entry];
+        // Both EWMAs must be at their floating-point fixed point:
+        // one more update step must reproduce the same bits.
+        if (!bit_equal(
+                e.load_ewma +
+                    replay_alpha_ * (s.runnable_frac - e.load_ewma),
+                e.load_ewma))
+            return false;
+        if (!bit_equal(
+                e.share_ewma + replay_alpha_ * (s.share - e.share_ewma),
+                e.share_ewma))
+            return false;
+        if (!s.task->replay_steady(now, dt, s.beats, s.supplied))
+            return false;
+    }
+    replay_steady_hold_ = true;
+    return true;
+}
+
+bool
+Scheduler::replay_windows_steady(SimTime now, SimTime dt) const
+{
+    for (const ReplaySlot& s : replay_slots_) {
+        if (!s.task->replay_steady(now, dt, s.beats, s.supplied))
+            return false;
+    }
+    return true;
+}
+
+void
+Scheduler::replay_bulk(long n, SimTime now, SimTime dt)
+{
+    (void)now;
+    // Each task's totals are sums of n dependent additions that must
+    // stay in per-tick order (floating-point addition does not
+    // associate).  Different tasks' chains are independent, though, so
+    // running them in lockstep lets the CPU overlap the add latencies
+    // instead of serialising one task's whole chain after another's.
+    const std::size_t m = replay_slots_.size();
+    bulk_hb_.resize(m);
+    bulk_cycles_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        bulk_hb_[i] = replay_slots_[i].task->total_heartbeats();
+        bulk_cycles_[i] = replay_slots_[i].task->total_cycles();
+    }
+    for (long k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < m; ++i) {
+            bulk_hb_[i] += replay_slots_[i].beats;
+            bulk_cycles_[i] += replay_slots_[i].granted;
+        }
+    }
+    for (std::size_t i = 0; i < m; ++i)
+        replay_slots_[i].task->bulk_finish(n, dt, bulk_hb_[i],
+                                           bulk_cycles_[i]);
+}
+
+void
+Scheduler::replay_ewma_bulk(long n)
+{
+    for (long k = 0; k < n; ++k) {
+        for (const ReplaySlot& s : replay_slots_) {
+            Entry& e = entries_[s.entry];
+            e.load_ewma +=
+                replay_alpha_ * (s.runnable_frac - e.load_ewma);
+            e.share_ewma += replay_alpha_ * (s.share - e.share_ewma);
+        }
+    }
 }
 
 double

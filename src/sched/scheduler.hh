@@ -84,6 +84,56 @@ class Scheduler
      */
     void tick(SimTime now, SimTime dt);
 
+    /**
+     * Prepare replay of a quiescent interval starting at `now`: run
+     * the water-fill once and cache the per-task grant, beats and
+     * share values.  Valid while placements, nice values, activity,
+     * blocked states, phases and cluster supplies stay unchanged --
+     * under those conditions tick() would recompute exactly these
+     * values every tick, so replay_tick() can reuse them bit-for-bit.
+     */
+    void begin_replay(SimTime now, SimTime dt);
+
+    /**
+     * One tick of the prepared replay: advances tasks and load EWMAs
+     * with the cached grants.  Bit-identical to tick(now, dt) within
+     * the quiescent interval established by begin_replay().
+     */
+    void replay_tick(SimTime now, SimTime dt);
+
+    /**
+     * True when further replay ticks are floating-point fixed points
+     * for all load signals and HRM windows, so replay_bulk() may be
+     * substituted for per-tick replay with bit-identical results.
+     * The verdict is cached: while the slot cache keeps being reused
+     * (begin_replay() hits) and boundary ticks run through it, a
+     * steady state provably persists, so the fixed points are only
+     * re-verified after a cache miss.
+     */
+    bool replay_bulk_ready(SimTime now, SimTime dt) const;
+
+    /**
+     * True when every task's HRM windows are steady (heart rates
+     * pinned bit-for-bit) even though some load EWMA may still be
+     * converging.  Then replay_bulk() plus replay_ewma_bulk() equal n
+     * per-tick replays: only the EWMAs need the tick-by-tick
+     * trajectory, everything else advances in closed form.
+     */
+    bool replay_windows_steady(SimTime now, SimTime dt) const;
+
+    /** Apply `n` replay ticks at once (after replay_bulk_ready()). */
+    void replay_bulk(long n, SimTime now, SimTime dt);
+
+    /**
+     * The load/share EWMA updates of `n` replay ticks, nothing else.
+     * Each entry's update sequence is exactly the per-tick one; the
+     * independent per-entry chains run in lockstep for throughput.
+     */
+    void replay_ewma_bulk(long n);
+
+    /** Time before which the task receives no cycles (migration). */
+    SimTime blocked_until(TaskId t) const { return entry(t).blocked_until; }
+
     /** Busy fraction of `core` during the last tick, in [0, 1]. */
     double core_utilization(CoreId core) const;
 
@@ -122,12 +172,44 @@ class Scheduler
         Pu supply_last = 0.0;
     };
 
+    /** Cached per-task values of one tick of a quiescent interval. */
+    struct ReplaySlot {
+        workload::Task* task = nullptr;
+        std::size_t entry = 0;     ///< Index into entries_.
+        Cycles granted = 0.0;      ///< Cycles granted per tick.
+        double beats = 0.0;        ///< Heartbeats emitted per tick.
+        double supplied = 0.0;     ///< PU-seconds supplied per tick.
+        double runnable_frac = 0.0;
+        double share = 0.0;
+        int phase_idx = 0;         ///< Task phase at cache time.
+    };
+
+    /**
+     * True when the slots cached by the previous begin_replay() are
+     * still exact for an interval starting now: no placement / nice /
+     * activity mutation since (replay_cache_valid_), same tick, every
+     * active task already unblocked at cache time (blocked_until only
+     * grows through migrate(), which invalidates), identical cluster
+     * supplies (covers both V-F level and power gating) and identical
+     * task phases.  Under those conditions the water-fill inputs are
+     * bit-identical, so the cached grants are too.
+     */
+    bool replay_cache_reusable(SimTime dt) const;
+
     Entry& entry(TaskId t);
     const Entry& entry(TaskId t) const;
 
     /** Water-filling split of `capacity` cycles among `ids` on `core`. */
     void distribute(CoreId core, const std::vector<TaskId>& ids,
                     SimTime now, SimTime dt);
+
+    /**
+     * The water-fill proper: partition `ids` into runnable/blocked at
+     * `now` and fill granted_ with each task's cycle grant.
+     * @return the core's cycle capacity for the tick.
+     */
+    Cycles fill_granted(CoreId core, const std::vector<TaskId>& ids,
+                        SimTime now, SimTime dt);
 
     hw::Chip* chip_;
     hw::MigrationModel migration_;
@@ -144,6 +226,18 @@ class Scheduler
     std::vector<Cycles> granted_;
     std::vector<std::size_t> active_idx_;
     std::vector<std::size_t> hungry_idx_;
+
+    // Replay state (begin_replay / replay_tick / replay_bulk).
+    std::vector<ReplaySlot> replay_slots_;
+    double replay_alpha_ = 0.0;
+    std::vector<double> bulk_hb_;    ///< replay_bulk() scratch.
+    std::vector<Cycles> bulk_cycles_;
+    bool replay_cache_valid_ = false;
+    bool replay_all_unblocked_ = false;
+    SimTime replay_dt_ = 0;
+    std::vector<Pu> replay_supplies_;
+    bool replay_cache_hit_ = false;  ///< Last begin_replay() reused.
+    mutable bool replay_steady_hold_ = false;  ///< Cached bulk verdict.
 };
 
 } // namespace ppm::sched

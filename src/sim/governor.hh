@@ -37,6 +37,30 @@ class Governor
      * Implementations keep their own invocation periods internally.
      */
     virtual void tick(Simulation& sim, SimTime now, SimTime dt) = 0;
+
+    /**
+     * Earliest time at or after `now` at which tick() might act.
+     * The macro-stepping engine skips governor polling strictly
+     * before this time.  The conservative default -- wake every tick
+     * -- keeps governors that poll unconditionally exact; periodic
+     * governors override it with their next epoch edge.
+     */
+    virtual SimTime next_wake(SimTime now) const { return now; }
+
+    /**
+     * True when the governor's tick() is a pure no-op between wake
+     * times, i.e. it has no per-tick side conditions (such as an
+     * always-on TDP kill check) that could fire mid-interval.  Only
+     * quiescent governors are eligible for macro-stepping across an
+     * interval; the default is true because a governor honouring
+     * next_wake() has, by contract, nothing to do before it.
+     * Overriders may consult live simulation state.
+     */
+    virtual bool quiescent(const Simulation& sim) const
+    {
+        (void)sim;
+        return true;
+    }
 };
 
 } // namespace ppm::sim

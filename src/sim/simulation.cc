@@ -1,5 +1,6 @@
 #include "sim/simulation.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -221,11 +222,195 @@ Simulation::step()
     sample_traces();
 }
 
+long
+Simulation::quiescent_ticks() const
+{
+    if (!initialized_ || now_ >= config_.duration)
+        return 0;
+    if (!governor_->quiescent(*this))
+        return 0;
+    const SimTime dt = config_.tick;
+    const SimTime wake = governor_->next_wake(now_);
+    if (wake <= now_)
+        return 0;  // Governor may act on the very next tick.
+    const auto ceil_div = [](SimTime a, SimTime b) {
+        return static_cast<long>((a + b - 1) / b);
+    };
+    // Replayed ticks start at now_, now_ + dt, ..., now_ + (n-1)*dt
+    // and the interval closes at now_ + n*dt.  Each cap below keeps
+    // one class of per-tick side effects provably inert:
+    //  - run end: do not step past the configured duration;
+    //  - governor: every replayed tick start stays < wake, so a
+    //    period-driven tick() would have returned immediately;
+    //  - lifetimes: no arrival/departure edge inside (now_, now_+n*dt],
+    //    so the scheduler's active set and the QoS alive mask are
+    //    both constant AND equal to their interval-start values (the
+    //    -1 keeps the closing edge out too, because the QoS mask is
+    //    evaluated at tick *end* times);
+    //  - blocked tasks: a task unblocking mid-interval would change
+    //    the water-fill, so the interval ends at its unblock tick;
+    //  - phases: a multi-phase task crossing a phase boundary changes
+    //    its per-tick cost (single-phase rollover is harmless: the
+    //    cost is unchanged and the phase clock is pure integer
+    //    arithmetic either way);
+    //  - tracing: every replayed tick must *end* strictly before the
+    //    next trace sample is due.
+    long n = ceil_div(config_.duration - now_, dt);
+    n = std::min(n, ceil_div(wake - now_, dt));
+    for (const auto& life : config_.lifetimes) {
+        // >= not >: an edge landing exactly at now_ has not been
+        // applied yet (apply_lifetimes() runs at the *start* of the
+        // next tick), so the active set begin_replay() would freeze
+        // is stale -- the cap collapses to -1 and forces a step().
+        if (life.arrival >= now_)
+            n = std::min(n, ceil_div(life.arrival - now_, dt) - 1);
+        if (life.departure >= now_)
+            n = std::min(n, ceil_div(life.departure - now_, dt) - 1);
+    }
+    for (const auto& t : owned_tasks_) {
+        if (!scheduler_->active(t->id()))
+            continue;
+        const SimTime blocked = scheduler_->blocked_until(t->id());
+        if (blocked > now_)
+            n = std::min(n, ceil_div(blocked - now_, dt));
+        if (t->num_phases() > 1)
+            n = std::min(n, ceil_div(t->phase_remaining(), dt));
+    }
+    if (bus_.enabled() && config_.trace_period > 0 && next_trace_ > now_)
+        n = std::min(n, ceil_div(next_trace_ - now_, dt) - 1);
+    return std::max<long>(0, n);
+}
+
+void
+Simulation::advance_quiescent(long n)
+{
+    const SimTime dt = config_.tick;
+    // One water-fill for the whole interval: its inputs (placements,
+    // nice weights, active set, blocked states, phases, V-F levels)
+    // are exactly what quiescent_ticks() held constant.
+    scheduler_->begin_replay(now_, dt);
+
+    // One power evaluation, mirroring record_power()'s arithmetic so
+    // the per-cluster watts -- and the cluster-order chip sum -- come
+    // out bit-identical to what every replayed tick would recompute.
+    power_scratch_.clear();
+    energy_inc_scratch_.clear();
+    for (const auto& cl : chip_.clusters()) {
+        util_scratch_.clear();
+        for (CoreId c : cl.cores())
+            util_scratch_.push_back(scheduler_->core_utilization(c));
+        const Watts w =
+            hw::PowerModel::cluster_power(chip_, cl.id(), util_scratch_);
+        power_scratch_.push_back(w);
+        energy_inc_scratch_.push_back(w * to_seconds(dt));
+    }
+    Watts chip_w = 0.0;
+    for (Watts w : power_scratch_)
+        chip_w += w;
+    const bool over = chip_w > config_.tdp_for_metrics;
+
+    // Lifetime mask: constant over the interval by construction.
+    const std::vector<bool>* mask = nullptr;
+    if (!config_.lifetimes.empty()) {
+        alive_scratch_.assign(task_views_.size(), false);
+        for (TaskId t = 0; t < static_cast<TaskId>(task_views_.size());
+             ++t)
+            alive_scratch_[static_cast<std::size_t>(t)] = task_alive(t);
+        mask = &alive_scratch_;
+    }
+
+    const auto num_clusters =
+        static_cast<std::size_t>(chip_.num_clusters());
+
+    const bool post_warmup = warmup_snapshotted_ && now_ >= config_.warmup;
+
+    // Steady state: every load EWMA and HRM window is at its
+    // floating-point fixed point, so per-tick replay would not change
+    // a single bit of them -- advance everything in bulk.
+    if (post_warmup && scheduler_->replay_bulk_ready(now_, dt)) {
+        scheduler_->replay_bulk(n, now_, dt);
+        for (std::size_t v = 0; v < num_clusters; ++v)
+            sensors_.advance(static_cast<ClusterId>(v),
+                             energy_inc_scratch_[v], dt, n);
+        thermal_->advance(power_scratch_, dt, n);
+        over_tdp_.add(over, n * dt);
+        over_tdp_post_.add(over, n * dt);
+        now_ += n * dt;
+        // One QoS sample covers the whole interval: the heart rates
+        // are pinned by the window fixed points, so n per-tick
+        // duty-cycle additions of dt equal one addition of n*dt.
+        qos_.sample(task_views_, now_, n * dt, config_.warmup, mask);
+        return;
+    }
+
+    // Transient replay: per-tick floating-point sequences, with the
+    // governor poll, water-fill, lifetime scan, V-F/migration delta
+    // checks and trace check all elided (no-ops per quiescent_ticks).
+    if (post_warmup) {
+        // The sensors, thermal nodes and TDP duty cycles see constant
+        // inputs and are read by nothing inside the loop, so their n
+        // per-tick updates hoist into the same closed-form advances
+        // the bulk path uses (per-object op sequences unchanged).
+        if (scheduler_->replay_windows_steady(now_, dt)) {
+            // Heart rates are already pinned; only the load EWMAs are
+            // still converging.  Replay just their update chains and
+            // advance everything else in closed form, including the
+            // one-sample QoS reduction of the whole interval.
+            scheduler_->replay_ewma_bulk(n);
+            scheduler_->replay_bulk(n, now_, dt);
+            now_ += n * dt;
+            qos_.sample(task_views_, now_, n * dt, config_.warmup,
+                        mask);
+        } else {
+            for (long k = 0; k < n; ++k) {
+                scheduler_->replay_tick(now_, dt);
+                now_ += dt;
+                qos_.sample(task_views_, now_, dt, config_.warmup,
+                            mask);
+            }
+        }
+        for (std::size_t v = 0; v < num_clusters; ++v)
+            sensors_.advance(static_cast<ClusterId>(v),
+                             energy_inc_scratch_[v], dt, n);
+        thermal_->advance(power_scratch_, dt, n);
+        over_tdp_.add(over, n * dt);
+        over_tdp_post_.add(over, n * dt);
+        return;
+    }
+
+    // Pre-warmup transient: the warmup snapshot and the post-warmup
+    // duty-cycle gate can both flip mid-interval, so every side effect
+    // stays tick-by-tick.
+    for (long k = 0; k < n; ++k) {
+        if (!warmup_snapshotted_ && now_ + dt >= config_.warmup) {
+            warmup_energy_ = sensors_.chip_energy();
+            warmup_end_ = now_;
+            warmup_snapshotted_ = true;
+        }
+        scheduler_->replay_tick(now_, dt);
+        for (std::size_t v = 0; v < num_clusters; ++v)
+            sensors_.advance(static_cast<ClusterId>(v),
+                             energy_inc_scratch_[v], dt, 1);
+        thermal_->step(power_scratch_, dt);
+        over_tdp_.add(over, dt);
+        if (now_ + dt >= config_.warmup)
+            over_tdp_post_.add(over, dt);
+        now_ += dt;
+        qos_.sample(task_views_, now_, dt, config_.warmup, mask);
+    }
+}
+
 RunSummary
 Simulation::run()
 {
-    while (now_ < config_.duration)
+    while (now_ < config_.duration) {
         step();
+        if (config_.macro_step) {
+            const long n = quiescent_ticks();
+            if (n > 0)
+                advance_quiescent(n);
+        }
+    }
     if (bus_.enabled()) {
         // Final record: every counter value, so streamed traces carry
         // the run's event totals without a side channel.

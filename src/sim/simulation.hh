@@ -37,6 +37,18 @@ struct SimConfig {
     Watts tdp_for_metrics = 1e9;       ///< TDP used for violation stats.
 
     /**
+     * Macro-stepping time advance: between governor wake times (and
+     * every other event edge: task arrivals/exits, phase boundaries,
+     * trace samples, the run end), advance the platform in closed
+     * form instead of polling every subsystem each tick.  Results are
+     * bit-identical to per-tick execution -- the engine only skips
+     * work it can prove is a no-op and replays the exact
+     * floating-point operation sequences otherwise.  Disable to force
+     * the historical tick-by-tick loop (e.g. to cross-check).
+     */
+    bool macro_step = true;
+
+    /**
      * Explicit initial core per task (by task id).  Empty = place
      * round-robin across cluster 0's cores (the boot cluster).  Used
      * by the pinned-task experiments (paper Figures 7 and 8).
@@ -167,6 +179,26 @@ class Simulation
     /** Sample traces if due. */
     void sample_traces();
 
+    /**
+     * Number of ticks from now() during which every per-tick action
+     * other than {scheduler advance, power/energy/thermal accounting,
+     * QoS sampling} is provably a no-op: the governor sleeps until
+     * its next wake time, no task arrives, departs, unblocks or
+     * crosses a phase boundary, and no trace sample is due.  0 when
+     * the next tick must run the full step() path.
+     */
+    long quiescent_ticks() const;
+
+    /**
+     * Advance `n` ticks of a quiescent interval (see
+     * quiescent_ticks()) with bit-identical results to n step()
+     * calls: the scheduler's water-fill runs once and is replayed,
+     * power is computed once and accumulated per tick, and -- once
+     * every load signal and HRM window reaches its floating-point
+     * fixed point -- the whole remainder advances in bulk.
+     */
+    void advance_quiescent(long n);
+
     hw::Chip chip_;
     std::vector<std::unique_ptr<workload::Task>> owned_tasks_;
     std::vector<workload::Task*> task_views_;  ///< Cached non-owning views.
@@ -207,6 +239,8 @@ class Simulation
     std::vector<Watts> power_scratch_;    ///< record_power: per cluster.
     std::vector<double> util_scratch_;    ///< record_power: per core.
     std::vector<bool> alive_scratch_;     ///< step: lifetime mask.
+    std::vector<Joules> energy_inc_scratch_;  ///< advance_quiescent:
+                                              ///< per-cluster J/tick.
 };
 
 } // namespace ppm::sim

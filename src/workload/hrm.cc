@@ -52,6 +52,21 @@ HeartRateMonitor::outside_range(SimTime now) const
     return hr < min_hr_ || hr > max_hr_;
 }
 
+bool
+HeartRateMonitor::replay_steady(SimTime now, SimTime dt, double beats,
+                                double supplied_pu_seconds) const
+{
+    return beats_.replay_steady(now, dt, beats) &&
+        supply_.replay_steady(now, dt, supplied_pu_seconds);
+}
+
+void
+HeartRateMonitor::advance_steady(SimTime shift)
+{
+    beats_.advance_steady(shift);
+    supply_.advance_steady(shift);
+}
+
 Pu
 HeartRateMonitor::estimate_demand(SimTime now, Pu clamp) const
 {

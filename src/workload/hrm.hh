@@ -72,6 +72,22 @@ class HeartRateMonitor
      */
     Pu estimate_demand(SimTime now, Pu clamp) const;
 
+    /**
+     * True when both windows are in the uniform steady state for a
+     * `dt` sampling period ending at `now` with per-sample values
+     * (`beats`, `supplied`): further per-tick record() calls with
+     * those values would leave the measured heart rate and supply
+     * bit-identical (see WindowRate::replay_steady).
+     */
+    bool replay_steady(SimTime now, SimTime dt, double beats,
+                       double supplied_pu_seconds) const;
+
+    /**
+     * Fast-forward both steady windows by `shift` of simulated time
+     * (caller must have established replay_steady()).
+     */
+    void advance_steady(SimTime shift);
+
   private:
     double min_hr_;
     double max_hr_;

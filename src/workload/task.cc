@@ -92,4 +92,52 @@ Task::advance(SimTime now, SimTime dt, Cycles granted, hw::CoreClass cls)
     advance_phase_clock(dt);
 }
 
+void
+Task::replay_advance(SimTime now, SimTime dt, Cycles granted,
+                     double beats, double supplied_pu_seconds)
+{
+    total_hb_ += beats;
+    total_cycles_ += granted;
+    hrm_.record(now + dt, beats, supplied_pu_seconds);
+    advance_phase_clock(dt);
+}
+
+bool
+Task::replay_steady(SimTime now, SimTime dt, double beats,
+                    double supplied_pu_seconds) const
+{
+    return hrm_.replay_steady(now, dt, beats, supplied_pu_seconds);
+}
+
+void
+Task::bulk_advance(long n, SimTime dt, Cycles granted, double beats,
+                   double supplied_pu_seconds)
+{
+    // The running totals are sums of n dependent additions; those do
+    // not associate in floating point, so they stay per-step loops.
+    for (long i = 0; i < n; ++i)
+        total_hb_ += beats;
+    for (long i = 0; i < n; ++i)
+        total_cycles_ += granted;
+    (void)supplied_pu_seconds;
+    hrm_.advance_steady(n * dt);
+    advance_phase_clock(n * dt);
+}
+
+void
+Task::bulk_finish(long n, SimTime dt, double total_hb,
+                  Cycles total_cycles)
+{
+    total_hb_ = total_hb;
+    total_cycles_ = total_cycles;
+    hrm_.advance_steady(n * dt);
+    advance_phase_clock(n * dt);
+}
+
+SimTime
+Task::phase_remaining() const
+{
+    return current_phase().duration - time_in_phase_;
+}
+
 } // namespace ppm::workload

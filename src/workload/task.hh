@@ -86,6 +86,55 @@ class Task
                  hw::CoreClass cls);
 
     /**
+     * Replay path of advance(): identical effect, but `beats` and
+     * `supplied_pu_seconds` are the caller's cached per-tick values
+     * (granted / work_per_hb and granted / kCyclesPerPuSecond,
+     * hoisted out of a quiescent interval where they are constant).
+     */
+    void replay_advance(SimTime now, SimTime dt, Cycles granted,
+                        double beats, double supplied_pu_seconds);
+
+    /**
+     * True when `n` further replay_advance() calls with these cached
+     * values would leave the task's observable floating-point state
+     * (heart rate, supply, totals trajectory endpoints) reproducible
+     * by bulk_advance(): both HRM windows are at their uniform
+     * steady-state fixed point.
+     */
+    bool replay_steady(SimTime now, SimTime dt, double beats,
+                       double supplied_pu_seconds) const;
+
+    /**
+     * Apply `n` replay_advance() steps at once.  The totals are still
+     * accumulated one tick at a time (floating-point addition does
+     * not associate), but the steady HRM windows shift in O(1) and
+     * the phase clock advances in closed form.  Caller must have
+     * established replay_steady().
+     */
+    void bulk_advance(long n, SimTime dt, Cycles granted, double beats,
+                      double supplied_pu_seconds);
+
+    /**
+     * Complete a bulk advance whose running totals were accumulated
+     * externally (the scheduler interleaves the per-task addition
+     * chains for throughput).  `total_hb` / `total_cycles` must be
+     * the values total_heartbeats() / total_cycles() would hold after
+     * n per-tick additions of the cached increments; this shifts the
+     * steady HRM windows and phase clock exactly like bulk_advance().
+     */
+    void bulk_finish(long n, SimTime dt, double total_hb,
+                     Cycles total_cycles);
+
+    /** Time left in the current phase. */
+    SimTime phase_remaining() const;
+
+    /** Number of phases in the spec. */
+    int num_phases() const
+    {
+        return static_cast<int>(spec_.phases.size());
+    }
+
+    /**
      * Cycles the task would consume this tick if given the chance:
      * unbounded for greedy tasks, paced for self-throttling ones.
      * `dt` is the tick length, `cls` the class of its current core.

@@ -1,5 +1,10 @@
 /** @file Unit tests for the statistics helpers. */
 
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.hh"
@@ -145,6 +150,127 @@ TEST(Percentile, ClampsOutOfRangeP)
     std::vector<double> v{1.0, 2.0};
     EXPECT_DOUBLE_EQ(percentile(v, -10.0), 1.0);
     EXPECT_DOUBLE_EQ(percentile(v, 200.0), 2.0);
+}
+
+/**
+ * Reference model for WindowRate: a literal per-sample deque with the
+ * same FIFO eviction and "-= each evicted count" arithmetic.  The
+ * run-coalescing ring must match it bit for bit on any add pattern.
+ */
+class NaiveWindowRate
+{
+  public:
+    explicit NaiveWindowRate(SimTime window) : window_(window) {}
+
+    void add(SimTime now, double count)
+    {
+        evict(now);
+        samples_.push_back({now, count});
+        sum_ += count;
+    }
+
+    double rate(SimTime now)
+    {
+        evict(now);
+        return sum_ / to_seconds(window_);
+    }
+
+  private:
+    void evict(SimTime now)
+    {
+        while (!samples_.empty() &&
+               samples_.front().first <= now - window_) {
+            sum_ -= samples_.front().second;
+            samples_.pop_front();
+        }
+        if (samples_.empty())
+            sum_ = 0.0;
+    }
+
+    SimTime window_;
+    std::deque<std::pair<SimTime, double>> samples_;
+    double sum_ = 0.0;
+};
+
+TEST(WindowRate, CoalescedRingMatchesPerSampleRingBitForBit)
+{
+    WindowRate w(100 * kMillisecond);
+    NaiveWindowRate naive(100 * kMillisecond);
+    // Mixed pattern: uniform stretches (coalescible), value changes,
+    // stride changes, repeated timestamps and idle gaps.
+    SimTime t = 0;
+    const auto feed = [&](SimTime dt, double c, int n) {
+        for (int i = 0; i < n; ++i) {
+            t += dt;
+            w.add(t, c);
+            naive.add(t, c);
+            const double a = w.rate(t);
+            const double b = naive.rate(t);
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(a),
+                      std::bit_cast<std::uint64_t>(b))
+                << "diverged at t=" << t;
+        }
+    };
+    feed(kMillisecond, 0.3, 250);       // Long uniform run.
+    feed(kMillisecond, 0.7, 40);        // Value change.
+    feed(2 * kMillisecond, 0.7, 40);    // Stride change.
+    feed(0, 0.7, 3);                    // Repeated timestamps.
+    t += 500 * kMillisecond;            // Idle gap: full eviction.
+    feed(kMillisecond, 0.1, 150);
+}
+
+TEST(WindowRate, ReplaySteadyDetectsUniformFullWindow)
+{
+    const SimTime window = 100 * kMillisecond;
+    const SimTime dt = kMillisecond;
+    WindowRate w(window);
+    SimTime t = 0;
+    for (int i = 0; i < 100; ++i) {
+        t += dt;
+        w.add(t, 0.25);
+    }
+    // Window full of bit-identical uniform samples: steady.
+    EXPECT_TRUE(w.replay_steady(t, dt, 0.25));
+    // A different count, stride or phase is not steady.
+    EXPECT_FALSE(w.replay_steady(t, dt, 0.26));
+    EXPECT_FALSE(w.replay_steady(t, 2 * dt, 0.25));
+    EXPECT_FALSE(w.replay_steady(t + dt, dt, 0.25));
+}
+
+TEST(WindowRate, AdvanceSteadyMatchesExplicitAdds)
+{
+    const SimTime window = 100 * kMillisecond;
+    const SimTime dt = kMillisecond;
+    WindowRate fast(window);
+    WindowRate slow(window);
+    SimTime t = 0;
+    for (int i = 0; i < 100; ++i) {
+        t += dt;
+        fast.add(t, 0.25);
+        slow.add(t, 0.25);
+    }
+    ASSERT_TRUE(fast.replay_steady(t, dt, 0.25));
+    const long n = 5000;
+    fast.advance_steady(n * dt);
+    for (long i = 0; i < n; ++i)
+        slow.add(t + (i + 1) * dt, 0.25);
+    const double a = fast.rate(t + n * dt);
+    const double b = slow.rate(t + n * dt);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a),
+              std::bit_cast<std::uint64_t>(b));
+}
+
+TEST(WindowRate, PartiallyFilledWindowIsNotSteady)
+{
+    const SimTime window = 100 * kMillisecond;
+    const SimTime dt = kMillisecond;
+    WindowRate w(window);
+    SimTime t = 0;
+    for (int i = 0; i < 50; ++i) {  // Only half the window.
+        t += dt;
+        w.add(t, 0.25);
+    }
+    EXPECT_FALSE(w.replay_steady(t, dt, 0.25));
 }
 
 } // namespace

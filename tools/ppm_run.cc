@@ -8,6 +8,7 @@
  *           [--seconds N] [--seed N] [--priority N] [--online]
  *           [--avg-seeds N] [--jobs N] [--trace FILE.csv]
  *           [--trace-format csv|jsonl] [--trace-out PATH] [--csv]
+ *           [--per-tick]
  *
  * --avg-seeds N runs N seeds (seed, +100, +200, ...) and prints the
  * cross-seed aggregate (see experiment::aggregate_summaries); --jobs
@@ -58,7 +59,11 @@ usage(const char* argv0)
         "          [--seconds N] [--seed N] [--priority N] [--online]\n"
         "          [--avg-seeds N] [--jobs N] [--trace FILE.csv]\n"
         "          [--trace-format csv|jsonl] [--trace-out PATH] [--csv]\n"
-        "          [--list-sets]\n",
+        "          [--per-tick] [--list-sets]\n"
+        "\n"
+        "--per-tick disables the event-horizon macro-stepping engine\n"
+        "and runs the historical tick-by-tick loop (results are\n"
+        "bit-identical either way; use it to cross-check).\n",
         argv0);
     std::exit(2);
 }
@@ -113,6 +118,8 @@ main(int argc, char** argv)
             params.priority = std::atoi(next());
         } else if (arg == "--online") {
             params.online_speedup = true;
+        } else if (arg == "--per-tick") {
+            params.macro_step = false;
         } else if (arg == "--avg-seeds") {
             avg_seeds = std::atoi(next());
             if (avg_seeds < 1)
