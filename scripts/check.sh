@@ -40,12 +40,24 @@ rm -f /tmp/ppm_bench_hotpath.json
 rm -f /tmp/ppm_check.jsonl /tmp/ppm_check.csv
 
 # Macro-stepping equivalence smoke: the event-horizon engine must be
-# byte-identical to the historical per-tick loop on a real workload.
+# byte-identical to the historical per-tick loop on a real workload,
+# both clean and under deterministic fault injection (fault edges are
+# horizon bounds, so the same spec must replay bit-exactly).
 ./build/tools/ppm_run --set l1 --seconds 8 --csv > /tmp/ppm_macro.csv
 ./build/tools/ppm_run --set l1 --seconds 8 --csv --per-tick \
     > /tmp/ppm_tick.csv
 cmp /tmp/ppm_macro.csv /tmp/ppm_tick.csv
+for policy in PPM HPM HL; do
+    ./build/tools/ppm_run --policy "$policy" --set l1 --seconds 8 \
+        --faults all,seed=7,rate=30 --csv > /tmp/ppm_macro.csv
+    ./build/tools/ppm_run --policy "$policy" --set l1 --seconds 8 \
+        --faults all,seed=7,rate=30 --csv --per-tick > /tmp/ppm_tick.csv
+    cmp /tmp/ppm_macro.csv /tmp/ppm_tick.csv
+done
 rm -f /tmp/ppm_macro.csv /tmp/ppm_tick.csv
+
+# Fault-resilience smoke: the fault bench must run end to end.
+./build/bench/bench_fault_resilience > /dev/null
 
 # Race check: the parallel sweep is only deterministic if cells share
 # no mutable state, so run the threaded tests under ThreadSanitizer.
@@ -61,5 +73,17 @@ cmake --build build-tsan --target test_common test_integration \
     --gtest_filter='TraceBus.*:TraceSink.*:TraceRecorder.*' > /dev/null
 ./build-tsan/tests/test_integration \
     --gtest_filter='Sweep.*:RunCells.*:Macrostep.*' > /dev/null
+
+# Memory/UB check: the fault layer mutates hardware state (offlining
+# cores, deferring DVFS) on irregular schedules, so run its tests and
+# the hardened-market tests under ASan+UBSan.
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPPM_ASAN=ON
+cmake --build build-asan --target test_fault test_market test_hw
+./build-asan/tests/test_fault > /dev/null
+./build-asan/tests/test_market \
+    --gtest_filter='Watchdog.*:OnlineEstimator.*' > /dev/null
+./build-asan/tests/test_hw \
+    --gtest_filter='VfTable.*:PowerModel*.*' > /dev/null
 
 echo "all checks passed"

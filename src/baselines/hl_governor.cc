@@ -27,6 +27,7 @@ HlGovernor::init(sim::Simulation& sim)
     // ondemand starts at the lowest frequency.
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v)
         sim.chip().cluster(v).set_level(0);
+    guard_.init(sim.chip().num_clusters(), sim.fault_injector());
     next_sched_ = cfg_.sched_period;
     next_dvfs_ = cfg_.dvfs_period;
     cluster_keys_.clear();
@@ -45,6 +46,8 @@ HlGovernor::least_loaded_core(sim::Simulation& sim, ClusterId v) const
     CoreId best = kInvalidId;
     std::size_t best_count = 0;
     for (CoreId c : sim.chip().cluster(v).cores()) {
+        if (!sim.chip().core_online(c))
+            continue;
         const std::size_t count = sim.scheduler().tasks_on(c).size();
         if (best == kInvalidId || count < best_count) {
             best = c;
@@ -71,10 +74,13 @@ HlGovernor::schedule(sim::Simulation& sim, SimTime now)
             const ClusterId v = sim.chip().cluster_of(cur);
             const double load = sched.task_load(t->id());
             if (v == little_ && load > cfg_.up_threshold) {
-                sched.migrate(t->id(), least_loaded_core(sim, big_), now);
+                const CoreId dst = least_loaded_core(sim, big_);
+                if (dst != kInvalidId)
+                    sim.request_migration(t->id(), dst, now);
             } else if (v == big_ && load < cfg_.down_threshold) {
-                sched.migrate(t->id(), least_loaded_core(sim, little_),
-                              now);
+                const CoreId dst = least_loaded_core(sim, little_);
+                if (dst != kInvalidId)
+                    sim.request_migration(t->id(), dst, now);
             }
         }
     }
@@ -85,19 +91,25 @@ HlGovernor::schedule(sim::Simulation& sim, SimTime now)
         if (!sim.chip().cluster(v).powered())
             continue;
         const auto& cores = sim.chip().cluster(v).cores();
-        CoreId max_core = cores.front();
-        CoreId min_core = cores.front();
+        CoreId max_core = kInvalidId;
+        CoreId min_core = kInvalidId;
         for (CoreId c : cores) {
-            if (sched.tasks_on(c).size() >
-                sched.tasks_on(max_core).size())
+            if (!sim.chip().core_online(c))
+                continue;
+            if (max_core == kInvalidId ||
+                sched.tasks_on(c).size() >
+                    sched.tasks_on(max_core).size())
                 max_core = c;
-            if (sched.tasks_on(c).size() <
-                sched.tasks_on(min_core).size())
+            if (min_core == kInvalidId ||
+                sched.tasks_on(c).size() <
+                    sched.tasks_on(min_core).size())
                 min_core = c;
         }
+        if (max_core == kInvalidId)
+            continue;
         const auto heavy = sched.tasks_on(max_core);
         if (heavy.size() >= sched.tasks_on(min_core).size() + 2)
-            sched.migrate(heavy.front(), min_core, now);
+            sim.request_migration(heavy.front(), min_core, now);
     }
 }
 
@@ -118,12 +130,12 @@ HlGovernor::run_ondemand(sim::Simulation& sim)
         }
         if (max_util > cfg_.ondemand_up) {
             // Kernel ondemand: jump straight to the maximum frequency.
-            cl.set_level(cl.vf().levels() - 1);
+            sim.request_level(v, cl.vf().levels() - 1);
         } else {
             // Then relax to the lowest frequency that keeps the
             // utilization below the threshold.
             const Pu needed = max_util * cl.supply() / cfg_.ondemand_up;
-            cl.set_level(cl.vf().level_for_demand(needed));
+            sim.request_level(v, cl.vf().level_for_demand(needed));
         }
         if (traced) {
             const std::string* k =
@@ -142,9 +154,13 @@ HlGovernor::kill_big_cluster(sim::Simulation& sim, SimTime now)
     big_killed_ = true;
     for (workload::Task* t : sim.tasks()) {
         const CoreId c = sim.scheduler().core_of(t->id());
-        if (sim.chip().cluster_of(c) == big_)
-            sim.scheduler().migrate(t->id(), least_loaded_core(sim, little_),
-                                    now);
+        if (sim.chip().cluster_of(c) != big_)
+            continue;
+        const CoreId dst = least_loaded_core(sim, little_);
+        // Emergency evacuation bypasses the fault layer: the kernel
+        // moves the runqueues itself before cutting the power rail.
+        if (dst != kInvalidId)
+            sim.scheduler().migrate(t->id(), dst, now);
     }
     sim.chip().cluster(big_).set_powered(false);
 }
@@ -152,6 +168,13 @@ HlGovernor::kill_big_cluster(sim::Simulation& sim, SimTime now)
 bool
 HlGovernor::quiescent(const sim::Simulation& sim) const
 {
+    // The per-tick guard state (last-good cache, staleness age) only
+    // evolves on executed ticks, so fault windows and safe mode force
+    // per-tick execution -- in macro-stepped and per-tick runs alike.
+    const fault::FaultInjector* inj = sim.fault_injector();
+    if (inj != nullptr &&
+        (guard_.safe_mode() || inj->sensor_fault_active(sim.now())))
+        return false;
     return big_killed_ || big_ == kInvalidId ||
         sim.sensors().instantaneous_chip() <= cfg_.tdp;
 }
@@ -160,9 +183,25 @@ void
 HlGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
 {
     (void)dt;
+    const Watts w = guard_.read_chip_instantaneous(sim.sensors(), now);
+    guard_.update_safe_mode(now);
+    if (guard_.safe_mode()) {
+        // Readings too stale to trust: hold every powered cluster at
+        // the lowest level; migrations and ondemand stand down until
+        // fresh readings return.  Timers keep advancing so control
+        // resumes on its normal cadence.
+        for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+            if (sim.chip().cluster(v).powered())
+                sim.request_level(v, 0);
+        }
+        if (now >= next_sched_)
+            next_sched_ = now + cfg_.sched_period;
+        if (now >= next_dvfs_)
+            next_dvfs_ = now + cfg_.dvfs_period;
+        return;
+    }
     // TDP emergency: power down the big cluster for good.
-    if (!big_killed_ && big_ != kInvalidId &&
-        sim.sensors().instantaneous_chip() > cfg_.tdp) {
+    if (!big_killed_ && big_ != kInvalidId && w > cfg_.tdp) {
         kill_big_cluster(sim, now);
     }
     if (now >= next_sched_) {

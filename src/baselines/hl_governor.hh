@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "metrics/telemetry.hh"
 #include "sim/governor.hh"
 #include "sim/simulation.hh"
@@ -76,9 +77,16 @@ class HlGovernor : public sim::Governor
      * quiescent while that check cannot fire: once the big cluster is
      * gone, or while chip power sits at or under the cap (power is
      * constant between governor/task events, so the comparison cannot
-     * change mid-interval).
+     * change mid-interval).  Under fault injection the per-tick read
+     * goes through the sensor guard, whose state evolves tick by
+     * tick, so HL is never quiescent while a sensor fault is active
+     * or safe mode holds -- forcing per-tick execution there keeps
+     * macro-stepping bit-identical.
      */
     bool quiescent(const sim::Simulation& sim) const override;
+
+    /** Whether the sensor guard currently reports safe mode. */
+    bool safe_mode() const { return guard_.safe_mode(); }
 
   private:
     /** Activeness-threshold migrations plus intra-cluster balancing. */
@@ -99,6 +107,9 @@ class HlGovernor : public sim::Governor
     SimTime next_sched_ = 0;
     SimTime next_dvfs_ = 0;
     bool big_killed_ = false;
+
+    /** Sensor fallback + safe-mode tracking (inert on clean runs). */
+    fault::SensorGuard guard_;
 
     // Reusable epoch event + cached "clusterN_*" keys (built at init;
     // stable c_str() pointers) so tracing adds no per-epoch allocation.

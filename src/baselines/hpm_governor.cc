@@ -55,6 +55,7 @@ HpmGovernor::init(sim::Simulation& sim)
         level_cap_.push_back(cl.vf().levels() - 1);
         sim.chip().cluster(cl.id()).set_level(0);
     }
+    guard_.init(sim.chip().num_clusters(), sim.fault_injector());
     unsat_count_.assign(sim.tasks().size(), 0);
     sat_count_.assign(sim.tasks().size(), 0);
     next_dvfs_ = cfg_.dvfs_period;
@@ -79,6 +80,8 @@ HpmGovernor::least_loaded_core(sim::Simulation& sim, ClusterId v) const
     CoreId best = kInvalidId;
     std::size_t best_count = 0;
     for (CoreId c : sim.chip().cluster(v).cores()) {
+        if (!sim.chip().core_online(c))
+            continue;
         const std::size_t count = sim.scheduler().tasks_on(c).size();
         if (best == kInvalidId || count < best_count) {
             best = c;
@@ -114,7 +117,7 @@ HpmGovernor::run_dvfs(sim::Simulation& sim, SimTime dt)
         lf = std::clamp(lf + out, 0.0,
                         static_cast<double>(
                             level_cap_[static_cast<std::size_t>(v)]));
-        cl.set_level(static_cast<int>(std::lround(lf)));
+        sim.request_level(v, static_cast<int>(std::lround(lf)));
         if (traced) {
             const std::string* k =
                 &cluster_keys_[static_cast<std::size_t>(v) * 4];
@@ -132,8 +135,23 @@ HpmGovernor::run_dvfs(sim::Simulation& sim, SimTime dt)
 void
 HpmGovernor::run_tdp(sim::Simulation& sim)
 {
-    const Watts w = sim.sensors().chip_average_since_mark();
+    const Watts w = guard_.read_chip_average(sim.sensors(), sim.now());
     sim.sensors().mark();
+    guard_.update_safe_mode(sim.now());
+    if (guard_.safe_mode()) {
+        // Readings too stale to trust against the TDP: clamp every
+        // cluster to its lowest level and cap, reset the PI state, and
+        // let the caps relax one step per period once fresh readings
+        // return (graceful ramp back up).
+        for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+            level_cap_[static_cast<std::size_t>(v)] = 0;
+            level_f_[static_cast<std::size_t>(v)] = 0.0;
+            cluster_pid_[static_cast<std::size_t>(v)].reset();
+            if (sim.chip().cluster(v).powered())
+                sim.request_level(v, 0);
+        }
+        return;
+    }
     if (w > cfg_.tdp) {
         // Throttle the power-hungriest cluster first (the big one).
         const ClusterId victim = big_ != kInvalidId ? big_ : little_;
@@ -165,19 +183,25 @@ HpmGovernor::run_lbt(sim::Simulation& sim, SimTime now)
     // Naive intra-cluster balancing by task count.
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
         const auto& cores = sim.chip().cluster(v).cores();
-        CoreId max_core = cores.front();
-        CoreId min_core = cores.front();
+        CoreId max_core = kInvalidId;
+        CoreId min_core = kInvalidId;
         for (CoreId c : cores) {
-            if (sched.tasks_on(c).size() >
-                sched.tasks_on(max_core).size())
+            if (!sim.chip().core_online(c))
+                continue;
+            if (max_core == kInvalidId ||
+                sched.tasks_on(c).size() >
+                    sched.tasks_on(max_core).size())
                 max_core = c;
-            if (sched.tasks_on(c).size() <
-                sched.tasks_on(min_core).size())
+            if (min_core == kInvalidId ||
+                sched.tasks_on(c).size() <
+                    sched.tasks_on(min_core).size())
                 min_core = c;
         }
+        if (max_core == kInvalidId)
+            continue;
         const auto heavy = sched.tasks_on(max_core);
         if (heavy.size() >= sched.tasks_on(min_core).size() + 2)
-            sched.migrate(heavy.front(), min_core, now);
+            sim.request_migration(heavy.front(), min_core, now);
     }
     if (big_ == kInvalidId)
         return;
@@ -209,12 +233,18 @@ HpmGovernor::run_lbt(sim::Simulation& sim, SimTime now)
             cl.level() >= level_cap_[static_cast<std::size_t>(v)];
         if (v == little_ && unsat >= cfg_.up_migrate_after &&
             cluster_maxed) {
-            sched.migrate(id, least_loaded_core(sim, big_), now);
-            unsat = 0;
+            const CoreId dst = least_loaded_core(sim, big_);
+            if (dst != kInvalidId) {
+                sim.request_migration(id, dst, now);
+                unsat = 0;
+            }
         } else if (v == big_ && sat >= cfg_.down_migrate_after &&
                    little_util < cfg_.little_headroom) {
-            sched.migrate(id, least_loaded_core(sim, little_), now);
-            sat = 0;
+            const CoreId dst = least_loaded_core(sim, little_);
+            if (dst != kInvalidId) {
+                sim.request_migration(id, dst, now);
+                sat = 0;
+            }
         }
     }
 }
@@ -249,10 +279,16 @@ void
 HpmGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
 {
     (void)dt;
+    // In safe mode (decided by the previous TDP evaluation) only the
+    // TDP loop keeps running -- through the guard, so it both detects
+    // recovery and holds the clamp; DVFS and LBT stand down.  Timers
+    // still advance so control resumes on its normal cadence.
     if (now >= next_dvfs_) {
         next_dvfs_ = now + cfg_.dvfs_period;
-        run_dvfs(sim, cfg_.dvfs_period);
-        assign_nice(sim, now);
+        if (!guard_.safe_mode()) {
+            run_dvfs(sim, cfg_.dvfs_period);
+            assign_nice(sim, now);
+        }
     }
     if (now >= next_tdp_) {
         next_tdp_ = now + cfg_.tdp_period;
@@ -260,7 +296,8 @@ HpmGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
     }
     if (now >= next_lbt_) {
         next_lbt_ = now + cfg_.lbt_period;
-        run_lbt(sim, now);
+        if (!guard_.safe_mode())
+            run_lbt(sim, now);
     }
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "metrics/telemetry.hh"
 #include "sim/governor.hh"
 #include "sim/simulation.hh"
@@ -82,6 +83,9 @@ class HpmGovernor : public sim::Governor
     void init(sim::Simulation& sim) override;
     void tick(sim::Simulation& sim, SimTime now, SimTime dt) override;
 
+    /** Whether the sensor guard currently reports safe mode. */
+    bool safe_mode() const { return guard_.safe_mode(); }
+
     /** HPM acts on the earliest of its three loop timers. */
     SimTime next_wake(SimTime now) const override
     {
@@ -116,6 +120,9 @@ class HpmGovernor : public sim::Governor
     SimTime next_dvfs_ = 0;
     SimTime next_lbt_ = 0;
     SimTime next_tdp_ = 0;
+
+    /** Sensor fallback + safe-mode tracking (inert on clean runs). */
+    fault::SensorGuard guard_;
 
     // Reusable epoch event + cached "clusterN_*" keys (built at init;
     // stable c_str() pointers) so tracing adds no per-epoch allocation.

@@ -49,8 +49,15 @@ run_specs(const std::vector<workload::TaskSpec>& specs,
     sim_cfg.tdp_for_metrics = params.tdp;
     sim_cfg.macro_step = params.macro_step;
 
+    hw::Chip chip = hw::tc2_chip();
+    if (params.faults.any()) {
+        sim_cfg.faults = fault::FaultPlan::compile(
+            params.faults, chip.num_clusters(), chip.num_cores(),
+            sim_cfg.duration, sim_cfg.tick);
+    }
+
     sim::Simulation simulation(
-        hw::tc2_chip(), specs,
+        std::move(chip), specs,
         make_governor(params.policy, params.tdp, big_speedups,
                       params.online_speedup),
         sim_cfg);
@@ -104,6 +111,13 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
         // Worst seed sets the thermal envelope.
         avg.peak_temp_c = std::max(avg.peak_temp_c, s.peak_temp_c);
         avg.thermal_cycles += s.thermal_cycles;
+        avg.faults_injected += s.faults_injected;
+        avg.sensor_fallbacks += s.sensor_fallbacks;
+        avg.fault_retries += s.fault_retries;
+        avg.safe_mode_entries += s.safe_mode_entries;
+        avg.watchdog_trips += s.watchdog_trips;
+        avg.safe_mode_seconds += s.safe_mode_seconds;
+        avg.over_tdp_during_fault += s.over_tdp_during_fault;
         for (std::size_t t = 0; t < avg.task_below.size(); ++t)
             avg.task_below[t] += s.task_below[t];
         for (std::size_t t = 0; t < avg.task_outside.size(); ++t)
@@ -120,6 +134,14 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
     avg.thermal_cycles = static_cast<long>(avg.thermal_cycles / n);
     avg.over_tdp_fraction /= n;
     avg.over_tdp_post_warmup /= n;
+    avg.faults_injected = static_cast<long>(avg.faults_injected / n);
+    avg.sensor_fallbacks = static_cast<long>(avg.sensor_fallbacks / n);
+    avg.fault_retries = static_cast<long>(avg.fault_retries / n);
+    avg.safe_mode_entries =
+        static_cast<long>(avg.safe_mode_entries / n);
+    avg.watchdog_trips = static_cast<long>(avg.watchdog_trips / n);
+    avg.safe_mode_seconds /= n;
+    avg.over_tdp_during_fault /= n;
     for (double& f : avg.task_below)
         f /= n;
     for (double& f : avg.task_outside)

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "metrics/recorder.hh"
 #include "metrics/telemetry.hh"
 #include "sim/simulation.hh"
@@ -43,6 +44,13 @@ struct RunParams {
      * so those paths reject a non-null sink.
      */
     metrics::TraceSink* extra_sink = nullptr;
+
+    /**
+     * Fault-injection spec; faults.any() == false (the default) runs
+     * a perfect platform.  Compiled into a deterministic FaultPlan
+     * against the chip topology and run duration at run time.
+     */
+    fault::FaultSpec faults;
 };
 
 /** Result of one run: summary plus optional traces. */

@@ -34,10 +34,16 @@ MigrationModel::interpolate(const Range& r, const Cluster& src)
 }
 
 SimTime
-MigrationModel::cost(const Chip& chip, CoreId from, CoreId to) const
+MigrationModel::cost(const Chip& chip, CoreId from, CoreId to,
+                     double scale) const
 {
     if (from == to)
         return 0;
+    if (scale != 1.0) {
+        const SimTime base = cost(chip, from, to);
+        return static_cast<SimTime>(static_cast<double>(base) *
+                                    std::max(0.0, scale));
+    }
     const ClusterId vf = chip.cluster_of(from);
     const ClusterId vt = chip.cluster_of(to);
     const Cluster& src = chip.cluster(vf);

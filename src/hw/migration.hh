@@ -40,8 +40,10 @@ class MigrationModel
     /**
      * Latency of migrating a task from `from` to `to` on `chip`,
      * given current cluster frequencies.  Zero if `from == to`.
+     * `scale` multiplies the base cost (slow-migration faults).
      */
-    SimTime cost(const Chip& chip, CoreId from, CoreId to) const;
+    SimTime cost(const Chip& chip, CoreId from, CoreId to,
+                 double scale = 1.0) const;
 
   private:
     /** Interpolate a range over the source cluster's frequency span. */

@@ -59,6 +59,14 @@ Chip::Chip(const std::vector<ClusterSpec>& specs)
                                std::move(ids));
         ++next_cluster;
     }
+    core_online_.assign(cores_.size(), 1);
+}
+
+void
+Chip::set_core_online(CoreId c, bool on)
+{
+    PPM_ASSERT(c >= 0 && c < num_cores(), "core id out of range");
+    core_online_[static_cast<std::size_t>(c)] = on ? 1 : 0;
 }
 
 Cluster&

@@ -125,15 +125,35 @@ class Chip
     /** All clusters (const view). */
     const std::vector<Cluster>& clusters() const { return clusters_; }
 
-    /** Supply of core `c` in PU (== its cluster's supply). */
-    Pu core_supply(CoreId c) const { return cluster(cluster_of(c)).supply(); }
+    /**
+     * Supply of core `c` in PU (== its cluster's supply); an offline
+     * core supplies nothing.
+     */
+    Pu core_supply(CoreId c) const
+    {
+        return core_online(c) ? cluster(cluster_of(c)).supply() : 0.0;
+    }
 
     /** Total chip supply: sum of cluster supplies (paper Section 2). */
     Pu total_supply() const;
 
+    /**
+     * Hot-plug state of core `c`.  All cores boot online; the fault
+     * layer offlines cores for thermal-emergency style events.  An
+     * offline core supplies no cycles but keeps its task assignments.
+     */
+    bool core_online(CoreId c) const
+    {
+        return core_online_[static_cast<std::size_t>(c)] != 0;
+    }
+
+    /** Set the hot-plug state of core `c`. */
+    void set_core_online(CoreId c, bool on);
+
   private:
     std::vector<Cluster> clusters_;
     std::vector<Core> cores_;
+    std::vector<char> core_online_;
 };
 
 /** Core-type parameters used by the default TC2-like platform. */

@@ -1,6 +1,7 @@
 #include "hw/power_model.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -10,8 +11,10 @@ Watts
 PowerModel::core_power(const CoreTypeParams& t, double mhz, double volts,
                        double vmax, double util)
 {
-    PPM_ASSERT(util >= 0.0 && util <= 1.0 + 1e-9, "utilization out of range");
-    const double u = std::clamp(util, 0.0, 1.0);
+    // Garbage in (NaN, out-of-range) must not become garbage power:
+    // treat non-finite utilization as idle and clamp the rest.
+    const double u =
+        std::isfinite(util) ? std::clamp(util, 0.0, 1.0) : 0.0;
     // ceff [nF] * V^2 * f [MHz] has units of 1e-3 W.
     const Watts dynamic = t.ceff_nf * volts * volts * mhz * 1e-3 * u;
     const double vr = vmax > 0.0 ? volts / vmax : 0.0;

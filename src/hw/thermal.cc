@@ -37,8 +37,13 @@ ThermalModel::step(const std::vector<Watts>& cluster_power, SimTime dt)
     const double dt_s = to_seconds(dt);
     for (std::size_t v = 0; v < temp_.size(); ++v) {
         const auto& n = params_.nodes[v];
+        // Non-finite power (corrupted upstream) must not poison the
+        // temperature state; treat it as zero draw.
+        const double p = std::isfinite(cluster_power[v])
+                             ? std::max(0.0, cluster_power[v])
+                             : 0.0;
         const double target =
-            params_.ambient_c + cluster_power[v] * n.resistance_k_per_w;
+            params_.ambient_c + p * n.resistance_k_per_w;
         const double tau = n.resistance_k_per_w * n.capacitance_j_per_k;
         // Exact exponential step (stable for any dt).
         const double decay = std::exp(-dt_s / tau);
@@ -84,8 +89,11 @@ ThermalModel::advance(const std::vector<Watts>& cluster_power,
     adv_decay_.resize(temp_.size());
     for (std::size_t v = 0; v < temp_.size(); ++v) {
         const auto& node = params_.nodes[v];
+        const double p = std::isfinite(cluster_power[v])
+                             ? std::max(0.0, cluster_power[v])
+                             : 0.0;
         adv_target_[v] =
-            params_.ambient_c + cluster_power[v] * node.resistance_k_per_w;
+            params_.ambient_c + p * node.resistance_k_per_w;
         const double tau =
             node.resistance_k_per_w * node.capacitance_j_per_k;
         adv_decay_[v] = std::exp(-dt_s / tau);

@@ -20,15 +20,13 @@ VfTable::VfTable(std::vector<VfPoint> points) : points_(std::move(points))
 double
 VfTable::mhz(int level) const
 {
-    PPM_ASSERT(level >= 0 && level < levels(), "VF level out of range");
-    return points_[static_cast<std::size_t>(level)].mhz;
+    return points_[static_cast<std::size_t>(clamp_level(level))].mhz;
 }
 
 double
 VfTable::volts(int level) const
 {
-    PPM_ASSERT(level >= 0 && level < levels(), "VF level out of range");
-    return points_[static_cast<std::size_t>(level)].volts;
+    return points_[static_cast<std::size_t>(clamp_level(level))].volts;
 }
 
 int

@@ -35,10 +35,10 @@ class VfTable
     /** Number of discrete levels. */
     int levels() const { return static_cast<int>(points_.size()); }
 
-    /** Frequency in MHz at `level`. */
+    /** Frequency in MHz at `level` (out-of-range levels clamp). */
     double mhz(int level) const;
 
-    /** Voltage at `level`. */
+    /** Voltage at `level` (out-of-range levels clamp). */
     double volts(int level) const;
 
     /** Supply in PU at `level` (numerically equal to MHz). */

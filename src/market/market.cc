@@ -103,6 +103,14 @@ Market::task(TaskId t) const
     return tasks_[static_cast<std::size_t>(t)];
 }
 
+TaskState&
+Market::task(TaskId t)
+{
+    PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
+               "task id out of range");
+    return tasks_[static_cast<std::size_t>(t)];
+}
+
 const CoreState&
 Market::core(CoreId c) const
 {
@@ -381,10 +389,10 @@ Market::control_supply()
             state_ != ChipState::kNormal || demand_covered_below;
         bool changed = false;
         if (cc.price >= cc.base_price * (1.0 + delta)) {
-            changed = cl.step_level(+1);  // Inflation: raise supply.
+            changed = step_cluster(cl, +1);  // Inflation: raise supply.
         } else if (cc.price <= cc.base_price * (1.0 - delta)) {
             if (may_deflate) {
-                changed = cl.step_level(-1);  // Deflation: lower supply.
+                changed = step_cluster(cl, -1);  // Deflation: lower supply.
             } else {
                 // Deflation blocked by demand rounding: accept the
                 // lower price as the new base so the inflation trigger
@@ -412,7 +420,7 @@ Market::control_supply()
             }
             if (any_on_core && all_floor &&
                 cl.vf().supply(cl.level() - 1) >= cc.demand) {
-                changed = cl.step_level(-1);
+                changed = step_cluster(cl, -1);
             }
         }
         if (changed) {
@@ -422,6 +430,94 @@ Market::control_supply()
         }
     }
     return changes;
+}
+
+bool
+Market::step_cluster(hw::Cluster& cl, int delta)
+{
+    if (dvfs_port_ != nullptr)
+        return dvfs_port_->request_step(cl.id(), delta);
+    return cl.step_level(delta);
+}
+
+bool
+finite_task_state(const TaskState& t)
+{
+    return std::isfinite(t.demand) && t.demand >= 0.0 &&
+        std::isfinite(t.supply) && t.supply >= 0.0 &&
+        std::isfinite(t.bid) && std::isfinite(t.savings) &&
+        std::isfinite(t.allowance);
+}
+
+bool
+finite_core_state(const CoreState& c)
+{
+    return std::isfinite(c.price) && c.price >= 0.0 &&
+        std::isfinite(c.base_price);
+}
+
+bool
+Market::sane() const
+{
+    if (!std::isfinite(allowance_) || allowance_ < 0.0)
+        return false;
+    for (const TaskState& t : tasks_) {
+        if (!finite_task_state(t))
+            return false;
+    }
+    for (const CoreState& c : cores_) {
+        if (!finite_core_state(c))
+            return false;
+    }
+    return true;
+}
+
+int
+Market::sanitize(const std::vector<Pu>& fallback_supplies)
+{
+    int repaired = 0;
+    for (TaskState& t : tasks_) {
+        if (!std::isfinite(t.demand) || t.demand < 0.0) {
+            t.demand = 0.0;
+            ++repaired;
+        }
+        if (!std::isfinite(t.supply) || t.supply < 0.0) {
+            const auto i = static_cast<std::size_t>(t.id);
+            const Pu fb = i < fallback_supplies.size()
+                ? fallback_supplies[i] : 0.0;
+            t.supply = (std::isfinite(fb) && fb >= 0.0) ? fb : 0.0;
+            ++repaired;
+        }
+        if (!std::isfinite(t.bid)) {
+            t.bid = cfg_.min_bid;
+            ++repaired;
+        }
+        if (!std::isfinite(t.savings) || t.savings < 0.0) {
+            t.savings = 0.0;
+            ++repaired;
+        }
+        if (!std::isfinite(t.allowance)) {
+            t.allowance = 0.0;
+            ++repaired;
+        }
+    }
+    for (CoreState& c : cores_) {
+        if (!std::isfinite(c.price) || c.price < 0.0) {
+            c.price = 0.0;
+            ++repaired;
+        }
+        if (!std::isfinite(c.base_price)) {
+            c.base_price = 0.0;
+            c.has_base = false;
+            ++repaired;
+        }
+    }
+    if (!std::isfinite(allowance_) || allowance_ < 0.0) {
+        allowance_ = std::clamp(cfg_.initial_allowance,
+                                cfg_.min_bid, cfg_.max_allowance);
+        ++repaired;
+    }
+    return repaired;
 }
 
 RoundReport

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "hw/platform.hh"
 #include "market/config.hh"
 
@@ -140,6 +141,13 @@ class Market
     /** State of task `t`. */
     const TaskState& task(TaskId t) const;
 
+    /**
+     * Mutable state of task `t`.  Exists for the watchdog machinery
+     * and its tests: injecting a non-finite field exercises sane() /
+     * sanitize() without relying on a numeric overflow to occur.
+     */
+    TaskState& task(TaskId t);
+
     /** State of core `c`. */
     const CoreState& core(CoreId c) const;
 
@@ -169,6 +177,33 @@ class Market
 
     /** Tasks mapped to core `c` (by market bookkeeping). */
     std::vector<TaskId> tasks_on(CoreId c) const;
+
+    /**
+     * Route cluster V-F steps through `port` instead of acting on the
+     * chip directly (fault injection: a request may land late, fail
+     * and be retried, or be dropped).  nullptr (the default) restores
+     * direct actuation.
+     */
+    void set_dvfs_port(fault::DvfsPort* port) { dvfs_port_ = port; }
+
+    /**
+     * Watchdog predicate: true while every monetary quantity in the
+     * market is finite and correctly signed (bids, supplies, savings,
+     * allowances, prices).  A false return means the last bidding
+     * round failed to converge to a meaningful allocation.
+     */
+    bool sane() const;
+
+    /**
+     * Watchdog repair: overwrite every non-finite or mis-signed field
+     * with a safe value -- task supplies fall back to
+     * `fallback_supplies` (the previous cleared allocation, indexed
+     * by task id; missing/non-finite entries fall back to 0), bids
+     * return to the minimum bid, savings and prices reset, and the
+     * global allowance re-anchors to its initial value.
+     * @return the number of fields repaired.
+     */
+    int sanitize(const std::vector<Pu>& fallback_supplies);
 
   private:
     struct ClusterCtl {
@@ -203,6 +238,15 @@ class Market
     /** Cluster-agent DVFS decisions; returns number of level changes. */
     int control_supply();
 
+    /**
+     * Step `cl` by `delta` levels through the DVFS port when one is
+     * attached, directly otherwise.  Returns whether the hardware
+     * level changed *now* (a deferred or failed faulted request
+     * returns false, so freeze/base-reset logic stays tied to actual
+     * supply changes).
+     */
+    bool step_cluster(hw::Cluster& cl, int delta);
+
     /** Fill the attached telemetry snapshot from the post-round state. */
     void fill_telemetry(const RoundReport& report);
 
@@ -216,6 +260,7 @@ class Market
     long rounds_ = 0;
     bool allowance_clamped_ = false;  ///< Set by update_allowance().
     MarketTelemetry* telemetry_ = nullptr;  ///< Not owned; may be null.
+    fault::DvfsPort* dvfs_port_ = nullptr;  ///< Not owned; may be null.
 
     // Reusable per-round scratch (capacity kept across rounds) so a
     // steady-state round allocates nothing.
@@ -224,6 +269,15 @@ class Market
     std::vector<double> scratch_weight_;        ///< distribute_allowance.
     std::vector<Money> scratch_bid_sum_;        ///< discover_prices.
 };
+
+/**
+ * Finiteness/sign checks on one agent's state, factored out of
+ * Market::sane() so tests can probe them on synthetic garbage (the
+ * public mutators filter bad inputs, making in-market corruption
+ * unreachable from outside).
+ */
+bool finite_task_state(const TaskState& t);
+bool finite_core_state(const CoreState& c);
 
 } // namespace ppm::market
 

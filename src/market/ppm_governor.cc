@@ -1,6 +1,7 @@
 #include "market/ppm_governor.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "hw/power_model.hh"
@@ -46,6 +47,8 @@ PpmGovernor::init(sim::Simulation& sim)
 {
     sim_ = &sim;
     market_ = std::make_unique<Market>(&sim.chip(), cfg_.market);
+    market_->set_dvfs_port(sim.dvfs_port());
+    guard_.init(sim.chip().num_clusters(), sim.fault_injector());
     for (workload::Task* t : sim.tasks()) {
         market_->add_task(t->id(), t->priority(),
                           sim.scheduler().core_of(t->id()));
@@ -207,9 +210,15 @@ PpmGovernor::bid_round(sim::Simulation& sim, SimTime now)
             market_->set_task_active(t->id(), alive);
         if (!alive)
             continue;
-        market_->set_demand(
-            t->id(),
-            t->hrm().estimate_demand(now, cfg_.market.demand_clamp));
+        // Core offlining evacuates tasks behind the market's back;
+        // resync before the round so bids land on the right ledger.
+        const CoreId cur = sim.scheduler().core_of(t->id());
+        if (market_->task(t->id()).core != cur)
+            market_->set_task_core(t->id(), cur);
+        Pu demand = t->hrm().estimate_demand(now, cfg_.market.demand_clamp);
+        if (!std::isfinite(demand))
+            demand = 0.0;
+        market_->set_demand(t->id(), demand);
         if (online_ != nullptr) {
             // Feed the online model only when the whole HRM window
             // lies on one core class: windows straddling a migration
@@ -228,15 +237,40 @@ PpmGovernor::bid_round(sim::Simulation& sim, SimTime now)
             }
         }
     }
-    // Power readings since the previous bid round (hwmon-style).
+    // Power readings since the previous bid round (hwmon-style),
+    // routed through the sensor guard: under injection a faulted
+    // read is served from the last good value with a bounded age.
     for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
         market_->set_cluster_power(
-            v, sim.sensors().average_since_mark(v));
+            v, guard_.read_average(sim.sensors(), v, now));
     }
     sim.sensors().mark();
+    guard_.update_safe_mode(now);
+    if (guard_.safe_mode()) {
+        // Readings too stale to price power: clamp every powered
+        // cluster to the lowest V-F level and freeze the market (no
+        // round, so allowances and bids stay at their last values).
+        for (ClusterId v = 0; v < sim.chip().num_clusters(); ++v) {
+            if (sim.chip().cluster(v).powered())
+                sim.request_level(v, 0);
+        }
+        return;
+    }
 
     market_->set_telemetry(sim.bus().enabled() ? &telemetry_ : nullptr);
     market_->round();
+    if (!market_->sane()) {
+        // Watchdog: the bidding round failed to converge to a finite
+        // allocation; fall back to the previous cleared supplies.
+        ++watchdog_trips_;
+        if (fault::FaultInjector* inj = sim.fault_injector())
+            inj->count_watchdog_trip();
+        market_->sanitize(last_good_supplies_);
+    } else {
+        last_good_supplies_.resize(market_->tasks().size());
+        for (std::size_t i = 0; i < market_->tasks().size(); ++i)
+            last_good_supplies_[i] = market_->tasks()[i].supply;
+    }
     if (sim.bus().enabled())
         emit_telemetry(sim, now);
     enact_nice(sim);
@@ -308,13 +342,19 @@ PpmGovernor::lbt_round(sim::Simulation& sim, SimTime now, bool migration)
     if (!mv.valid())
         return;
 
+    // Never move onto an offlined core (the LBT module only sees
+    // cluster supplies, not per-core availability).
+    if (!sim.chip().core_online(mv.to))
+        return;
+
     // Ensure the destination cluster is powered before moving.
     hw::Cluster& dst = sim.chip().cluster(sim.chip().cluster_of(mv.to));
     if (!dst.powered()) {
         dst.set_powered(true);
         dst.set_level(0);
     }
-    sim.scheduler().migrate(mv.task, mv.to, now);
+    if (!sim.request_migration(mv.task, mv.to, now))
+        return;  // Migration fault: queued for retry, ledger untouched.
     market_->set_task_core(mv.task, mv.to);
 }
 
@@ -328,7 +368,7 @@ PpmGovernor::tick(sim::Simulation& sim, SimTime now, SimTime dt)
     ++bid_count_;
     bid_round(sim, now);
 
-    if (!cfg_.enable_lbt)
+    if (!cfg_.enable_lbt || guard_.safe_mode())
         return;
     const long lb_period = cfg_.lb_every_bids;
     const long mig_period =

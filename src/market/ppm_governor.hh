@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "market/lbt.hh"
 #include "market/market.hh"
 #include "market/online_estimator.hh"
@@ -107,6 +108,12 @@ class PpmGovernor : public sim::Governor
     /** Effective bid period (after auto-derivation at init). */
     SimTime bid_period() const { return bid_period_; }
 
+    /** Market watchdog interventions so far (0 on healthy runs). */
+    long watchdog_trips() const { return watchdog_trips_; }
+
+    /** Whether the sensor guard currently reports safe mode. */
+    bool safe_mode() const { return guard_.safe_mode(); }
+
   private:
     /** Feed demands + power, run a market round, enact nice values. */
     void bid_round(sim::Simulation& sim, SimTime now);
@@ -166,6 +173,12 @@ class PpmGovernor : public sim::Governor
     sim::Simulation* sim_ = nullptr;
     SimTime next_bid_ = 0;
     long bid_count_ = 0;
+
+    // Degradation machinery (inert on clean runs: the guard passes
+    // reads through verbatim and the watchdog never trips).
+    fault::SensorGuard guard_;
+    std::vector<Pu> last_good_supplies_;  ///< Last sane cleared round.
+    long watchdog_trips_ = 0;
 };
 
 } // namespace ppm::market

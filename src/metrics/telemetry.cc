@@ -138,36 +138,70 @@ MemorySink::sample(const std::string& series, SimTime time, double value)
 CsvStreamSink::CsvStreamSink(std::ostream& os) : os_(&os)
 {
     *os_ << "time_s,series,value\n";
+    check_stream();
+}
+
+void
+CsvStreamSink::check_stream()
+{
+    if (failed_ || *os_)
+        return;
+    failed_ = true;
+    std::fprintf(stderr,
+                 "warning: CSV trace stream write failed; "
+                 "dropping further trace output\n");
 }
 
 void
 CsvStreamSink::sample(const std::string& series, SimTime time,
                       double value)
 {
+    if (failed_)
+        return;
     *os_ << fmt_double(to_seconds(time), 3) << ',' << series << ','
          << fmt_double(value, 6) << '\n';
+    check_stream();
 }
 
 void
 CsvStreamSink::flush()
 {
+    if (failed_)
+        return;
     os_->flush();
+    check_stream();
 }
 
 JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
 
 void
+JsonlSink::check_stream()
+{
+    if (failed_ || *os_)
+        return;
+    failed_ = true;
+    std::fprintf(stderr,
+                 "warning: JSONL trace stream write failed; "
+                 "dropping further trace output\n");
+}
+
+void
 JsonlSink::sample(const std::string& series, SimTime time, double value)
 {
+    if (failed_)
+        return;
     *os_ << "{\"type\":\"sample\",\"t_s\":"
          << fmt_double(to_seconds(time), 3)
          << ",\"series\":" << json_string(series)
          << ",\"value\":" << json_number(value) << "}\n";
+    check_stream();
 }
 
 void
 JsonlSink::event(const TraceEvent& e)
 {
+    if (failed_)
+        return;
     *os_ << "{\"type\":" << json_string(e.type)
          << ",\"t_s\":" << fmt_double(to_seconds(e.time), 3);
     for (const auto& [key, value] : e.str)
@@ -175,12 +209,16 @@ JsonlSink::event(const TraceEvent& e)
     for (const auto& [key, value] : e.num)
         *os_ << ',' << json_string(key) << ':' << json_number(value);
     *os_ << "}\n";
+    check_stream();
 }
 
 void
 JsonlSink::flush()
 {
+    if (failed_)
+        return;
     os_->flush();
+    check_stream();
 }
 
 void

@@ -140,6 +140,13 @@ class TraceSink
 
     /** Flush buffered output (no-op by default). */
     virtual void flush() {}
+
+    /**
+     * Whether the sink has hit an unrecoverable output error (e.g. a
+     * full disk under a streaming sink).  Consumers that gate their
+     * exit code on trace integrity check this after the run.
+     */
+    virtual bool failed() const { return false; }
 };
 
 /** Appends samples to a caller-owned TraceRecorder. */
@@ -159,6 +166,10 @@ class MemorySink : public TraceSink
 /**
  * Streaming narrow CSV: a `time_s,series,value` header followed by one
  * row per sample, written as records arrive (constant memory).
+ *
+ * An output error (stream enters a failed state on write or flush) is
+ * reported once on stderr, latches `failed()`, and silences further
+ * writes; the simulation itself keeps running.
  */
 class CsvStreamSink : public TraceSink
 {
@@ -169,9 +180,14 @@ class CsvStreamSink : public TraceSink
     void sample(const std::string& series, SimTime time,
                 double value) override;
     void flush() override;
+    bool failed() const override { return failed_; }
 
   private:
+    /** Latch + warn once when the stream has gone bad. */
+    void check_stream();
+
     std::ostream* os_;
+    bool failed_ = false;
 };
 
 /**
@@ -179,6 +195,9 @@ class CsvStreamSink : public TraceSink
  * {"type":"sample","t_s":T,"series":S,"value":V}; events render as
  * {"type":E,"t_s":T,<field>:<value>,...} with every numeric and string
  * field inline.
+ *
+ * Output errors are handled like CsvStreamSink: one stderr warning,
+ * `failed()` latches, further writes are dropped.
  */
 class JsonlSink : public TraceSink
 {
@@ -190,9 +209,14 @@ class JsonlSink : public TraceSink
                 double value) override;
     void event(const TraceEvent& e) override;
     void flush() override;
+    bool failed() const override { return failed_; }
 
   private:
+    /** Latch + warn once when the stream has gone bad. */
+    void check_stream();
+
     std::ostream* os_;
+    bool failed_ = false;
 };
 
 /**

@@ -107,14 +107,16 @@ Scheduler::active(TaskId t) const
 }
 
 SimTime
-Scheduler::migrate(TaskId t, CoreId core, SimTime now)
+Scheduler::migrate(TaskId t, CoreId core, SimTime now,
+                   double cost_scale)
 {
     PPM_ASSERT(core >= 0 && core < chip_->num_cores(),
                "target core out of range");
     Entry& e = entry(t);
     if (e.core == core)
         return 0;
-    const SimTime cost = migration_.cost(*chip_, e.core, core);
+    const SimTime cost =
+        migration_.cost(*chip_, e.core, core, cost_scale);
     e.core = core;
     e.blocked_until = std::max(e.blocked_until, now + cost);
     ++migrations_;
@@ -146,7 +148,8 @@ Scheduler::fill_granted(CoreId core, const std::vector<TaskId>& ids,
 {
     const hw::Cluster& cl = chip_->cluster(chip_->cluster_of(core));
     const hw::CoreClass cls = cl.type().core_class;
-    const Cycles capacity = work_done(cl.supply(), dt);
+    const Cycles capacity =
+        chip_->core_online(core) ? work_done(cl.supply(), dt) : 0.0;
 
     // Partition into runnable (unblocked) and blocked tasks.  The
     // scratch holds positions into `ids` so the water-filling passes

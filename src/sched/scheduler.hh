@@ -57,10 +57,12 @@ class Scheduler
     /**
      * Move task `t` to `core` (sched_setaffinity).  Charges the
      * migration latency: the task receives no cycles until the
-     * penalty elapses.  No-op if already there.
+     * penalty elapses.  No-op if already there.  `cost_scale`
+     * multiplies the charged latency (slow-migration faults).
      * @return the charged latency.
      */
-    SimTime migrate(TaskId t, CoreId core, SimTime now);
+    SimTime migrate(TaskId t, CoreId core, SimTime now,
+                    double cost_scale = 1.0);
 
     /** Set the task's nice value (clamped to [-20, 19]). */
     void set_nice(TaskId t, int nice);
@@ -155,6 +157,13 @@ class Scheduler
 
     /** Number of migrations performed so far. */
     long migrations() const { return migrations_; }
+
+    /**
+     * Invalidate the replay cache after a topology change the cached
+     * water-fill cannot see (core hot-plug: cluster supplies are
+     * unchanged but a core's capacity went to zero or came back).
+     */
+    void notify_topology_changed() { replay_cache_valid_ = false; }
 
     const hw::Chip& chip() const { return *chip_; }
     const hw::MigrationModel& migration_model() const { return migration_; }

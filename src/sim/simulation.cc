@@ -41,6 +41,12 @@ Simulation::Simulation(hw::Chip chip,
     for (const auto& cl : chip_.clusters())
         last_levels_.push_back(cl.level());
 
+    // Fault layer: only instantiated for a non-empty plan, so clean
+    // runs keep a null injector and an untouched hot path.
+    if (!config_.faults.empty())
+        injector_ = std::make_unique<fault::FaultInjector>(
+            config_.faults, &chip_, scheduler_.get(), &bus_);
+
     // Thermal model: explicit parameters, the TC2 calibration for the
     // default 2-cluster chip, or a generic per-cluster sizing that
     // puts each cluster's power peak near 80 deg C.
@@ -180,6 +186,8 @@ Simulation::step()
         warmup_snapshotted_ = true;
     }
     apply_lifetimes();
+    if (injector_ != nullptr)
+        injector_->tick(now_);
     governor_->tick(*this, now_, dt);
     scheduler_->tick(now_, dt);
     record_power(dt);
@@ -190,6 +198,8 @@ Simulation::step()
     // tracker counts ticks with now + dt >= warmup).
     if (now_ + dt >= config_.warmup)
         over_tdp_post_.add(over_tdp, dt);
+    if (injector_ != nullptr && injector_->any_fault_active(now_))
+        over_tdp_fault_.add(over_tdp, dt);
 
     // Count V-F transitions.
     for (std::size_t v = 0; v < last_levels_.size(); ++v) {
@@ -278,6 +288,19 @@ Simulation::quiescent_ticks() const
     }
     if (bus_.enabled() && config_.trace_period > 0 && next_trace_ > now_)
         n = std::min(n, ceil_div(next_trace_ - now_, dt) - 1);
+    if (injector_ != nullptr) {
+        // Every fault edge (window open/close, pending action due,
+        // core restoration) is a horizon: the interval ends AT the
+        // edge so the next step() starts exactly there and runs
+        // injector->tick(edge) -- window activation, core restoration
+        // and deferred-action landing happen at the same tick as in
+        // per-tick execution (no -1: unlike lifetime edges, fault
+        // edges take effect at the start of their own tick, like a
+        // task unblocking).
+        const SimTime edge = injector_->next_edge(now_);
+        if (edge > now_ && edge != fault::FaultInjector::kNoEdge)
+            n = std::min(n, ceil_div(edge - now_, dt));
+    }
     return std::max<long>(0, n);
 }
 
@@ -309,6 +332,11 @@ Simulation::advance_quiescent(long n)
         chip_w += w;
     const bool over = chip_w > config_.tdp_for_metrics;
 
+    // Fault-activity is constant over the interval: every window edge
+    // is a horizon bound, so no fault starts or ends inside it.
+    const bool fault_active =
+        injector_ != nullptr && injector_->any_fault_active(now_);
+
     // Lifetime mask: constant over the interval by construction.
     const std::vector<bool>* mask = nullptr;
     if (!config_.lifetimes.empty()) {
@@ -335,6 +363,8 @@ Simulation::advance_quiescent(long n)
         thermal_->advance(power_scratch_, dt, n);
         over_tdp_.add(over, n * dt);
         over_tdp_post_.add(over, n * dt);
+        if (fault_active)
+            over_tdp_fault_.add(over, n * dt);
         now_ += n * dt;
         // One QoS sample covers the whole interval: the heart rates
         // are pinned by the window fixed points, so n per-tick
@@ -375,6 +405,8 @@ Simulation::advance_quiescent(long n)
         thermal_->advance(power_scratch_, dt, n);
         over_tdp_.add(over, n * dt);
         over_tdp_post_.add(over, n * dt);
+        if (fault_active)
+            over_tdp_fault_.add(over, n * dt);
         return;
     }
 
@@ -395,6 +427,8 @@ Simulation::advance_quiescent(long n)
         over_tdp_.add(over, dt);
         if (now_ + dt >= config_.warmup)
             over_tdp_post_.add(over, dt);
+        if (fault_active)
+            over_tdp_fault_.add(over, dt);
         now_ += dt;
         qos_.sample(task_views_, now_, dt, config_.warmup, mask);
     }
@@ -446,7 +480,35 @@ Simulation::summary() const
         s.task_below.push_back(qos_.task_below_fraction(t));
         s.task_outside.push_back(qos_.task_outside_fraction(t));
     }
+    if (injector_ != nullptr) {
+        const fault::FaultStats& st = injector_->stats();
+        s.faults_injected = st.injected;
+        s.sensor_fallbacks = st.sensor_fallbacks;
+        s.fault_retries = st.dvfs_retries + st.migration_retries;
+        s.safe_mode_entries = st.safe_mode_entries;
+        s.watchdog_trips = st.watchdog_trips;
+        s.safe_mode_seconds = to_seconds(st.safe_mode_time);
+        s.over_tdp_during_fault = over_tdp_fault_.fraction();
+    }
     return s;
+}
+
+void
+Simulation::request_level(ClusterId v, int level)
+{
+    if (injector_ != nullptr)
+        injector_->request_level(v, level);
+    else
+        chip_.cluster(v).set_level(level);
+}
+
+bool
+Simulation::request_migration(TaskId t, CoreId core, SimTime now)
+{
+    if (injector_ != nullptr)
+        return injector_->request_migration(t, core, now);
+    scheduler_->migrate(t, core, now);
+    return true;
 }
 
 } // namespace ppm::sim

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "hw/migration.hh"
 #include "hw/platform.hh"
 #include "hw/power_model.hh"
@@ -75,6 +76,14 @@ struct SimConfig {
      * cluster sized so its power peak lands near 80 deg C.
      */
     hw::ThermalParams thermal;
+
+    /**
+     * Fault schedule.  Empty (the default) = perfect platform and an
+     * untouched hot path; a non-empty plan instantiates the
+     * FaultInjector, whose event edges bound the macro-stepping
+     * engine so results stay bit-identical to per-tick execution.
+     */
+    fault::FaultPlan faults;
 };
 
 /**
@@ -111,6 +120,16 @@ struct RunSummary {
     long thermal_cycles = 0;     ///< Completed >=3 K thermal swings.
     std::vector<double> task_below;   ///< Per-task below-range fraction.
     std::vector<double> task_outside; ///< Per-task outside-range fraction.
+
+    // Fault-injection accounting (all zero on clean runs).
+    long faults_injected = 0;    ///< Fault windows activated.
+    long sensor_fallbacks = 0;   ///< Reads served degraded/last-good.
+    long fault_retries = 0;      ///< DVFS + migration retry attempts.
+    long safe_mode_entries = 0;  ///< Governor safe-mode transitions.
+    long watchdog_trips = 0;     ///< Market watchdog interventions.
+    double safe_mode_seconds = 0;///< Total time spent in safe mode.
+    double over_tdp_during_fault = 0; ///< Fraction of fault-active
+                                 ///< time the chip spent above TDP.
 };
 
 /** One complete experiment instance. */
@@ -166,6 +185,33 @@ class Simulation
     /** Count of V-F transitions observed so far. */
     long vf_transitions() const { return vf_transitions_; }
 
+    /** The fault injector; null on clean runs. */
+    fault::FaultInjector* fault_injector() { return injector_.get(); }
+    const fault::FaultInjector* fault_injector() const
+    {
+        return injector_.get();
+    }
+
+    /**
+     * The DVFS actuation port governors should route level changes
+     * through; null on clean runs (change levels directly).
+     */
+    fault::DvfsPort* dvfs_port() { return injector_.get(); }
+
+    /**
+     * Request a cluster level change, honoring any active DVFS fault
+     * (the request may land late or be retried).  On clean runs this
+     * is exactly `chip().cluster(v).set_level(level)`.
+     */
+    void request_level(ClusterId v, int level);
+
+    /**
+     * Request a task migration, honoring any active migration fault
+     * and core offlining.  Returns true iff the task moved now; on
+     * clean runs this is exactly `scheduler().migrate(t, core, now)`.
+     */
+    bool request_migration(TaskId t, CoreId core, SimTime now);
+
     /** Build the summary from the metrics collected so far. */
     RunSummary summary() const;
 
@@ -210,9 +256,11 @@ class Simulation
     metrics::QosTracker qos_;
     metrics::TraceRecorder recorder_;
     metrics::TraceBus bus_;
+    std::unique_ptr<fault::FaultInjector> injector_;
     std::vector<int> last_levels_;
     DutyCycle over_tdp_;
     DutyCycle over_tdp_post_;  ///< Same condition, QoS window only.
+    DutyCycle over_tdp_fault_; ///< Same condition, fault-active time.
     SimTime now_ = 0;
     SimTime next_trace_ = 0;
     long vf_transitions_ = 0;

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Black-box CLI validation of the ppm_run binary: malformed arguments
+ * must produce a one-line error and a non-zero exit code, and a valid
+ * invocation must exit zero.  The binary path is injected by CMake as
+ * PPM_RUN_BIN.
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef PPM_RUN_BIN
+#error "PPM_RUN_BIN must point at the ppm_run binary"
+#endif
+
+namespace {
+
+/** Run ppm_run with `args`, discarding output; returns the exit code. */
+int
+run_cli(const std::string& args)
+{
+    const std::string cmd = std::string(PPM_RUN_BIN) + " " + args +
+                            " > /dev/null 2> /dev/null";
+    const int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+TEST(PpmRunCli, ValidTinyRunExitsZero)
+{
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --tdp 3.5"), 0);
+}
+
+TEST(PpmRunCli, UnknownFlagIsRejected)
+{
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --frobnicate"), 2);
+}
+
+TEST(PpmRunCli, NegativeDurationIsRejected)
+{
+    EXPECT_EQ(run_cli("--set l1 --seconds -3"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 0"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds abc"), 2);
+}
+
+TEST(PpmRunCli, BadGovernorNameIsRejected)
+{
+    EXPECT_EQ(run_cli("--policy BOGUS --set l1 --seconds 1"), 2);
+}
+
+TEST(PpmRunCli, BadNumericFlagsAreRejected)
+{
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --tdp -1"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --seed -4"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --priority 0"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --avg-seeds 0"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --jobs -2"), 2);
+}
+
+TEST(PpmRunCli, MalformedFaultSpecIsRejected)
+{
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --faults gamma_rays"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --faults sensor,rate=-1"),
+              2);
+}
+
+TEST(PpmRunCli, FaultedRunExitsZero)
+{
+    EXPECT_EQ(
+        run_cli("--set l1 --seconds 1 --tdp 3.5 --faults all,seed=3"),
+        0);
+}
+
+TEST(PpmRunCli, UnwritableTracePathFailsBeforeSimulating)
+{
+    EXPECT_NE(run_cli("--set l1 --seconds 1 "
+                      "--trace /nonexistent-dir/trace.csv"),
+              0);
+    EXPECT_NE(run_cli("--set l1 --seconds 1 "
+                      "--trace-out /nonexistent-dir/trace.csv"),
+              0);
+}
+
+} // namespace

@@ -5,6 +5,8 @@
  * interpolation bounds, and octa-core platform sanity.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
@@ -113,5 +115,44 @@ TEST(OctaChip, Topology)
     EXPECT_EQ(chip.cluster(1).type().core_class, CoreClass::kBig);
 }
 
+
+TEST(PowerModelRobustness, NeverNanOrNegative)
+{
+    Rng rng(2024);
+    Chip chips[] = {tc2_chip(), octa_big_little_chip()};
+    const double utils[] = {0.0, 1e-12, 0.25, 1.0};
+    for (Chip& chip : chips) {
+        for (ClusterId v = 0; v < chip.num_clusters(); ++v) {
+            Cluster& cl = chip.cluster(v);
+            for (int l = -2; l < cl.vf().levels() + 2; ++l) {
+                cl.set_level(cl.vf().clamp_level(l));
+                for (const double u : utils) {
+                    std::vector<double> util(
+                        static_cast<std::size_t>(cl.num_cores()), u);
+                    const Watts w =
+                        PowerModel::cluster_power(chip, v, util);
+                    ASSERT_TRUE(std::isfinite(w));
+                    ASSERT_GE(w, 0.0);
+                }
+            }
+        }
+        std::vector<double> all(
+            static_cast<std::size_t>(chip.num_cores()));
+        for (double& u : all)
+            u = rng.uniform(0.0, 1.0);
+        const Watts w = PowerModel::chip_power(chip, all);
+        EXPECT_TRUE(std::isfinite(w));
+        EXPECT_GE(w, 0.0);
+    }
+}
+
+TEST(PowerModelRobustness, GatedClusterDrawsNothing)
+{
+    Chip chip = tc2_chip();
+    chip.cluster(1).set_powered(false);
+    std::vector<double> util(
+        static_cast<std::size_t>(chip.cluster(1).num_cores()), 1.0);
+    EXPECT_DOUBLE_EQ(PowerModel::cluster_power(chip, 1, util), 0.0);
+}
 } // namespace
 } // namespace ppm::hw

@@ -1,5 +1,7 @@
 /** @file Unit tests for the discrete V-F tables. */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "hw/vf_table.hh"
@@ -81,5 +83,27 @@ TEST(VfTableDeath, RejectsEmptyTable)
     EXPECT_DEATH(VfTable(std::vector<VfPoint>{}), "at least one");
 }
 
+
+TEST(VfTable, OutOfRangeLookupsClampNeverNan)
+{
+    for (const VfTable& t : {little_vf_table(), big_vf_table()}) {
+        EXPECT_DOUBLE_EQ(t.mhz(-5), t.mhz(0));
+        EXPECT_DOUBLE_EQ(t.mhz(999), t.mhz(t.levels() - 1));
+        EXPECT_DOUBLE_EQ(t.volts(-5), t.volts(0));
+        EXPECT_DOUBLE_EQ(t.volts(999), t.volts(t.levels() - 1));
+        EXPECT_DOUBLE_EQ(t.supply(-1), t.min_mhz());
+        EXPECT_DOUBLE_EQ(t.supply(t.levels()), t.max_mhz());
+        // level_for_demand clamps at both ends of the demand range.
+        EXPECT_EQ(t.level_for_demand(-100.0), 0);
+        EXPECT_EQ(t.level_for_demand(0.0), 0);
+        EXPECT_EQ(t.level_for_demand(1e12), t.levels() - 1);
+        for (int l = -3; l < t.levels() + 3; ++l) {
+            EXPECT_TRUE(std::isfinite(t.mhz(l)));
+            EXPECT_GT(t.mhz(l), 0.0);
+            EXPECT_TRUE(std::isfinite(t.volts(l)));
+            EXPECT_GT(t.volts(l), 0.0);
+        }
+    }
+}
 } // namespace
 } // namespace ppm::hw

@@ -4,6 +4,8 @@
  * future-work replacement of off-line profiling).
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
@@ -177,5 +179,31 @@ TEST(OnlineEstimator, RoundTripTaskConverges)
     }
 }
 
+
+TEST(OnlineEstimator, FiniteOnConstantAndZeroVarianceSignals)
+{
+    // A task whose observations never vary (zero-variance supply and
+    // heart rate) must still produce a finite, bounded estimate.
+    OnlineSpeedupEstimator est(1);
+    for (int i = 0; i < 200; ++i) {
+        est.observe(0, CoreClass::kLittle, 400.0, 20.0);
+        est.observe(0, CoreClass::kBig, 250.0, 20.0);
+    }
+    const double s = est.speedup(0);
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 4.0);
+    EXPECT_TRUE(std::isfinite(est.cost(0, CoreClass::kLittle)));
+    EXPECT_TRUE(std::isfinite(est.cost(0, CoreClass::kBig)));
+
+    // All-zero signals (a starved task) are discarded, never divided.
+    OnlineSpeedupEstimator starved(1);
+    for (int i = 0; i < 200; ++i) {
+        starved.observe(0, CoreClass::kLittle, 0.0, 0.0);
+        starved.observe(0, CoreClass::kBig, 0.0, 0.0);
+    }
+    EXPECT_TRUE(std::isfinite(starved.speedup(0)));
+    EXPECT_FALSE(starved.converged(0));
+}
 } // namespace
 } // namespace ppm::market

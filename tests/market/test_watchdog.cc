@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Market watchdog: the finite-state detectors behind Market::sane()
+ * and the sanitize() fallback that restores the previous cleared
+ * allocation when a bidding round produces garbage.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+#include "market/market.hh"
+
+namespace ppm::market {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Watchdog, FiniteTaskStateDetectors)
+{
+    TaskState t;
+    t.demand = 100.0;
+    t.supply = 80.0;
+    t.bid = 1.0;
+    t.savings = 0.5;
+    t.allowance = 2.0;
+    EXPECT_TRUE(finite_task_state(t));
+
+    TaskState bad = t;
+    bad.demand = kNaN;
+    EXPECT_FALSE(finite_task_state(bad));
+    bad = t;
+    bad.demand = -1.0;
+    EXPECT_FALSE(finite_task_state(bad));
+    bad = t;
+    bad.supply = kInf;
+    EXPECT_FALSE(finite_task_state(bad));
+    bad = t;
+    bad.supply = -5.0;
+    EXPECT_FALSE(finite_task_state(bad));
+    bad = t;
+    bad.bid = kNaN;
+    EXPECT_FALSE(finite_task_state(bad));
+    bad = t;
+    bad.savings = -kInf;
+    EXPECT_FALSE(finite_task_state(bad));
+    bad = t;
+    bad.allowance = kNaN;
+    EXPECT_FALSE(finite_task_state(bad));
+}
+
+TEST(Watchdog, FiniteCoreStateDetectors)
+{
+    CoreState c;
+    c.price = 0.01;
+    c.base_price = 0.01;
+    EXPECT_TRUE(finite_core_state(c));
+
+    CoreState bad = c;
+    bad.price = kNaN;
+    EXPECT_FALSE(finite_core_state(bad));
+    bad = c;
+    bad.price = -0.5;
+    EXPECT_FALSE(finite_core_state(bad));
+    bad = c;
+    bad.base_price = kInf;
+    EXPECT_FALSE(finite_core_state(bad));
+}
+
+Market
+make_market(hw::Chip* chip)
+{
+    PpmConfig cfg;
+    cfg.w_tdp = 3.5;
+    cfg.w_th = 2.9;
+    Market m(chip, cfg);
+    m.add_task(0, 1, 0);
+    m.add_task(1, 2, 1);
+    m.set_demand(0, 300.0);
+    m.set_demand(1, 500.0);
+    return m;
+}
+
+TEST(Watchdog, HealthyMarketIsSaneAndNeedsNoRepairs)
+{
+    hw::Chip chip = hw::tc2_chip();
+    Market m = make_market(&chip);
+    EXPECT_TRUE(m.sane());
+    for (ClusterId v = 0; v < chip.num_clusters(); ++v)
+        m.set_cluster_power(v, 1.0);
+    m.round();
+    EXPECT_TRUE(m.sane());
+    // A sane market sanitizes to itself: zero repairs.
+    std::vector<Pu> fallback;
+    for (const TaskState& t : m.tasks())
+        fallback.push_back(t.supply);
+    EXPECT_EQ(m.sanitize(fallback), 0);
+    EXPECT_TRUE(m.sane());
+}
+
+TEST(Watchdog, SanitizeRestoresSaneStateFromFallback)
+{
+    hw::Chip chip = hw::tc2_chip();
+    Market m = make_market(&chip);
+    // Poison a cleared round the way a broken bidding loop would:
+    // NaN supply and bid on task 0, garbage demand on task 1.
+    m.task(0).supply = kNaN;
+    m.task(0).bid = kNaN;
+    m.task(1).demand = -kInf;
+    EXPECT_FALSE(m.sane());
+    const std::vector<Pu> fallback = {120.0, 340.0};
+    EXPECT_GT(m.sanitize(fallback), 0);
+    EXPECT_TRUE(m.sane());
+    // The supply fell back to the previous cleared allocation; the
+    // unpriceable fields reset to conservative values.
+    EXPECT_DOUBLE_EQ(m.task(0).supply, 120.0);
+    EXPECT_TRUE(std::isfinite(m.task(0).bid));
+    EXPECT_DOUBLE_EQ(m.task(1).demand, 0.0);
+}
+
+TEST(Watchdog, SanitizeHandlesNonFiniteFallback)
+{
+    hw::Chip chip = hw::tc2_chip();
+    Market m = make_market(&chip);
+    m.task(0).supply = kInf;
+    m.task(1).supply = kNaN;
+    EXPECT_FALSE(m.sane());
+    // Even a poisoned fallback must yield a sane market.
+    EXPECT_GT(m.sanitize({kNaN, -3.0}), 0);
+    EXPECT_TRUE(m.sane());
+    EXPECT_DOUBLE_EQ(m.task(0).supply, 0.0);
+    EXPECT_DOUBLE_EQ(m.task(1).supply, 0.0);
+}
+
+} // namespace
+} // namespace ppm::market

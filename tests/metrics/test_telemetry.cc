@@ -253,5 +253,50 @@ TEST(TraceBus, MemorySinkMatchesDirectRecording)
     EXPECT_EQ(a.str(), b.str());
 }
 
+
+TEST(CsvStreamSink, LatchesFailureAndDropsFurtherOutput)
+{
+    std::ostringstream os;
+    metrics::CsvStreamSink sink(os);
+    sink.sample("chip_power", kSecond, 1.5);
+    EXPECT_FALSE(sink.failed());
+    const std::string good = os.str();
+
+    // Break the stream: the next write latches failed() and every
+    // later record is dropped without crashing.
+    os.setstate(std::ios::failbit);
+    sink.sample("chip_power", 2 * kSecond, 1.6);
+    EXPECT_TRUE(sink.failed());
+    sink.sample("chip_power", 3 * kSecond, 1.7);
+    sink.flush();
+    EXPECT_TRUE(sink.failed());
+    os.clear();
+    EXPECT_EQ(os.str().substr(0, good.size()), good);
+}
+
+TEST(JsonlSink, LatchesFailureAndDropsFurtherOutput)
+{
+    std::ostringstream os;
+    metrics::JsonlSink sink(os);
+    sink.sample("chip_power", kSecond, 1.5);
+    EXPECT_FALSE(sink.failed());
+
+    os.setstate(std::ios::badbit);
+    sink.sample("chip_power", 2 * kSecond, 1.6);
+    EXPECT_TRUE(sink.failed());
+    metrics::TraceEvent e("market_round", 2 * kSecond);
+    e.set("allowance", 3.0);
+    sink.event(e);  // Dropped, no crash.
+    sink.flush();
+    EXPECT_TRUE(sink.failed());
+}
+
+TEST(TraceSink, DefaultFailedIsFalse)
+{
+    metrics::TraceRecorder rec;
+    metrics::MemorySink sink(&rec);
+    EXPECT_FALSE(sink.failed());
+}
+
 } // namespace
 } // namespace ppm::metrics

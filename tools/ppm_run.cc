@@ -8,7 +8,15 @@
  *           [--seconds N] [--seed N] [--priority N] [--online]
  *           [--avg-seeds N] [--jobs N] [--trace FILE.csv]
  *           [--trace-format csv|jsonl] [--trace-out PATH] [--csv]
- *           [--per-tick]
+ *           [--per-tick] [--faults SPEC]
+ *
+ * --faults SPEC enables deterministic fault injection.  SPEC is a
+ * comma list of fault classes (sensor, dvfs, migration, offline, all)
+ * and key=value tunables (seed=, rate=, duration_ms=, noise_w=,
+ * delay_ms=, stale_ms=, staleness_ms=, retries=, backoff_ms=), e.g.
+ * "--faults all,seed=7,rate=12".  The summary then carries the fault
+ * accounting rows (faults injected, sensor fallbacks, retries,
+ * safe-mode time, watchdog trips, over-TDP time during faults).
  *
  * --avg-seeds N runs N seeds (seed, +100, +200, ...) and prints the
  * cross-seed aggregate (see experiment::aggregate_summaries); --jobs
@@ -45,6 +53,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "experiment/experiment.hh"
+#include "fault/fault.hh"
 #include "metrics/telemetry.hh"
 #include "workload/benchmarks.hh"
 
@@ -59,13 +68,47 @@ usage(const char* argv0)
         "          [--seconds N] [--seed N] [--priority N] [--online]\n"
         "          [--avg-seeds N] [--jobs N] [--trace FILE.csv]\n"
         "          [--trace-format csv|jsonl] [--trace-out PATH] [--csv]\n"
-        "          [--per-tick] [--list-sets]\n"
+        "          [--per-tick] [--faults SPEC] [--list-sets]\n"
         "\n"
         "--per-tick disables the event-horizon macro-stepping engine\n"
         "and runs the historical tick-by-tick loop (results are\n"
-        "bit-identical either way; use it to cross-check).\n",
+        "bit-identical either way; use it to cross-check).\n"
+        "--faults SPEC injects deterministic platform faults, e.g.\n"
+        "--faults all,seed=7,rate=12 (classes: sensor dvfs migration\n"
+        "offline all; keys: seed rate duration_ms noise_w delay_ms\n"
+        "stale_ms staleness_ms retries backoff_ms).\n",
         argv0);
     std::exit(2);
+}
+
+/** One-line CLI error + exit 2 (bad value for a known flag). */
+[[noreturn]] void
+bad_arg(const char* flag, const char* why, const char* got)
+{
+    std::fprintf(stderr, "ppm_run: %s %s (got '%s')\n", flag, why, got);
+    std::exit(2);
+}
+
+/** Parse a full numeric argument; rejects trailing garbage. */
+double
+parse_number(const char* flag, const char* text)
+{
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        bad_arg(flag, "expects a number", text);
+    return v;
+}
+
+/** Parse a non-negative integer argument. */
+long
+parse_int(const char* flag, const char* text)
+{
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0')
+        bad_arg(flag, "expects an integer", text);
+    return v;
 }
 
 } // namespace
@@ -105,29 +148,58 @@ main(int argc, char** argv)
         };
         if (arg == "--policy") {
             params.policy = next();
+            if (params.policy != "PPM" && params.policy != "HPM" &&
+                params.policy != "HL") {
+                bad_arg("--policy", "expects PPM, HPM or HL",
+                        params.policy.c_str());
+            }
         } else if (arg == "--set") {
             set_name = next();
         } else if (arg == "--tdp") {
-            params.tdp = std::atof(next());
+            const char* text = next();
+            params.tdp = parse_number("--tdp", text);
+            if (params.tdp <= 0.0)
+                bad_arg("--tdp", "expects a positive wattage", text);
         } else if (arg == "--seconds") {
-            params.duration =
-                static_cast<SimTime>(std::atof(next()) * kSecond);
+            const char* text = next();
+            const double seconds = parse_number("--seconds", text);
+            if (seconds <= 0.0)
+                bad_arg("--seconds", "expects a positive duration", text);
+            params.duration = static_cast<SimTime>(seconds * kSecond);
         } else if (arg == "--seed") {
-            params.seed = std::strtoull(next(), nullptr, 10);
+            const char* text = next();
+            const long seed = parse_int("--seed", text);
+            if (seed < 0)
+                bad_arg("--seed", "expects a non-negative integer", text);
+            params.seed = static_cast<std::uint64_t>(seed);
         } else if (arg == "--priority") {
-            params.priority = std::atoi(next());
+            const char* text = next();
+            const long prio = parse_int("--priority", text);
+            if (prio < 1)
+                bad_arg("--priority", "expects an integer >= 1", text);
+            params.priority = static_cast<int>(prio);
         } else if (arg == "--online") {
             params.online_speedup = true;
         } else if (arg == "--per-tick") {
             params.macro_step = false;
+        } else if (arg == "--faults") {
+            const char* text = next();
+            std::string error;
+            if (!fault::parse_fault_spec(text, &params.faults, &error)) {
+                std::fprintf(stderr, "ppm_run: bad --faults spec: %s\n",
+                             error.c_str());
+                return 2;
+            }
         } else if (arg == "--avg-seeds") {
-            avg_seeds = std::atoi(next());
+            const char* text = next();
+            avg_seeds = static_cast<int>(parse_int("--avg-seeds", text));
             if (avg_seeds < 1)
-                usage(argv[0]);
+                bad_arg("--avg-seeds", "expects an integer >= 1", text);
         } else if (arg == "--jobs") {
-            jobs = std::atoi(next());
+            const char* text = next();
+            jobs = static_cast<int>(parse_int("--jobs", text));
             if (jobs < 0)
-                usage(argv[0]);
+                bad_arg("--jobs", "expects an integer >= 0", text);
         } else if (arg == "--trace") {
             trace_path = next();
             params.trace = true;
@@ -157,6 +229,8 @@ main(int argc, char** argv)
             sets.print(std::cout);
             return 0;
         } else {
+            std::fprintf(stderr, "ppm_run: unknown flag '%s'\n",
+                         arg.c_str());
             usage(argv[0]);
         }
     }
@@ -193,6 +267,18 @@ main(int argc, char** argv)
         params.trace = true; // enable periodic sampling too
     }
 
+    // Validate the wide-CSV destination before spending simulated
+    // time on a run whose trace could not be written.
+    std::ofstream trace_out;
+    if (!trace_path.empty()) {
+        trace_out.open(trace_path);
+        if (!trace_out) {
+            std::fprintf(stderr, "ppm_run: cannot write trace file '%s'\n",
+                         trace_path.c_str());
+            return 2;
+        }
+    }
+
     sim::RunSummary s;
     double wall_seconds = 0.0;
     if (avg_seeds > 1) {
@@ -206,12 +292,8 @@ main(int argc, char** argv)
             experiment::run_set(set, params);
         s = result.summary;
         wall_seconds = result.wall_seconds;
-        if (!trace_path.empty()) {
-            std::ofstream out(trace_path);
-            if (!out)
-                fatal("cannot write trace file '%s'", trace_path.c_str());
-            result.traces.write_csv(out);
-        }
+        if (!trace_path.empty())
+            result.traces.write_csv(trace_out);
     }
 
     Table table({"metric", "value"});
@@ -236,6 +318,21 @@ main(int argc, char** argv)
     table.add_row({"time_over_tdp_post_warmup",
                    fmt_percent(s.over_tdp_post_warmup)});
     table.add_row({"peak_temp_c", fmt_double(s.peak_temp_c, 1)});
+    if (params.faults.any()) {
+        table.add_row({"faults_injected",
+                       std::to_string(s.faults_injected)});
+        table.add_row({"sensor_fallbacks",
+                       std::to_string(s.sensor_fallbacks)});
+        table.add_row({"fault_retries", std::to_string(s.fault_retries)});
+        table.add_row({"safe_mode_entries",
+                       std::to_string(s.safe_mode_entries)});
+        table.add_row({"safe_mode_s",
+                       fmt_double(s.safe_mode_seconds, 3)});
+        table.add_row({"watchdog_trips",
+                       std::to_string(s.watchdog_trips)});
+        table.add_row({"time_over_tdp_in_fault",
+                       fmt_percent(s.over_tdp_during_fault)});
+    }
     if (csv_summary)
         table.print_csv(std::cout);
     else
@@ -245,13 +342,30 @@ main(int argc, char** argv)
     // (stdout stays comparable across hosts and --jobs values).
     std::fprintf(stderr, "wall-clock: %.2f s\n", wall_seconds);
 
-    if (!trace_path.empty())
-        std::printf("trace written to %s\n", trace_path.c_str());
+    int exit_code = 0;
+    if (!trace_path.empty()) {
+        trace_out.flush();
+        if (!trace_out) {
+            std::fprintf(stderr,
+                         "ppm_run: error writing trace file '%s'\n",
+                         trace_path.c_str());
+            exit_code = 1;
+        } else {
+            std::printf("trace written to %s\n", trace_path.c_str());
+        }
+    }
     if (!stream_path.empty()) {
         stream_sink->flush();
         stream_out.close();
-        std::printf("%s trace streamed to %s\n", stream_format.c_str(),
-                    stream_path.c_str());
+        if (stream_sink->failed() || !stream_out) {
+            std::fprintf(stderr,
+                         "ppm_run: error streaming trace to '%s'\n",
+                         stream_path.c_str());
+            exit_code = 1;
+        } else {
+            std::printf("%s trace streamed to %s\n",
+                        stream_format.c_str(), stream_path.c_str());
+        }
     }
-    return 0;
+    return exit_code;
 }
