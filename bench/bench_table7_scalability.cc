@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "hw/platform.hh"
 #include "market/lbt.hh"
 #include "market/market.hh"
@@ -29,15 +30,26 @@ namespace {
 
 using namespace ppm;
 
-/** A populated market + LBT instance for one (V, C, T) combination. */
+/**
+ * A populated market + LBT instance for one (V, C, T) combination.
+ * `jobs` > 1 attaches a dedicated clearing pool (the threshold is
+ * dropped so every shape exercises the engine, not just the large
+ * ones); results stay bit-identical to jobs = 1.
+ */
 struct Scenario {
-    Scenario(int clusters, int cores, int tasks_per_core)
+    Scenario(int clusters, int cores, int tasks_per_core, int jobs = 1)
         : chip(hw::synthetic_chip(clusters, cores))
     {
         market::PpmConfig cfg;
         cfg.w_tdp = 1e9;
         cfg.w_th = 1e9 - 0.5;
+        if (jobs > 1)
+            cfg.clearing_min_tasks = 1;
         market = std::make_unique<market::Market>(&chip, cfg);
+        if (jobs > 1) {
+            pool = std::make_unique<ThreadPool>(jobs);
+            market->set_thread_pool(pool.get());
+        }
         Rng rng(2014);
         TaskId id = 0;
         for (CoreId c = 0; c < chip.num_cores(); ++c) {
@@ -61,6 +73,7 @@ struct Scenario {
     }
 
     hw::Chip chip;
+    std::unique_ptr<ThreadPool> pool;
     std::unique_ptr<market::Market> market;
     std::unique_ptr<market::LbtModule> lbt;
 };
@@ -97,23 +110,69 @@ BM_LbtConstrainedCore(benchmark::State& state)
                                   state.range(2)));
 }
 
+/**
+ * One market round through the parallel clearing engine, swept over
+ * worker counts.  Args: {V, C, T, jobs}.  jobs = 1 is the inline
+ * (no-pool) path and the baseline the speedups in BENCH_clearing.json
+ * are computed against; all job counts produce bit-identical market
+ * state, so this measures pure wall-clock scaling.
+ */
+void
+BM_ParallelClearingRound(benchmark::State& state)
+{
+    Scenario s(static_cast<int>(state.range(0)),
+               static_cast<int>(state.range(1)),
+               static_cast<int>(state.range(2)),
+               static_cast<int>(state.range(3)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.market->round());
+    state.SetLabel("V=" + std::to_string(state.range(0)) +
+                   " C=" + std::to_string(state.range(1)) +
+                   " T=" + std::to_string(state.range(2)) + " tasks=" +
+                   std::to_string(state.range(0) * state.range(1) *
+                                  state.range(2)) +
+                   " jobs=" + std::to_string(state.range(3)));
+}
+
 void
 table7_args(benchmark::internal::Benchmark* b)
 {
     // The paper's sweep: V up to 256 clusters, C up to 16 cores,
-    // T in {8, 32} tasks per core (up to 131,072 tasks).
+    // T in {8, 32} tasks per core -- extended one octave past the
+    // paper's envelope (512 clusters, up to 262,144 tasks) to probe
+    // where the sequential walk stops being linear.
     for (const auto& vc : {std::pair{2, 4}, std::pair{4, 8},
                            std::pair{8, 8}, std::pair{16, 8},
                            std::pair{16, 16}, std::pair{64, 16},
-                           std::pair{256, 16}}) {
+                           std::pair{256, 16}, std::pair{512, 16}}) {
         for (int t : {8, 32})
             b->Args({vc.first, vc.second, t});
     }
     b->Unit(benchmark::kMillisecond);
 }
 
+void
+clearing_args(benchmark::internal::Benchmark* b)
+{
+    // Shapes centred on the ISSUE target of 4096 tasks over 64 cores
+    // in 8 clusters ({8, 8, 64}), with a smaller and a larger shape
+    // bracketing it, each swept over the clearing worker count.
+    for (const auto& shape :
+         {std::tuple{4, 4, 16},    //    256 tasks, 16 cores
+          std::tuple{8, 8, 64},    //  4,096 tasks, 64 cores, 8 clusters
+          std::tuple{16, 16, 64}}) // 16,384 tasks, 256 cores
+    {
+        for (int jobs : {1, 2, 4, 8}) {
+            b->Args({std::get<0>(shape), std::get<1>(shape),
+                     std::get<2>(shape), jobs});
+        }
+    }
+    b->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(BM_SupplyDemandRound)->Apply(table7_args);
 BENCHMARK(BM_LbtConstrainedCore)->Apply(table7_args);
+BENCHMARK(BM_ParallelClearingRound)->Apply(clearing_args);
 
 } // namespace
 

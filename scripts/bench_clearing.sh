@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Build and run the parallel-clearing scalability benchmark, emitting
+# BENCH_clearing.json at the repo root: one market round per (V, C, T)
+# shape swept over clearing worker counts.  Every job count produces
+# bit-identical market state, so the curve is a pure wall-clock
+# scaling measurement of the clearing engine.
+#
+# Usage: scripts/bench_clearing.sh [--quick] [--out FILE]
+#   --quick  one tiny min-time repetition (CI smoke: proves the driver
+#            runs and the JSON parses; timings are noisy)
+#   --out F  write the benchmark JSON to F (default BENCH_clearing.json)
+#
+# Speedup numbers are only meaningful when the host has at least as
+# many hardware threads as the largest jobs value (8); the script
+# warns when it does not.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_TIME=0.5
+OUT=BENCH_clearing.json
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --quick) MIN_TIME=0.01; shift ;;
+      --out) OUT="$2"; shift 2 ;;
+      *) echo "usage: $0 [--quick] [--out FILE]" >&2; exit 2 ;;
+    esac
+done
+
+NCPU=$(nproc 2>/dev/null || echo 1)
+if [[ "$NCPU" -lt 8 ]]; then
+    echo "WARNING: host has $NCPU hardware thread(s); jobs > $NCPU" \
+         "rows oversubscribe the machine and understate the speedup." >&2
+fi
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build --target bench_table7_scalability > /dev/null
+
+./build/bench/bench_table7_scalability \
+    --benchmark_filter='BM_ParallelClearingRound' \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+# The JSON must parse; print the jobs-sweep speedup table relative to
+# jobs=1 for each shape so the curve is visible at a glance.
+python3 - "$OUT" "$NCPU" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+ncpu = int(sys.argv[2])
+runs = [b for b in doc["benchmarks"]
+        if b["name"].startswith("BM_ParallelClearingRound/")]
+assert runs, "no BM_ParallelClearingRound entries in " + sys.argv[1]
+print(f"{sys.argv[1]}: {len(runs)} entries, JSON ok "
+      f"(host hardware threads: {ncpu})")
+
+def parse(name):
+    # BM_ParallelClearingRound/V/C/T/jobs
+    parts = name.split("/")[1:5]
+    v, c, t, jobs = (int(p) for p in parts)
+    return (v, c, t), jobs
+
+shapes = {}
+for b in runs:
+    shape, jobs = parse(b["name"])
+    shapes.setdefault(shape, {})[jobs] = b["real_time"]
+
+for shape in sorted(shapes):
+    base = shapes[shape].get(1)
+    if base is None:
+        continue
+    v, c, t = shape
+    cells = []
+    for jobs in sorted(shapes[shape]):
+        ms = shapes[shape][jobs]
+        cells.append(f"jobs={jobs}: {ms:8.3f} ms ({base / ms:4.2f}x)")
+    print(f"V={v} C={c} T={t} ({v * c * t} tasks): " + "  ".join(cells))
+EOF

@@ -18,9 +18,11 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Perf smoke: one quick repetition of the hot-path benchmark, with the
 # JSON output validated (the full run regenerates BENCH_hotpath.json).
+# Both outputs go to /tmp: without --macro-out the quick pass would
+# overwrite the tracked BENCH_macrostep.json with noisy numbers.
 ./scripts/bench_hotpath.sh --quick --out /tmp/ppm_bench_hotpath.json \
-    > /dev/null
-rm -f /tmp/ppm_bench_hotpath.json
+    --macro-out /tmp/ppm_bench_macrostep.json > /dev/null
+rm -f /tmp/ppm_bench_hotpath.json /tmp/ppm_bench_macrostep.json
 
 ./build/examples/quickstart l1 5 > /dev/null
 ./build/examples/mixed_criticality 5 > /dev/null
@@ -56,6 +58,30 @@ for policy in PPM HPM HL; do
 done
 rm -f /tmp/ppm_macro.csv /tmp/ppm_tick.csv
 
+# Parallel-clearing determinism smoke: the market's clearing passes
+# fan out in fixed chunks whose boundaries are independent of the
+# worker count, so summaries and streamed traces must be byte-equal
+# for every --jobs value (single runs route --jobs to the clearing
+# pool; 1 is the inline walk).
+./build/tools/ppm_run --set l1 --seconds 8 --csv --jobs 1 \
+    > /tmp/ppm_jobs1.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --jobs 4 \
+    > /tmp/ppm_jobs4.csv
+cmp /tmp/ppm_jobs1.csv /tmp/ppm_jobs4.csv
+./build/tools/ppm_run --set l1 --seconds 8 --jobs 1 \
+    --trace-format=jsonl --trace-out=/tmp/ppm_jobs1.jsonl > /dev/null
+./build/tools/ppm_run --set l1 --seconds 8 --jobs 4 \
+    --trace-format=jsonl --trace-out=/tmp/ppm_jobs4.jsonl > /dev/null
+cmp /tmp/ppm_jobs1.jsonl /tmp/ppm_jobs4.jsonl
+rm -f /tmp/ppm_jobs1.csv /tmp/ppm_jobs4.csv \
+    /tmp/ppm_jobs1.jsonl /tmp/ppm_jobs4.jsonl
+
+# Parallel-clearing bench smoke: one quick repetition with the JSON
+# validated (the full run regenerates BENCH_clearing.json).
+./scripts/bench_clearing.sh --quick --out /tmp/ppm_bench_clearing.json \
+    > /dev/null
+rm -f /tmp/ppm_bench_clearing.json
+
 # Fault-resilience smoke: the fault bench must run end to end.
 ./build/bench/bench_fault_resilience > /dev/null
 
@@ -66,9 +92,13 @@ rm -f /tmp/ppm_macro.csv /tmp/ppm_tick.csv
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPPM_TSAN=ON
 cmake --build build-tsan --target test_common test_integration \
-    test_metrics
+    test_metrics test_market
 ./build-tsan/tests/test_common \
     --gtest_filter='ThreadPool.*' > /dev/null
+# The clearing engine's fan-out shares the market state across pool
+# workers; the determinism tests double as its race detector.
+./build-tsan/tests/test_market \
+    --gtest_filter='ParallelClearing.*' > /dev/null
 ./build-tsan/tests/test_metrics \
     --gtest_filter='TraceBus.*:TraceSink.*:TraceRecorder.*' > /dev/null
 ./build-tsan/tests/test_integration \

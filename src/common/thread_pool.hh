@@ -12,7 +12,9 @@
 #ifndef PPM_COMMON_THREAD_POOL_HH
 #define PPM_COMMON_THREAD_POOL_HH
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
@@ -65,6 +67,45 @@ class ThreadPool
 
     /** Resolve a worker-count request: <= 0 -> hardware concurrency. */
     static int resolve_jobs(int requested);
+
+    /**
+     * Dispatch `fn(begin, end)` over the fixed-size chunks of [0, n)
+     * and block until all of them finished.  The chunk boundaries are
+     * a pure function of `n` and `grain` -- ceil(n/grain) chunks of
+     * `grain` indices, the last one shorter -- and never depend on the
+     * worker count, so callers whose chunks touch disjoint state get
+     * identical results for every pool size.  With a null `pool`, a
+     * single worker, or a single chunk, the chunks run inline on the
+     * calling thread, in order, with zero allocation; otherwise each
+     * chunk is submitted as one pool task and the futures are drained
+     * in chunk order (the first chunk exception, in that order, is
+     * rethrown).  `fn` must be safe to invoke concurrently on
+     * disjoint ranges.
+     */
+    template <typename Fn>
+    static void for_chunks(ThreadPool* pool, std::size_t n,
+                           std::size_t grain, Fn&& fn)
+    {
+        if (n == 0)
+            return;
+        if (grain == 0)
+            grain = 1;
+        const std::size_t chunks = (n + grain - 1) / grain;
+        if (pool == nullptr || pool->size() <= 1 || chunks <= 1) {
+            for (std::size_t c = 0; c < chunks; ++c)
+                fn(c * grain, std::min(n, (c + 1) * grain));
+            return;
+        }
+        std::vector<std::future<void>> futures;
+        futures.reserve(chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            futures.push_back(pool->submit([&fn, c, grain, n]() {
+                fn(c * grain, std::min(n, (c + 1) * grain));
+            }));
+        }
+        for (auto& f : futures)
+            f.get();
+    }
 
   private:
     /** Worker loop: drain the queue until stop is requested. */

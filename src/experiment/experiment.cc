@@ -16,7 +16,7 @@ namespace ppm::experiment {
 std::unique_ptr<sim::Governor>
 make_governor(const std::string& policy, Watts tdp,
               const std::vector<double>& big_speedups,
-              bool online_speedup)
+              bool online_speedup, int clearing_jobs)
 {
     if (policy == "PPM") {
         market::PpmGovernorConfig cfg;
@@ -24,6 +24,7 @@ make_governor(const std::string& policy, Watts tdp,
         cfg.market.w_th = tdp < 1e8 ? tdp - 0.6 : tdp - 0.5;
         cfg.big_speedup = big_speedups;
         cfg.online_speedup = online_speedup;
+        cfg.clearing_jobs = clearing_jobs;
         return std::make_unique<market::PpmGovernor>(cfg);
     }
     if (policy == "HPM") {
@@ -59,7 +60,7 @@ run_specs(const std::vector<workload::TaskSpec>& specs,
     sim::Simulation simulation(
         std::move(chip), specs,
         make_governor(params.policy, params.tdp, big_speedups,
-                      params.online_speedup),
+                      params.online_speedup, params.clearing_jobs),
         sim_cfg);
     if (params.extra_sink != nullptr)
         simulation.bus().add_sink(params.extra_sink);

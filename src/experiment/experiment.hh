@@ -37,6 +37,13 @@ struct RunParams {
                                       ///< false = per-tick loop.
 
     /**
+     * Worker threads for PPM's parallel market clearing (see
+     * PpmGovernorConfig::clearing_jobs).  1 = inline; results are
+     * bit-identical for every value.  Ignored by the baselines.
+     */
+    int clearing_jobs = 1;
+
+    /**
      * Extra telemetry sink (streaming CSV/JSONL) attached to the
      * simulation's TraceBus for the duration of the run.  Not owned;
      * must outlive the run.  Single-run only: multi-seed aggregation
@@ -69,12 +76,13 @@ struct RunResult {
 /**
  * Build the governor `policy` with TDP `tdp`.  `big_speedups` feeds
  * PPM's cross-core-type demand estimator (empty = defaults); ignored
- * by the baselines.  fatal() on an unknown policy name.
+ * by the baselines, as is `clearing_jobs` (PPM's market clearing
+ * worker count).  fatal() on an unknown policy name.
  */
 std::unique_ptr<sim::Governor>
 make_governor(const std::string& policy, Watts tdp,
               const std::vector<double>& big_speedups,
-              bool online_speedup = false);
+              bool online_speedup = false, int clearing_jobs = 1);
 
 /** Run one of the paper's Table 6 sets on a fresh TC2-like chip. */
 RunResult run_set(const workload::WorkloadSet& set,

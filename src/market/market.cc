@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace ppm::market {
 
@@ -31,8 +33,130 @@ Market::Market(hw::Chip* chip, PpmConfig cfg)
     PPM_ASSERT(cfg_.w_th < cfg_.w_tdp, "W_th must be below W_tdp");
     PPM_ASSERT(cfg_.tolerance > 0.0, "tolerance factor must be positive");
     PPM_ASSERT(cfg_.min_bid > 0.0, "minimum bid must be positive");
+    PPM_ASSERT(cfg_.clearing_grain >= 1, "clearing grain must be >= 1");
+    PPM_ASSERT(cfg_.clearing_min_tasks >= 0,
+               "clearing threshold must be >= 0");
+    PPM_ASSERT(cfg_.step_radix >= 0 && cfg_.step_radix <= 20 &&
+                   cfg_.step_adjust_radix >= 0 &&
+                   cfg_.step_adjust_radix <= 20,
+               "step radixes out of range");
+    PPM_ASSERT(cfg_.step_up >= (1 << cfg_.step_adjust_radix) &&
+                   cfg_.step_down >= 0 &&
+                   cfg_.step_down <= (1 << cfg_.step_adjust_radix),
+               "step factors must grow on step_up and shrink on step_down");
     for (CoreId c = 0; c < chip_->num_cores(); ++c)
         cores_[static_cast<std::size_t>(c)].id = c;
+    group_offset_.assign(cores_.size() + 1, 0);
+    core_any_task_.assign(cores_.size(), 0);
+    core_all_floor_.assign(cores_.size(), 0);
+}
+
+void
+Market::TaskSoa::resize(std::size_t n)
+{
+    demand.resize(n);
+    supply.resize(n);
+    bid.resize(n);
+    allowance.resize(n);
+    savings.resize(n);
+    priority.resize(n);
+    core.resize(n);
+    cluster.resize(n);
+    active.resize(n);
+}
+
+bool
+Market::parallel_active() const
+{
+    return pool_ != nullptr && pool_->size() > 1 &&
+        tasks_.size() >=
+        static_cast<std::size_t>(cfg_.clearing_min_tasks);
+}
+
+template <typename Fn>
+void
+Market::for_task_chunks(Fn&& fn) const
+{
+    ThreadPool::for_chunks(
+        parallel_active() ? pool_ : nullptr, tasks_.size(),
+        static_cast<std::size_t>(cfg_.clearing_grain),
+        std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void
+Market::for_core_chunks(Fn&& fn) const
+{
+    // At most 16 chunks over the cores: per-core work is a handful of
+    // tasks, so finer chunks would be all dispatch overhead.  The
+    // chunk count depends only on the core count, never on the pool.
+    const std::size_t grain =
+        std::max<std::size_t>(1, (cores_.size() + 15) / 16);
+    ThreadPool::for_chunks(parallel_active() ? pool_ : nullptr,
+                           cores_.size(), grain, std::forward<Fn>(fn));
+}
+
+void
+Market::load_soa()
+{
+    soa_.resize(tasks_.size());
+    for_task_chunks([this](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const TaskState& t = tasks_[i];
+            soa_.demand[i] = t.demand;
+            soa_.supply[i] = t.supply;
+            soa_.bid[i] = t.bid;
+            soa_.allowance[i] = t.allowance;
+            soa_.savings[i] = t.savings;
+            soa_.priority[i] = static_cast<double>(t.priority);
+            soa_.core[i] = t.core;
+            soa_.cluster[i] = chip_->cluster_of(t.core);
+            soa_.active[i] = t.active ? 1 : 0;
+        }
+    });
+}
+
+void
+Market::store_soa()
+{
+    for_task_chunks([this](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            TaskState& t = tasks_[i];
+            t.supply = soa_.supply[i];
+            t.bid = soa_.bid[i];
+            t.allowance = soa_.allowance[i];
+            t.savings = soa_.savings[i];
+        }
+    });
+}
+
+void
+Market::rebuild_groups()
+{
+    if (!groups_dirty_)
+        return;
+    const std::size_t ncores = cores_.size();
+    group_cursor_.assign(ncores, 0);
+    for (const TaskState& t : tasks_) {
+        if (t.active)
+            ++group_cursor_[static_cast<std::size_t>(t.core)];
+    }
+    group_offset_.resize(ncores + 1);
+    group_offset_[0] = 0;
+    for (std::size_t c = 0; c < ncores; ++c)
+        group_offset_[c + 1] = group_offset_[c] + group_cursor_[c];
+    group_task_.resize(
+        static_cast<std::size_t>(group_offset_[ncores]));
+    for (std::size_t c = 0; c < ncores; ++c)
+        group_cursor_[c] = group_offset_[c];
+    for (const TaskState& t : tasks_) {
+        if (t.active) {
+            group_task_[static_cast<std::size_t>(
+                group_cursor_[static_cast<std::size_t>(t.core)]++)] =
+                t.id;
+        }
+    }
+    groups_dirty_ = false;
 }
 
 void
@@ -49,6 +173,7 @@ Market::add_task(TaskId id, int priority, CoreId initial_core)
     t.core = initial_core;
     t.bid = std::max(cfg_.min_bid, cfg_.initial_bid);
     tasks_.push_back(t);
+    groups_dirty_ = true;
 }
 
 void
@@ -68,6 +193,7 @@ Market::set_task_core(TaskId t, CoreId core)
     PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
                "task id out of range");
     tasks_[static_cast<std::size_t>(t)].core = core;
+    groups_dirty_ = true;
 }
 
 void
@@ -85,6 +211,7 @@ Market::set_task_active(TaskId t, bool active)
     ts.savings = 0.0;
     ts.supply = 0.0;
     ts.demand = active ? ts.demand : 0.0;
+    groups_dirty_ = true;
 }
 
 void
@@ -93,6 +220,14 @@ Market::set_cluster_power(ClusterId v, Watts w)
     PPM_ASSERT(v >= 0 && v < chip_->num_clusters(),
                "cluster id out of range");
     clusters_[static_cast<std::size_t>(v)].power = std::max(0.0, w);
+}
+
+void
+Market::set_cluster_power_raw(ClusterId v, Watts w)
+{
+    PPM_ASSERT(v >= 0 && v < chip_->num_clusters(),
+               "cluster id out of range");
+    clusters_[static_cast<std::size_t>(v)].power = w;
 }
 
 const TaskState&
@@ -113,6 +248,14 @@ Market::task(TaskId t)
 
 const CoreState&
 Market::core(CoreId c) const
+{
+    PPM_ASSERT(c >= 0 && c < static_cast<CoreId>(cores_.size()),
+               "core id out of range");
+    return cores_[static_cast<std::size_t>(c)];
+}
+
+CoreState&
+Market::core(CoreId c)
 {
     PPM_ASSERT(c >= 0 && c < static_cast<CoreId>(cores_.size()),
                "core id out of range");
@@ -157,12 +300,22 @@ Market::bids_frozen(ClusterId v) const
 void
 Market::refresh_core_demands()
 {
-    for (CoreState& c : cores_)
-        c.demand = 0.0;
-    for (const TaskState& t : tasks_) {
-        if (t.active)
-            cores_[static_cast<std::size_t>(t.core)].demand += t.demand;
-    }
+    // Each core's demand folds over its grouped tasks in id order --
+    // the exact association of the old single sequential walk -- so
+    // the parallel fan-out over core ranges is bit-identical to it
+    // for any chunking and any worker count.
+    for_core_chunks([this](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+            Pu demand = 0.0;
+            const int lo = group_offset_[c];
+            const int hi = group_offset_[c + 1];
+            for (int k = lo; k < hi; ++k) {
+                demand += soa_.demand[static_cast<std::size_t>(
+                    group_task_[static_cast<std::size_t>(k)])];
+            }
+            cores_[c].demand = demand;
+        }
+    });
 }
 
 ChipState
@@ -217,18 +370,33 @@ Market::distribute_allowance(Watts chip_power)
 {
     // Priority sums per core and cluster (reusable scratch: the
     // market rounds on the governor's bid cadence, so per-round
-    // allocations would land on the simulation hot path).
+    // allocations would land on the simulation hot path).  The core
+    // sums fold over the per-core groups; the cluster sums fold over
+    // the cluster's cores.  Both are sums of small integers, which
+    // doubles represent exactly under any association, so the
+    // regrouped parallel folds equal the old per-task walk.
     std::vector<double>& core_prio = scratch_core_prio_;
     std::vector<double>& cluster_prio = scratch_cluster_prio_;
-    core_prio.assign(cores_.size(), 0.0);
+    core_prio.resize(cores_.size());
     cluster_prio.assign(clusters_.size(), 0.0);
-    for (const TaskState& t : tasks_) {
-        if (!t.active)
-            continue;
-        core_prio[static_cast<std::size_t>(t.core)] +=
-            static_cast<double>(t.priority);
-        cluster_prio[static_cast<std::size_t>(chip_->cluster_of(t.core))] +=
-            static_cast<double>(t.priority);
+    for_core_chunks([this, &core_prio](std::size_t begin,
+                                       std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+            double prio = 0.0;
+            const int lo = group_offset_[c];
+            const int hi = group_offset_[c + 1];
+            for (int k = lo; k < hi; ++k) {
+                prio += soa_.priority[static_cast<std::size_t>(
+                    group_task_[static_cast<std::size_t>(k)])];
+            }
+            core_prio[c] = prio;
+        }
+    });
+    for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
+        for (CoreId c : chip_->cluster(v).cores()) {
+            cluster_prio[static_cast<std::size_t>(v)] +=
+                core_prio[static_cast<std::size_t>(c)];
+        }
     }
 
     // Cluster weights: inversely proportional to power consumption
@@ -238,16 +406,33 @@ Market::distribute_allowance(Watts chip_power)
     std::vector<double>& weight = scratch_weight_;
     weight.assign(clusters_.size(), 0.0);
     double weight_sum = 0.0;
+    double hosting_prio = 0.0;  ///< Priority mass of hosting clusters.
     for (std::size_t v = 0; v < clusters_.size(); ++v) {
         if (cluster_prio[v] <= 0.0)
             continue;
+        hosting_prio += cluster_prio[v];
         double w = chip_power - clusters_[v].power;
         if (chip_power <= 1e-9)
             w = 0.0;
         weight[v] = std::max(0.0, w);
         weight_sum += weight[v];
     }
-    if (weight_sum <= 1e-12) {
+    if (weight_sum > 1e-12) {
+        // Starvation guard: a task-hosting cluster whose power-derived
+        // weight collapsed to ~0 (a stuck/stale sensor reading at or
+        // above the whole chip's power while every other cluster reads
+        // zero) would otherwise receive no allowance at all, forever.
+        // Give such a cluster its priority-proportional share of the
+        // existing weight mass instead; clusters with healthy readings
+        // are untouched (their weights are already positive).
+        const double base_sum = weight_sum;
+        for (std::size_t v = 0; v < clusters_.size(); ++v) {
+            if (cluster_prio[v] <= 0.0 || weight[v] > 1e-12)
+                continue;
+            weight[v] = base_sum * cluster_prio[v] / hosting_prio;
+            weight_sum += weight[v];
+        }
+    } else {
         for (std::size_t v = 0; v < clusters_.size(); ++v) {
             weight[v] = cluster_prio[v];
             weight_sum += weight[v];
@@ -257,68 +442,103 @@ Market::distribute_allowance(Watts chip_power)
         return;  // No tasks anywhere.
 
     // Chip -> cluster -> core -> task, each level priority-weighted.
-    for (TaskState& t : tasks_) {
-        if (!t.active) {
-            t.allowance = 0.0;
-            continue;
+    for_task_chunks([this, &weight, &core_prio, &cluster_prio,
+                     weight_sum](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (soa_.active[i] == 0) {
+                soa_.allowance[i] = 0.0;
+                continue;
+            }
+            const auto v = static_cast<std::size_t>(soa_.cluster[i]);
+            const auto c = static_cast<std::size_t>(soa_.core[i]);
+            const Money cluster_allowance =
+                allowance_ * weight[v] / weight_sum;
+            const Money core_allowance =
+                cluster_allowance * core_prio[c] / cluster_prio[v];
+            soa_.allowance[i] =
+                core_allowance * soa_.priority[i] / core_prio[c];
         }
-        const auto v =
-            static_cast<std::size_t>(chip_->cluster_of(t.core));
-        const auto c = static_cast<std::size_t>(t.core);
-        const Money cluster_allowance = allowance_ * weight[v] / weight_sum;
-        const Money core_allowance =
-            cluster_allowance * core_prio[c] / cluster_prio[v];
-        t.allowance = core_allowance
-            * static_cast<double>(t.priority) / core_prio[c];
-    }
+    });
 }
 
 void
 Market::place_bids()
 {
-    for (TaskState& t : tasks_) {
-        if (!t.active)
-            continue;
-        const auto v =
-            static_cast<std::size_t>(chip_->cluster_of(t.core));
-        const bool frozen = clusters_[v].freeze_bids;
-        if (!frozen && rounds_ > 0) {
-            const Money price =
-                cores_[static_cast<std::size_t>(t.core)].price;
-            t.bid += (t.demand - t.supply) * price;
+    // Purely element-wise over the task agents (reads of the shared
+    // core prices and cluster freeze flags are immutable during the
+    // pass), so the chunks are independent and the fan-out exact.
+    for_task_chunks([this](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (soa_.active[i] == 0)
+                continue;
+            const bool frozen =
+                clusters_[static_cast<std::size_t>(soa_.cluster[i])]
+                    .freeze_bids;
+            if (!frozen && rounds_ > 0) {
+                const Money price =
+                    cores_[static_cast<std::size_t>(soa_.core[i])]
+                        .price;
+                soa_.bid[i] +=
+                    (soa_.demand[i] - soa_.supply[i]) * price;
+            }
+            // The bid bound b_min <= b <= a + m holds unconditionally
+            // -- a frozen bid is still cut when the allowance
+            // collapses (emergency response must not be deferred).
+            soa_.bid[i] = std::clamp(
+                soa_.bid[i], cfg_.min_bid,
+                std::max(cfg_.min_bid,
+                         soa_.allowance[i] + soa_.savings[i]));
+            // Savings bookkeeping: unspent allowance accrues,
+            // overspend draws down.  Agents do not accrue while bids
+            // are frozen during a V-F transition (cf. the flat
+            // savings in Table 3's transition rounds).  The cap -- a
+            // multiple of the current allowance -- limits *new*
+            // accrual but never confiscates an existing balance when
+            // the allowance shrinks.
+            if (!frozen) {
+                const Money cap =
+                    cfg_.savings_cap_frac * soa_.allowance[i];
+                Money next = soa_.savings[i] +
+                    (soa_.allowance[i] - soa_.bid[i]);
+                if (next > soa_.savings[i])
+                    next = std::min(next, std::max(soa_.savings[i], cap));
+                soa_.savings[i] = std::max(0.0, next);
+            }
         }
-        // The bid bound b_min <= b <= a + m holds unconditionally --
-        // a frozen bid is still cut when the allowance collapses
-        // (emergency response must not be deferred).
-        t.bid = std::clamp(t.bid, cfg_.min_bid,
-                           std::max(cfg_.min_bid,
-                                    t.allowance + t.savings));
-        // Savings bookkeeping: unspent allowance accrues, overspend
-        // draws down.  Agents do not accrue while bids are frozen
-        // during a V-F transition (cf. the flat savings in Table 3's
-        // transition rounds).  The cap -- a multiple of the current
-        // allowance -- limits *new* accrual but never confiscates an
-        // existing balance when the allowance shrinks.
-        if (!frozen) {
-            const Money cap = cfg_.savings_cap_frac * t.allowance;
-            Money next = t.savings + (t.allowance - t.bid);
-            if (next > t.savings)
-                next = std::min(next, std::max(t.savings, cap));
-            t.savings = std::max(0.0, next);
-        }
-    }
+    });
 }
 
 void
 Market::discover_prices()
 {
-    // Sum of bids per core (reusable scratch, cf. distribute_allowance).
+    // Sum of bids per core: like refresh_core_demands(), each core
+    // folds its grouped tasks in id order, so the parallel reduction
+    // reproduces the old sequential walk bit for bit.  The same pass
+    // derives the per-core bid-floor flags control_supply() consumes
+    // (booleans, hence order-independent): whether the core hosts any
+    // active task and whether every one of its bids sits at b_min.
     std::vector<Money>& bid_sum = scratch_bid_sum_;
-    bid_sum.assign(cores_.size(), 0.0);
-    for (const TaskState& t : tasks_) {
-        if (t.active)
-            bid_sum[static_cast<std::size_t>(t.core)] += t.bid;
-    }
+    bid_sum.resize(cores_.size());
+    const Money floor = cfg_.min_bid + 1e-12;
+    for_core_chunks([this, &bid_sum, floor](std::size_t begin,
+                                            std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+            Money bids = 0.0;
+            unsigned char all_floor = 1;
+            const int lo = group_offset_[c];
+            const int hi = group_offset_[c + 1];
+            for (int k = lo; k < hi; ++k) {
+                const auto i = static_cast<std::size_t>(
+                    group_task_[static_cast<std::size_t>(k)]);
+                bids += soa_.bid[i];
+                if (soa_.bid[i] > floor)
+                    all_floor = 0;
+            }
+            bid_sum[c] = bids;
+            core_any_task_[c] = hi > lo ? 1 : 0;
+            core_all_floor_[c] = all_floor;
+        }
+    });
 
     for (CoreState& c : cores_) {
         c.supply = chip_->core_supply(c.id);
@@ -326,19 +546,87 @@ Market::discover_prices()
         c.price = (c.supply > 0.0 && bids > 0.0) ? bids / c.supply : 0.0;
     }
 
-    for (TaskState& t : tasks_) {
-        if (!t.active) {
-            t.supply = 0.0;
-            continue;
+    // Purchases: element-wise over the task agents.
+    for_task_chunks([this](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (soa_.active[i] == 0) {
+                soa_.supply[i] = 0.0;
+                continue;
+            }
+            const CoreState& c =
+                cores_[static_cast<std::size_t>(soa_.core[i])];
+            soa_.supply[i] =
+                c.price > 0.0 ? soa_.bid[i] / c.price : 0.0;
         }
-        const CoreState& c = cores_[static_cast<std::size_t>(t.core)];
-        t.supply = c.price > 0.0 ? t.bid / c.price : 0.0;
-    }
+    });
 }
 
 int
-Market::control_supply()
+Market::step_levels(ClusterCtl& ctl, int dir, bool improving)
 {
+    if (!cfg_.adaptive_step)
+        return 1;
+    const auto one = std::uint64_t{1} << cfg_.step_radix;
+    if (ctl.step == 0 || dir != ctl.last_dir) {
+        // Fresh pressure (or a direction flip): start over at one
+        // level per round, the paper's cadence.
+        ctl.step = one;
+    } else if (!improving) {
+        // The same band trigger fired again and the chip-wide excess
+        // objective stalled: single-level steps are too slow for this
+        // imbalance, so grow the accumulator geometrically
+        // (SpeedEx-style radix stepping).
+        ctl.step = (ctl.step * static_cast<std::uint64_t>(cfg_.step_up))
+            >> cfg_.step_adjust_radix;
+    }
+    ctl.last_dir = dir;
+    // The level delta is the accumulator's integer part, bounded for
+    // arithmetic health; Cluster::step_level clamps to the V-F table.
+    return static_cast<int>(
+        std::min<std::uint64_t>(ctl.step >> cfg_.step_radix, 64));
+}
+
+void
+Market::decay_step(ClusterCtl& ctl)
+{
+    if (!cfg_.adaptive_step || ctl.step == 0)
+        return;
+    const auto one = std::uint64_t{1} << cfg_.step_radix;
+    ctl.step = std::max(
+        one, (ctl.step * static_cast<std::uint64_t>(cfg_.step_down))
+            >> cfg_.step_adjust_radix);
+}
+
+void
+Market::compute_excess_objective(RoundReport& report) const
+{
+    double l2 = 0.0;
+    double l8 = 0.0;
+    for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
+        const CoreId cc = constrained_core(v);
+        if (cc == kInvalidId)
+            continue;
+        const hw::Cluster& cl = chip_->cluster(v);
+        const CoreState& c = cores_[static_cast<std::size_t>(cc)];
+        const double diff = (c.demand - cl.supply()) * c.price;
+        const double d2 = diff * diff;
+        l2 += d2;
+        const double d4 = d2 * d2;
+        l8 += d4 * d4;
+    }
+    report.excess_l2 = std::sqrt(l2);
+    report.excess_l8 = std::pow(l8, 0.125);
+}
+
+int
+Market::control_supply(double objective)
+{
+    // Convergence signal for the adaptive stepper: the tatonnement is
+    // improving when this round's excess norm undercuts the previous
+    // round's by a margin.  Compared before prev_objective_ rolls
+    // forward (round() updates it after we return).
+    const bool improving = prev_objective_ >= 0.0 &&
+        objective < prev_objective_ * 0.95;
     if (!cfg_.dvfs_enabled) {
         // Keep the base prices tracking so the market stays
         // well-conditioned even though levels never move.
@@ -389,38 +677,38 @@ Market::control_supply()
             state_ != ChipState::kNormal || demand_covered_below;
         bool changed = false;
         if (cc.price >= cc.base_price * (1.0 + delta)) {
-            changed = step_cluster(cl, +1);  // Inflation: raise supply.
+            // Inflation: raise supply.
+            changed = step_cluster(cl, +step_levels(ctl, +1, improving));
         } else if (cc.price <= cc.base_price * (1.0 - delta)) {
             if (may_deflate) {
-                changed = step_cluster(cl, -1);  // Deflation: lower supply.
+                // Deflation: lower supply.
+                changed =
+                    step_cluster(cl, -step_levels(ctl, -1, improving));
             } else {
                 // Deflation blocked by demand rounding: accept the
                 // lower price as the new base so the inflation trigger
                 // stays responsive.
                 cc.base_price = cc.price;
+                decay_step(ctl);
             }
-        } else if (cl.level() > 0) {
-            // Bid-floor deflation: once every bid on the constrained
-            // core has fallen to b_min, the price is pinned and can no
-            // longer signal over-supply.  The paper expects such a
-            // cluster to settle at the minimum frequency that covers
-            // its demand, so walk down while a lower level suffices.
-            // Inline scan over the task agents -- this runs every
-            // round per cluster, so no tasks_on() vector is built.
-            bool any_on_core = false;
-            bool all_floor = true;
-            for (const TaskState& t : tasks_) {
-                if (t.core != constrained || !t.active)
-                    continue;
-                any_on_core = true;
-                if (t.bid > cfg_.min_bid + 1e-12) {
-                    all_floor = false;
-                    break;
+        } else {
+            decay_step(ctl);
+            if (cl.level() > 0) {
+                // Bid-floor deflation: once every bid on the
+                // constrained core has fallen to b_min, the price is
+                // pinned and can no longer signal over-supply.  The
+                // paper expects such a cluster to settle at the
+                // minimum frequency that covers its demand, so walk
+                // down (always one level: the coverage check below
+                // only clears the next level) while a lower level
+                // suffices.  The flags come from discover_prices()'s
+                // reduction pass, replacing the old O(tasks) scan per
+                // cluster per round.
+                const auto ci = static_cast<std::size_t>(constrained);
+                if (core_any_task_[ci] != 0 && core_all_floor_[ci] != 0 &&
+                    cl.vf().supply(cl.level() - 1) >= cc.demand) {
+                    changed = step_cluster(cl, -1);
                 }
-            }
-            if (any_on_core && all_floor &&
-                cl.vf().supply(cl.level() - 1) >= cc.demand) {
-                changed = step_cluster(cl, -1);
             }
         }
         if (changed) {
@@ -453,7 +741,8 @@ bool
 finite_core_state(const CoreState& c)
 {
     return std::isfinite(c.price) && c.price >= 0.0 &&
-        std::isfinite(c.base_price);
+        std::isfinite(c.base_price) &&
+        std::isfinite(c.supply) && c.supply >= 0.0;
 }
 
 bool
@@ -467,6 +756,13 @@ Market::sane() const
     }
     for (const CoreState& c : cores_) {
         if (!finite_core_state(c))
+            return false;
+    }
+    // A poisoned power reading corrupts the weight and state machinery
+    // of the *next* round, so the watchdog must catch it here, before
+    // it is spent.
+    for (const ClusterCtl& ctl : clusters_) {
+        if (!std::isfinite(ctl.power) || ctl.power < 0.0)
             return false;
     }
     return true;
@@ -511,6 +807,16 @@ Market::sanitize(const std::vector<Pu>& fallback_supplies)
             c.has_base = false;
             ++repaired;
         }
+        if (!std::isfinite(c.supply) || c.supply < 0.0) {
+            c.supply = 0.0;
+            ++repaired;
+        }
+    }
+    for (ClusterCtl& ctl : clusters_) {
+        if (!std::isfinite(ctl.power) || ctl.power < 0.0) {
+            ctl.power = 0.0;
+            ++repaired;
+        }
     }
     if (!std::isfinite(allowance_) || allowance_ < 0.0) {
         allowance_ = std::clamp(cfg_.initial_allowance,
@@ -523,6 +829,14 @@ Market::sanitize(const std::vector<Pu>& fallback_supplies)
 RoundReport
 Market::round()
 {
+    // Hot-path staging: mirror the ledger into the SoA vectors and
+    // refresh the per-core task grouping, then run every clearing
+    // pass over the flat columns (fanning out to the attached pool
+    // when one is set -- see set_thread_pool for the determinism
+    // contract).  tasks_ itself is not written again until
+    // store_soa().
+    load_soa();
+    rebuild_groups();
     refresh_core_demands();
 
     // Chip demand D: sum over clusters of the constrained core's
@@ -558,10 +872,14 @@ Market::round()
     for (const ClusterCtl& ctl : clusters_)
         chip_power += ctl.power;
 
-    // The chip agent reacts to the imbalance observed in the
-    // *previous* round (prev_demand_/prev_supply_, and the power
-    // readings fed in since then) -- cf. the round-by-round evolution
-    // of Table 3.
+    // The chip agent reacts to a one-round-lagged imbalance: the
+    // demands are the ones just declared for this round, but the
+    // supplies still reflect the V-F levels chosen at the *end* of
+    // the previous round (control_supply runs last) and the power
+    // readings accumulated since then -- exactly Table 3's
+    // round-by-round evolution.  There is no separate
+    // previous-round ledger; the lag lives in when supplies and
+    // sensors are sampled.
     state_ = update_allowance(chip_power, total_demand, deficit,
                               raw_deficit);
     if (state_ == ChipState::kEmergency &&
@@ -569,16 +887,24 @@ Market::round()
         // Monetary contraction: the TDP response must also curb the
         // banked money or savings-funded bids keep the supply -- and
         // the power -- inflated.
-        for (TaskState& t : tasks_)
-            t.savings *= 1.0 - cfg_.emergency_savings_tax;
+        const double keep = 1.0 - cfg_.emergency_savings_tax;
+        for_task_chunks([this, keep](std::size_t begin,
+                                     std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                soa_.savings[i] *= keep;
+        });
     }
     distribute_allowance(chip_power);
     place_bids();
     discover_prices();
-    const int vf_changes = control_supply();
-    ++rounds_;
+    store_soa();
 
     RoundReport report;
+    compute_excess_objective(report);
+    const int vf_changes = control_supply(report.excess_l2);
+    prev_objective_ = report.excess_l2;
+    ++rounds_;
+
     report.state = state_;
     report.allowance = allowance_;
     report.total_demand = total_demand;

@@ -17,12 +17,18 @@
 #ifndef PPM_MARKET_MARKET_HH
 #define PPM_MARKET_MARKET_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hh"
 #include "fault/fault.hh"
 #include "hw/platform.hh"
 #include "market/config.hh"
+
+namespace ppm {
+class ThreadPool;
+} // namespace ppm
 
 namespace ppm::market {
 
@@ -60,6 +66,22 @@ struct RoundReport {
     Pu deficit = 0.0;        ///< Unmet demand with V-F headroom.
     Pu raw_deficit = 0.0;    ///< All unmet demand.
     bool allowance_clamped = false;  ///< Allowance hit its floor/cap.
+
+    /**
+     * Convergence objective of the tatonnement round: the L2 norm of
+     * the per-cluster price-weighted excess demand
+     * (D_v - S_v) * P_constrained, taken after price discovery but
+     * before the cluster agents act.  Zero at a clearing equilibrium;
+     * the adaptive stepper accelerates only while this stalls.
+     */
+    double excess_l2 = 0.0;
+
+    /**
+     * L8 norm of the same excess vector: close to the max-norm, so it
+     * isolates the worst cluster where the L2 view can dilute one bad
+     * cluster across many converged ones.
+     */
+    double excess_l8 = 0.0;
 };
 
 /** Market-visible state of one cluster agent, for telemetry. */
@@ -118,6 +140,26 @@ class Market
     void set_cluster_power(ClusterId v, Watts w);
 
     /**
+     * Raw cluster-power write that bypasses the input filter.  Only
+     * for the watchdog tests: set_cluster_power() clamps every
+     * reading into [0, inf), so exercising the sane()/sanitize()
+     * coverage of ClusterCtl::power needs a back door (cf. the
+     * mutable task()/core() hooks).
+     */
+    void set_cluster_power_raw(ClusterId v, Watts w);
+
+    /**
+     * Attach (or detach, with nullptr) a worker pool for the clearing
+     * passes of round().  The pool is not owned and may be shared;
+     * rounds fan the per-task and per-core passes out in fixed-size
+     * chunks (PpmConfig::clearing_grain) whose boundaries are
+     * independent of the worker count, so the cleared round is
+     * bit-identical for every pool size -- including none.  Markets
+     * below PpmConfig::clearing_min_tasks keep clearing inline.
+     */
+    void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+    /**
      * Execute one market round: chip-agent allowance update and
      * hierarchical distribution, task-agent bidding, core-agent price
      * discovery and purchases, then cluster-agent inflation/deflation
@@ -150,6 +192,13 @@ class Market
 
     /** State of core `c`. */
     const CoreState& core(CoreId c) const;
+
+    /**
+     * Mutable state of core `c`.  Same contract as the mutable task()
+     * overload: a hook for the watchdog tests, which need to plant a
+     * non-finite supply/price that no public mutator would let in.
+     */
+    CoreState& core(CoreId c);
 
     /** All task states (indexed by task id). */
     const std::vector<TaskState>& tasks() const { return tasks_; }
@@ -211,10 +260,83 @@ class Market
         bool pending_base_reset = false; ///< Base price resets after
                                          ///< the next price discovery.
         Watts power = 0.0;               ///< Latest sensor reading.
+        std::uint64_t step = 0;          ///< Adaptive step accumulator
+                                         ///< (fixed point, 0 = unseeded).
+        int last_dir = 0;                ///< Direction of the last
+                                         ///< triggered V-F step.
     };
 
-    /** Refresh per-core demand sums from task states. */
+    /**
+     * Struct-of-arrays mirror of the task ledger for the clearing hot
+     * path.  tasks_ stays the authoritative copy between rounds (the
+     * mutators and the watchdog write it); round() loads the mirror
+     * once, runs every per-task pass over the flat vectors -- which
+     * chunk cleanly across the pool and vectorize without the
+     * AoS stride -- and stores the written-to columns back at the end.
+     */
+    struct TaskSoa {
+        std::vector<Pu> demand;
+        std::vector<Pu> supply;
+        std::vector<Money> bid;
+        std::vector<Money> allowance;
+        std::vector<Money> savings;
+        std::vector<double> priority;
+        std::vector<CoreId> core;
+        std::vector<ClusterId> cluster;
+        std::vector<unsigned char> active;
+
+        void resize(std::size_t n);
+    };
+
+    /** True when round() should fan out to the attached pool. */
+    bool parallel_active() const;
+
+    /** Run `fn(begin, end)` over chunks of the task index range. */
+    template <typename Fn>
+    void for_task_chunks(Fn&& fn) const;
+
+    /** Run `fn(begin, end)` over chunks of the core index range. */
+    template <typename Fn>
+    void for_core_chunks(Fn&& fn) const;
+
+    /** Mirror tasks_ into the SoA hot vectors (per-task map). */
+    void load_soa();
+
+    /** Write the columns the round mutated back into tasks_. */
+    void store_soa();
+
+    /**
+     * Rebuild the per-core grouping of active task ids (counting
+     * sort, id order preserved within each core) if a mutator dirtied
+     * it.  The grouping turns the per-core reductions into
+     * independent contiguous folds, which is what lets them run on
+     * pool workers without changing floating-point association: each
+     * core's sum is still accumulated in task-id order.
+     */
+    void rebuild_groups();
+
+    /** Per-core demand reduction over the groups (replaces the old
+     *  sequential refresh_core_demands walk). */
     void refresh_core_demands();
+
+    /**
+     * Per-cluster price-weighted excess demand and its L2/L8 norms
+     * (RoundReport::excess_l2/excess_l8), taken after price
+     * discovery, before the cluster agents act.
+     */
+    void compute_excess_objective(RoundReport& report) const;
+
+    /**
+     * Adaptive level magnitude for cluster `ctl` triggering in
+     * direction `dir` (+1 inflation / -1 deflation): reseeds the
+     * accumulator on a direction change, grows it while the chip-wide
+     * objective stalls, and returns the level count to step.  Always
+     * 1 when adaptive stepping is disabled.
+     */
+    int step_levels(ClusterCtl& ctl, int dir, bool improving);
+
+    /** Decay `ctl`'s adaptive accumulator after a quiet round. */
+    void decay_step(ClusterCtl& ctl);
 
     /**
      * Chip-agent allowance update; returns the new chip state.
@@ -235,8 +357,13 @@ class Market
     /** Core-agent price discovery and purchases. */
     void discover_prices();
 
-    /** Cluster-agent DVFS decisions; returns number of level changes. */
-    int control_supply();
+    /**
+     * Cluster-agent DVFS decisions; returns number of level changes.
+     * `objective` is the round's excess_l2 norm -- the adaptive
+     * stepper compares it against the previous round's to decide
+     * whether the market is converging.
+     */
+    int control_supply(double objective);
 
     /**
      * Step `cl` by `delta` levels through the DVFS port when one is
@@ -261,6 +388,7 @@ class Market
     bool allowance_clamped_ = false;  ///< Set by update_allowance().
     MarketTelemetry* telemetry_ = nullptr;  ///< Not owned; may be null.
     fault::DvfsPort* dvfs_port_ = nullptr;  ///< Not owned; may be null.
+    ThreadPool* pool_ = nullptr;            ///< Not owned; may be null.
 
     // Reusable per-round scratch (capacity kept across rounds) so a
     // steady-state round allocates nothing.
@@ -268,6 +396,24 @@ class Market
     std::vector<double> scratch_cluster_prio_;  ///< distribute_allowance.
     std::vector<double> scratch_weight_;        ///< distribute_allowance.
     std::vector<Money> scratch_bid_sum_;        ///< discover_prices.
+
+    // SoA mirror and the cached per-core task grouping (see TaskSoa /
+    // rebuild_groups).  groups_dirty_ is set by every mutator that
+    // changes a task's core or activity.
+    TaskSoa soa_;
+    std::vector<int> group_offset_;   ///< cores+1 prefix offsets.
+    std::vector<int> group_cursor_;   ///< Counting-sort scratch.
+    std::vector<TaskId> group_task_;  ///< Active ids grouped by core.
+    bool groups_dirty_ = true;
+
+    // Per-core bid-floor flags for control_supply(), produced by the
+    // discover_prices() reduction pass (order-independent booleans,
+    // so the parallel fold matches the old inline scan exactly).
+    std::vector<unsigned char> core_any_task_;
+    std::vector<unsigned char> core_all_floor_;
+
+    /** Chip-wide excess objective of the previous round (<0 = none). */
+    double prev_objective_ = -1.0;
 };
 
 /**

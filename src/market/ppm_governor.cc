@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "hw/power_model.hh"
 #include "metrics/telemetry.hh"
 #include "sched/nice.hh"
@@ -48,6 +49,11 @@ PpmGovernor::init(sim::Simulation& sim)
     sim_ = &sim;
     market_ = std::make_unique<Market>(&sim.chip(), cfg_.market);
     market_->set_dvfs_port(sim.dvfs_port());
+    if (cfg_.clearing_jobs != 1) {
+        clearing_pool_ =
+            std::make_unique<ThreadPool>(cfg_.clearing_jobs);
+        market_->set_thread_pool(clearing_pool_.get());
+    }
     guard_.init(sim.chip().num_clusters(), sim.fault_injector());
     for (workload::Task* t : sim.tasks()) {
         market_->add_task(t->id(), t->priority(),

@@ -73,6 +73,16 @@ struct PpmGovernorConfig {
 
     /** Tuning of the online estimator (used when enabled). */
     OnlineSpeedupEstimator::Params online_params;
+
+    /**
+     * Worker threads for the market's parallel clearing engine.  The
+     * default 1 clears inline on the simulation thread; > 1 spins up
+     * a dedicated pool at init and attaches it to the market; <= 0
+     * means one worker per hardware thread.  The cleared rounds are
+     * bit-identical for every value (see Market::set_thread_pool), so
+     * this is purely a wall-clock knob for large task counts.
+     */
+    int clearing_jobs = 1;
 };
 
 /** The price-theory power manager. */
@@ -134,6 +144,7 @@ class PpmGovernor : public sim::Governor
     Pu estimate_demand_on(TaskId t, ClusterId v) const;
 
     PpmGovernorConfig cfg_;
+    std::unique_ptr<ThreadPool> clearing_pool_;  ///< When clearing_jobs != 1.
     std::unique_ptr<Market> market_;
     std::unique_ptr<LbtModule> lbt_;
     std::unique_ptr<OnlineSpeedupEstimator> online_;

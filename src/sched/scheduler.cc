@@ -151,13 +151,21 @@ Scheduler::fill_granted(CoreId core, const std::vector<TaskId>& ids,
     const Cycles capacity =
         chip_->core_online(core) ? work_done(cl.supply(), dt) : 0.0;
 
-    // Partition into runnable (unblocked) and blocked tasks.  The
-    // scratch holds positions into `ids` so the water-filling passes
-    // index `granted_` directly instead of re-searching `ids` per
-    // task per pass.
+    // Gather the water-fill inputs into flat scratch columns first:
+    // runnable positions, CFS weights, and desired cycles.  Both
+    // gathered values are invariant across the refinement passes
+    // below (desired_cycles is pure until advance()), so hoisting
+    // them replaces the pass-by-pass Entry/Task pointer chasing with
+    // contiguous loads the compiler can keep in vector registers --
+    // the values, and hence every grant, are bit-identical.
     active_idx_.clear();
+    wf_weight_.resize(ids.size());
+    wf_want_.resize(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) {
-        if (entry(ids[i]).blocked_until <= now)
+        const Entry& e = entry(ids[i]);
+        wf_weight_[i] = e.weight;
+        wf_want_[i] = e.task->desired_cycles(dt, cls);
+        if (e.blocked_until <= now)
             active_idx_.push_back(i);
     }
 
@@ -168,14 +176,13 @@ Scheduler::fill_granted(CoreId core, const std::vector<TaskId>& ids,
         while (!active_idx_.empty() && remaining > 1e-9) {
             double total_weight = 0.0;
             for (const std::size_t i : active_idx_)
-                total_weight += entry(ids[i]).weight;
+                total_weight += wf_weight_[i];
             hungry_idx_.clear();
             Cycles consumed = 0.0;
             for (const std::size_t i : active_idx_) {
-                const Entry& e = entry(ids[i]);
                 const Cycles quota =
-                    remaining * e.weight / total_weight;
-                const Cycles want = e.task->desired_cycles(dt, cls);
+                    remaining * wf_weight_[i] / total_weight;
+                const Cycles want = wf_want_[i];
                 const Cycles already = granted_[i];
                 const Cycles need = std::max(0.0, want - already);
                 if (need <= quota * (1.0 + 1e-12)) {
@@ -219,7 +226,8 @@ Scheduler::distribute(CoreId core, const std::vector<TaskId>& ids,
         // Runnable fraction (PELT-like): a task that still wants more
         // cycles was runnable for the whole tick; a self-paced task
         // that got everything it asked for slept the rest of it.
-        const Cycles want = e.task->desired_cycles(dt, cls);
+        // (wf_want_ was gathered by fill_granted before any advance.)
+        const Cycles want = wf_want_[i];
         double runnable_frac = 0.0;
         if (runnable_now)
             runnable_frac = g + 1e-6 >= want ? share : 1.0;
@@ -310,7 +318,7 @@ Scheduler::begin_replay(SimTime now, SimTime dt)
             e.supply_last = g / kCyclesPerPuSecond / to_seconds(dt);
             s.share = capacity > 0.0 ? g / capacity : 0.0;
             const bool runnable_now = e.blocked_until <= now;
-            const Cycles want = e.task->desired_cycles(dt, cls);
+            const Cycles want = wf_want_[i];
             s.runnable_frac = 0.0;
             if (runnable_now)
                 s.runnable_frac = g + 1e-6 >= want ? s.share : 1.0;

@@ -235,6 +235,12 @@ class Scheduler
     std::vector<Cycles> granted_;
     std::vector<std::size_t> active_idx_;
     std::vector<std::size_t> hungry_idx_;
+    // Flat SoA columns of the current core's water-fill inputs,
+    // gathered once per fill_granted() call (see the comment there);
+    // distribute()/begin_replay() reuse wf_want_ for the runnable
+    // fraction instead of re-querying the task.
+    std::vector<double> wf_weight_;
+    std::vector<Cycles> wf_want_;
 
     // Replay state (begin_replay / replay_tick / replay_bulk).
     std::vector<ReplaySlot> replay_slots_;

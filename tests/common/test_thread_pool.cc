@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.hh"
 
@@ -86,6 +90,67 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks)
     for (auto& f : futures)
         f.get();
     EXPECT_EQ(counter.load(), 32);
+}
+
+/** Record the chunk ranges for_chunks() hands out, in call order. */
+std::vector<std::pair<std::size_t, std::size_t>>
+collect_chunks(ThreadPool* pool, std::size_t n, std::size_t grain)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    std::mutex mu;
+    ThreadPool::for_chunks(pool, n, grain,
+                           [&](std::size_t begin, std::size_t end) {
+                               std::lock_guard<std::mutex> lock(mu);
+                               chunks.emplace_back(begin, end);
+                           });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+}
+
+TEST(ThreadPool, ForChunksCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{8}, std::size_t{100}}) {
+        const auto chunks = collect_chunks(&pool, n, 8);
+        std::size_t expect_begin = 0;
+        for (const auto& [begin, end] : chunks) {
+            EXPECT_EQ(begin, expect_begin);
+            EXPECT_LT(begin, end);
+            expect_begin = end;
+        }
+        EXPECT_EQ(expect_begin, n) << "n=" << n;
+    }
+    // A zero grain is normalized to 1 instead of dividing by zero.
+    EXPECT_EQ(collect_chunks(&pool, 5, 0).size(), 5u);
+}
+
+TEST(ThreadPool, ForChunksBoundariesIndependentOfWorkerCount)
+{
+    // The determinism contract of the clearing engine: the chunk
+    // decomposition is a pure function of (n, grain), so the inline
+    // path and pools of any size hand out identical ranges.
+    const auto inline_chunks = collect_chunks(nullptr, 100, 7);
+    EXPECT_EQ(inline_chunks.size(), 15u);
+    for (int jobs : {1, 2, 3, 8}) {
+        ThreadPool pool(jobs);
+        EXPECT_EQ(collect_chunks(&pool, 100, 7), inline_chunks)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, ForChunksPropagatesWorkerException)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(
+        ThreadPool::for_chunks(&pool, 64, 4,
+                               [](std::size_t begin, std::size_t) {
+                                   if (begin == 32)
+                                       throw std::runtime_error("chunk");
+                               }),
+        std::runtime_error);
+    // The pool survives for later work.
+    EXPECT_EQ(pool.submit([]() { return 3; }).get(), 3);
 }
 
 } // namespace

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * The parallel clearing engine: bit-exact determinism of round()
+ * across worker counts (including none), the starvation guard of the
+ * hierarchical allowance distribution, the adaptive V-F stepper and
+ * its convergence norms, and the control_supply() edge cases around
+ * bid floors, frozen bids and mid-transition topology loss.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "hw/platform.hh"
+#include "market/market.hh"
+#include "tests/market/market_test_util.hh"
+
+namespace ppm::market {
+namespace {
+
+/**
+ * A populated multi-cluster market whose rounds exercise every
+ * parallel pass: 3 clusters x 4 cores x 8 tasks = 96 task agents,
+ * with a grain of 7 so the fan-out covers ragged chunk boundaries.
+ */
+struct Sim {
+    explicit Sim(ThreadPool* pool)
+        : chip(test::paper_chip(4, 3))
+    {
+        PpmConfig cfg = test::paper_config();
+        cfg.w_tdp = 12.0;
+        cfg.w_th = 11.0;
+        cfg.clearing_min_tasks = 1;
+        cfg.clearing_grain = 7;
+        market = std::make_unique<Market>(&chip, cfg);
+        if (pool != nullptr)
+            market->set_thread_pool(pool);
+        TaskId id = 0;
+        for (CoreId c = 0; c < chip.num_cores(); ++c) {
+            for (int t = 0; t < 8; ++t) {
+                market->add_task(id, 1 + (id % 3), c);
+                // Demands spread over [40, 500] PU, varied per task.
+                market->set_demand(
+                    id, 40.0 + 20.0 * static_cast<double>(id % 24));
+                ++id;
+            }
+        }
+    }
+
+    void feed_powers(long round)
+    {
+        for (ClusterId v = 0; v < chip.num_clusters(); ++v) {
+            market->set_cluster_power(
+                v, 0.5 + 0.25 * static_cast<double>(v) +
+                       0.01 * static_cast<double>(round % 7));
+        }
+    }
+
+    hw::Chip chip;
+    std::unique_ptr<Market> market;
+};
+
+/** Every field of both markets must match bit for bit (==, no eps). */
+void
+expect_identical(const Market& a, const Market& b)
+{
+    ASSERT_EQ(a.tasks().size(), b.tasks().size());
+    for (std::size_t i = 0; i < a.tasks().size(); ++i) {
+        const TaskState& ta = a.tasks()[i];
+        const TaskState& tb = b.tasks()[i];
+        EXPECT_EQ(ta.bid, tb.bid) << "task " << i;
+        EXPECT_EQ(ta.supply, tb.supply) << "task " << i;
+        EXPECT_EQ(ta.savings, tb.savings) << "task " << i;
+        EXPECT_EQ(ta.allowance, tb.allowance) << "task " << i;
+    }
+    for (CoreId c = 0; c < a.chip().num_cores(); ++c) {
+        EXPECT_EQ(a.core(c).price, b.core(c).price) << "core " << c;
+        EXPECT_EQ(a.core(c).supply, b.core(c).supply) << "core " << c;
+    }
+    EXPECT_EQ(a.global_allowance(), b.global_allowance());
+}
+
+TEST(ParallelClearing, BitIdenticalAcrossJobCounts)
+{
+    // The reference is the inline (no-pool) walk; pools of 2, 3, 4
+    // and 7 workers must reproduce it exactly, round after round.
+    Sim reference(nullptr);
+    std::vector<std::unique_ptr<ThreadPool>> pools;
+    std::vector<std::unique_ptr<Sim>> sims;
+    for (int jobs : {2, 3, 4, 7}) {
+        pools.push_back(std::make_unique<ThreadPool>(jobs));
+        sims.push_back(std::make_unique<Sim>(pools.back().get()));
+    }
+    for (long r = 0; r < 25; ++r) {
+        reference.feed_powers(r);
+        const RoundReport want = reference.market->round();
+        for (auto& sim : sims) {
+            sim->feed_powers(r);
+            const RoundReport got = sim->market->round();
+            EXPECT_EQ(want.total_demand, got.total_demand);
+            EXPECT_EQ(want.total_supply, got.total_supply);
+            EXPECT_EQ(want.allowance, got.allowance);
+            EXPECT_EQ(want.excess_l2, got.excess_l2);
+            EXPECT_EQ(want.excess_l8, got.excess_l8);
+            EXPECT_EQ(want.vf_changes, got.vf_changes);
+            expect_identical(*reference.market, *sim->market);
+        }
+    }
+}
+
+TEST(ParallelClearing, BitIdenticalUnderTaskChurn)
+{
+    // Task exit/arrival and migration dirty the per-core grouping
+    // index; the rebuilt groups must keep the parallel reduction in
+    // task-id order, so the pooled market still matches the inline
+    // one exactly through the churn.
+    Sim reference(nullptr);
+    ThreadPool pool(4);
+    Sim pooled(&pool);
+    auto churn = [](Sim& sim, long r) {
+        if (r == 5) {
+            for (TaskId t : {3, 17, 40, 95})
+                sim.market->set_task_active(t, false);
+        }
+        if (r == 9) {
+            for (TaskId t : {3, 40})
+                sim.market->set_task_active(t, true);
+            sim.market->set_task_core(7, 11);
+            sim.market->set_task_core(50, 0);
+        }
+    };
+    for (long r = 0; r < 15; ++r) {
+        churn(reference, r);
+        churn(pooled, r);
+        reference.feed_powers(r);
+        pooled.feed_powers(r);
+        reference.market->round();
+        pooled.market->round();
+        expect_identical(*reference.market, *pooled.market);
+    }
+}
+
+TEST(ParallelClearing, StarvationGuardFeedsStuckSensorCluster)
+{
+    // Regression for the cluster-weight starvation gap: cluster 0's
+    // sensor is stuck at a reading at/above the whole chip's power
+    // while cluster 1 reads zero, so cluster 0's power-derived weight
+    // collapses to max(0, W - W_0) = 0.  Without the guard its tasks
+    // receive no allowance at all -- forever, since a cluster that
+    // gets no money cannot lower its own reading.
+    hw::Chip chip = test::paper_chip(1, 2);
+    PpmConfig cfg = test::paper_config();
+    cfg.w_tdp = 10.0;
+    cfg.w_th = 9.0;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);  // Cluster 0 (faulty sensor).
+    market.add_task(1, 1, 1);  // Cluster 1 (healthy).
+    market.set_demand(0, 200.0);
+    market.set_demand(1, 200.0);
+    for (int r = 0; r < 5; ++r) {
+        market.set_cluster_power(0, 5.0);
+        market.set_cluster_power(1, 0.0);
+        market.round();
+        // The starved cluster gets its priority share of the existing
+        // weight mass; the healthy cluster keeps a positive share.
+        EXPECT_GT(market.task(0).allowance, 0.0) << "round " << r;
+        EXPECT_GT(market.task(1).allowance, 0.0) << "round " << r;
+        EXPECT_LE(market.task(0).allowance + market.task(1).allowance,
+                  market.global_allowance() + 1e-9);
+    }
+    // Both task agents can trade: neither supply is pinned at zero.
+    EXPECT_GT(market.task(0).supply, 0.0);
+    EXPECT_GT(market.task(1).supply, 0.0);
+}
+
+/** A 16-level ladder (100..1600 PU) for the adaptive stepper. */
+hw::Chip
+ladder_chip()
+{
+    std::vector<hw::VfPoint> points;
+    for (int i = 1; i <= 16; ++i)
+        points.push_back({100.0 * i, 1.0});
+    return hw::Chip({hw::Chip::ClusterSpec{hw::little_core_params(),
+                                           hw::VfTable(points), 1}});
+}
+
+/** Rounds until the ladder tops out; records the largest level jump. */
+int
+run_ladder(bool adaptive, int* max_jump)
+{
+    hw::Chip chip = ladder_chip();
+    PpmConfig cfg = test::paper_config();
+    cfg.w_tdp = 1e9;
+    cfg.w_th = 1e9 - 0.5;
+    cfg.adaptive_step = adaptive;
+    Market market(&chip, cfg);
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 1600.0);
+    *max_jump = 0;
+    for (int r = 1; r <= 200; ++r) {
+        const int before = chip.cluster(0).level();
+        market.set_cluster_power(0, 0.5);
+        market.round();
+        *max_jump = std::max(*max_jump, chip.cluster(0).level() - before);
+        if (chip.cluster(0).supply() >= 1600.0)
+            return r;
+    }
+    return 200;
+}
+
+TEST(ParallelClearing, AdaptiveStepAcceleratesStalledTatonnement)
+{
+    // A single task demanding the top of a 16-level ladder: the
+    // paper's one-level-per-round cadence needs a V-F transition
+    // (plus its anchor round) per level.  The radix stepper detects
+    // the stalled excess objective and grows the step, so it must
+    // reach the top strictly faster and take at least one multi-level
+    // jump; the baseline must never jump more than one level.
+    int jump_fixed = 0;
+    int jump_adaptive = 0;
+    const int rounds_fixed = run_ladder(false, &jump_fixed);
+    const int rounds_adaptive = run_ladder(true, &jump_adaptive);
+    EXPECT_EQ(jump_fixed, 1);
+    EXPECT_GE(jump_adaptive, 2);
+    EXPECT_LT(rounds_adaptive, rounds_fixed);
+}
+
+TEST(ParallelClearing, ExcessNormsTrackImbalanceAndAgree)
+{
+    // With a single cluster the excess vector has one component, so
+    // the L2 and L8 norms must agree exactly (both equal |excess|);
+    // they are positive while the market is out of equilibrium.
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 550.0);
+    bool saw_imbalance = false;
+    for (int r = 0; r < 20; ++r) {
+        market.set_cluster_power(0, test::paper_power(
+            chip.cluster(0).supply()));
+        const RoundReport report = market.round();
+        EXPECT_GE(report.excess_l2, 0.0);
+        EXPECT_DOUBLE_EQ(report.excess_l2, report.excess_l8);
+        if (report.excess_l2 > 0.0)
+            saw_imbalance = true;
+    }
+    EXPECT_TRUE(saw_imbalance);
+}
+
+TEST(ParallelClearing, BidFloorDeflationWaitsForAllBids)
+{
+    // The bid-floor walk is the only deflation channel once the price
+    // is pinned: with the bids at b_min and the base price tracked
+    // down to the pinned price (via the demand-rounding-blocked
+    // path), neither band trigger can fire.  Stage exactly that state
+    // at level 1, then check the walk's two gates: it must hold while
+    // the lower level does not cover the demand, hold while ANY bid
+    // sits above the floor, and only then step down.
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    // Eight symmetric agents at 45 PU each: the joint 360 PU inflates
+    // 300 -> 400 and then blocks band deflation (300 < 360), while
+    // each agent's floor-bid share (400/8 = 50 PU) over-supplies it,
+    // so every bid decays to exactly b_min and the price pins with
+    // the base tracked down onto it.
+    const int kTasks = 8;
+    for (TaskId t = 0; t < kTasks; ++t) {
+        market.add_task(t, 1, 0);
+        market.set_demand(t, 45.0);
+    }
+    const Money floor = market.config().min_bid;
+    for (int r = 0; r < 120; ++r) {
+        market.set_cluster_power(0, test::paper_power(
+            chip.cluster(0).supply()));
+        market.round();
+    }
+    ASSERT_EQ(chip.cluster(0).level(), 1);
+    for (TaskId t = 0; t < kTasks; ++t)
+        ASSERT_NEAR(market.task(t).bid, floor, 1e-9) << "task " << t;
+    // Gate 1 (coverage): price pinned, but 300 PU < 360 PU of
+    // demand, so the walk must hold the level indefinitely.
+    for (int r = 0; r < 10; ++r) {
+        market.set_cluster_power(0, 0.8);
+        market.round();
+        EXPECT_EQ(chip.cluster(0).level(), 1);
+    }
+    // Demand collapses so level 0 now covers it -- but one agent's
+    // bid pops above the floor (still inside the price band, so the
+    // band triggers stay quiet).
+    for (TaskId t = 0; t < kTasks; ++t)
+        market.set_demand(t, 30.0);
+    market.task(0).bid = 0.02;
+    bool stepped_down = false;
+    for (int r = 0; r < 20 && !stepped_down; ++r) {
+        const Money bid_before = market.task(0).bid;
+        market.set_cluster_power(0, 0.8);
+        market.round();
+        if (chip.cluster(0).level() == 0) {
+            stepped_down = true;
+            // Gate 2 (all-floor): the down-step waited until every
+            // bid had decayed back to b_min.
+            for (TaskId t = 0; t < kTasks; ++t)
+                EXPECT_NEAR(market.task(t).bid, floor, 1e-9);
+        } else if (bid_before > floor + 1e-9) {
+            // While the popped bid was above the floor when the round
+            // began, the walk must have held the level.
+            EXPECT_EQ(chip.cluster(0).level(), 1) << "round " << r;
+        }
+    }
+    EXPECT_TRUE(stepped_down);
+    EXPECT_EQ(chip.cluster(0).supply(), 300.0);
+}
+
+TEST(ParallelClearing, FrozenBidsStillClampInEmergency)
+{
+    // A V-F transition freezes the bids for one round; an emergency
+    // in that same round (power reading far above W_tdp) collapses
+    // the allowance, and the bound b <= a + m must cut the frozen bid
+    // anyway -- emergency response is never deferred.  A twin market
+    // with a healthy reading shows the freeze alone does not cut.
+    auto make = [](hw::Chip* chip) {
+        PpmConfig cfg = test::paper_config();
+        // No banked savings: the clamp bound is the allowance alone,
+        // so the emergency contraction is visible in one round.
+        cfg.savings_cap_frac = 0.0;
+        Market m(chip, cfg);
+        m.add_task(0, 1, 0);
+        m.set_demand(0, 250.0);
+        return m;
+    };
+    hw::Chip chip_hot = test::paper_chip();
+    hw::Chip chip_ref = test::paper_chip();
+    Market hot = make(&chip_hot);
+    Market ref = make(&chip_ref);
+    // Converge, then force an up-step so the next round runs frozen.
+    auto drive = [](Market& m, Pu demand, Watts power) {
+        m.set_demand(0, demand);
+        m.set_cluster_power(0, power);
+        m.round();
+    };
+    for (int r = 0; r < 5; ++r) {
+        drive(hot, 250.0, 0.8);
+        drive(ref, 250.0, 0.8);
+    }
+    ASSERT_FALSE(hot.bids_frozen(0));
+    int guard = 0;
+    while (!hot.bids_frozen(0) && guard++ < 20) {
+        drive(hot, 380.0, 0.8);
+        drive(ref, 380.0, 0.8);
+    }
+    ASSERT_TRUE(hot.bids_frozen(0));
+    ASSERT_TRUE(ref.bids_frozen(0));
+    const Money bid_before = hot.task(0).bid;
+    ASSERT_EQ(ref.task(0).bid, bid_before);
+    // The frozen round: hot sees a runaway reading, ref stays benign.
+    drive(hot, 380.0, 50.0);
+    drive(ref, 380.0, 0.8);
+    EXPECT_LT(hot.task(0).bid, bid_before);
+    EXPECT_LE(hot.task(0).bid,
+              hot.task(0).allowance + hot.task(0).savings + 1e-12);
+    EXPECT_GE(ref.task(0).bid, bid_before);
+}
+
+TEST(ParallelClearing, PendingBaseResetSurvivesMidTransitionLoss)
+{
+    // A V-F change leaves pending_base_reset armed for the next
+    // round.  If the cluster then goes dark mid-transition -- power
+    // gated, or every task gone -- control_supply() must clear the
+    // freeze machinery instead of anchoring a base price on garbage,
+    // and the market must keep working once the cluster returns.
+    hw::Chip chip = test::paper_chip();
+    Market market(&chip, test::paper_config());
+    market.add_task(0, 1, 0);
+    market.set_demand(0, 250.0);
+    market.set_cluster_power(0, 0.8);
+    market.round();
+    market.set_demand(0, 380.0);
+    int guard = 0;
+    while (!market.bids_frozen(0) && guard++ < 20) {
+        market.set_cluster_power(0, 0.8);
+        market.round();
+    }
+    ASSERT_TRUE(market.bids_frozen(0));
+    // Mid-transition power gating: the pending reset must not anchor.
+    chip.cluster(0).set_powered(false);
+    market.set_cluster_power(0, 0.0);
+    market.round();
+    EXPECT_FALSE(market.bids_frozen(0));
+    EXPECT_TRUE(market.sane());
+    // The cluster returns; the market converges again from scratch.
+    chip.cluster(0).set_powered(true);
+    for (int r = 0; r < 30; ++r) {
+        market.set_cluster_power(0, test::paper_power(
+            chip.cluster(0).supply()));
+        market.round();
+    }
+    EXPECT_TRUE(market.sane());
+    EXPECT_GE(chip.cluster(0).supply(), 380.0);
+    EXPECT_GT(market.task(0).supply, 0.0);
+
+    // Same interleaving, but the transition dies because the last
+    // task exits: the constrained core disappears instead.
+    market.set_demand(0, 550.0);
+    guard = 0;
+    while (!market.bids_frozen(0) && guard++ < 20) {
+        market.set_cluster_power(0, test::paper_power(
+            chip.cluster(0).supply()));
+        market.round();
+    }
+    ASSERT_TRUE(market.bids_frozen(0));
+    market.set_task_active(0, false);
+    market.set_cluster_power(0, 0.8);
+    market.round();
+    EXPECT_FALSE(market.bids_frozen(0));
+    EXPECT_TRUE(market.sane());
+    market.set_task_active(0, true);
+    market.set_demand(0, 250.0);
+    for (int r = 0; r < 10; ++r) {
+        market.set_cluster_power(0, test::paper_power(
+            chip.cluster(0).supply()));
+        market.round();
+    }
+    EXPECT_TRUE(market.sane());
+    EXPECT_GT(market.task(0).supply, 0.0);
+}
+
+} // namespace
+} // namespace ppm::market

@@ -68,6 +68,12 @@ TEST(Watchdog, FiniteCoreStateDetectors)
     bad = c;
     bad.base_price = kInf;
     EXPECT_FALSE(finite_core_state(bad));
+    bad = c;
+    bad.supply = kNaN;
+    EXPECT_FALSE(finite_core_state(bad));
+    bad = c;
+    bad.supply = -100.0;
+    EXPECT_FALSE(finite_core_state(bad));
 }
 
 Market
@@ -119,6 +125,58 @@ TEST(Watchdog, SanitizeRestoresSaneStateFromFallback)
     EXPECT_DOUBLE_EQ(m.task(0).supply, 120.0);
     EXPECT_TRUE(std::isfinite(m.task(0).bid));
     EXPECT_DOUBLE_EQ(m.task(1).demand, 0.0);
+}
+
+TEST(Watchdog, CatchesNonFiniteCoreSupply)
+{
+    // A poisoned core supply feeds every purchase division of the
+    // next round; sane() must flag it and sanitize() must repair it
+    // to the conservative zero.
+    hw::Chip chip = hw::tc2_chip();
+    Market m = make_market(&chip);
+    for (ClusterId v = 0; v < chip.num_clusters(); ++v)
+        m.set_cluster_power(v, 1.0);
+    m.round();
+    ASSERT_TRUE(m.sane());
+    m.core(0).supply = kNaN;
+    EXPECT_FALSE(m.sane());
+    std::vector<Pu> fallback(m.tasks().size(), 0.0);
+    EXPECT_GT(m.sanitize(fallback), 0);
+    EXPECT_TRUE(m.sane());
+    EXPECT_DOUBLE_EQ(m.core(0).supply, 0.0);
+
+    m.core(1).supply = -250.0;
+    EXPECT_FALSE(m.sane());
+    EXPECT_GT(m.sanitize(fallback), 0);
+    EXPECT_TRUE(m.sane());
+    EXPECT_DOUBLE_EQ(m.core(1).supply, 0.0);
+}
+
+TEST(Watchdog, CatchesNonFiniteClusterPower)
+{
+    // The public set_cluster_power() clamps readings into [0, inf)
+    // -- and std::max(0.0, NaN) silently returns 0.0 -- so the raw
+    // back door is the only way to plant the poisoned reading that a
+    // corrupted sensor path could leave in the ledger.  sane() must
+    // catch it before the next round spends it on cluster weights.
+    hw::Chip chip = hw::tc2_chip();
+    Market m = make_market(&chip);
+    ASSERT_TRUE(m.sane());
+    m.set_cluster_power_raw(0, kNaN);
+    EXPECT_FALSE(m.sane());
+    std::vector<Pu> fallback(m.tasks().size(), 0.0);
+    EXPECT_GT(m.sanitize(fallback), 0);
+    EXPECT_TRUE(m.sane());
+
+    m.set_cluster_power_raw(1, -kInf);
+    EXPECT_FALSE(m.sane());
+    EXPECT_GT(m.sanitize(fallback), 0);
+    EXPECT_TRUE(m.sane());
+    // A repaired ledger keeps clearing rounds without tripping again.
+    for (ClusterId v = 0; v < chip.num_clusters(); ++v)
+        m.set_cluster_power(v, 1.0);
+    m.round();
+    EXPECT_TRUE(m.sane());
 }
 
 TEST(Watchdog, SanitizeHandlesNonFiniteFallback)

@@ -21,7 +21,11 @@
  * --avg-seeds N runs N seeds (seed, +100, +200, ...) and prints the
  * cross-seed aggregate (see experiment::aggregate_summaries); --jobs
  * caps the worker threads the seeds run on (0 = all hardware
- * threads).  The summary is identical for every --jobs value.
+ * threads).  On a single run (--avg-seeds 1, the default), --jobs
+ * instead sets the worker count of PPM's parallel market-clearing
+ * engine.  Either way the output is identical for every --jobs
+ * value -- clearing fans out in fixed chunks with deterministic
+ * reductions, so the flag is purely a wall-clock knob.
  *
  * Tracing comes in two flavours:
  *  - --trace FILE.csv buffers the sampled time series in memory and
@@ -125,6 +129,7 @@ main(int argc, char** argv)
     bool csv_summary = false;
     int avg_seeds = 1;
     int jobs = 0;
+    bool jobs_given = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -200,6 +205,7 @@ main(int argc, char** argv)
             jobs = static_cast<int>(parse_int("--jobs", text));
             if (jobs < 0)
                 bad_arg("--jobs", "expects an integer >= 0", text);
+            jobs_given = true;
         } else if (arg == "--trace") {
             trace_path = next();
             params.trace = true;
@@ -288,6 +294,10 @@ main(int argc, char** argv)
                            std::chrono::steady_clock::now() - start)
                            .count();
     } else {
+        // Single run: --jobs drives the market's parallel clearing
+        // engine (0 = all hardware threads, resolved by the pool).
+        if (jobs_given)
+            params.clearing_jobs = jobs;
         const experiment::RunResult result =
             experiment::run_set(set, params);
         s = result.summary;
