@@ -85,6 +85,13 @@ rm -f /tmp/ppm_bench_clearing.json
 # Fault-resilience smoke: the fault bench must run end to end.
 ./build/bench/bench_fault_resilience > /dev/null
 
+# Differential fuzz smoke: a few hundred seeded scenarios checked
+# across every engine equivalence (policies x macro-vs-tick, clearing
+# jobs, budget conservation, fault counters).  The full sweep is
+# scripts/fuzz_sweep.sh; this pass proves the fuzzer and the
+# invariants hold on a fresh build.
+./build/tools/ppm_fuzz --count 200 --seed 1 > /dev/null
+
 # Race check: the parallel sweep is only deterministic if cells share
 # no mutable state, so run the threaded tests under ThreadSanitizer.
 # The trace/telemetry tests ride along: each cell must own its bus
@@ -103,6 +110,10 @@ cmake --build build-tsan --target test_common test_integration \
     --gtest_filter='TraceBus.*:TraceSink.*:TraceRecorder.*' > /dev/null
 ./build-tsan/tests/test_integration \
     --gtest_filter='Sweep.*:RunCells.*:Macrostep.*' > /dev/null
+# The fuzz driver fans scenarios out over the same pool; a short
+# sweep under TSAN sanitizes the differential checker itself.
+cmake --build build-tsan --target ppm_fuzz
+./build-tsan/tools/ppm_fuzz --count 20 --seed 1 > /dev/null
 
 # Memory/UB check: the fault layer mutates hardware state (offlining
 # cores, deferring DVFS) on irregular schedules, so run its tests and

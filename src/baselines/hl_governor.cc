@@ -165,6 +165,28 @@ HlGovernor::kill_big_cluster(sim::Simulation& sim, SimTime now)
     sim.chip().cluster(big_).set_powered(false);
 }
 
+void
+HlGovernor::replay_quiescent(const sim::Simulation& sim,
+                             const std::vector<Watts>& cluster_power,
+                             long n)
+{
+    if (sim.fault_injector() == nullptr)
+        return;
+    // Every replayed tick's read is clean (fault edges bound the
+    // interval), so only the *last* read's value survives in the
+    // guard.  That read sees the sensors as record_power() left them
+    // one tick earlier: the interval's own constant power when the
+    // interval spans >= 2 ticks, the pre-interval value (the last
+    // stepped tick's era) when n == 1.
+    replay_good_.resize(cluster_power.size());
+    for (std::size_t v = 0; v < cluster_power.size(); ++v) {
+        replay_good_[v] = n >= 2
+            ? cluster_power[v]
+            : sim.sensors().instantaneous(static_cast<ClusterId>(v));
+    }
+    guard_.replay_clean_reads(replay_good_);
+}
+
 bool
 HlGovernor::quiescent(const sim::Simulation& sim) const
 {

@@ -75,15 +75,39 @@ class HlGovernor : public sim::Governor
     /**
      * HL polls an always-on TDP kill check every tick, so it is only
      * quiescent while that check cannot fire: once the big cluster is
-     * gone, or while chip power sits at or under the cap (power is
-     * constant between governor/task events, so the comparison cannot
-     * change mid-interval).  Under fault injection the per-tick read
-     * goes through the sensor guard, whose state evolves tick by
-     * tick, so HL is never quiescent while a sensor fault is active
-     * or safe mode holds -- forcing per-tick execution there keeps
-     * macro-stepping bit-identical.
+     * gone, or while chip power sits at or under the cap.  Under
+     * fault injection the per-tick read goes through the sensor
+     * guard, whose state evolves tick by tick, so HL is never
+     * quiescent while a sensor fault is active or safe mode holds --
+     * forcing per-tick execution there keeps macro-stepping
+     * bit-identical.
+     *
+     * This check reads the power of the last *executed* tick; when a
+     * scheduling era flips exactly at the interval boundary the
+     * interval itself can run hotter, which quiescent_at_power()
+     * (called by the engine with the interval's true power) vetoes.
      */
     bool quiescent(const sim::Simulation& sim) const override;
+
+    /** Veto macro-stepping for intervals running above the TDP cap. */
+    bool quiescent_at_power(Watts chip_power) const override
+    {
+        return big_killed_ || big_ == kInvalidId ||
+            chip_power <= cfg_.tdp;
+    }
+
+    /**
+     * Refresh the sensor guard's last-good cache as the interval's
+     * replayed per-tick reads would have: HL reads the guard every
+     * tick, and each clean read stores the cluster's instantaneous
+     * power.  Without this, the guard enters the next sensor-fault
+     * window holding power values from the last *stepped* tick --
+     * an older scheduling era -- and the fallback reading (and so
+     * the TDP kill decision) diverges from per-tick execution.
+     */
+    void replay_quiescent(const sim::Simulation& sim,
+                          const std::vector<Watts>& cluster_power,
+                          long n) override;
 
     /** Whether the sensor guard currently reports safe mode. */
     bool safe_mode() const { return guard_.safe_mode(); }
@@ -110,6 +134,7 @@ class HlGovernor : public sim::Governor
 
     /** Sensor fallback + safe-mode tracking (inert on clean runs). */
     fault::SensorGuard guard_;
+    std::vector<Watts> replay_good_;  ///< replay_quiescent scratch.
 
     // Reusable epoch event + cached "clusterN_*" keys (built at init;
     // stable c_str() pointers) so tracing adds no per-epoch allocation.

@@ -16,6 +16,23 @@
 
 namespace ppm {
 
+/**
+ * SplitMix64 finalizer: a stateless, bijective 64-bit mixing step.
+ * Used wherever a deterministic value must be derived from composite
+ * keys without carrying RNG state (fault noise hashes, sweep-cell and
+ * fuzz-scenario seed derivation).  Bijectivity means distinct inputs
+ * can never collide, so seed streams derived through mix64 from
+ * distinct keys are guaranteed distinct.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
 /** Small, fast, deterministic PRNG (xoshiro256**). */
 class Rng
 {

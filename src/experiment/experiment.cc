@@ -6,6 +6,7 @@
 #include "baselines/hl_governor.hh"
 #include "baselines/hpm_governor.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "experiment/sweep.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
@@ -90,6 +91,21 @@ run_set(const workload::WorkloadSet& set, const RunParams& params)
     return run_specs(specs, speedups, params);
 }
 
+std::uint64_t
+cell_seed(std::uint64_t base, std::uint64_t stride, int index)
+{
+    PPM_ASSERT(stride >= 1, "seed stride must be >= 1");
+    PPM_ASSERT(index >= 0, "seed index must be >= 0");
+    // The index rides an odd-multiplier lane, which is injective mod
+    // 2^64, so for a fixed (base, stride) every index maps to a
+    // distinct mix64 input; mix64 is bijective, so the derived seeds
+    // are distinct too -- no stride or index combination can alias
+    // two cells onto one RNG stream.
+    return mix64(base + mix64(stride) +
+                 static_cast<std::uint64_t>(index) *
+                     0x9e3779b97f4a7c15ULL);
+}
+
 sim::RunSummary
 aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
 {
@@ -161,7 +177,7 @@ run_set_avg(const workload::WorkloadSet& set, RunParams params,
     cells.reserve(static_cast<std::size_t>(n_seeds));
     for (int i = 0; i < n_seeds; ++i) {
         RunParams p = params;
-        p.seed = params.seed + 100ull * static_cast<unsigned>(i);
+        p.seed = cell_seed(params.seed, 100, i);
         cells.push_back(
             [&set, p]() { return run_set(set, p).summary; });
     }

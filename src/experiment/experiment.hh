@@ -97,6 +97,18 @@ RunResult run_specs(const std::vector<workload::TaskSpec>& specs,
                     const RunParams& params);
 
 /**
+ * Seed of cell `index` on a multi-seed axis with base seed `base` and
+ * spacing key `stride`.  Derived through mix64 (bijective), so
+ * distinct indices can never share an RNG stream -- unlike the
+ * historical `base + index * stride`, which collapsed the whole axis
+ * onto one seed at stride 0 and could alias cells when
+ * `index * stride` overflowed.  panic()s on stride == 0 or a negative
+ * index.
+ */
+std::uint64_t cell_seed(std::uint64_t base, std::uint64_t stride,
+                        int index);
+
+/**
  * Reduce per-seed summaries into one cross-seed summary.  Aggregation
  * semantics, per field:
  *  - mean: any_below_miss, any_outside_miss, avg_power,
@@ -114,10 +126,10 @@ sim::RunSummary
 aggregate_summaries(const std::vector<sim::RunSummary>& summaries);
 
 /**
- * Run `set` `n_seeds` times (seeds params.seed, +100, +200, ...) and
- * return the aggregate_summaries() reduction of the per-seed runs.
- * Seeds run in parallel on up to `jobs` workers (0 = one per hardware
- * thread); the result is identical for every `jobs` value.
+ * Run `set` `n_seeds` times (seed i = cell_seed(params.seed, 100, i))
+ * and return the aggregate_summaries() reduction of the per-seed
+ * runs.  Seeds run in parallel on up to `jobs` workers (0 = one per
+ * hardware thread); the result is identical for every `jobs` value.
  */
 sim::RunSummary run_set_avg(const workload::WorkloadSet& set,
                             RunParams params, int n_seeds = 3,

@@ -58,6 +58,9 @@ run_sweep(const SweepConfig& config)
     PPM_ASSERT(!config.policies.empty(),
                "sweep needs at least one policy");
     PPM_ASSERT(config.n_seeds >= 1, "sweep needs at least one seed");
+    PPM_ASSERT(config.seed_stride >= 1,
+               "seed stride must be >= 1 (0 would alias every cell "
+               "onto one RNG stream)");
     PPM_ASSERT(config.base.extra_sink == nullptr,
                "streaming sinks are single-run; cells would interleave");
 
@@ -69,9 +72,8 @@ run_sweep(const SweepConfig& config)
             for (int i = 0; i < config.n_seeds; ++i) {
                 RunParams params = config.base;
                 params.policy = policy;
-                params.seed = config.base.seed +
-                              config.seed_stride *
-                                  static_cast<std::uint64_t>(i);
+                params.seed =
+                    cell_seed(config.base.seed, config.seed_stride, i);
                 cells.push_back([set, params]() {
                     return run_set(set, params);
                 });

@@ -80,7 +80,14 @@ struct SweepConfig {
     std::vector<workload::WorkloadSet> sets;  ///< Outermost axis.
     std::vector<std::string> policies;        ///< Middle axis.
     int n_seeds = 3;              ///< Innermost axis (>= 1).
-    std::uint64_t seed_stride = 100;  ///< Seed i = base.seed + i*stride.
+    /**
+     * Spacing key of the seed axis: seed i =
+     * cell_seed(base.seed, seed_stride, i) (see experiment.hh).  Must
+     * be >= 1 -- run_sweep() rejects 0, which under the historical
+     * `base.seed + i * stride` rule silently collapsed every cell
+     * onto one RNG stream.
+     */
+    std::uint64_t seed_stride = 100;
     RunParams base;               ///< Shared params (policy/seed overridden).
     int jobs = 0;                 ///< Workers; 0 = hardware threads.
 };

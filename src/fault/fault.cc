@@ -519,19 +519,9 @@ FaultInjector::active_migration_event(FaultKind kind,
     return nullptr;
 }
 
-namespace {
-
-/** SplitMix64 finalizer: the stateless mixing step for noise. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-} // namespace
+// The stateless mixing step for noise is the shared ppm::mix64
+// (common/rng.hh) -- the exact same SplitMix64 finalizer this file
+// carried locally before, so injected noise streams are unchanged.
 
 double
 FaultInjector::noise_offset(const FaultEvent& ev, ClusterId cluster,
@@ -770,6 +760,17 @@ SensorGuard::read_chip_instantaneous(const hw::SensorBank& bank,
     for (ClusterId v = 0; v < bank.num_clusters(); ++v)
         sum += read_instantaneous(bank, v, now);
     return sum;
+}
+
+void
+SensorGuard::replay_clean_reads(const std::vector<Watts>& last_good)
+{
+    if (injector_ == nullptr)
+        return;
+    PPM_ASSERT(last_good.size() == last_good_.size(),
+               "replay_clean_reads cluster count mismatch");
+    PPM_ASSERT(!safe_, "cannot replay clean reads in safe mode");
+    last_good_ = last_good;
 }
 
 void

@@ -353,6 +353,17 @@ public:
      */
     void update_safe_mode(SimTime now);
 
+    /**
+     * Install the per-cluster last-good values a run of clean
+     * (fault-free) reads would have left behind, without touching
+     * fault statistics or the staleness state.  Used by governors
+     * that read every tick to replay a macro-stepped interval's
+     * observations in bulk: across a quiescent interval every read
+     * is clean (fault edges bound the interval), so the only state a
+     * per-tick run accumulates is the final read's value per cluster.
+     */
+    void replay_clean_reads(const std::vector<Watts>& last_good);
+
     bool safe_mode() const { return safe_; }
 
 private:

@@ -1,0 +1,443 @@
+#include "fuzz/check.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "baselines/hl_governor.hh"
+#include "baselines/hpm_governor.hh"
+#include "hw/power_model.hh"
+#include "market/ppm_governor.hh"
+#include "metrics/telemetry.hh"
+
+namespace ppm::fuzz {
+namespace {
+
+std::string
+fmt_exact(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/**
+ * Streaming auditor of the market's per-round telemetry: checks that
+ * every numeric field is finite and that the cluster allowances the
+ * market hands its task agents sum back to the global allowance (the
+ * distribute_allowance() telescoping).  Attached to the PPM runs
+ * alongside the byte-comparison JSONL sink.
+ */
+class MarketAuditSink final : public metrics::TraceSink
+{
+  public:
+    /**
+     * @param check_budget Budget conservation only holds when every
+     *        task agent is live: lifetime windows leave departed
+     *        agents holding their stale last allowance, so the sum
+     *        check is gated off for staggered scenarios.
+     */
+    explicit MarketAuditSink(bool check_budget)
+        : check_budget_(check_budget)
+    {
+    }
+
+    void sample(const std::string&, SimTime, double) override {}
+
+    void event(const metrics::TraceEvent& e) override
+    {
+        if (e.type != "market_round")
+            return;
+        ++rounds_;
+        double allowance = 0.0;
+        double total_demand = 0.0;
+        double task_sum = 0.0;
+        bool saw_allowance = false;
+        for (const auto& [key, value] : e.num) {
+            if (!std::isfinite(value)) {
+                fail("non-finite field " + key + " = " +
+                     fmt_exact(value) + " at round " +
+                     std::to_string(rounds_));
+                return;
+            }
+            if (key == "allowance") {
+                allowance = value;
+                saw_allowance = true;
+            } else if (key == "total_demand") {
+                total_demand = value;
+            } else if (key.compare(0, 4, "task") == 0 &&
+                       key.size() > 10 &&
+                       key.compare(key.size() - 10, 10,
+                                   "_allowance") == 0) {
+                task_sum += value;
+                if (value < 0.0) {
+                    fail("negative " + key + " = " +
+                         fmt_exact(value) + " at round " +
+                         std::to_string(rounds_));
+                    return;
+                }
+            } else if ((key.compare(0, 4, "core") == 0 &&
+                        key.size() > 6 &&
+                        key.compare(key.size() - 6, 6, "_price") ==
+                            0) &&
+                       value < 0.0) {
+                fail("negative " + key + " = " + fmt_exact(value) +
+                     " at round " + std::to_string(rounds_));
+                return;
+            }
+        }
+        if (!saw_allowance || allowance < 0.0) {
+            fail("round " + std::to_string(rounds_) +
+                 " has no sane global allowance");
+            return;
+        }
+        // Conservation: the distributed per-task allowances telescope
+        // back to the global allowance whenever the market actually
+        // distributed this round (it early-outs, keeping every agent's
+        // last allowance, when no demand reached it).
+        if (check_budget_ && total_demand > 0.0) {
+            const double tol =
+                1e-6 * std::max(1.0, std::abs(allowance));
+            if (std::abs(task_sum - allowance) > tol) {
+                fail("task allowances sum to " + fmt_exact(task_sum) +
+                     " but global allowance is " +
+                     fmt_exact(allowance) + " at round " +
+                     std::to_string(rounds_));
+            }
+        }
+    }
+
+    const std::string& first_error() const { return error_; }
+    bool ok() const { return error_.empty(); }
+
+  private:
+    void fail(const std::string& msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+    }
+
+    bool check_budget_;
+    long rounds_ = 0;
+    std::string error_;
+};
+
+std::unique_ptr<sim::Governor>
+make_policy(const Scenario& sc, const std::string& policy, int jobs)
+{
+    const Watts tdp = sc.tdp > 0.0 ? sc.tdp : 1e9;
+    if (policy == "PPM") {
+        market::PpmGovernorConfig cfg;
+        cfg.market.w_tdp = tdp;
+        cfg.market.w_th = tdp < 1e8 ? tdp - 0.6 : tdp - 0.5;
+        cfg.market.adaptive_step = sc.adaptive_step;
+        // Fuzz markets have <= 10 tasks: at the production threshold
+        // (1024) the clearing pool would never engage, so the jobs
+        // differential would silently test nothing.  Drop the
+        // threshold and use the scenario's small grain so chunk
+        // boundaries fall inside the market.
+        cfg.market.clearing_min_tasks = 2;
+        cfg.market.clearing_grain = sc.clearing_grain;
+        cfg.big_speedup = big_speedups(sc);
+        cfg.online_speedup = sc.online_speedup;
+        cfg.clearing_jobs = jobs;
+        return std::make_unique<market::PpmGovernor>(cfg);
+    }
+    if (policy == "HPM") {
+        baselines::HpmConfig cfg;
+        cfg.tdp = tdp;
+        return std::make_unique<baselines::HpmGovernor>(cfg);
+    }
+    baselines::HlConfig cfg;
+    cfg.tdp = tdp;
+    return std::make_unique<baselines::HlGovernor>(cfg);
+}
+
+sim::SimConfig
+make_sim_config(const Scenario& sc, const hw::Chip& chip,
+                bool macro_step)
+{
+    sim::SimConfig cfg;
+    cfg.duration = sc.duration;
+    cfg.warmup = sc.warmup;
+    cfg.trace = sc.trace;
+    cfg.trace_period = sc.trace_period;
+    cfg.tdp_for_metrics = sc.tdp > 0.0 ? sc.tdp : 1e9;
+    cfg.macro_step = macro_step;
+    cfg.placement = placement(sc);
+    cfg.lifetimes = lifetimes(sc);
+    if (sc.has_faults) {
+        cfg.faults = fault::FaultPlan::compile(
+            sc.faults, chip.num_clusters(), chip.num_cores(),
+            cfg.duration, cfg.tick);
+    }
+    return cfg;
+}
+
+/** Everything one execution of the scenario produces. */
+struct RunOutput {
+    sim::RunSummary summary;
+    std::string jsonl;       ///< Full telemetry stream, bytes.
+    std::string trace_csv;   ///< Recorder dump; empty unless traced.
+    std::string audit_error; ///< First MarketAuditSink failure.
+    std::size_t plan_events = 0;  ///< Compiled fault windows.
+};
+
+RunOutput
+run_once(const Scenario& sc, const std::string& policy,
+         bool macro_step, int jobs)
+{
+    hw::Chip chip = make_chip(sc);
+    const sim::SimConfig cfg = make_sim_config(sc, chip, macro_step);
+    RunOutput out;
+    out.plan_events = cfg.faults.events().size();
+
+    std::ostringstream jsonl_os;
+    metrics::JsonlSink jsonl(jsonl_os);
+    const bool stable_agents = lifetimes(sc).empty();
+    MarketAuditSink audit(stable_agents);
+
+    sim::Simulation simulation(std::move(chip), make_specs(sc),
+                               make_policy(sc, policy, jobs), cfg);
+    simulation.bus().add_sink(&jsonl);
+    if (policy == "PPM")
+        simulation.bus().add_sink(&audit);
+    out.summary = simulation.run();
+    out.jsonl = jsonl_os.str();
+    if (sc.trace) {
+        std::ostringstream csv;
+        simulation.recorder().write_csv(csv);
+        out.trace_csv = csv.str();
+    }
+    out.audit_error = audit.first_error();
+    return out;
+}
+
+bool
+fraction_ok(double v)
+{
+    return std::isfinite(v) && v >= 0.0 && v <= 1.0 + 1e-12;
+}
+
+void
+check_summary_sanity(const Scenario& sc, const std::string& policy,
+                     const RunOutput& run,
+                     std::vector<Violation>& out)
+{
+    const sim::RunSummary& s = run.summary;
+    auto bad = [&](const std::string& detail) {
+        out.push_back({"summary-sanity", policy, detail});
+    };
+
+    if (!fraction_ok(s.any_below_miss) ||
+        !fraction_ok(s.any_outside_miss) ||
+        !fraction_ok(s.over_tdp_fraction) ||
+        !fraction_ok(s.over_tdp_post_warmup) ||
+        !fraction_ok(s.over_tdp_during_fault)) {
+        bad("a miss/duty fraction is outside [0, 1]");
+        return;
+    }
+    if (!std::isfinite(s.avg_power) || s.avg_power < 0.0 ||
+        !std::isfinite(s.avg_power_post_warmup) ||
+        s.avg_power_post_warmup < 0.0 || !std::isfinite(s.energy) ||
+        s.energy < 0.0) {
+        bad("power/energy is negative or non-finite");
+        return;
+    }
+    // energy integrates the whole run; avg_power is its time mean.
+    const double dur_s =
+        static_cast<double>(sc.duration) / static_cast<double>(kSecond);
+    const double expect = s.avg_power * dur_s;
+    if (std::abs(s.energy - expect) >
+        1e-6 * std::max(1.0, std::abs(expect))) {
+        bad("energy " + fmt_exact(s.energy) +
+            " != avg_power * duration " + fmt_exact(expect));
+    }
+    if (!std::isfinite(s.peak_temp_c) || s.peak_temp_c <= 0.0 ||
+        s.peak_temp_c > 500.0)
+        bad("peak temperature " + fmt_exact(s.peak_temp_c) +
+            " is implausible");
+    if (s.migrations < 0 || s.vf_transitions < 0 ||
+        s.thermal_cycles < 0)
+        bad("a hardware counter went negative");
+    if (s.task_below.size() != sc.tasks.size() ||
+        s.task_outside.size() != sc.tasks.size()) {
+        bad("per-task QoS vectors don't cover the task count");
+        return;
+    }
+    for (std::size_t t = 0; t < s.task_below.size(); ++t) {
+        if (!fraction_ok(s.task_below[t]) ||
+            !fraction_ok(s.task_outside[t]) ||
+            s.task_below[t] > s.task_outside[t] + 1e-12) {
+            bad("task " + std::to_string(t) +
+                " QoS fractions inconsistent (below " +
+                fmt_exact(s.task_below[t]) + ", outside " +
+                fmt_exact(s.task_outside[t]) + ")");
+        }
+    }
+    if (s.safe_mode_seconds < 0.0 ||
+        s.safe_mode_seconds > dur_s + 1e-9)
+        bad("safe-mode time " + fmt_exact(s.safe_mode_seconds) +
+            " exceeds the run length");
+}
+
+void
+check_fault_counters(const Scenario& sc, const std::string& policy,
+                     const RunOutput& run,
+                     std::vector<Violation>& out)
+{
+    const sim::RunSummary& s = run.summary;
+    auto bad = [&](const std::string& detail) {
+        out.push_back({"fault-counters", policy, detail});
+    };
+    if (!sc.has_faults) {
+        // Clean platform: any fault activity is machinery firing
+        // without an injected cause.
+        if (s.faults_injected != 0 || s.sensor_fallbacks != 0 ||
+            s.fault_retries != 0 || s.safe_mode_entries != 0 ||
+            s.watchdog_trips != 0 || s.safe_mode_seconds != 0.0 ||
+            s.over_tdp_during_fault != 0.0) {
+            bad("clean run reports fault activity (injected=" +
+                std::to_string(s.faults_injected) + " fallbacks=" +
+                std::to_string(s.sensor_fallbacks) + " retries=" +
+                std::to_string(s.fault_retries) + " safe_entries=" +
+                std::to_string(s.safe_mode_entries) + " watchdog=" +
+                std::to_string(s.watchdog_trips) + ")");
+        }
+        return;
+    }
+    if (s.faults_injected < 0 ||
+        static_cast<std::size_t>(s.faults_injected) > run.plan_events)
+        bad("activated " + std::to_string(s.faults_injected) +
+            " fault windows but the plan only schedules " +
+            std::to_string(run.plan_events));
+    if (s.sensor_fallbacks < 0 || s.fault_retries < 0 ||
+        s.safe_mode_entries < 0 || s.watchdog_trips < 0)
+        bad("a fault counter went negative");
+}
+
+void
+check_tdp_duty(const Scenario& sc, const std::string& policy,
+               const RunOutput& run, Watts chip_peak,
+               std::vector<Violation>& out)
+{
+    // Only a loose bound is a true invariant: a TDP below the chip's
+    // min-level floor is legitimately violated 100% of the time, and
+    // aggressive caps ride the threshold band by design.  But with
+    // the cap at or above the chip's peak sustained power, no
+    // governor decision can push the chip meaningfully over it for
+    // long -- a high post-warmup duty there is a governor bug.
+    if (sc.has_faults || sc.tdp <= 0.0 || sc.tdp < 0.95 * chip_peak)
+        return;
+    if (run.summary.over_tdp_post_warmup > 0.5) {
+        out.push_back(
+            {"tdp-duty", policy,
+             "TDP " + fmt_exact(sc.tdp) + " >= chip peak " +
+                 fmt_exact(chip_peak) + " but over-TDP duty is " +
+                 fmt_exact(run.summary.over_tdp_post_warmup)});
+    }
+}
+
+} // namespace
+
+std::string
+summary_fingerprint(const sim::RunSummary& s)
+{
+    std::ostringstream out;
+    out << s.governor << '\n'
+        << fmt_exact(s.any_below_miss) << '\n'
+        << fmt_exact(s.any_outside_miss) << '\n'
+        << fmt_exact(s.avg_power) << '\n'
+        << fmt_exact(s.avg_power_post_warmup) << '\n'
+        << fmt_exact(s.energy) << '\n'
+        << s.migrations << '\n'
+        << s.vf_transitions << '\n'
+        << fmt_exact(s.over_tdp_fraction) << '\n'
+        << fmt_exact(s.over_tdp_post_warmup) << '\n'
+        << fmt_exact(s.peak_temp_c) << '\n'
+        << s.thermal_cycles << '\n'
+        << s.faults_injected << '\n'
+        << s.sensor_fallbacks << '\n'
+        << s.fault_retries << '\n'
+        << s.safe_mode_entries << '\n'
+        << s.watchdog_trips << '\n'
+        << fmt_exact(s.safe_mode_seconds) << '\n'
+        << fmt_exact(s.over_tdp_during_fault) << '\n';
+    for (const double v : s.task_below)
+        out << fmt_exact(v) << '\n';
+    for (const double v : s.task_outside)
+        out << fmt_exact(v) << '\n';
+    return out.str();
+}
+
+std::vector<Violation>
+check_scenario(const Scenario& sc)
+{
+    std::vector<Violation> violations;
+    Watts chip_peak = 0.0;
+    {
+        const hw::Chip chip = make_chip(sc);
+        for (ClusterId v = 0; v < chip.num_clusters(); ++v)
+            chip_peak += hw::PowerModel::cluster_max_power(chip, v);
+    }
+
+    for (const char* policy : {"PPM", "HPM", "HL"}) {
+        const RunOutput macro = run_once(sc, policy, true, 1);
+        const RunOutput tick = run_once(sc, policy, false, 1);
+
+        if (summary_fingerprint(macro.summary) !=
+            summary_fingerprint(tick.summary)) {
+            violations.push_back(
+                {"macro-vs-tick", policy,
+                 "summary fingerprints differ between macro-step "
+                 "and per-tick execution"});
+        } else if (macro.jsonl != tick.jsonl) {
+            violations.push_back(
+                {"macro-vs-tick", policy,
+                 "telemetry streams differ between macro-step and "
+                 "per-tick execution (" +
+                     std::to_string(macro.jsonl.size()) + " vs " +
+                     std::to_string(tick.jsonl.size()) + " bytes)"});
+        } else if (macro.trace_csv != tick.trace_csv) {
+            violations.push_back(
+                {"macro-vs-tick", policy,
+                 "traced time series differ between macro-step and "
+                 "per-tick execution"});
+        }
+
+        if (!macro.audit_error.empty()) {
+            violations.push_back(
+                {"market-budget", policy, macro.audit_error});
+        }
+
+        check_summary_sanity(sc, policy, macro, violations);
+        check_fault_counters(sc, policy, macro, violations);
+        check_tdp_duty(sc, policy, macro, chip_peak, violations);
+    }
+
+    // PPM jobs differential: the macro run above cleared inline; the
+    // same scenario on a worker pool must match byte for byte.
+    if (sc.clearing_jobs > 1) {
+        const RunOutput inline_run = run_once(sc, "PPM", true, 1);
+        const RunOutput pooled =
+            run_once(sc, "PPM", true, sc.clearing_jobs);
+        if (summary_fingerprint(inline_run.summary) !=
+            summary_fingerprint(pooled.summary)) {
+            violations.push_back(
+                {"clearing-jobs", "PPM",
+                 "summary fingerprints differ between clearing_jobs="
+                 "1 and clearing_jobs=" +
+                     std::to_string(sc.clearing_jobs)});
+        } else if (inline_run.jsonl != pooled.jsonl) {
+            violations.push_back(
+                {"clearing-jobs", "PPM",
+                 "telemetry streams differ between clearing_jobs=1 "
+                 "and clearing_jobs=" +
+                     std::to_string(sc.clearing_jobs)});
+        }
+    }
+    return violations;
+}
+
+} // namespace ppm::fuzz

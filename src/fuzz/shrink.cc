@@ -1,0 +1,229 @@
+#include "fuzz/shrink.hh"
+
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace ppm::fuzz {
+namespace {
+
+/** Search state threaded through the shrink passes. */
+struct Search {
+    Scenario best;
+    Violation found;
+    int evaluations = 0;
+    int budget = 0;
+    const ShrinkOracle* oracle = nullptr;
+
+    bool exhausted() const { return evaluations >= budget; }
+
+    /**
+     * Does `candidate` still reproduce the target violation?  On
+     * success the candidate becomes the new best.
+     */
+    bool accept(const Scenario& candidate)
+    {
+        if (exhausted())
+            return false;
+        ++evaluations;
+        for (const Violation& v : (*oracle)(candidate)) {
+            if (v.invariant == found.invariant &&
+                v.policy == found.policy) {
+                best = candidate;
+                found = v;
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+/**
+ * Task-count shrink: drop suffixes by bisection, then try removing
+ * each task individually (greedy, restarting after a hit).
+ */
+void
+shrink_tasks(Search& s)
+{
+    // Bisection on the prefix length.
+    while (s.best.tasks.size() > 1 && !s.exhausted()) {
+        Scenario half = s.best;
+        half.tasks.resize((half.tasks.size() + 1) / 2);
+        if (!s.accept(half))
+            break;
+    }
+    // Greedy single removals.
+    bool progressed = true;
+    while (progressed && s.best.tasks.size() > 1 && !s.exhausted()) {
+        progressed = false;
+        for (std::size_t i = 0;
+             i < s.best.tasks.size() && s.best.tasks.size() > 1;
+             ++i) {
+            Scenario cand = s.best;
+            cand.tasks.erase(cand.tasks.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            if (s.accept(cand)) {
+                progressed = true;
+                break;  // Indices shifted; rescan.
+            }
+        }
+    }
+}
+
+/** Duration shrink: binary search the shortest reproducing run. */
+void
+shrink_duration(Search& s)
+{
+    SimTime lo = s.best.warmup + kMillisecond;  // Must outlast warmup.
+    SimTime hi = s.best.duration;
+    while (lo < hi && !s.exhausted()) {
+        // Midpoint on the millisecond grid, biased down.
+        const SimTime mid =
+            lo + ((hi - lo) / 2 / kMillisecond) * kMillisecond;
+        if (mid >= hi)
+            break;
+        Scenario cand = s.best;
+        cand.duration = mid;
+        if (s.accept(cand))
+            hi = mid;
+        else
+            lo = mid + kMillisecond;
+    }
+}
+
+/** Drop fault classes one at a time, then bisect the rate down. */
+void
+shrink_faults(Search& s)
+{
+    if (!s.best.has_faults)
+        return;
+    {
+        Scenario cand = s.best;
+        cand.has_faults = false;
+        cand.faults = fault::FaultSpec{};
+        if (s.accept(cand))
+            return;  // Faults were irrelevant; nothing left to trim.
+    }
+    for (int which = 0; which < 4 && !s.exhausted(); ++which) {
+        Scenario cand = s.best;
+        bool* flag = which == 0   ? &cand.faults.sensor
+                     : which == 1 ? &cand.faults.dvfs
+                     : which == 2 ? &cand.faults.migration
+                                  : &cand.faults.offline;
+        if (!*flag)
+            continue;
+        *flag = false;
+        if (cand.faults.any())
+            s.accept(cand);
+    }
+    // Halve the event rate while the violation survives.
+    while (s.best.faults.rate_per_min > 1.0 && !s.exhausted()) {
+        Scenario cand = s.best;
+        cand.faults.rate_per_min /= 2.0;
+        if (!s.accept(cand))
+            break;
+    }
+}
+
+/** Try zeroing whole structural dimensions in one shot each. */
+void
+shrink_structure(Search& s)
+{
+    // Lifetimes -> everyone runs the whole simulation.
+    {
+        Scenario cand = s.best;
+        for (TaskGene& g : cand.tasks) {
+            g.arrival = 0;
+            g.departure = sim::SimConfig::Lifetime::kForever;
+        }
+        s.accept(cand);
+    }
+    // Placement -> default round-robin.
+    {
+        Scenario cand = s.best;
+        for (TaskGene& g : cand.tasks)
+            g.core = kInvalidId;
+        s.accept(cand);
+    }
+    // Phase structure -> steady tasks.
+    {
+        Scenario cand = s.best;
+        for (TaskGene& g : cand.tasks) {
+            g.n_phases = 1;
+            g.phase_amp = 0.0;
+        }
+        s.accept(cand);
+    }
+    // Tracing off (unless the violation is about the traces, in
+    // which case the reproduce check fails and best is kept).
+    if (s.best.trace) {
+        Scenario cand = s.best;
+        cand.trace = false;
+        s.accept(cand);
+    }
+    // Governor knobs back to defaults.
+    if (s.best.clearing_jobs > 1) {
+        Scenario cand = s.best;
+        cand.clearing_jobs = 1;
+        s.accept(cand);
+    }
+    if (s.best.online_speedup) {
+        Scenario cand = s.best;
+        cand.online_speedup = false;
+        s.accept(cand);
+    }
+    if (s.best.adaptive_step) {
+        Scenario cand = s.best;
+        cand.adaptive_step = false;
+        s.accept(cand);
+    }
+    // Uncap the TDP.
+    if (s.best.tdp > 0.0) {
+        Scenario cand = s.best;
+        cand.tdp = 0.0;
+        s.accept(cand);
+    }
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const Scenario& sc, const Violation& target,
+       int max_evaluations, const ShrinkOracle& oracle)
+{
+    PPM_ASSERT(max_evaluations >= 1,
+               "shrink needs a positive evaluation budget");
+    PPM_ASSERT(oracle != nullptr, "shrink needs a violation oracle");
+    Search s;
+    s.best = sc;
+    s.found = target;
+    s.budget = max_evaluations;
+    s.oracle = &oracle;
+    // Verify the input actually reproduces; everything downstream
+    // (fixtures, regression tests) depends on it.
+    {
+        Scenario copy = sc;
+        PPM_ASSERT(s.accept(copy),
+                   "shrink input does not reproduce the violation");
+    }
+
+    // Fixpoint iteration: each pass can unlock the others (fewer
+    // tasks make shorter runs reproduce and vice versa).
+    for (int round = 0; round < 4 && !s.exhausted(); ++round) {
+        const std::string before = serialize(s.best);
+        shrink_tasks(s);
+        shrink_faults(s);
+        shrink_structure(s);
+        shrink_duration(s);
+        if (serialize(s.best) == before)
+            break;
+    }
+
+    ShrinkResult result;
+    result.scenario = s.best;
+    result.violation = s.found;
+    result.evaluations = s.evaluations;
+    return result;
+}
+
+} // namespace ppm::fuzz

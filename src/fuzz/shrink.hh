@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Violation minimizer: given a scenario that violates an invariant,
+ * search for a smaller scenario that still violates the *same*
+ * invariant under the same policy.  Dimensions shrunk: task count,
+ * run duration, fault plan (classes, then rate), lifetime staggering,
+ * explicit placement, tracing, phase structure and the governor
+ * knobs.  The result is never larger than the input in any dimension,
+ * and re-checking it reproduces the target violation by construction.
+ */
+
+#ifndef PPM_FUZZ_SHRINK_HH
+#define PPM_FUZZ_SHRINK_HH
+
+#include <functional>
+#include <vector>
+
+#include "fuzz/check.hh"
+#include "fuzz/scenario.hh"
+
+namespace ppm::fuzz {
+
+/** Outcome of a shrink run. */
+struct ShrinkResult {
+    Scenario scenario;    ///< The minimized reproducer.
+    Violation violation;  ///< Its (still reproducing) violation.
+    int evaluations = 0;  ///< oracle calls spent.
+};
+
+/**
+ * The violation oracle a shrink run consults: returns every violation
+ * a candidate scenario exhibits.  Production use passes
+ * check_scenario (the default); tests inject synthetic oracles to
+ * exercise the search itself without a live simulator bug.
+ */
+using ShrinkOracle =
+    std::function<std::vector<Violation>(const Scenario&)>;
+
+/**
+ * Minimize `sc` while the violation keyed by `target`'s
+ * (invariant, policy) pair reproduces under `oracle`.  `sc` must
+ * currently violate it (panics otherwise).  `max_evaluations` bounds
+ * the search; the best scenario found so far is returned when the
+ * budget runs out.
+ */
+ShrinkResult shrink(const Scenario& sc, const Violation& target,
+                    int max_evaluations = 200,
+                    const ShrinkOracle& oracle = check_scenario);
+
+} // namespace ppm::fuzz
+
+#endif // PPM_FUZZ_SHRINK_HH

@@ -247,9 +247,20 @@ Scheduler::tick(SimTime now, SimTime dt)
     // replay_tick() decompose tick() without reordering any
     // floating-point operation), so skip straight to the advance.
     if (replay_cache_reusable(dt)) {
+        restore_replay_observables();
         replay_tick(now, dt);
         return;
     }
+    // This tick's samples may differ from the cached slots (that is
+    // why the cache was not reusable), so any latched steady verdict
+    // is broken: the HRM windows pick up extra runs and the EWMAs
+    // leave their fixed points.  The slot cache itself can later
+    // *re-validate* without a begin_replay() miss -- e.g. a DVFS or
+    // safe-mode excursion returns the cluster supply to the cached
+    // value -- so the verdict must be dropped here, not merely on
+    // cache rebuild, or replay_bulk_ready() would skip verification
+    // and bulk-advance non-steady windows.
+    replay_steady_hold_ = false;
     // Group active tasks by core in one pass.  The per-core vectors
     // are members that keep their capacity, so steady-state ticks
     // allocate nothing.
@@ -287,6 +298,7 @@ Scheduler::begin_replay(SimTime now, SimTime dt)
     PPM_ASSERT(dt > 0, "tick must be positive");
     if (replay_cache_reusable(dt)) {
         replay_cache_hit_ = true;  // The cached slots are still exact.
+        restore_replay_observables();
         return;
     }
     replay_cache_hit_ = false;
@@ -316,6 +328,7 @@ Scheduler::begin_replay(SimTime now, SimTime dt)
             s.beats = g / e.task->work_per_hb(cls);
             s.supplied = g / kCyclesPerPuSecond;
             e.supply_last = g / kCyclesPerPuSecond / to_seconds(dt);
+            s.supply_last = e.supply_last;
             s.share = capacity > 0.0 ? g / capacity : 0.0;
             const bool runnable_now = e.blocked_until <= now;
             const Cycles want = wf_want_[i];
@@ -343,7 +356,16 @@ Scheduler::begin_replay(SimTime now, SimTime dt)
         replay_supplies_.push_back(cl.supply());
     for (ReplaySlot& s : replay_slots_)
         s.phase_idx = s.task->phase_index();
+    replay_core_util_ = core_util_;
     replay_cache_valid_ = true;
+}
+
+void
+Scheduler::restore_replay_observables()
+{
+    core_util_ = replay_core_util_;
+    for (const ReplaySlot& s : replay_slots_)
+        entries_[s.entry].supply_last = s.supply_last;
 }
 
 void
@@ -363,9 +385,12 @@ Scheduler::replay_bulk_ready(SimTime now, SimTime dt) const
     // A steady verdict persists while the slot cache keeps hitting:
     // bulk advances and cached boundary ticks only shift the steady
     // windows and re-apply fixed-point EWMA updates, neither of which
-    // changes a bit of the checked state.  Any mutation that could
-    // break steadiness invalidates the slot cache, which forces a
-    // cache miss and a fresh verification here.
+    // changes a bit of the checked state.  Structural mutations
+    // invalidate the slot cache (the next begin_replay() misses and
+    // clears replay_cache_hit_), and any tick that runs the full
+    // water-fill instead of a cached replay drops the verdict
+    // directly (see tick()) -- necessary because the cache can
+    // re-validate after a supply excursion without ever missing.
     if (replay_steady_hold_ && replay_cache_hit_)
         return true;
     replay_steady_hold_ = false;

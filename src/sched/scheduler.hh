@@ -190,8 +190,22 @@ class Scheduler
         double supplied = 0.0;     ///< PU-seconds supplied per tick.
         double runnable_frac = 0.0;
         double share = 0.0;
+        Pu supply_last = 0.0;      ///< Entry's supply_last per tick.
         int phase_idx = 0;         ///< Task phase at cache time.
     };
+
+    /**
+     * Re-publish the observables a full distribute() pass would
+     * write -- core_util_ and each entry's supply_last -- from the
+     * cached slot set.  Must run on every cache hit: a miss leaves
+     * the cache in place, so a later tick can hit a cache built in an
+     * older (but input-identical) era while the observables still
+     * hold the most recent miss's values.  Without the restore,
+     * governors and the power model read utilizations from the wrong
+     * era -- and hit/miss sequences differ between per-tick and
+     * macro-stepped execution, breaking bit-exactness.
+     */
+    void restore_replay_observables();
 
     /**
      * True when the slots cached by the previous begin_replay() are
@@ -251,6 +265,7 @@ class Scheduler
     bool replay_all_unblocked_ = false;
     SimTime replay_dt_ = 0;
     std::vector<Pu> replay_supplies_;
+    std::vector<double> replay_core_util_;  ///< core_util_ at cache time.
     bool replay_cache_hit_ = false;  ///< Last begin_replay() reused.
     mutable bool replay_steady_hold_ = false;  ///< Cached bulk verdict.
 };

@@ -13,6 +13,7 @@
 #define PPM_SIM_GOVERNOR_HH
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -60,6 +61,50 @@ class Governor
     {
         (void)sim;
         return true;
+    }
+
+    /**
+     * Re-confirm quiescence against the chip power the upcoming
+     * macro-stepped interval will actually run at.  quiescent() is
+     * evaluated before the interval's water-fill, so it can only see
+     * the power of the last *executed* tick -- but when a scheduling
+     * era ends exactly at the interval boundary (a task unblocking
+     * from migration, a phase crossing), the interval's power differs
+     * from that reading, and a per-tick side condition keyed on power
+     * (HL's TDP kill) could fire on the first replayed tick.  The
+     * engine calls this with the interval's true power and falls back
+     * to per-tick execution on a veto.  Default: no power-keyed side
+     * conditions, always quiescent.
+     */
+    virtual bool quiescent_at_power(Watts chip_power) const
+    {
+        (void)chip_power;
+        return true;
+    }
+
+    /**
+     * Replay the governor's per-tick *observations* over a quiescent
+     * interval the engine is about to macro-step.  A governor that
+     * reads sensors on every tick (not just at its wake epochs)
+     * accumulates observation state -- e.g. the sensor guard's
+     * last-good cache -- that per-tick execution would refresh on
+     * each of the `n` replayed ticks; skipping those reads leaves it
+     * holding values from an older era, and the next fault window
+     * would fall back to a different last-good than the per-tick run.
+     * Called after quiescent()/quiescent_at_power() have approved the
+     * interval and before the sensor state advances, with the
+     * interval's per-cluster watts (the value record_power() writes
+     * on every replayed tick).  Implementations must reproduce the
+     * per-tick end state bit-exactly.  Default: epoch-gated governors
+     * observe nothing between wakes.
+     */
+    virtual void replay_quiescent(const Simulation& sim,
+                                  const std::vector<Watts>& cluster_power,
+                                  long n)
+    {
+        (void)sim;
+        (void)cluster_power;
+        (void)n;
     }
 };
 

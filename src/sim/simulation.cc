@@ -297,9 +297,20 @@ Simulation::quiescent_ticks() const
         // per-tick execution (no -1: unlike lifetime edges, fault
         // edges take effect at the start of their own tick, like a
         // task unblocking).
-        const SimTime edge = injector_->next_edge(now_);
-        if (edge > now_ && edge != fault::FaultInjector::kNoEdge)
+        //
+        // Query from the last *executed* tick, not from now_:
+        // next_edge() reports edges strictly after its argument, and
+        // an edge due exactly at now_ (the next unexecuted tick --
+        // e.g. a pending DVFS level whose due lands on the tick a
+        // previous cap stopped at) has NOT been processed yet.  Asking
+        // at now_ would skip it and replay the interval at the old
+        // V-F level, landing the action late.
+        const SimTime edge = injector_->next_edge(now_ - dt);
+        if (edge != fault::FaultInjector::kNoEdge) {
+            if (edge <= now_)
+                return 0;  // Edge on the very next tick: step().
             n = std::min(n, ceil_div(edge - now_, dt));
+        }
     }
     return std::max<long>(0, n);
 }
@@ -331,6 +342,24 @@ Simulation::advance_quiescent(long n)
     for (Watts w : power_scratch_)
         chip_w += w;
     const bool over = chip_w > config_.tdp_for_metrics;
+
+    // The governor's quiescent() verdict predates this water-fill, so
+    // it compared against the *last executed tick's* power.  When a
+    // scheduling era ends exactly at the interval boundary (a task
+    // unblocking from a migration charge, a phase crossing), the
+    // interval runs at a different power, and a per-tick side
+    // condition keyed on power -- HL's TDP kill -- could fire on the
+    // first replayed tick.  Re-confirm with the interval's true power
+    // and fall back to per-tick execution on a veto (begin_replay()
+    // above only refreshed scheduler caches, which step() recomputes
+    // bit-identically, so bailing out here is side-effect free).
+    if (!governor_->quiescent_at_power(chip_w))
+        return;
+
+    // Let the governor replay its per-tick observations (e.g. the
+    // sensor guard's last-good cache, refreshed by every clean read)
+    // before the sensor state advances past the interval.
+    governor_->replay_quiescent(*this, power_scratch_, n);
 
     // Fault-activity is constant over the interval: every window edge
     // is a horizon bound, so no fault starts or ends inside it.

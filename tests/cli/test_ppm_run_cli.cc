@@ -60,6 +60,23 @@ TEST(PpmRunCli, BadNumericFlagsAreRejected)
     EXPECT_EQ(run_cli("--set l1 --seconds 1 --jobs -2"), 2);
 }
 
+TEST(PpmRunCli, NumericParsingIsStrict)
+{
+    // Trailing garbage after an otherwise valid number.
+    EXPECT_EQ(run_cli("--set l1 --seconds 4x"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --tdp 3.5w"), 2);
+    // Out-of-range values must error, not clamp.
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 "
+                      "--seed 99999999999999999999999"),
+              2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --tdp 1e999"), 2);
+    // Non-finite values are valid strtod input but never valid knobs.
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --tdp inf"), 2);
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --tdp nan"), 2);
+    // Empty value.
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --tdp ''"), 2);
+}
+
 TEST(PpmRunCli, MalformedFaultSpecIsRejected)
 {
     EXPECT_EQ(run_cli("--set l1 --seconds 1 --faults gamma_rays"), 2);

@@ -39,9 +39,11 @@ TEST(Experiment, SeedAveragingIsMeanOfRuns)
 {
     RunParams params;
     params.duration = 20 * kSecond;
-    const auto a = run_set(workload::workload_set("l3"), params).summary;
+    RunParams p1 = params;
+    p1.seed = cell_seed(params.seed, 100, 0);
+    const auto a = run_set(workload::workload_set("l3"), p1).summary;
     RunParams p2 = params;
-    p2.seed = params.seed + 100;
+    p2.seed = cell_seed(params.seed, 100, 1);
     const auto b = run_set(workload::workload_set("l3"), p2).summary;
     const auto avg = run_set_avg(workload::workload_set("l3"), params, 2);
     EXPECT_NEAR(avg.avg_power, (a.avg_power + b.avg_power) / 2.0, 1e-9);

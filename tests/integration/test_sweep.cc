@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -180,7 +181,7 @@ TEST(Sweep, JobCountDoesNotChangeResults)
     }
 }
 
-TEST(Sweep, SeedAxisUsesStride)
+TEST(Sweep, SeedAxisUsesCellSeedDerivation)
 {
     SweepConfig config;
     config.sets = {workload::workload_set("l1")};
@@ -191,9 +192,49 @@ TEST(Sweep, SeedAxisUsesStride)
     const SweepResult r = run_sweep(config);
 
     RunParams p2 = config.base;
-    p2.seed = config.base.seed + config.seed_stride;
+    p2.seed = cell_seed(config.base.seed, config.seed_stride, 1);
     const auto direct = run_set(config.sets[0], p2).summary;
     expect_identical(r.summary(0, 0, 1), direct);
+}
+
+TEST(Sweep, CellSeedsNeverAlias)
+{
+    // The historical base.seed + i*stride derivation aliased cells
+    // when stride*i wrapped (e.g. stride = 2^63 put every even index
+    // on one stream) and collapsed the whole axis at stride 0.  The
+    // mix64 derivation must keep every index distinct for any
+    // stride >= 1 and any base, including wrap-heavy ones.
+    const std::uint64_t strides[] = {1, 100, 1ULL << 63,
+                                     0xffffffffffffffffULL};
+    const std::uint64_t bases[] = {0, 42, 0xffffffffffffff00ULL};
+    for (const std::uint64_t stride : strides) {
+        for (const std::uint64_t base : bases) {
+            std::set<std::uint64_t> seen;
+            for (int i = 0; i < 1000; ++i)
+                seen.insert(cell_seed(base, stride, i));
+            EXPECT_EQ(seen.size(), 1000u)
+                << "aliased seeds at base=" << base
+                << " stride=" << stride;
+        }
+    }
+    // The old failure mode, pinned: stride 2^63 aliases indices 0 and
+    // 2 under the additive rule...
+    const std::uint64_t s = 1ULL << 63;
+    EXPECT_EQ(42 + 0 * s, 42 + 2 * s);
+    // ...but not under the mix64 derivation.
+    EXPECT_NE(cell_seed(42, s, 0), cell_seed(42, s, 2));
+}
+
+TEST(SweepDeath, ZeroSeedStrideIsRejected)
+{
+    SweepConfig config;
+    config.sets = {workload::workload_set("l1")};
+    config.policies = {"PPM"};
+    config.n_seeds = 2;
+    config.seed_stride = 0;
+    config.base.duration = kSecond;
+    config.jobs = 1;
+    EXPECT_DEATH(run_sweep(config), "seed stride");
 }
 
 TEST(Sweep, TracesAreByteIdenticalForAnyJobCount)

@@ -54,6 +54,7 @@
 #include <memory>
 #include <string>
 
+#include "cli_util.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "experiment/experiment.hh"
@@ -85,34 +86,24 @@ usage(const char* argv0)
     std::exit(2);
 }
 
-/** One-line CLI error + exit 2 (bad value for a known flag). */
+/** Exit-2 helpers with this tool's name baked in (see cli_util.hh:
+ *  strict full-string parsing, range checking, finite-only doubles). */
 [[noreturn]] void
 bad_arg(const char* flag, const char* why, const char* got)
 {
-    std::fprintf(stderr, "ppm_run: %s %s (got '%s')\n", flag, why, got);
-    std::exit(2);
+    ppm::cli::bad_arg("ppm_run", flag, why, got);
 }
 
-/** Parse a full numeric argument; rejects trailing garbage. */
 double
 parse_number(const char* flag, const char* text)
 {
-    char* end = nullptr;
-    const double v = std::strtod(text, &end);
-    if (end == text || *end != '\0')
-        bad_arg(flag, "expects a number", text);
-    return v;
+    return ppm::cli::parse_number("ppm_run", flag, text);
 }
 
-/** Parse a non-negative integer argument. */
 long
 parse_int(const char* flag, const char* text)
 {
-    char* end = nullptr;
-    const long v = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0')
-        bad_arg(flag, "expects an integer", text);
-    return v;
+    return ppm::cli::parse_int("ppm_run", flag, text);
 }
 
 } // namespace
