@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
-# Build and run the parallel-clearing scalability benchmark, emitting
-# BENCH_clearing.json at the repo root: one market round per (V, C, T)
-# shape swept over clearing worker counts.  Every job count produces
-# bit-identical market state, so the curve is a pure wall-clock
-# scaling measurement of the clearing engine.
+# Build and run the fleet-federation scalability benchmark, emitting
+# BENCH_fleet.json at the repo root: one supervisor epoch (parallel
+# shard macro-stepping + batched cross-shard settlement) per
+# (chips, tasks/chip) shape swept over shard-pool worker counts.  The
+# flagship shape clears 64 chips x 160 tasks = 10,240 tasks per
+# epoch.  Every jobs value produces byte-identical fleet state, so
+# the curve is a pure wall-clock scaling measurement of the
+# federation layer.
 #
-# Usage: scripts/bench_clearing.sh [--quick] [--out FILE]
+# Usage: scripts/bench_fleet.sh [--quick] [--out FILE]
 #   --quick  one tiny min-time repetition (CI smoke: proves the driver
 #            runs and the JSON parses; timings are noisy)
-#   --out F  write the benchmark JSON to F (default BENCH_clearing.json)
+#   --out F  write the benchmark JSON to F (default BENCH_fleet.json)
 #
 # Speedup numbers are only meaningful when the host has at least as
 # many hardware threads as the largest jobs value (8); the script
-# warns when it does not.
+# warns on stderr AND into the JSON when it does not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_TIME=0.5
-OUT=BENCH_clearing.json
+OUT=BENCH_fleet.json
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --quick) MIN_TIME=0.01; shift ;;
@@ -33,21 +36,18 @@ if [[ "$NCPU" -lt 8 ]]; then
 fi
 
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build build --target bench_table7_scalability > /dev/null
+cmake --build build --target bench_fleet_federation > /dev/null
 
-./build/bench/bench_table7_scalability \
-    --benchmark_filter='BM_ParallelClearingRound' \
+./build/bench/bench_fleet_federation \
+    --benchmark_filter='BM_FleetEpoch' \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json \
     --benchmark_counters_tabular=true
 
-# The JSON must parse; print the jobs-sweep speedup table relative to
-# jobs=1 for each shape so the curve is visible at a glance.  The
-# host's hardware-thread count is recorded INTO the JSON -- and when
-# the sweep's largest jobs value oversubscribes the host, a loud
-# warning key rides along so a tracked BENCH file can never silently
-# pass off oversubscribed timings as a real scaling curve.
+# The JSON must parse; record the host hardware-thread count into it
+# (plus a loud warning key when the sweep oversubscribes the host)
+# and print the jobs-sweep speedup table relative to jobs=1.
 python3 - "$OUT" "$NCPU" <<'EOF'
 import json, sys
 path = sys.argv[1]
@@ -55,16 +55,15 @@ with open(path) as f:
     doc = json.load(f)
 ncpu = int(sys.argv[2])
 runs = [b for b in doc["benchmarks"]
-        if b["name"].startswith("BM_ParallelClearingRound/")]
-assert runs, "no BM_ParallelClearingRound entries in " + path
+        if b["name"].startswith("BM_FleetEpoch/")]
+assert runs, "no BM_FleetEpoch entries in " + path
 print(f"{path}: {len(runs)} entries, JSON ok "
       f"(host hardware threads: {ncpu})")
 
 def parse(name):
-    # BM_ParallelClearingRound/V/C/T/jobs
-    parts = name.split("/")[1:5]
-    v, c, t, jobs = (int(p) for p in parts)
-    return (v, c, t), jobs
+    # BM_FleetEpoch/chips/tasks_per_chip/jobs
+    chips, tpc, jobs = (int(p) for p in name.split("/")[1:4])
+    return (chips, tpc), jobs
 
 shapes = {}
 max_jobs = 0
@@ -78,7 +77,7 @@ if max_jobs > ncpu:
     doc["warning"] = (
         f"OVERSUBSCRIBED: sweep uses up to {max_jobs} workers but the "
         f"host has only {ncpu} hardware thread(s); jobs > {ncpu} rows "
-        "measure scheduler contention, not clearing-engine speedup.")
+        "measure scheduler contention, not federation speedup.")
     print("WARNING:", doc["warning"], file=sys.stderr)
 with open(path, "w") as f:
     json.dump(doc, f, indent=1)
@@ -88,10 +87,11 @@ for shape in sorted(shapes):
     base = shapes[shape].get(1)
     if base is None:
         continue
-    v, c, t = shape
+    chips, tpc = shape
     cells = []
     for jobs in sorted(shapes[shape]):
         ms = shapes[shape][jobs]
         cells.append(f"jobs={jobs}: {ms:8.3f} ms ({base / ms:4.2f}x)")
-    print(f"V={v} C={c} T={t} ({v * c * t} tasks): " + "  ".join(cells))
+    print(f"chips={chips} tasks/chip={tpc} "
+          f"({chips * tpc} tasks/epoch): " + "  ".join(cells))
 EOF

@@ -76,11 +76,31 @@ cmp /tmp/ppm_jobs1.jsonl /tmp/ppm_jobs4.jsonl
 rm -f /tmp/ppm_jobs1.csv /tmp/ppm_jobs4.csv \
     /tmp/ppm_jobs1.jsonl /tmp/ppm_jobs4.jsonl
 
-# Parallel-clearing bench smoke: one quick repetition with the JSON
-# validated (the full run regenerates BENCH_clearing.json).
+# Fleet federation smokes: a 1-chip fleet is the same economy behind
+# a supervisor that never moves its budget, so its CSV must be
+# byte-identical to the plain run; and the sharded epoch loop keeps
+# all cross-shard work on the control thread in chip-id order, so the
+# shard-pool worker count must never change a byte either.
+./build/tools/ppm_run --set l1 --seconds 8 --csv > /tmp/ppm_plain.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 1 \
+    > /tmp/ppm_fleet1.csv
+cmp /tmp/ppm_plain.csv /tmp/ppm_fleet1.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 --jobs 1 \
+    > /tmp/ppm_fleet_j1.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 --jobs 4 \
+    > /tmp/ppm_fleet_j4.csv
+cmp /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_j4.csv
+rm -f /tmp/ppm_plain.csv /tmp/ppm_fleet1.csv \
+    /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_j4.csv
+
+# Parallel-clearing and fleet bench smokes: one quick repetition each
+# with the JSON validated (full runs regenerate BENCH_clearing.json
+# and BENCH_fleet.json).
 ./scripts/bench_clearing.sh --quick --out /tmp/ppm_bench_clearing.json \
     > /dev/null
-rm -f /tmp/ppm_bench_clearing.json
+./scripts/bench_fleet.sh --quick --out /tmp/ppm_bench_fleet.json \
+    > /dev/null
+rm -f /tmp/ppm_bench_clearing.json /tmp/ppm_bench_fleet.json
 
 # Fault-resilience smoke: the fault bench must run end to end.
 ./build/bench/bench_fault_resilience > /dev/null
@@ -99,9 +119,13 @@ rm -f /tmp/ppm_bench_clearing.json
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPPM_TSAN=ON
 cmake --build build-tsan --target test_common test_integration \
-    test_metrics test_market
+    test_metrics test_market test_fleet
 ./build-tsan/tests/test_common \
     --gtest_filter='ThreadPool.*' > /dev/null
+# The fleet macro-steps shards on pool workers between settlement
+# barriers; its determinism tests double as the federation race
+# detector.
+./build-tsan/tests/test_fleet > /dev/null
 # The clearing engine's fan-out shares the market state across pool
 # workers; the determinism tests double as its race detector.
 ./build-tsan/tests/test_market \

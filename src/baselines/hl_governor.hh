@@ -112,6 +112,14 @@ class HlGovernor : public sim::Governor
     /** Whether the sensor guard currently reports safe mode. */
     bool safe_mode() const { return guard_.safe_mode(); }
 
+    /**
+     * Retarget the TDP kill threshold (fleet reallocation).  The
+     * big-cluster kill is a latch: a raised budget does not revive a
+     * cluster already killed under the old one, mirroring the real
+     * HL behaviour of hotplugging big cores out for good.
+     */
+    void set_power_budget(Watts w_tdp) override { cfg_.tdp = w_tdp; }
+
   private:
     /** Activeness-threshold migrations plus intra-cluster balancing. */
     void schedule(sim::Simulation& sim, SimTime now);

@@ -93,6 +93,20 @@ class HpmGovernor : public sim::Governor
         return std::min(next_dvfs_, std::min(next_tdp_, next_lbt_));
     }
 
+    /** Retarget the outer TDP loop's budget (fleet reallocation). */
+    void set_power_budget(Watts w_tdp) override { cfg_.tdp = w_tdp; }
+
+    /** Extend the per-task streak counters for a mid-run admission. */
+    void task_admitted(sim::Simulation& sim, TaskId id,
+                       double big_speedup) override
+    {
+        (void)sim;
+        (void)id;
+        (void)big_speedup;
+        unsat_count_.push_back(0);
+        sat_count_.push_back(0);
+    }
+
   private:
     /** Inner loop: per-cluster PI on the constrained-core demand. */
     void run_dvfs(sim::Simulation& sim, SimTime dt);

@@ -32,9 +32,17 @@ ThreadPool::~ThreadPool()
     // every submitted future is eventually satisfied.
 }
 
+ThreadPool*&
+ThreadPool::current_pool()
+{
+    thread_local ThreadPool* current = nullptr;
+    return current;
+}
+
 void
 ThreadPool::work(std::stop_token stop)
 {
+    current_pool() = this;
     for (;;) {
         std::function<void()> task;
         {

@@ -46,6 +46,16 @@ class ThreadPool
     int size() const { return static_cast<int>(workers_.size()); }
 
     /**
+     * True when the calling thread is one of this pool's workers.
+     * Lets nested fan-outs (a pool task that itself calls
+     * for_chunks() on the same pool) detect the recursion and run
+     * inline instead of enqueueing chunks they would then block on --
+     * with every worker blocked in a nested wait, the queued chunks
+     * could never be scheduled and the pool would deadlock.
+     */
+    bool on_worker_thread() const { return current_pool() == this; }
+
+    /**
      * Enqueue `fn` for execution on some worker and return a future
      * for its result.  An exception thrown by `fn` is captured and
      * rethrown from future::get().
@@ -81,6 +91,15 @@ class ThreadPool
      * in chunk order (the first chunk exception, in that order, is
      * rethrown).  `fn` must be safe to invoke concurrently on
      * disjoint ranges.
+     *
+     * Reentrancy: when the calling thread is itself a worker of
+     * `pool` (a shared pool stepping fleet shards or sweep cells
+     * whose markets then clear on the same pool), the chunks run
+     * inline -- blocking a worker on futures whose chunks sit behind
+     * it in the queue could deadlock the pool, and oversubscribing a
+     * busy pool is exactly what sharing one pool is meant to avoid.
+     * Results are bit-identical either way (chunk boundaries do not
+     * change).
      */
     template <typename Fn>
     static void for_chunks(ThreadPool* pool, std::size_t n,
@@ -91,7 +110,8 @@ class ThreadPool
         if (grain == 0)
             grain = 1;
         const std::size_t chunks = (n + grain - 1) / grain;
-        if (pool == nullptr || pool->size() <= 1 || chunks <= 1) {
+        if (pool == nullptr || pool->size() <= 1 || chunks <= 1 ||
+            pool->on_worker_thread()) {
             for (std::size_t c = 0; c < chunks; ++c)
                 fn(c * grain, std::min(n, (c + 1) * grain));
             return;
@@ -110,6 +130,13 @@ class ThreadPool
   private:
     /** Worker loop: drain the queue until stop is requested. */
     void work(std::stop_token stop);
+
+    /**
+     * The pool (if any) whose worker the calling thread is.  A
+     * function-local thread_local behind an accessor so the header
+     * needs no exported TLS definition.
+     */
+    static ThreadPool*& current_pool();
 
     std::mutex mutex_;
     std::condition_variable_any ready_;

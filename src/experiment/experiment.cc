@@ -17,15 +17,17 @@ namespace ppm::experiment {
 std::unique_ptr<sim::Governor>
 make_governor(const std::string& policy, Watts tdp,
               const std::vector<double>& big_speedups,
-              bool online_speedup, int clearing_jobs)
+              bool online_speedup, int clearing_jobs,
+              ThreadPool* clearing_pool)
 {
     if (policy == "PPM") {
         market::PpmGovernorConfig cfg;
         cfg.market.w_tdp = tdp;
-        cfg.market.w_th = tdp < 1e8 ? tdp - 0.6 : tdp - 0.5;
+        cfg.market.w_th = market::derive_w_th(tdp);
         cfg.big_speedup = big_speedups;
         cfg.online_speedup = online_speedup;
         cfg.clearing_jobs = clearing_jobs;
+        cfg.clearing_pool = clearing_pool;
         return std::make_unique<market::PpmGovernor>(cfg);
     }
     if (policy == "HPM") {
@@ -61,7 +63,8 @@ run_specs(const std::vector<workload::TaskSpec>& specs,
     sim::Simulation simulation(
         std::move(chip), specs,
         make_governor(params.policy, params.tdp, big_speedups,
-                      params.online_speedup, params.clearing_jobs),
+                      params.online_speedup, params.clearing_jobs,
+                      params.clearing_pool),
         sim_cfg);
     if (params.extra_sink != nullptr)
         simulation.bus().add_sink(params.extra_sink);
@@ -168,7 +171,7 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
 
 sim::RunSummary
 run_set_avg(const workload::WorkloadSet& set, RunParams params,
-            int n_seeds, int jobs)
+            int n_seeds, int jobs, ThreadPool* pool)
 {
     PPM_ASSERT(n_seeds >= 1, "need at least one seed");
     PPM_ASSERT(params.extra_sink == nullptr,
@@ -178,11 +181,14 @@ run_set_avg(const workload::WorkloadSet& set, RunParams params,
     for (int i = 0; i < n_seeds; ++i) {
         RunParams p = params;
         p.seed = cell_seed(params.seed, 100, i);
+        // Seed cells share the caller's pool for clearing too (one
+        // pool for the whole aggregation, never one per governor).
+        p.clearing_pool = pool;
         cells.push_back(
             [&set, p]() { return run_set(set, p).summary; });
     }
     return aggregate_summaries(
-        run_cells<sim::RunSummary>(std::move(cells), jobs));
+        run_cells<sim::RunSummary>(std::move(cells), jobs, pool));
 }
 
 } // namespace ppm::experiment

@@ -21,6 +21,10 @@
 #include "sim/simulation.hh"
 #include "workload/sets.hh"
 
+namespace ppm {
+class ThreadPool;
+} // namespace ppm
+
 namespace ppm::experiment {
 
 /** Parameters of one policy run. */
@@ -42,6 +46,14 @@ struct RunParams {
      * bit-identical for every value.  Ignored by the baselines.
      */
     int clearing_jobs = 1;
+
+    /**
+     * External shared worker pool for PPM's market clearing (see
+     * PpmGovernorConfig::clearing_pool).  Not owned; overrides
+     * `clearing_jobs`.  run_sweep() wires its cell-stepping pool in
+     * here so an N-cell sweep keeps exactly one pool.
+     */
+    ThreadPool* clearing_pool = nullptr;
 
     /**
      * Extra telemetry sink (streaming CSV/JSONL) attached to the
@@ -82,7 +94,8 @@ struct RunResult {
 std::unique_ptr<sim::Governor>
 make_governor(const std::string& policy, Watts tdp,
               const std::vector<double>& big_speedups,
-              bool online_speedup = false, int clearing_jobs = 1);
+              bool online_speedup = false, int clearing_jobs = 1,
+              ThreadPool* clearing_pool = nullptr);
 
 /** Run one of the paper's Table 6 sets on a fresh TC2-like chip. */
 RunResult run_set(const workload::WorkloadSet& set,
@@ -133,7 +146,7 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries);
  */
 sim::RunSummary run_set_avg(const workload::WorkloadSet& set,
                             RunParams params, int n_seeds = 3,
-                            int jobs = 0);
+                            int jobs = 0, ThreadPool* pool = nullptr);
 
 } // namespace ppm::experiment
 

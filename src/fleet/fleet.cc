@@ -1,0 +1,236 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace ppm::fleet {
+
+Fleet::Fleet(FleetConfig cfg)
+    : cfg_(std::move(cfg)), supervisor_(cfg_.supervisor, cfg_.chips)
+{
+    PPM_ASSERT(cfg_.chips >= 1, "fleet needs at least one chip");
+    PPM_ASSERT(cfg_.make_chip != nullptr, "fleet needs a chip factory");
+    PPM_ASSERT(cfg_.make_governor != nullptr,
+               "fleet needs a governor factory");
+    PPM_ASSERT(cfg_.workloads.size() ==
+                   static_cast<std::size_t>(cfg_.chips),
+               "fleet needs one workload per chip");
+    PPM_ASSERT(cfg_.epoch > 0 && cfg_.epoch % cfg_.sim.tick == 0,
+               "supervisor epoch must be a positive multiple of the tick");
+    PPM_ASSERT(cfg_.sim.duration > 0, "fleet duration must be positive");
+
+    if (cfg_.pool != nullptr) {
+        pool_ = cfg_.pool;
+    } else if (cfg_.jobs != 1) {
+        owned_pool_ = std::make_unique<ThreadPool>(cfg_.jobs);
+        pool_ = owned_pool_.get();
+    }
+
+    const Watts initial = supervisor_.initial_budget();
+    budgets_.assign(static_cast<std::size_t>(cfg_.chips), initial);
+    signals_.assign(static_cast<std::size_t>(cfg_.chips), ChipSignal{});
+    placements_.assign(cfg_.floating.size(), -1);
+
+    shards_.reserve(static_cast<std::size_t>(cfg_.chips));
+    for (int i = 0; i < cfg_.chips; ++i) {
+        const auto& wl = cfg_.workloads[static_cast<std::size_t>(i)];
+        PPM_ASSERT(!wl.specs.empty(),
+                   "every chip needs at least one pinned task");
+        sim::SimConfig sc = cfg_.sim;
+        sc.placement = wl.placement;
+        sc.lifetimes = wl.lifetimes;
+        shards_.push_back(std::make_unique<sim::Simulation>(
+            cfg_.make_chip(i), wl.specs, cfg_.make_governor(i, initial),
+            sc));
+        // Attach the shared pool to the shard's market via the
+        // governor config, not here: the factory wires
+        // PpmGovernorConfig::clearing_pool itself when clearing
+        // should share the fleet pool.
+    }
+
+    next_barrier_ = cfg_.epoch;
+
+    // Interned fleet.* handles; like Simulation, interning is
+    // sink-independent, so handles stay valid for sinks attached
+    // later (before run()).
+    for (int i = 0; i < cfg_.chips; ++i) {
+        const std::string p = "fleet.chip" + std::to_string(i) + ".";
+        chip_power_ids_.push_back(bus_.intern(p + "power_w"));
+        chip_budget_ids_.push_back(bus_.intern(p + "budget_w"));
+        chip_price_ids_.push_back(bus_.intern(p + "price"));
+        chip_deficit_ids_.push_back(bus_.intern(p + "deficit"));
+    }
+    fleet_power_id_ = bus_.intern("fleet.power_w");
+    fleet_budget_id_ = bus_.intern("fleet.budget_w");
+    admitted_id_ = bus_.intern("fleet.admitted");
+}
+
+Fleet::~Fleet() = default;
+
+sim::Simulation&
+Fleet::shard(int i)
+{
+    PPM_ASSERT(i >= 0 && i < chips(), "chip id out of range");
+    return *shards_[static_cast<std::size_t>(i)];
+}
+
+void
+Fleet::settle_barrier()
+{
+    // Gather in chip-id order on the control thread: both reads are
+    // pure observations of the sharded state.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        signals_[i].power = shards_[i]->sensors().instantaneous_chip();
+        signals_[i].deficit = shards_[i]->governor().power_deficit();
+    }
+    if (!supervisor_.settle(signals_))
+        return;  // Uncapped fleet: budgets never move.
+    const std::vector<Watts>& next = supervisor_.budgets();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        // Only push *changed* budgets: re-applying an identical
+        // budget would still rewrite the governor's thresholds
+        // through derive_w_th(), and a 1-chip fleet must leave its
+        // governor's exact configured bits alone.
+        if (next[i] == budgets_[i])
+            continue;
+        budgets_[i] = next[i];
+        shards_[i]->governor().set_power_budget(next[i]);
+    }
+}
+
+void
+Fleet::admit_floating()
+{
+    for (std::size_t f = 0; f < cfg_.floating.size(); ++f) {
+        if (placements_[f] != -1)
+            continue;
+        const FloatingTask& task = cfg_.floating[f];
+        if (task.arrival > now_)
+            continue;
+        // Post-settle prices; within one barrier the prices do not
+        // move, so a batch of simultaneous arrivals lands on the same
+        // cheapest chip and the next settlement redistributes budget.
+        int winner = supervisor_.cheapest_chip();
+        if (winner < 0)
+            winner = 0;  // Before the first settle: chip 0.
+        shards_[static_cast<std::size_t>(winner)]->admit_task(
+            task.spec, {now_, task.departure}, task.big_speedup);
+        placements_[f] = winner;
+        ++admitted_;
+        bus_.count(admitted_id_);
+    }
+}
+
+void
+Fleet::sample_barrier()
+{
+    if (!bus_.enabled())
+        return;
+    Watts fleet_power = 0.0;
+    Watts fleet_budget = 0.0;
+    const std::vector<double>& prices = supervisor_.prices();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        bus_.sample(chip_power_ids_[i], now_, signals_[i].power);
+        bus_.sample(chip_budget_ids_[i], now_, budgets_[i]);
+        bus_.sample(chip_price_ids_[i], now_, prices[i]);
+        bus_.sample(chip_deficit_ids_[i], now_, signals_[i].deficit);
+        fleet_power += signals_[i].power;
+        fleet_budget += budgets_[i];
+    }
+    bus_.sample(fleet_power_id_, now_, fleet_power);
+    bus_.sample(fleet_budget_id_, now_, fleet_budget);
+}
+
+bool
+Fleet::run_epoch()
+{
+    if (done_)
+        return false;
+    const SimTime stop = std::min(next_barrier_, cfg_.sim.duration);
+
+    // Fan the shards out one per chunk; boundaries depend only on the
+    // chip count, and each shard's state is disjoint, so any worker
+    // count -- including none -- produces identical shard states at
+    // the barrier.
+    ThreadPool::for_chunks(
+        pool_, shards_.size(), 1,
+        [this, stop](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                shards_[i]->run_until(stop);
+        });
+    now_ = stop;
+
+    // Batched cross-shard settlement, all on the control thread in
+    // chip-id order.
+    settle_barrier();
+    admit_floating();
+    sample_barrier();
+
+    next_barrier_ += cfg_.epoch;
+    done_ = now_ >= cfg_.sim.duration;
+    return !done_;
+}
+
+FleetResult
+Fleet::run()
+{
+    while (run_epoch()) {
+    }
+    FleetResult r;
+    r.per_chip.reserve(shards_.size());
+    for (auto& shard : shards_)
+        r.per_chip.push_back(shard->finish());
+    r.final_budgets = budgets_;
+    r.supervisor_epochs = supervisor_.epochs();
+    r.admitted = admitted_;
+    r.placements = placements_;
+
+    if (shards_.size() == 1) {
+        // Verbatim: a 1-chip fleet IS its single simulation.
+        r.combined = r.per_chip[0];
+    } else {
+        sim::RunSummary& c = r.combined;
+        const double n = static_cast<double>(r.per_chip.size());
+        c.governor = r.per_chip[0].governor;
+        for (const sim::RunSummary& s : r.per_chip) {
+            c.any_below_miss += s.any_below_miss / n;
+            c.any_outside_miss += s.any_outside_miss / n;
+            c.avg_power += s.avg_power;
+            c.avg_power_post_warmup += s.avg_power_post_warmup;
+            c.energy += s.energy;
+            c.migrations += s.migrations;
+            c.vf_transitions += s.vf_transitions;
+            c.over_tdp_fraction += s.over_tdp_fraction / n;
+            c.over_tdp_post_warmup += s.over_tdp_post_warmup / n;
+            c.peak_temp_c = std::max(c.peak_temp_c, s.peak_temp_c);
+            c.thermal_cycles += s.thermal_cycles;
+            c.task_below.insert(c.task_below.end(),
+                                s.task_below.begin(),
+                                s.task_below.end());
+            c.task_outside.insert(c.task_outside.end(),
+                                  s.task_outside.begin(),
+                                  s.task_outside.end());
+            c.faults_injected += s.faults_injected;
+            c.sensor_fallbacks += s.sensor_fallbacks;
+            c.fault_retries += s.fault_retries;
+            c.safe_mode_entries += s.safe_mode_entries;
+            c.watchdog_trips += s.watchdog_trips;
+            c.safe_mode_seconds += s.safe_mode_seconds;
+            c.over_tdp_during_fault += s.over_tdp_during_fault / n;
+        }
+    }
+
+    if (bus_.enabled()) {
+        metrics::TraceEvent e("counters", now_);
+        for (const auto& [name, value] : bus_.counters())
+            e.set(name, static_cast<double>(value));
+        bus_.event(e);
+        bus_.flush();
+    }
+    return r;
+}
+
+} // namespace ppm::fleet

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Fleet-scale market federation: N independent per-chip economies
+ * (each a full Simulation with its own Market-backed governor),
+ * macro-stepped in parallel between supervisor epochs, with batched
+ * cross-shard settlement at the epoch barriers.
+ *
+ * Execution model per epoch:
+ *   1. every shard advances to the barrier via Simulation::run_until()
+ *      -- fanned over a shared ThreadPool with for_chunks-style
+ *      deterministic partitioning (chunk boundaries depend only on
+ *      the chip count, never the worker count);
+ *   2. at the barrier, the control thread gathers every chip's
+ *      ChipSignal and the SupervisorMarket settles the fleet budget
+ *      (one pass in chip-id order -- the only cross-shard reduction,
+ *      so its floating-point association never varies);
+ *   3. changed budgets are pushed down via Governor::set_power_budget
+ *      (unchanged budgets are not re-applied, so a 1-chip fleet never
+ *      touches its governor's exact configured thresholds);
+ *   4. floating tasks whose arrival passed are admitted to the
+ *      cheapest-price chip (ties -> lowest chip id);
+ *   5. fleet.* telemetry is sampled onto the fleet bus in chip order.
+ *
+ * Determinism: shards are mutually independent between barriers and
+ * everything at the barrier runs on the control thread in chip-id
+ * order, so fleet output is byte-identical for every jobs value --
+ * and a 1-chip fleet is bit-identical to calling Simulation::run()
+ * directly (run_until() slicing provably changes nothing, and steps
+ * 2-5 degenerate to pure observation).
+ */
+
+#ifndef PPM_FLEET_FLEET_HH
+#define PPM_FLEET_FLEET_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "common/types.hh"
+#include "fleet/supervisor.hh"
+#include "hw/platform.hh"
+#include "metrics/telemetry.hh"
+#include "sim/simulation.hh"
+#include "workload/task.hh"
+
+namespace ppm::fleet {
+
+/** A task not pinned to any chip: placed by the supervisor at the
+ *  first epoch barrier at or after its arrival. */
+struct FloatingTask {
+    workload::TaskSpec spec;
+
+    /** Big-cluster speedup profile (0 = governor default). */
+    double big_speedup = 0.0;
+
+    /** Earliest admission time; actual admission happens at the
+     *  first barrier >= arrival (tasks cannot land mid-epoch). */
+    SimTime arrival = 0;
+
+    /** Departure time (forever by default). */
+    SimTime departure = sim::SimConfig::Lifetime::kForever;
+};
+
+/** Per-chip workload description. */
+struct ChipWorkload {
+    std::vector<workload::TaskSpec> specs;
+
+    /** Optional per-task lifetimes (empty = whole run). */
+    std::vector<sim::SimConfig::Lifetime> lifetimes;
+
+    /** Optional explicit placement (empty = boot-cluster RR). */
+    std::vector<CoreId> placement;
+};
+
+/** Configuration of a fleet run. */
+struct FleetConfig {
+    /** Number of chips (= shards). */
+    int chips = 1;
+
+    /** Supervisor epoch; must be a multiple of sim.tick. */
+    SimTime epoch = 96 * kMillisecond;
+
+    /** Supervisor market parameters (incl. the fleet TDP budget). */
+    SupervisorConfig supervisor;
+
+    /**
+     * Per-chip SimConfig template.  placement/lifetimes inside it are
+     * ignored (they come from `workloads`); everything else --
+     * duration, tick, warmup, macro_step, trace, tdp_for_metrics,
+     * faults -- applies to every shard.
+     */
+    sim::SimConfig sim;
+
+    /** Platform factory, called once per chip id. */
+    std::function<hw::Chip(int chip)> make_chip;
+
+    /**
+     * Governor factory: chip id plus the chip's initial power budget
+     * (SupervisorMarket::initial_budget()).  The factory owns the
+     * mapping from budget to governor thresholds, so tests can
+     * reproduce an exact legacy configuration for chip 0.
+     */
+    std::function<std::unique_ptr<sim::Governor>(int chip, Watts budget)>
+        make_governor;
+
+    /** One workload per chip (size must equal `chips`). */
+    std::vector<ChipWorkload> workloads;
+
+    /** Fleet-placed tasks, admitted at epoch barriers. */
+    std::vector<FloatingTask> floating;
+
+    /**
+     * Shard-stepping worker threads when no external pool is given:
+     * 1 = inline (default), <= 0 = one per hardware thread.  The same
+     * pool is attached to every shard's market for clearing (rounds
+     * invoked from a shard worker clear inline -- see
+     * ThreadPool::on_worker_thread), so an N-chip fleet runs on
+     * exactly one pool.
+     */
+    int jobs = 1;
+
+    /** External shared pool (not owned; overrides `jobs`). */
+    ThreadPool* pool = nullptr;
+};
+
+/** Aggregate outcome of a fleet run. */
+struct FleetResult {
+    /**
+     * Fleet-level summary.  For a 1-chip fleet this is chip 0's
+     * RunSummary verbatim; otherwise: QoS/over-TDP fractions are
+     * unweighted means over chips (every chip's duration is the
+     * same), energy/migrations/V-F transitions/fault counters are
+     * sums, average powers are sums (the fleet draws the sum of its
+     * chips), peak temperature is the max, and the per-task vectors
+     * concatenate in chip order.
+     */
+    sim::RunSummary combined;
+
+    /** Per-chip summaries, indexed by chip id. */
+    std::vector<sim::RunSummary> per_chip;
+
+    /** Per-chip budgets after the last settlement. */
+    std::vector<Watts> final_budgets;
+
+    /** Supervisor epochs executed. */
+    long supervisor_epochs = 0;
+
+    /** Floating tasks admitted. */
+    long admitted = 0;
+
+    /** Chip id each floating task landed on (-1 = never admitted,
+     *  arrival past the run end). */
+    std::vector<int> placements;
+};
+
+/** The federated multi-chip economy. */
+class Fleet
+{
+  public:
+    explicit Fleet(FleetConfig cfg);
+    ~Fleet();
+
+    /**
+     * Advance every shard one supervisor epoch and settle.  Returns
+     * true while the fleet has time left (false from the epoch that
+     * reaches the configured duration onwards).  Exposed so the
+     * benchmark can meter exactly one epoch.
+     */
+    bool run_epoch();
+
+    /** Run to completion and aggregate. */
+    FleetResult run();
+
+    /** Shard (per-chip simulation) `i`. */
+    sim::Simulation& shard(int i);
+
+    /** Number of chips. */
+    int chips() const { return static_cast<int>(shards_.size()); }
+
+    /** Current fleet time (last completed barrier). */
+    SimTime now() const { return now_; }
+
+    /**
+     * The fleet-level telemetry bus, carrying the interned fleet.*
+     * series sampled at every barrier: per chip
+     * fleet.chip<i>.{power_w,budget_w,price,deficit} and fleet-wide
+     * fleet.{power_w,budget_w}, plus the fleet.admitted counter.
+     * Attach sinks before run().  Distinct from the per-shard buses
+     * (shard(i).bus()), which carry the usual single-chip series.
+     */
+    metrics::TraceBus& bus() { return bus_; }
+
+    /** The supervisor market (for inspection). */
+    const SupervisorMarket& supervisor() const { return supervisor_; }
+
+  private:
+    /** Gather signals, settle, retarget budgets (chip-id order). */
+    void settle_barrier();
+
+    /** Admit due floating tasks to the cheapest chips. */
+    void admit_floating();
+
+    /** Sample the fleet.* series at the current barrier. */
+    void sample_barrier();
+
+    FleetConfig cfg_;
+    SupervisorMarket supervisor_;
+    std::vector<std::unique_ptr<sim::Simulation>> shards_;
+    std::unique_ptr<ThreadPool> owned_pool_;
+    ThreadPool* pool_ = nullptr;  ///< Null = step shards inline.
+    metrics::TraceBus bus_;
+
+    /** Last budget pushed to each governor; settlements that do not
+     *  move a chip's budget are not re-applied. */
+    std::vector<Watts> budgets_;
+    std::vector<ChipSignal> signals_;   ///< Barrier gather scratch.
+    std::vector<int> placements_;       ///< Per floating task; -1 = not yet.
+    SimTime now_ = 0;
+    SimTime next_barrier_ = 0;
+    long admitted_ = 0;
+    bool done_ = false;
+
+    // Interned fleet.* handles (resolved at construction).
+    std::vector<metrics::SeriesId> chip_power_ids_;
+    std::vector<metrics::SeriesId> chip_budget_ids_;
+    std::vector<metrics::SeriesId> chip_price_ids_;
+    std::vector<metrics::SeriesId> chip_deficit_ids_;
+    metrics::SeriesId fleet_power_id_ = 0;
+    metrics::SeriesId fleet_budget_id_ = 0;
+    metrics::SeriesId admitted_id_ = 0;
+};
+
+} // namespace ppm::fleet
+
+#endif // PPM_FLEET_FLEET_HH

@@ -1,0 +1,109 @@
+#include "fleet/supervisor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ppm::fleet {
+
+namespace {
+
+/** Uncapped-budget sentinel threshold (mirrors PpmConfig::w_tdp). */
+constexpr Watts kUncapped = 1e8;
+
+} // namespace
+
+SupervisorMarket::SupervisorMarket(SupervisorConfig cfg, int chips)
+    : cfg_(cfg)
+{
+    PPM_ASSERT(chips >= 1, "fleet needs at least one chip");
+    PPM_ASSERT(cfg_.total_budget > 0.0, "fleet budget must be positive");
+    PPM_ASSERT(cfg_.floor_w > 0.0, "per-chip floor must be positive");
+    PPM_ASSERT(cfg_.deficit_gain >= 0.0,
+               "deficit gain must be non-negative");
+    prices_.assign(static_cast<std::size_t>(chips), 0.0);
+    budgets_.resize(static_cast<std::size_t>(chips));
+    std::fill(budgets_.begin(), budgets_.end(), initial_budget());
+}
+
+Watts
+SupervisorMarket::initial_budget() const
+{
+    if (cfg_.total_budget >= kUncapped)
+        return cfg_.total_budget;
+    if (budgets_.size() <= 1)
+        return cfg_.total_budget;
+    return cfg_.total_budget / static_cast<double>(budgets_.size());
+}
+
+bool
+SupervisorMarket::settle(const std::vector<ChipSignal>& signals)
+{
+    PPM_ASSERT(signals.size() == budgets_.size(),
+               "one signal per chip required");
+    ++epochs_;
+    const std::size_t n = signals.size();
+    const Watts b = cfg_.total_budget;
+
+    // Wants: measured consumption plus the watts that would cure the
+    // local clearing deficit, floored so a starved chip still asks
+    // for enough to stay alive.  Single pass in chip-id order; the
+    // running sum is the only cross-chip reduction and its
+    // association is fixed by that order.
+    double want_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double want = std::max(
+            cfg_.floor_w,
+            signals[i].power + cfg_.deficit_gain * signals[i].deficit);
+        prices_[i] = want;  // Staged; rescaled below once budgets land.
+        want_sum += want;
+    }
+
+    if (b >= kUncapped) {
+        // Power is free: budgets never move, and the staged raw wants
+        // stand in for prices (placement spreads by load).
+        lambda_ = 0.0;
+        return false;
+    }
+
+    if (n == 1) {
+        // The whole budget, verbatim: no floor-plus-remainder
+        // arithmetic may rewrite the bits of a single-chip budget.
+        budgets_[0] = b;
+    } else {
+        const double floor_sum =
+            cfg_.floor_w * static_cast<double>(n);
+        if (floor_sum >= b) {
+            // Budget cannot cover the floors: even split.
+            const Watts share = b / static_cast<double>(n);
+            for (std::size_t i = 0; i < n; ++i)
+                budgets_[i] = share;
+        } else {
+            // Water-fill: everyone gets the floor, the remainder is
+            // split in proportion to want.  Sums to b up to roundoff.
+            const double remainder = b - floor_sum;
+            for (std::size_t i = 0; i < n; ++i)
+                budgets_[i] =
+                    cfg_.floor_w + remainder * prices_[i] / want_sum;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        prices_[i] /= budgets_[i];
+    lambda_ = want_sum / b;
+    return true;
+}
+
+int
+SupervisorMarket::cheapest_chip() const
+{
+    if (epochs_ == 0)
+        return -1;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < prices_.size(); ++i) {
+        if (prices_[i] < prices_[best])
+            best = i;
+    }
+    return static_cast<int>(best);
+}
+
+} // namespace ppm::fleet

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The fleet-level power market: one tier above the paper's Chip Power
+ * Agent.  Each supervisor epoch the chips report their marginal
+ * utility of power -- instantaneous chip power plus the clearing
+ * deficit of their local market (RoundReport::deficit, the same unmet
+ * demand the chip agent's allowance update acts on) -- and the
+ * supervisor runs one tatonnement step over per-chip power prices:
+ * every chip's budget moves toward its demand-proportional share of
+ * the fleet TDP, subject to a per-chip floor, and the per-chip price
+ * (want / granted watts) steers cross-chip task placement toward the
+ * cheapest chip.  This is the "performance-based pricing across
+ * sites" framing of the related geo-distributed work, collapsed onto
+ * one deterministic settlement pass in chip-id order.
+ */
+
+#ifndef PPM_FLEET_SUPERVISOR_HH
+#define PPM_FLEET_SUPERVISOR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ppm::fleet {
+
+/** Parameters of the supervisor market. */
+struct SupervisorConfig {
+    /**
+     * Fleet-wide TDP budget (watts).  Values >= 1e8 are the
+     * "uncapped" sentinel (mirroring PpmConfig::w_tdp): the
+     * supervisor observes prices but never retargets chip budgets.
+     */
+    Watts total_budget = 1e9;
+
+    /**
+     * Per-chip budget floor (watts).  No settlement starves a chip
+     * below it (an unpowered chip cannot report demand and would
+     * never recover), except when the fleet budget cannot cover the
+     * floors -- then every chip gets the same even share.
+     */
+    Watts floor_w = 1.0;
+
+    /**
+     * Conversion gain from clearing deficit (PU of unmet demand) to
+     * requested watts.  A chip's "want" is its measured power plus
+     * gain * deficit: the watts it consumes now plus a first-order
+     * estimate of the watts that would cure its unmet demand.
+     */
+    double deficit_gain = 0.001;
+};
+
+/** One chip's per-epoch report to the supervisor. */
+struct ChipSignal {
+    Watts power = 0.0;     ///< Instantaneous chip power at the barrier.
+    double deficit = 0.0;  ///< Local clearing deficit (PU).
+};
+
+/**
+ * The supervisor market mechanism.  Pure state machine: settle() is
+ * the only mutator, runs in O(chips) with a single pass in chip-id
+ * order, and is deterministic -- the fleet engine calls it on the
+ * control thread at the epoch barrier, never from pool workers.
+ */
+class SupervisorMarket
+{
+  public:
+    SupervisorMarket(SupervisorConfig cfg, int chips);
+
+    /**
+     * One tatonnement step over the reported signals (indexed by
+     * chip id).  Updates budgets() and prices(); returns whether the
+     * budgets were (re)computed this epoch -- false for an uncapped
+     * fleet, whose budgets never move.
+     *
+     * Settlement: want_i = max(floor, power_i + gain * deficit_i).
+     * A 1-chip fleet gets the whole budget verbatim (no
+     * floor-plus-remainder decomposition, so the single-chip path
+     * introduces no floating-point rewriting of the budget).  When
+     * the floors alone exceed the budget, every chip gets the even
+     * share B/n; otherwise each chip gets floor + remainder *
+     * want_i / sum(want), which sums back to B up to roundoff.
+     */
+    bool settle(const std::vector<ChipSignal>& signals);
+
+    /** Per-chip budgets after the last settle (watts). */
+    const std::vector<Watts>& budgets() const { return budgets_; }
+
+    /**
+     * Per-chip power prices after the last settle: want_i divided by
+     * the granted budget -- > 1 means the chip wants more than it
+     * got.  For an uncapped fleet (power is free) the "price"
+     * degenerates to the raw want in watts, so placement still
+     * steers toward the least-loaded chip.
+     */
+    const std::vector<double>& prices() const { return prices_; }
+
+    /** Fleet-wide price level sum(want)/B (0 while uncapped). */
+    double lambda() const { return lambda_; }
+
+    /** Settled epochs so far. */
+    long epochs() const { return epochs_; }
+
+    /** Initial per-chip budget (before any settle): B for one chip,
+     *  the even share B/n otherwise, and the uncapped sentinel
+     *  verbatim for uncapped fleets. */
+    Watts initial_budget() const;
+
+    /** Chip with the lowest price (ties -> lowest id); -1 before the
+     *  first settle. */
+    int cheapest_chip() const;
+
+    const SupervisorConfig& config() const { return cfg_; }
+
+  private:
+    SupervisorConfig cfg_;
+    std::vector<Watts> budgets_;
+    std::vector<double> prices_;
+    double lambda_ = 0.0;
+    long epochs_ = 0;
+};
+
+} // namespace ppm::fleet
+
+#endif // PPM_FLEET_SUPERVISOR_HH

@@ -7,6 +7,7 @@
 
 #include "baselines/hl_governor.hh"
 #include "baselines/hpm_governor.hh"
+#include "fleet/fleet.hh"
 #include "hw/power_model.hh"
 #include "market/ppm_governor.hh"
 #include "metrics/telemetry.hh"
@@ -130,7 +131,7 @@ make_policy(const Scenario& sc, const std::string& policy, int jobs)
     if (policy == "PPM") {
         market::PpmGovernorConfig cfg;
         cfg.market.w_tdp = tdp;
-        cfg.market.w_th = tdp < 1e8 ? tdp - 0.6 : tdp - 0.5;
+        cfg.market.w_th = market::derive_w_th(tdp);
         cfg.market.adaptive_step = sc.adaptive_step;
         // Fuzz markets have <= 10 tasks: at the production threshold
         // (1024) the clearing pool would never engage, so the jobs
@@ -211,6 +212,141 @@ run_once(const Scenario& sc, const std::string& policy,
         out.trace_csv = csv.str();
     }
     out.audit_error = audit.first_error();
+    return out;
+}
+
+/**
+ * Streaming auditor of the fleet.* barrier telemetry: at every
+ * barrier timestamp the per-chip budgets must sum back to the fleet
+ * budget (the supervisor's settlement conserves the total; see
+ * SupervisorMarket::settle).  Only attached to capped fleets --
+ * uncapped fleets intentionally leave every chip at the sentinel
+ * no-cap budget.
+ */
+class FleetAuditSink final : public metrics::TraceSink
+{
+  public:
+    explicit FleetAuditSink(Watts total) : total_(total) {}
+
+    void sample(const std::string& name, SimTime t, double v) override
+    {
+        static const std::string kPrefix = "fleet.chip";
+        static const std::string kSuffix = ".budget_w";
+        if (name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+            name.size() <= kSuffix.size() ||
+            name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) != 0)
+            return;
+        if (t != at_) {
+            check();
+            at_ = t;
+            sum_ = 0.0;
+            chips_ = 0;
+        }
+        sum_ += v;
+        ++chips_;
+    }
+
+    void event(const metrics::TraceEvent&) override {}
+
+    /** Audit the final pending barrier and return the first error. */
+    std::string finish()
+    {
+        check();
+        return error_;
+    }
+
+  private:
+    void check()
+    {
+        if (chips_ == 0)
+            return;
+        const double tol = 1e-9 * std::max(1.0, total_);
+        if (std::abs(sum_ - total_) > tol && error_.empty()) {
+            error_ = "chip budgets sum to " + fmt_exact(sum_) +
+                     " but the fleet budget is " + fmt_exact(total_) +
+                     " at t=" + std::to_string(at_);
+        }
+    }
+
+    Watts total_;
+    SimTime at_ = -1;
+    double sum_ = 0.0;
+    int chips_ = 0;
+    std::string error_;
+};
+
+/** Everything one federated execution of the scenario produces. */
+struct FleetOutput {
+    sim::RunSummary combined;
+    std::string fleet_jsonl;  ///< Fleet bus bytes (fleet.* series).
+    std::string chip0_jsonl;  ///< Shard 0's full telemetry stream.
+    std::string budget_error; ///< First FleetAuditSink failure.
+};
+
+/**
+ * Run the scenario as a `chips`-shard fleet on a `jobs`-worker pool.
+ * Every chip replicates the scenario's workload; chip governors are
+ * built from their supervisor budget through the same knobs as
+ * make_policy, so a 1-chip fleet is configured bit-identically to the
+ * plain PPM run.
+ */
+FleetOutput
+run_fleet(const Scenario& sc, int chips, int jobs)
+{
+    const bool capped = sc.tdp > 0.0;
+    const Watts total =
+        capped ? sc.tdp * static_cast<double>(chips) : 1e9;
+
+    fleet::FleetConfig fc;
+    fc.chips = chips;
+    fc.epoch = 48 * kMillisecond;
+    fc.supervisor.total_budget = total;
+    fc.jobs = jobs;
+    {
+        const hw::Chip chip = make_chip(sc);
+        fc.sim = make_sim_config(sc, chip, true);
+    }
+    for (int c = 0; c < chips; ++c) {
+        fleet::ChipWorkload wl;
+        wl.specs = make_specs(sc);
+        wl.lifetimes = lifetimes(sc);
+        wl.placement = placement(sc);
+        fc.workloads.push_back(std::move(wl));
+    }
+    fc.make_chip = [&sc](int) { return make_chip(sc); };
+    fc.make_governor =
+        [&sc](int, Watts budget) -> std::unique_ptr<sim::Governor> {
+        market::PpmGovernorConfig cfg;
+        cfg.market.w_tdp = budget;
+        cfg.market.w_th = market::derive_w_th(budget);
+        cfg.market.adaptive_step = sc.adaptive_step;
+        cfg.market.clearing_min_tasks = 2;
+        cfg.market.clearing_grain = sc.clearing_grain;
+        cfg.big_speedup = big_speedups(sc);
+        cfg.online_speedup = sc.online_speedup;
+        return std::make_unique<market::PpmGovernor>(cfg);
+    };
+
+    std::ostringstream fleet_os;
+    std::ostringstream chip_os;
+    metrics::JsonlSink fleet_sink(fleet_os);
+    metrics::JsonlSink chip_sink(chip_os);
+    FleetAuditSink audit(total);
+    const bool check_budget = capped && chips > 1;
+
+    fleet::Fleet fleet(std::move(fc));
+    fleet.bus().add_sink(&fleet_sink);
+    if (check_budget)
+        fleet.bus().add_sink(&audit);
+    fleet.shard(0).bus().add_sink(&chip_sink);
+
+    FleetOutput out;
+    out.combined = fleet.run().combined;
+    out.fleet_jsonl = fleet_os.str();
+    out.chip0_jsonl = chip_os.str();
+    if (check_budget)
+        out.budget_error = audit.finish();
     return out;
 }
 
@@ -435,6 +571,65 @@ check_scenario(const Scenario& sc)
                  "telemetry streams differ between clearing_jobs=1 "
                  "and clearing_jobs=" +
                      std::to_string(sc.clearing_jobs)});
+        }
+    }
+
+    // Fleet-single differential: a 1-chip fleet wrapping the exact
+    // PPM configuration must reproduce the plain run bit for bit --
+    // summary fingerprint AND the shard's full telemetry stream
+    // (run_until slicing at the epoch barriers provably changes
+    // nothing, and a 1-chip settlement never moves the budget).
+    {
+        const RunOutput plain = run_once(sc, "PPM", true, 1);
+        const FleetOutput single = run_fleet(sc, 1, 1);
+        if (summary_fingerprint(single.combined) !=
+            summary_fingerprint(plain.summary)) {
+            violations.push_back(
+                {"fleet-single", "PPM",
+                 "1-chip fleet summary fingerprint differs from the "
+                 "plain simulation"});
+        } else if (single.chip0_jsonl != plain.jsonl) {
+            violations.push_back(
+                {"fleet-single", "PPM",
+                 "1-chip fleet telemetry stream differs from the "
+                 "plain simulation (" +
+                     std::to_string(single.chip0_jsonl.size()) +
+                     " vs " + std::to_string(plain.jsonl.size()) +
+                     " bytes)"});
+        }
+    }
+
+    // Federated invariants: jobs-count byte-determinism, repeat-run
+    // byte-determinism, and fleet budget conservation at every
+    // supervisor barrier.
+    if (sc.fleet_chips > 1) {
+        const FleetOutput serial = run_fleet(sc, sc.fleet_chips, 1);
+        const FleetOutput pooled = run_fleet(sc, sc.fleet_chips, 3);
+        if (summary_fingerprint(serial.combined) !=
+            summary_fingerprint(pooled.combined)) {
+            violations.push_back(
+                {"fleet-jobs", "PPM",
+                 "fleet summary fingerprints differ between jobs=1 "
+                 "and jobs=3"});
+        } else if (serial.fleet_jsonl != pooled.fleet_jsonl ||
+                   serial.chip0_jsonl != pooled.chip0_jsonl) {
+            violations.push_back(
+                {"fleet-jobs", "PPM",
+                 "fleet telemetry streams differ between jobs=1 and "
+                 "jobs=3"});
+        }
+        const FleetOutput again = run_fleet(sc, sc.fleet_chips, 1);
+        if (serial.fleet_jsonl != again.fleet_jsonl ||
+            serial.chip0_jsonl != again.chip0_jsonl ||
+            summary_fingerprint(serial.combined) !=
+                summary_fingerprint(again.combined)) {
+            violations.push_back(
+                {"fleet-determinism", "PPM",
+                 "two identical fleet runs produced different bytes"});
+        }
+        if (!serial.budget_error.empty()) {
+            violations.push_back(
+                {"fleet-budget", "PPM", serial.budget_error});
         }
     }
     return violations;

@@ -326,6 +326,12 @@ generate_scenario(std::uint64_t seed)
         sc.has_faults = true;
         sc.faults = generate_faults(rng);
     }
+
+    // A quarter of the scenarios federate 2-4 chips under a shared
+    // fleet budget (drawn last so the single-chip fields of a given
+    // seed are unchanged from earlier grammar versions).
+    if (rng.chance(0.25))
+        sc.fleet_chips = static_cast<int>(rng.uniform_int(2, 4));
     return sc;
 }
 
@@ -449,6 +455,7 @@ serialize(const Scenario& sc)
     os << "clearing_grain=" << sc.clearing_grain << "\n";
     os << "online_speedup=" << (sc.online_speedup ? 1 : 0) << "\n";
     os << "adaptive_step=" << (sc.adaptive_step ? 1 : 0) << "\n";
+    os << "fleet_chips=" << sc.fleet_chips << "\n";
     os << "faults=" << (sc.has_faults ? 1 : 0) << "\n";
     if (sc.has_faults) {
         const fault::FaultSpec& f = sc.faults;
@@ -557,6 +564,10 @@ parse_scenario(const std::string& text, Scenario* out,
             ok = parse_bool(value, &sc.online_speedup);
         } else if (key == "adaptive_step") {
             ok = parse_bool(value, &sc.adaptive_step);
+        } else if (key == "fleet_chips") {
+            // Missing key (pre-federation fixtures) defaults to 1.
+            ok = parse_long(value, &l) && l >= 1 && l <= 8;
+            sc.fleet_chips = static_cast<int>(l);
         } else if (key == "faults") {
             ok = parse_bool(value, &sc.has_faults);
         } else if (key == "fault_seed") {

@@ -75,6 +75,13 @@ struct Scenario {
     bool adaptive_step = false;  ///< PPM: adaptive V-F stepping.
     bool has_faults = false;     ///< Fault plan enabled?
     fault::FaultSpec faults;     ///< Compiled against the chip at run.
+    /**
+     * > 1 federates the scenario: the same chip/workload replicated
+     * on this many shards under a shared fleet budget (tdp x chips),
+     * exercising the fleet-* invariants in check.cc.  1 = single-chip
+     * only (the fleet-single differential still runs).
+     */
+    int fleet_chips = 1;
     std::vector<TaskGene> tasks; ///< At least one.
 };
 

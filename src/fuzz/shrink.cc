@@ -177,6 +177,13 @@ shrink_structure(Search& s)
         cand.adaptive_step = false;
         s.accept(cand);
     }
+    // Defederate (fleet invariants only need > 1 chip to trigger, so
+    // this sticks only for violations the 1-chip fleet reproduces).
+    if (s.best.fleet_chips > 1) {
+        Scenario cand = s.best;
+        cand.fleet_chips = 1;
+        s.accept(cand);
+    }
     // Uncap the TDP.
     if (s.best.tdp > 0.0) {
         Scenario cand = s.best;

@@ -22,6 +22,19 @@ enum class ChipState {
 /** Name of a chip state ("normal" / "threshold" / "emergency"). */
 const char* chip_state_name(ChipState s);
 
+/**
+ * Canonical buffer-zone floor for a given TDP: 0.6 W below a real cap
+ * (the paper's 4 W experiment stabilizes in [3.4, 4.0]), 0.5 W below
+ * an "uncapped" sentinel cap (>= 1e8 W) so w_th stays < w_tdp without
+ * ever mattering.  Centralized so the experiment runner, the fuzzer
+ * and the fleet supervisor derive bit-identical configs from the same
+ * TDP value.
+ */
+inline Watts derive_w_th(Watts w_tdp)
+{
+    return w_tdp < 1e8 ? w_tdp - 0.6 : w_tdp - 0.5;
+}
+
 /** Parameters of the market mechanism. */
 struct PpmConfig {
     /**

@@ -223,6 +223,15 @@ Market::set_cluster_power(ClusterId v, Watts w)
 }
 
 void
+Market::set_tdp(Watts w_tdp, Watts w_th)
+{
+    PPM_ASSERT(w_th < w_tdp, "w_th must stay below w_tdp");
+    PPM_ASSERT(w_tdp > 0.0, "w_tdp must be positive");
+    cfg_.w_tdp = w_tdp;
+    cfg_.w_th = w_th;
+}
+
+void
 Market::set_cluster_power_raw(ClusterId v, Watts w)
 {
     PPM_ASSERT(v >= 0 && v < chip_->num_clusters(),
@@ -914,6 +923,7 @@ Market::round()
     report.deficit = deficit;
     report.raw_deficit = raw_deficit;
     report.allowance_clamped = allowance_clamped_;
+    last_report_ = report;
     if (telemetry_ != nullptr)
         fill_telemetry(report);
     return report;

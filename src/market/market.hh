@@ -172,6 +172,23 @@ class Market
     long rounds() const { return rounds_; }
 
     /**
+     * Outcome of the last completed round (zero-initialized before
+     * the first).  The fleet supervisor reads the clearing deficit
+     * here between rounds without re-running any market logic.
+     */
+    const RoundReport& last_report() const { return last_report_; }
+
+    /**
+     * Retarget the TDP cap and buffer-zone floor mid-run (fleet
+     * budget reallocation at a supervisor epoch).  Only the two
+     * thresholds move; prices, bids and the allowance carry over, so
+     * the market re-converges from its current state under the new
+     * cap -- the tatonnement restart the paper's chip agent performs
+     * when W_tdp changes.
+     */
+    void set_tdp(Watts w_tdp, Watts w_th);
+
+    /**
      * Attach (or detach, with nullptr) a telemetry snapshot: every
      * subsequent round() fills `out` with the complete post-round
      * market state.  The snapshot's vectors are reused across rounds,
@@ -385,6 +402,7 @@ class Market
     Money allowance_ = 0.0;
     ChipState state_ = ChipState::kNormal;
     long rounds_ = 0;
+    RoundReport last_report_;  ///< Copy of the last round() result.
     bool allowance_clamped_ = false;  ///< Set by update_allowance().
     MarketTelemetry* telemetry_ = nullptr;  ///< Not owned; may be null.
     fault::DvfsPort* dvfs_port_ = nullptr;  ///< Not owned; may be null.

@@ -49,7 +49,11 @@ PpmGovernor::init(sim::Simulation& sim)
     sim_ = &sim;
     market_ = std::make_unique<Market>(&sim.chip(), cfg_.market);
     market_->set_dvfs_port(sim.dvfs_port());
-    if (cfg_.clearing_jobs != 1) {
+    if (cfg_.clearing_pool != nullptr) {
+        // Externally shared pool (fleet shards / sweep cells): no
+        // per-governor pool, no oversubscription.
+        market_->set_thread_pool(cfg_.clearing_pool);
+    } else if (cfg_.clearing_jobs != 1) {
         clearing_pool_ =
             std::make_unique<ThreadPool>(cfg_.clearing_jobs);
         market_->set_thread_pool(clearing_pool_.get());
@@ -122,7 +126,6 @@ PpmGovernor::init(sim::Simulation& sim)
     bid_freeze_id_ = bus.intern("bid_freeze_epochs");
     allowance_clamps_id_ = bus.intern("allowance_clamps");
     task_keys_.clear();
-    task_keys_.reserve(sim.tasks().size() * 5);
     for (const workload::Task* t : sim.tasks()) {
         const std::string p = "task" + std::to_string(t->id()) + "_";
         task_keys_.push_back(p + "bid");
@@ -301,13 +304,15 @@ PpmGovernor::emit_telemetry(sim::Simulation& sim, SimTime now)
         .num("market_power_w", report.chip_power)
         .num("deficit", report.deficit);
     for (const TaskState& t : telemetry_.tasks) {
-        const std::string* k =
-            &task_keys_[static_cast<std::size_t>(t.id) * 5];
-        round_event_.num(k[0].c_str(), t.bid)
-            .num(k[1].c_str(), t.supply)
-            .num(k[2].c_str(), t.demand)
-            .num(k[3].c_str(), t.savings)
-            .num(k[4].c_str(), t.allowance);
+        // Direct deque indexing (no contiguous &keys[i] pointer
+        // arithmetic): the deque's blocks keep each string -- and so
+        // its c_str() identity -- stable across admissions.
+        const std::size_t k = static_cast<std::size_t>(t.id) * 5;
+        round_event_.num(task_keys_[k].c_str(), t.bid)
+            .num(task_keys_[k + 1].c_str(), t.supply)
+            .num(task_keys_[k + 2].c_str(), t.demand)
+            .num(task_keys_[k + 3].c_str(), t.savings)
+            .num(task_keys_[k + 4].c_str(), t.allowance);
     }
     for (const CoreState& c : telemetry_.cores) {
         const std::string* k =
@@ -336,6 +341,43 @@ PpmGovernor::emit_telemetry(sim::Simulation& sim, SimTime now)
     }
     if (report.allowance_clamped)
         bus.count(allowance_clamps_id_);
+}
+
+void
+PpmGovernor::set_power_budget(Watts w_tdp)
+{
+    cfg_.market.w_tdp = w_tdp;
+    cfg_.market.w_th = derive_w_th(w_tdp);
+    if (market_ != nullptr)
+        market_->set_tdp(cfg_.market.w_tdp, cfg_.market.w_th);
+}
+
+double
+PpmGovernor::power_deficit() const
+{
+    return market_ != nullptr ? market_->last_report().deficit : 0.0;
+}
+
+void
+PpmGovernor::task_admitted(sim::Simulation& sim, TaskId id,
+                           double big_speedup)
+{
+    PPM_ASSERT(market_ != nullptr, "task admitted before init");
+    PPM_ASSERT(online_ == nullptr,
+               "mid-run admission needs offline speedup profiles; the "
+               "online estimator is sized at init");
+    market_->add_task(id, sim.tasks()[static_cast<std::size_t>(id)]
+                              ->priority(),
+                      sim.scheduler().core_of(id));
+    if (cfg_.big_speedup.size() <= static_cast<std::size_t>(id))
+        cfg_.big_speedup.resize(static_cast<std::size_t>(id) + 1, 0.0);
+    cfg_.big_speedup[static_cast<std::size_t>(id)] = big_speedup;
+    const std::string p = "task" + std::to_string(id) + "_";
+    task_keys_.push_back(p + "bid");
+    task_keys_.push_back(p + "supply");
+    task_keys_.push_back(p + "demand");
+    task_keys_.push_back(p + "savings");
+    task_keys_.push_back(p + "allowance");
 }
 
 void

@@ -14,6 +14,7 @@
 #ifndef PPM_MARKET_PPM_GOVERNOR_HH
 #define PPM_MARKET_PPM_GOVERNOR_HH
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +84,19 @@ struct PpmGovernorConfig {
      * this is purely a wall-clock knob for large task counts.
      */
     int clearing_jobs = 1;
+
+    /**
+     * External shared worker pool (not owned; must outlive the
+     * governor).  When set, it is attached to the market instead of
+     * spawning a dedicated pool, overriding `clearing_jobs` -- this
+     * is how an N-chip fleet (or an N-cell sweep) on an M-core host
+     * keeps exactly one pool instead of N.  Rounds clearing on a
+     * shared pool are still bit-identical to inline clearing; a
+     * round invoked *from* one of the pool's own workers (a fleet
+     * shard being stepped by the pool) runs its chunks inline via
+     * ThreadPool::on_worker_thread().
+     */
+    ThreadPool* clearing_pool = nullptr;
 };
 
 /** The price-theory power manager. */
@@ -123,6 +137,29 @@ class PpmGovernor : public sim::Governor
 
     /** Whether the sensor guard currently reports safe mode. */
     bool safe_mode() const { return guard_.safe_mode(); }
+
+    /**
+     * Retarget the market's TDP cap (fleet budget reallocation): the
+     * buffer-zone floor follows via derive_w_th(), and the market
+     * re-converges from its current prices at the next bid round.
+     */
+    void set_power_budget(Watts w_tdp) override;
+
+    /**
+     * Marginal utility of additional power: the unmet cluster demand
+     * (with V-F headroom) of the last cleared round.  This is the
+     * signal the chip agent's allowance update acts on, so it is
+     * exactly what the fleet supervisor should price.
+     */
+    double power_deficit() const override;
+
+    /**
+     * Register a mid-run task with the market and the telemetry key
+     * cache.  Requires offline speedup profiles (the online
+     * estimator is sized at init and cannot grow).
+     */
+    void task_admitted(sim::Simulation& sim, TaskId id,
+                       double big_speedup) override;
 
   private:
     /** Feed demands + power, run a market round, enact nice values. */
@@ -166,10 +203,13 @@ class PpmGovernor : public sim::Governor
     // Reusable telemetry plumbing, built once at init so each bid
     // round's emission is allocation-free: the scratch event keeps its
     // field layout, the key strings cache the "taskN_bid"-style names
-    // (stable c_str() pointers -- the vectors never grow after init),
-    // and the counters/histograms go through interned handles.
+    // (stable c_str() pointers -- core/cluster key vectors never grow
+    // after init, and the per-task keys live in a deque precisely so
+    // mid-run admissions can append without moving existing strings,
+    // whose c_str() pointers EventScratch compares by identity), and
+    // the counters/histograms go through interned handles.
     metrics::EventScratch round_event_{"market_round"};
-    std::vector<std::string> task_keys_;     ///< 5 keys per task id.
+    std::deque<std::string> task_keys_;      ///< 5 keys per task id.
     std::vector<std::string> core_keys_;     ///< 3 keys per core id.
     std::vector<std::string> cluster_keys_;  ///< 3 keys per cluster id.
     metrics::SeriesId market_allowance_id_ = 0;

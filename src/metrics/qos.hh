@@ -31,6 +31,17 @@ class QosTracker
     explicit QosTracker(int num_tasks);
 
     /**
+     * Start tracking one more task (mid-run admission).  The new
+     * task's counters begin empty; its pre-admission time never
+     * counts against it.
+     */
+    void add_task()
+    {
+        below_.emplace_back();
+        outside_.emplace_back();
+    }
+
+    /**
      * Sample all tasks at time `now` and account `dt` of simulated
      * time to each duty-cycle counter.  `warmup` samples (with
      * now < warmup) are ignored so cold-start HRM windows do not

@@ -106,6 +106,40 @@ class Governor
         (void)cluster_power;
         (void)n;
     }
+
+    /**
+     * Retarget the governor's chip-level power budget (TDP) mid-run.
+     * The fleet supervisor calls this at epoch barriers after
+     * reallocating the fleet budget across chips; the governor clears
+     * (or kills, for baselines) against the new cap from the next
+     * wake onwards.  Default: the governor has no budget knob.
+     */
+    virtual void set_power_budget(Watts w_tdp) { (void)w_tdp; }
+
+    /**
+     * The chip's current unmet power demand in price units -- the
+     * marginal-utility signal a chip reports to the fleet supervisor
+     * (PPM forwards its clearing deficit; budgetless baselines report
+     * zero).  Must be a pure observation of the last completed
+     * control round.
+     */
+    virtual double power_deficit() const { return 0.0; }
+
+    /**
+     * Notify the governor that `sim` admitted a new task mid-run
+     * (cross-chip placement at a fleet admission epoch).  Called
+     * after the scheduler and QoS layers registered the task, with
+     * its dense id and big-cluster speedup.  Governors holding
+     * per-task state must extend it; the default is for governors
+     * that discover tasks through the scheduler each epoch.
+     */
+    virtual void task_admitted(Simulation& sim, TaskId id,
+                               double big_speedup)
+    {
+        (void)sim;
+        (void)id;
+        (void)big_speedup;
+    }
 };
 
 } // namespace ppm::sim

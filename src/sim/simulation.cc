@@ -266,6 +266,10 @@ Simulation::quiescent_ticks() const
     //  - tracing: every replayed tick must *end* strictly before the
     //    next trace sample is due.
     long n = ceil_div(config_.duration - now_, dt);
+    // run_until() horizon: like the duration cap, a pure minimum
+    // bound, so slicing a run into epochs never changes what runs.
+    if (stop_at_ < config_.duration)
+        n = std::min(n, ceil_div(stop_at_ - now_, dt));
     n = std::min(n, ceil_div(wake - now_, dt));
     for (const auto& life : config_.lifetimes) {
         // >= not >: an edge landing exactly at now_ has not been
@@ -466,7 +470,16 @@ Simulation::advance_quiescent(long n)
 RunSummary
 Simulation::run()
 {
-    while (now_ < config_.duration) {
+    run_until(config_.duration);
+    return finish();
+}
+
+void
+Simulation::run_until(SimTime stop)
+{
+    stop = std::min(stop, config_.duration);
+    stop_at_ = stop;
+    while (now_ < stop) {
         step();
         if (config_.macro_step) {
             const long n = quiescent_ticks();
@@ -474,6 +487,12 @@ Simulation::run()
                 advance_quiescent(n);
         }
     }
+    stop_at_ = SimConfig::Lifetime::kForever;
+}
+
+RunSummary
+Simulation::finish()
+{
     if (bus_.enabled()) {
         // Final record: every counter value, so streamed traces carry
         // the run's event totals without a side channel.
@@ -484,6 +503,35 @@ Simulation::run()
         bus_.flush();
     }
     return summary();
+}
+
+TaskId
+Simulation::admit_task(const workload::TaskSpec& spec,
+                       SimConfig::Lifetime life, double big_speedup,
+                       CoreId core)
+{
+    const auto id = static_cast<TaskId>(owned_tasks_.size());
+    // Existing tasks may be running under implicit whole-run windows;
+    // materialize those before appending a real one so the per-task
+    // indices keep lining up.
+    if (config_.lifetimes.empty())
+        config_.lifetimes.assign(owned_tasks_.size(),
+                                 SimConfig::Lifetime{});
+    owned_tasks_.push_back(std::make_unique<workload::Task>(id, spec));
+    workload::Task* task = owned_tasks_.back().get();
+    task_views_.push_back(task);
+    config_.lifetimes.push_back(life);
+    const auto& boot_cores = chip_.cluster(0).cores();
+    const CoreId target = core != kInvalidId
+        ? core
+        : boot_cores[static_cast<std::size_t>(id) % boot_cores.size()];
+    scheduler_->add_task(task, target);
+    qos_.add_task();
+    task_hr_ids_.push_back(bus_.intern(task->name() + "_hr"));
+    task_norm_hr_ids_.push_back(bus_.intern(task->name() + "_norm_hr"));
+    if (initialized_)
+        governor_->task_admitted(*this, id, big_speedup);
+    return id;
 }
 
 RunSummary

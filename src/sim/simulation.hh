@@ -151,8 +151,41 @@ class Simulation
     /** Run to completion and return the summary. */
     RunSummary run();
 
+    /**
+     * Advance until simulated time reaches `stop` (clamped to the
+     * configured duration), leaving the run resumable: no counter
+     * flush, no summary.  The fleet engine interleaves shards by
+     * slicing each run into supervisor epochs; because every
+     * macro-stepping cap is a minimum bound, adding the `stop`
+     * horizon never changes which work runs -- a run split into any
+     * sequence of run_until() calls is bit-identical to one run().
+     */
+    void run_until(SimTime stop);
+
+    /**
+     * Close out a run advanced via run_until(): emit the final
+     * counters event, flush attached sinks, and return the summary.
+     * run() is exactly run_until(duration) followed by finish().
+     */
+    RunSummary finish();
+
     /** Advance exactly one tick (for fine-grained tests). */
     void step();
+
+    /**
+     * Admit one task mid-run (cross-chip placement at a fleet
+     * admission epoch).  The task gets the next dense id, is placed
+     * on `core` (kInvalidId = round-robin over the boot cluster, as
+     * at construction), gets `life` as its lifetime window, and the
+     * governor is notified via Governor::task_admitted() with
+     * `big_speedup` (its big-cluster speedup for market governors).
+     * If the run so far had no lifetime windows, implicit
+     * whole-run windows are materialized for the existing tasks
+     * first.  Returns the new task's id.
+     */
+    TaskId admit_task(const workload::TaskSpec& spec,
+                      SimConfig::Lifetime life, double big_speedup,
+                      CoreId core = kInvalidId);
 
     /** Current simulated time. */
     SimTime now() const { return now_; }
@@ -161,6 +194,8 @@ class Simulation
     const hw::Chip& chip() const { return chip_; }
     sched::Scheduler& scheduler() { return *scheduler_; }
     const sched::Scheduler& scheduler() const { return *scheduler_; }
+    Governor& governor() { return *governor_; }
+    const Governor& governor() const { return *governor_; }
     hw::SensorBank& sensors() { return sensors_; }
     const hw::SensorBank& sensors() const { return sensors_; }
     const hw::ThermalModel& thermal() const { return *thermal_; }
@@ -263,6 +298,8 @@ class Simulation
     DutyCycle over_tdp_fault_; ///< Same condition, fault-active time.
     SimTime now_ = 0;
     SimTime next_trace_ = 0;
+    /** Extra macro-step horizon while inside run_until(). */
+    SimTime stop_at_ = SimConfig::Lifetime::kForever;
     long vf_transitions_ = 0;
     long last_migrations_ = 0;  ///< For the migrations counter delta.
     bool initialized_ = false;

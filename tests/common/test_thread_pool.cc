@@ -153,5 +153,38 @@ TEST(ThreadPool, ForChunksPropagatesWorkerException)
     EXPECT_EQ(pool.submit([]() { return 3; }).get(), 3);
 }
 
+TEST(ThreadPool, OnWorkerThreadOnlyInsideOwnWorkers)
+{
+    ThreadPool pool(2);
+    ThreadPool other(2);
+    EXPECT_FALSE(pool.on_worker_thread());
+    EXPECT_TRUE(pool.submit([&]() {
+                        return pool.on_worker_thread() &&
+                               !other.on_worker_thread();
+                    })
+                    .get());
+}
+
+TEST(ThreadPool, NestedForChunksOnSamePoolRunsInline)
+{
+    // The fleet shards a run over the pool and each shard's market
+    // may itself call for_chunks() on the SAME pool for clearing.
+    // The nested call must run inline on the worker (never re-queue
+    // into the pool it is already draining), or two shards could
+    // deadlock waiting on each other's queued chunks.
+    ThreadPool pool(2);
+    std::atomic<int> inner_calls{0};
+    ThreadPool::for_chunks(
+        &pool, 4, 1, [&](std::size_t, std::size_t) {
+            EXPECT_TRUE(pool.on_worker_thread());
+            ThreadPool::for_chunks(&pool, 8, 2,
+                                   [&](std::size_t, std::size_t) {
+                                       ++inner_calls;
+                                   });
+        });
+    // 4 outer chunks x 4 inner chunks, all completed without deadlock.
+    EXPECT_EQ(inner_calls.load(), 16);
+}
+
 } // namespace
 } // namespace ppm

@@ -9,6 +9,20 @@
  *           [--avg-seeds N] [--jobs N] [--trace FILE.csv]
  *           [--trace-format csv|jsonl] [--trace-out PATH] [--csv]
  *           [--per-tick] [--faults SPEC]
+ *           [--fleet N] [--fleet-budget WATTS] [--fleet-epoch MS]
+ *
+ * --fleet N runs a federated fleet of N chips: each chip is an
+ * independent economy running the selected workload set (chip 0 with
+ * --seed, chip i with a mix64-derived per-chip seed), macro-stepped in
+ * parallel between supervisor epochs; at each epoch barrier the
+ * supervisor market reallocates the fleet power budget across chips
+ * (--fleet-budget, default: --tdp x N when --tdp is set, uncapped
+ * otherwise; --fleet-epoch sets the barrier period in milliseconds).
+ * --jobs sets the shared shard-stepping/clearing pool's worker count.
+ * The summary table aggregates the fleet (a 1-chip fleet prints
+ * exactly the single-chip table); fleet output is byte-identical for
+ * every --jobs value.  --trace/--trace-out/--avg-seeds are
+ * single-chip features and are rejected in fleet mode.
  *
  * --faults SPEC enables deterministic fault injection.  SPEC is a
  * comma list of fault classes (sensor, dvfs, migration, offline, all)
@@ -57,8 +71,11 @@
 #include "cli_util.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "experiment/experiment.hh"
 #include "fault/fault.hh"
+#include "fleet/fleet.hh"
+#include "hw/platform.hh"
 #include "metrics/telemetry.hh"
 #include "workload/benchmarks.hh"
 
@@ -74,7 +91,12 @@ usage(const char* argv0)
         "          [--avg-seeds N] [--jobs N] [--trace FILE.csv]\n"
         "          [--trace-format csv|jsonl] [--trace-out PATH] [--csv]\n"
         "          [--per-tick] [--faults SPEC] [--list-sets]\n"
+        "          [--fleet N] [--fleet-budget WATTS] [--fleet-epoch MS]\n"
         "\n"
+        "--fleet N federates N chips under a supervisor power market\n"
+        "(--fleet-budget watts across the fleet, default --tdp x N;\n"
+        "--fleet-epoch barrier period in ms; --jobs workers step the\n"
+        "shards and clear the markets off one shared pool).\n"
         "--per-tick disables the event-horizon macro-stepping engine\n"
         "and runs the historical tick-by-tick loop (results are\n"
         "bit-identical either way; use it to cross-check).\n"
@@ -121,6 +143,11 @@ main(int argc, char** argv)
     int avg_seeds = 1;
     int jobs = 0;
     bool jobs_given = false;
+    bool fleet_mode = false;
+    int fleet_chips = 1;
+    double fleet_budget = 0.0;  // 0 = derive from --tdp.
+    SimTime fleet_epoch = 96 * kMillisecond;
+    bool fleet_opts_given = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -206,6 +233,28 @@ main(int argc, char** argv)
             stream_format = next();
             if (stream_format != "csv" && stream_format != "jsonl")
                 usage(argv[0]);
+        } else if (arg == "--fleet") {
+            const char* text = next();
+            const long n = parse_int("--fleet", text);
+            if (n < 1)
+                bad_arg("--fleet", "expects an integer >= 1", text);
+            fleet_chips = static_cast<int>(n);
+            fleet_mode = true;
+        } else if (arg == "--fleet-budget") {
+            const char* text = next();
+            fleet_budget = parse_number("--fleet-budget", text);
+            if (fleet_budget <= 0.0)
+                bad_arg("--fleet-budget", "expects a positive wattage",
+                        text);
+            fleet_opts_given = true;
+        } else if (arg == "--fleet-epoch") {
+            const char* text = next();
+            const long ms = parse_int("--fleet-epoch", text);
+            if (ms < 1)
+                bad_arg("--fleet-epoch",
+                        "expects a positive epoch in milliseconds", text);
+            fleet_epoch = ms * kMillisecond;
+            fleet_opts_given = true;
         } else if (arg == "--csv") {
             csv_summary = true;
         } else if (arg == "--list-sets") {
@@ -239,6 +288,17 @@ main(int argc, char** argv)
         fatal("--trace-out streams one run; drop it or --avg-seeds");
     if (stream_path.empty() && !stream_format.empty())
         fatal("--trace-format needs --trace-out PATH");
+    if (!fleet_mode && fleet_opts_given)
+        fatal("--fleet-budget/--fleet-epoch need --fleet N");
+    if (fleet_mode) {
+        // Per-shard traces would need per-chip output paths; the
+        // fleet-level series live on Fleet::bus() instead.
+        if (!trace_path.empty() || !stream_path.empty())
+            fatal("tracing is single-chip; drop --trace/--trace-out "
+                  "or --fleet");
+        if (avg_seeds > 1)
+            fatal("--avg-seeds is single-chip; drop it or --fleet");
+    }
 
     // Streaming sink: CSV or JSONL, inferred from the extension when
     // --trace-format is absent (.csv -> csv, anything else -> jsonl).
@@ -278,7 +338,71 @@ main(int argc, char** argv)
 
     sim::RunSummary s;
     double wall_seconds = 0.0;
-    if (avg_seeds > 1) {
+    long fleet_epochs = 0;
+    double fleet_eff_budget = 0.0;
+    if (fleet_mode) {
+        // Fleet: N chips, each running `set` with a chip-derived seed
+        // (chip 0 uses --seed verbatim, so a 1-chip fleet byte-matches
+        // the plain single-run path), federated under the supervisor
+        // power market.
+        std::vector<double> speedups;
+        for (const auto& member : set.members) {
+            speedups.push_back(
+                workload::profile(member.bench, member.input)
+                    .big_speedup);
+        }
+
+        fleet::FleetConfig fc;
+        fc.chips = fleet_chips;
+        fc.epoch = fleet_epoch;
+        fleet_eff_budget = fleet_budget > 0.0
+            ? fleet_budget
+            : (params.tdp < 1e8 ? params.tdp * fleet_chips : 1e9);
+        fc.supervisor.total_budget = fleet_eff_budget;
+        fc.sim.duration = params.duration;
+        fc.sim.tdp_for_metrics = params.tdp;
+        fc.sim.macro_step = params.macro_step;
+        if (params.faults.any()) {
+            const hw::Chip proto = hw::tc2_chip();
+            fc.sim.faults = fault::FaultPlan::compile(
+                params.faults, proto.num_clusters(), proto.num_cores(),
+                fc.sim.duration, fc.sim.tick);
+        }
+        for (int c = 0; c < fleet_chips; ++c) {
+            const std::uint64_t chip_seed = c == 0
+                ? params.seed
+                : experiment::cell_seed(params.seed, 777, c);
+            fleet::ChipWorkload wl;
+            wl.specs = workload::instantiate(
+                set, chip_seed, params.priority,
+                params.duration + 100 * kSecond);
+            fc.workloads.push_back(std::move(wl));
+        }
+        // One pool for shard stepping AND market clearing; absent
+        // --jobs (or --jobs 1) everything runs inline, which produces
+        // the same bytes.
+        std::unique_ptr<ThreadPool> pool;
+        if (jobs_given && jobs != 1)
+            pool = std::make_unique<ThreadPool>(jobs);
+        ThreadPool* shared = pool.get();
+        fc.pool = shared;
+        fc.make_chip = [](int) { return hw::tc2_chip(); };
+        fc.make_governor = [&params, &speedups, shared](int,
+                                                        Watts budget) {
+            return experiment::make_governor(params.policy, budget,
+                                             speedups,
+                                             params.online_speedup, 1,
+                                             shared);
+        };
+        const auto start = std::chrono::steady_clock::now();
+        fleet::Fleet fleet(std::move(fc));
+        const fleet::FleetResult res = fleet.run();
+        wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        s = res.combined;
+        fleet_epochs = res.supervisor_epochs;
+    } else if (avg_seeds > 1) {
         const auto start = std::chrono::steady_clock::now();
         s = experiment::run_set_avg(set, params, avg_seeds, jobs);
         wall_seconds = std::chrono::duration<double>(
@@ -319,6 +443,19 @@ main(int argc, char** argv)
     table.add_row({"time_over_tdp_post_warmup",
                    fmt_percent(s.over_tdp_post_warmup)});
     table.add_row({"peak_temp_c", fmt_double(s.peak_temp_c, 1)});
+    // Fleet-only rows ride below the standard block so a 1-chip fleet
+    // prints exactly the single-chip table (byte-comparable).
+    if (fleet_mode && fleet_chips > 1) {
+        table.add_row({"chips", std::to_string(fleet_chips)});
+        table.add_row({"fleet_budget_w",
+                       fleet_eff_budget < 1e8
+                           ? fmt_double(fleet_eff_budget, 1)
+                           : "none"});
+        table.add_row({"fleet_epoch_ms",
+                       fmt_double(to_seconds(fleet_epoch) * 1e3, 0)});
+        table.add_row({"supervisor_epochs",
+                       std::to_string(fleet_epochs)});
+    }
     if (params.faults.any()) {
         table.add_row({"faults_injected",
                        std::to_string(s.faults_injected)});
