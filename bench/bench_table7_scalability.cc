@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
@@ -37,12 +38,18 @@ using namespace ppm;
  * ones); results stay bit-identical to jobs = 1.
  */
 struct Scenario {
-    Scenario(int clusters, int cores, int tasks_per_core, int jobs = 1)
+    Scenario(int clusters, int cores, int tasks_per_core, int jobs = 1,
+             bool incremental = false)
         : chip(hw::synthetic_chip(clusters, cores))
     {
         market::PpmConfig cfg;
         cfg.w_tdp = 1e9;
         cfg.w_th = 1e9 - 0.5;
+        // The scalability benchmarks hold demands constant, so the
+        // active-set engine would collapse their rounds to early
+        // exits; pin full recompute to keep measuring the clearing
+        // work itself.  BM_IncrementalClearingRound opts back in.
+        cfg.incremental = incremental;
         if (jobs > 1)
             cfg.clearing_min_tasks = 1;
         market = std::make_unique<market::Market>(&chip, cfg);
@@ -134,6 +141,80 @@ BM_ParallelClearingRound(benchmark::State& state)
                    " jobs=" + std::to_string(state.range(3)));
 }
 
+/**
+ * Incremental active-set clearing under a controlled dirty fraction.
+ * Args: {V, C, T, dirty_pct, incremental}.
+ *
+ * The market is warmed to a bitwise fixed point with light demands
+ * (every bid at the clamped floor), then each measured round first
+ * rewrites the demand bits of `dirty_pct`% of the tasks.  With the
+ * engine off this always measures a full recompute; with it on, 0%
+ * dirty is the early-exit path, 10% is the steady-state shape a
+ * governor wake sees, and 100% bounds the bookkeeping overhead when
+ * nothing can be skipped.  The skip-rate counters of the measured
+ * rounds are reported alongside the timings.
+ */
+void
+BM_IncrementalClearingRound(benchmark::State& state)
+{
+    const int dirty_pct = static_cast<int>(state.range(3));
+    const bool incremental = state.range(4) != 0;
+    Scenario s(static_cast<int>(state.range(0)),
+               static_cast<int>(state.range(1)),
+               static_cast<int>(state.range(2)),
+               /*jobs=*/1, incremental);
+    const int n_tasks = static_cast<int>(s.market->tasks().size());
+    // Re-post light demands so every cluster is unconstrained and the
+    // tatonnement reaches an exact fixed point (bids clamp to the
+    // floor, savings saturate at the cap).
+    Rng rng(7);
+    std::vector<double> base(static_cast<std::size_t>(n_tasks));
+    for (int t = 0; t < n_tasks; ++t) {
+        base[static_cast<std::size_t>(t)] = rng.uniform(1.0, 3.0);
+        s.market->set_demand(t, base[static_cast<std::size_t>(t)]);
+    }
+    // The large shapes need north of a thousand rounds for the last
+    // few savings balances to saturate bit-exactly at the cap.
+    for (int i = 0; i < 2500 && !s.market->last_report().early_exit;
+         ++i)
+        s.market->round();
+    const int n_dirty = n_tasks * dirty_pct / 100;
+    const market::ClearingStats warm = s.market->clearing_stats();
+    bool flip = false;
+    for (auto _ : state) {
+        // Alternate the perturbation so the touched bits change on
+        // every single iteration (a repeated write is bit-equal and
+        // would read as clean -- correctly, but not what we measure).
+        flip = !flip;
+        const double eps = flip ? 0.25 : 0.0;
+        for (int t = 0; t < n_dirty; ++t)
+            s.market->set_demand(
+                t, base[static_cast<std::size_t>(t)] + eps);
+        benchmark::DoNotOptimize(s.market->round());
+    }
+    const market::ClearingStats st = s.market->clearing_stats();
+    const long task_slots = st.task_slots - warm.task_slots;
+    const long task_skips = st.tasks_skipped - warm.tasks_skipped;
+    const long core_slots = st.core_slots - warm.core_slots;
+    const long core_skips = st.cores_skipped - warm.cores_skipped;
+    state.counters["task_skip_rate"] =
+        task_slots > 0 ? static_cast<double>(task_skips) /
+                             static_cast<double>(task_slots)
+                       : 0.0;
+    state.counters["core_skip_rate"] =
+        core_slots > 0 ? static_cast<double>(core_skips) /
+                             static_cast<double>(core_slots)
+                       : 0.0;
+    state.counters["early_exits"] = static_cast<double>(
+        st.rounds_early_exit - warm.rounds_early_exit);
+    state.SetLabel("V=" + std::to_string(state.range(0)) +
+                   " C=" + std::to_string(state.range(1)) +
+                   " T=" + std::to_string(state.range(2)) + " tasks=" +
+                   std::to_string(n_tasks) +
+                   " dirty=" + std::to_string(dirty_pct) + "%" +
+                   (incremental ? " incremental" : " full"));
+}
+
 void
 table7_args(benchmark::internal::Benchmark* b)
 {
@@ -170,9 +251,32 @@ clearing_args(benchmark::internal::Benchmark* b)
     b->Unit(benchmark::kMillisecond);
 }
 
+void
+incremental_args(benchmark::internal::Benchmark* b)
+{
+    // The jobs-sweep's small and target shapes, crossed with the
+    // dirty fraction (0% = governor wake with nothing changed, 10% =
+    // typical steady state, 100% = everything moved) and the engine
+    // flag; the same-shape full/incremental pair at each fraction is
+    // the headline comparison.
+    for (const auto& shape :
+         {std::tuple{4, 4, 16},   //    256 tasks, 16 cores
+          std::tuple{8, 8, 64}})  //  4,096 tasks, 64 cores, 8 clusters
+    {
+        for (int dirty : {0, 10, 100}) {
+            for (int inc : {0, 1}) {
+                b->Args({std::get<0>(shape), std::get<1>(shape),
+                         std::get<2>(shape), dirty, inc});
+            }
+        }
+    }
+    b->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(BM_SupplyDemandRound)->Apply(table7_args);
 BENCHMARK(BM_LbtConstrainedCore)->Apply(table7_args);
 BENCHMARK(BM_ParallelClearingRound)->Apply(clearing_args);
+BENCHMARK(BM_IncrementalClearingRound)->Apply(incremental_args);
 
 } // namespace
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Build and run the parallel-clearing scalability benchmark, emitting
+# Build and run the clearing-engine benchmarks, emitting
 # BENCH_clearing.json at the repo root: one market round per (V, C, T)
-# shape swept over clearing worker counts.  Every job count produces
-# bit-identical market state, so the curve is a pure wall-clock
-# scaling measurement of the clearing engine.
+# shape swept over clearing worker counts, plus the incremental
+# active-set sweep (dirty fraction x engine on/off).  Every job count
+# and either engine mode produce bit-identical market state, so both
+# curves are pure wall-clock measurements.
 #
 # Usage: scripts/bench_clearing.sh [--quick] [--out FILE]
 #   --quick  one tiny min-time repetition (CI smoke: proves the driver
@@ -36,7 +37,7 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build --target bench_table7_scalability > /dev/null
 
 ./build/bench/bench_table7_scalability \
-    --benchmark_filter='BM_ParallelClearingRound' \
+    --benchmark_filter='BM_ParallelClearingRound|BM_IncrementalClearingRound' \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json \
@@ -57,6 +58,9 @@ ncpu = int(sys.argv[2])
 runs = [b for b in doc["benchmarks"]
         if b["name"].startswith("BM_ParallelClearingRound/")]
 assert runs, "no BM_ParallelClearingRound entries in " + path
+inc_runs = [b for b in doc["benchmarks"]
+            if b["name"].startswith("BM_IncrementalClearingRound/")]
+assert inc_runs, "no BM_IncrementalClearingRound entries in " + path
 print(f"{path}: {len(runs)} entries, JSON ok "
       f"(host hardware threads: {ncpu})")
 
@@ -94,4 +98,25 @@ for shape in sorted(shapes):
         ms = shapes[shape][jobs]
         cells.append(f"jobs={jobs}: {ms:8.3f} ms ({base / ms:4.2f}x)")
     print(f"V={v} C={c} T={t} ({v * c * t} tasks): " + "  ".join(cells))
+
+# Incremental sweep: full-recompute vs active-set time per (shape,
+# dirty%), with the measured task skip rate alongside -- the speedup
+# must come with a matching skip rate or it is measurement noise.
+inc = {}
+for b in inc_runs:
+    # BM_IncrementalClearingRound/V/C/T/dirty/incremental
+    v, c, t, dirty, mode = (int(p) for p in b["name"].split("/")[1:6])
+    inc.setdefault(((v, c, t), dirty), {})[mode] = b
+print("incremental active-set clearing (full -> incremental):")
+for (shape, dirty) in sorted(inc):
+    pair = inc[(shape, dirty)]
+    if 0 not in pair or 1 not in pair:
+        continue
+    full_ms = pair[0]["real_time"]
+    inc_ms = pair[1]["real_time"]
+    skip = pair[1].get("task_skip_rate", 0.0)
+    v, c, t = shape
+    print(f"V={v} C={c} T={t} ({v * c * t} tasks) dirty={dirty:3d}%: "
+          f"{full_ms:8.3f} ms -> {inc_ms:8.3f} ms "
+          f"({full_ms / inc_ms:5.2f}x, task skip rate {skip:.1%})")
 EOF

@@ -76,6 +76,22 @@ cmp /tmp/ppm_jobs1.jsonl /tmp/ppm_jobs4.jsonl
 rm -f /tmp/ppm_jobs1.csv /tmp/ppm_jobs4.csv \
     /tmp/ppm_jobs1.jsonl /tmp/ppm_jobs4.jsonl
 
+# Incremental-clearing equivalence smoke: the active-set engine skips
+# only entries whose every fold input is bit-unchanged, so a full
+# recompute of every round must produce the same bytes -- summary CSV
+# and streamed traces alike.
+./build/tools/ppm_run --set l1 --seconds 8 --csv > /tmp/ppm_inc.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --no-incremental \
+    > /tmp/ppm_full.csv
+cmp /tmp/ppm_inc.csv /tmp/ppm_full.csv
+./build/tools/ppm_run --set l1 --seconds 8 \
+    --trace-format=jsonl --trace-out=/tmp/ppm_inc.jsonl > /dev/null
+./build/tools/ppm_run --set l1 --seconds 8 --no-incremental \
+    --trace-format=jsonl --trace-out=/tmp/ppm_full.jsonl > /dev/null
+cmp /tmp/ppm_inc.jsonl /tmp/ppm_full.jsonl
+rm -f /tmp/ppm_inc.csv /tmp/ppm_full.csv \
+    /tmp/ppm_inc.jsonl /tmp/ppm_full.jsonl
+
 # Fleet federation smokes: a 1-chip fleet is the same economy behind
 # a supervisor that never moves its budget, so its CSV must be
 # byte-identical to the plain run; and the sharded epoch loop keeps
@@ -90,8 +106,15 @@ cmp /tmp/ppm_plain.csv /tmp/ppm_fleet1.csv
 ./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 --jobs 4 \
     > /tmp/ppm_fleet_j4.csv
 cmp /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_j4.csv
+# Warm-start cross-check: fleet shards keep their markets alive across
+# supervisor epochs (budget moves arrive mid-economy), so the
+# incremental engine's cross-invocation memos face every invalidation
+# channel at once -- and must still match the full recompute.
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 \
+    --no-incremental > /tmp/ppm_fleet_full.csv
+cmp /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_full.csv
 rm -f /tmp/ppm_plain.csv /tmp/ppm_fleet1.csv \
-    /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_j4.csv
+    /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_j4.csv /tmp/ppm_fleet_full.csv
 
 # Parallel-clearing and fleet bench smokes: one quick repetition each
 # with the JSON validated (full runs regenerate BENCH_clearing.json
@@ -127,9 +150,11 @@ cmake --build build-tsan --target test_common test_integration \
 # detector.
 ./build-tsan/tests/test_fleet > /dev/null
 # The clearing engine's fan-out shares the market state across pool
-# workers; the determinism tests double as its race detector.
+# workers; the determinism tests double as its race detector.  The
+# incremental tests ride along: the dirty flags the passes publish
+# from worker threads are the newest shared state.
 ./build-tsan/tests/test_market \
-    --gtest_filter='ParallelClearing.*' > /dev/null
+    --gtest_filter='ParallelClearing.*:Incremental.*' > /dev/null
 ./build-tsan/tests/test_metrics \
     --gtest_filter='TraceBus.*:TraceSink.*:TraceRecorder.*' > /dev/null
 ./build-tsan/tests/test_integration \
@@ -146,8 +171,11 @@ cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPPM_ASAN=ON
 cmake --build build-asan --target test_fault test_market test_hw
 ./build-asan/tests/test_fault > /dev/null
+# Incremental rides along here too: the memo arrays are the newest
+# indexed state, so overruns would surface under ASan first.
 ./build-asan/tests/test_market \
-    --gtest_filter='Watchdog.*:OnlineEstimator.*' > /dev/null
+    --gtest_filter='Watchdog.*:OnlineEstimator.*:Incremental.*' \
+    > /dev/null
 ./build-asan/tests/test_hw \
     --gtest_filter='VfTable.*:PowerModel*.*' > /dev/null
 

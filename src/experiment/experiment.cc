@@ -18,12 +18,13 @@ std::unique_ptr<sim::Governor>
 make_governor(const std::string& policy, Watts tdp,
               const std::vector<double>& big_speedups,
               bool online_speedup, int clearing_jobs,
-              ThreadPool* clearing_pool)
+              ThreadPool* clearing_pool, bool incremental)
 {
     if (policy == "PPM") {
         market::PpmGovernorConfig cfg;
         cfg.market.w_tdp = tdp;
         cfg.market.w_th = market::derive_w_th(tdp);
+        cfg.market.incremental = incremental;
         cfg.big_speedup = big_speedups;
         cfg.online_speedup = online_speedup;
         cfg.clearing_jobs = clearing_jobs;
@@ -64,7 +65,7 @@ run_specs(const std::vector<workload::TaskSpec>& specs,
         std::move(chip), specs,
         make_governor(params.policy, params.tdp, big_speedups,
                       params.online_speedup, params.clearing_jobs,
-                      params.clearing_pool),
+                      params.clearing_pool, params.incremental),
         sim_cfg);
     if (params.extra_sink != nullptr)
         simulation.bus().add_sink(params.extra_sink);
@@ -138,6 +139,12 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
         avg.watchdog_trips += s.watchdog_trips;
         avg.safe_mode_seconds += s.safe_mode_seconds;
         avg.over_tdp_during_fault += s.over_tdp_during_fault;
+        avg.market_rounds += s.market_rounds;
+        avg.market_task_slots += s.market_task_slots;
+        avg.market_tasks_skipped += s.market_tasks_skipped;
+        avg.market_core_slots += s.market_core_slots;
+        avg.market_cores_skipped += s.market_cores_skipped;
+        avg.market_rounds_early_exit += s.market_rounds_early_exit;
         for (std::size_t t = 0; t < avg.task_below.size(); ++t)
             avg.task_below[t] += s.task_below[t];
         for (std::size_t t = 0; t < avg.task_outside.size(); ++t)
@@ -162,6 +169,15 @@ aggregate_summaries(const std::vector<sim::RunSummary>& summaries)
     avg.watchdog_trips = static_cast<long>(avg.watchdog_trips / n);
     avg.safe_mode_seconds /= n;
     avg.over_tdp_during_fault /= n;
+    avg.market_rounds = static_cast<long>(avg.market_rounds / n);
+    avg.market_task_slots = static_cast<long>(avg.market_task_slots / n);
+    avg.market_tasks_skipped =
+        static_cast<long>(avg.market_tasks_skipped / n);
+    avg.market_core_slots = static_cast<long>(avg.market_core_slots / n);
+    avg.market_cores_skipped =
+        static_cast<long>(avg.market_cores_skipped / n);
+    avg.market_rounds_early_exit =
+        static_cast<long>(avg.market_rounds_early_exit / n);
     for (double& f : avg.task_below)
         f /= n;
     for (double& f : avg.task_outside)

@@ -56,6 +56,14 @@ struct RunParams {
     ThreadPool* clearing_pool = nullptr;
 
     /**
+     * Incremental active-set clearing (PpmConfig::incremental).
+     * Results are bit-identical on or off; off recomputes every
+     * entry each round (debugging escape hatch, `--no-incremental`).
+     * Ignored by the baselines.
+     */
+    bool incremental = true;
+
+    /**
      * Extra telemetry sink (streaming CSV/JSONL) attached to the
      * simulation's TraceBus for the duration of the run.  Not owned;
      * must outlive the run.  Single-run only: multi-seed aggregation
@@ -95,7 +103,8 @@ std::unique_ptr<sim::Governor>
 make_governor(const std::string& policy, Watts tdp,
               const std::vector<double>& big_speedups,
               bool online_speedup = false, int clearing_jobs = 1,
-              ThreadPool* clearing_pool = nullptr);
+              ThreadPool* clearing_pool = nullptr,
+              bool incremental = true);
 
 /** Run one of the paper's Table 6 sets on a fresh TC2-like chip. */
 RunResult run_set(const workload::WorkloadSet& set,

@@ -220,6 +220,12 @@ Fleet::run()
             c.watchdog_trips += s.watchdog_trips;
             c.safe_mode_seconds += s.safe_mode_seconds;
             c.over_tdp_during_fault += s.over_tdp_during_fault / n;
+            c.market_rounds += s.market_rounds;
+            c.market_task_slots += s.market_task_slots;
+            c.market_tasks_skipped += s.market_tasks_skipped;
+            c.market_core_slots += s.market_core_slots;
+            c.market_cores_skipped += s.market_cores_skipped;
+            c.market_rounds_early_exit += s.market_rounds_early_exit;
         }
     }
 

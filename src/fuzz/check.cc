@@ -125,7 +125,8 @@ class MarketAuditSink final : public metrics::TraceSink
 };
 
 std::unique_ptr<sim::Governor>
-make_policy(const Scenario& sc, const std::string& policy, int jobs)
+make_policy(const Scenario& sc, const std::string& policy, int jobs,
+            bool incremental)
 {
     const Watts tdp = sc.tdp > 0.0 ? sc.tdp : 1e9;
     if (policy == "PPM") {
@@ -133,6 +134,7 @@ make_policy(const Scenario& sc, const std::string& policy, int jobs)
         cfg.market.w_tdp = tdp;
         cfg.market.w_th = market::derive_w_th(tdp);
         cfg.market.adaptive_step = sc.adaptive_step;
+        cfg.market.incremental = incremental;
         // Fuzz markets have <= 10 tasks: at the production threshold
         // (1024) the clearing pool would never engage, so the jobs
         // differential would silently test nothing.  Drop the
@@ -187,7 +189,7 @@ struct RunOutput {
 
 RunOutput
 run_once(const Scenario& sc, const std::string& policy,
-         bool macro_step, int jobs)
+         bool macro_step, int jobs, bool incremental)
 {
     hw::Chip chip = make_chip(sc);
     const sim::SimConfig cfg = make_sim_config(sc, chip, macro_step);
@@ -199,8 +201,9 @@ run_once(const Scenario& sc, const std::string& policy,
     const bool stable_agents = lifetimes(sc).empty();
     MarketAuditSink audit(stable_agents);
 
-    sim::Simulation simulation(std::move(chip), make_specs(sc),
-                               make_policy(sc, policy, jobs), cfg);
+    sim::Simulation simulation(
+        std::move(chip), make_specs(sc),
+        make_policy(sc, policy, jobs, incremental), cfg);
     simulation.bus().add_sink(&jsonl);
     if (policy == "PPM")
         simulation.bus().add_sink(&audit);
@@ -292,7 +295,7 @@ struct FleetOutput {
  * plain PPM run.
  */
 FleetOutput
-run_fleet(const Scenario& sc, int chips, int jobs)
+run_fleet(const Scenario& sc, int chips, int jobs, bool incremental)
 {
     const bool capped = sc.tdp > 0.0;
     const Watts total =
@@ -315,12 +318,14 @@ run_fleet(const Scenario& sc, int chips, int jobs)
         fc.workloads.push_back(std::move(wl));
     }
     fc.make_chip = [&sc](int) { return make_chip(sc); };
-    fc.make_governor =
-        [&sc](int, Watts budget) -> std::unique_ptr<sim::Governor> {
+    fc.make_governor = [&sc, incremental](
+                           int,
+                           Watts budget) -> std::unique_ptr<sim::Governor> {
         market::PpmGovernorConfig cfg;
         cfg.market.w_tdp = budget;
         cfg.market.w_th = market::derive_w_th(budget);
         cfg.market.adaptive_step = sc.adaptive_step;
+        cfg.market.incremental = incremental;
         cfg.market.clearing_min_tasks = 2;
         cfg.market.clearing_grain = sc.clearing_grain;
         cfg.big_speedup = big_speedups(sc);
@@ -499,7 +504,13 @@ summary_fingerprint(const sim::RunSummary& s)
         << s.safe_mode_entries << '\n'
         << s.watchdog_trips << '\n'
         << fmt_exact(s.safe_mode_seconds) << '\n'
-        << fmt_exact(s.over_tdp_during_fault) << '\n';
+        << fmt_exact(s.over_tdp_during_fault) << '\n'
+        << s.market_rounds << '\n'
+        << s.market_task_slots << '\n'
+        << s.market_tasks_skipped << '\n'
+        << s.market_core_slots << '\n'
+        << s.market_cores_skipped << '\n'
+        << s.market_rounds_early_exit << '\n';
     for (const double v : s.task_below)
         out << fmt_exact(v) << '\n';
     for (const double v : s.task_outside)
@@ -519,8 +530,10 @@ check_scenario(const Scenario& sc)
     }
 
     for (const char* policy : {"PPM", "HPM", "HL"}) {
-        const RunOutput macro = run_once(sc, policy, true, 1);
-        const RunOutput tick = run_once(sc, policy, false, 1);
+        const RunOutput macro =
+            run_once(sc, policy, true, 1, sc.incremental);
+        const RunOutput tick =
+            run_once(sc, policy, false, 1, sc.incremental);
 
         if (summary_fingerprint(macro.summary) !=
             summary_fingerprint(tick.summary)) {
@@ -555,9 +568,10 @@ check_scenario(const Scenario& sc)
     // PPM jobs differential: the macro run above cleared inline; the
     // same scenario on a worker pool must match byte for byte.
     if (sc.clearing_jobs > 1) {
-        const RunOutput inline_run = run_once(sc, "PPM", true, 1);
+        const RunOutput inline_run =
+            run_once(sc, "PPM", true, 1, sc.incremental);
         const RunOutput pooled =
-            run_once(sc, "PPM", true, sc.clearing_jobs);
+            run_once(sc, "PPM", true, sc.clearing_jobs, sc.incremental);
         if (summary_fingerprint(inline_run.summary) !=
             summary_fingerprint(pooled.summary)) {
             violations.push_back(
@@ -574,14 +588,46 @@ check_scenario(const Scenario& sc)
         }
     }
 
+    // Incremental differential: the active-set engine must replay the
+    // full recompute bit for bit on EVERY scenario -- summary
+    // fingerprint (which embeds the market skip counters: the dirty
+    // bookkeeping is mode-invariant, so even the skip counts must
+    // match), the full telemetry stream, and the traced time series.
+    // A divergence here is a dirty-set bug: some entry skipped a
+    // recompute whose inputs had actually changed.
+    {
+        const RunOutput inc = run_once(sc, "PPM", true, 1, true);
+        const RunOutput full = run_once(sc, "PPM", true, 1, false);
+        if (summary_fingerprint(inc.summary) !=
+            summary_fingerprint(full.summary)) {
+            violations.push_back(
+                {"incremental", "PPM",
+                 "summary fingerprints differ between incremental "
+                 "and full clearing"});
+        } else if (inc.jsonl != full.jsonl) {
+            violations.push_back(
+                {"incremental", "PPM",
+                 "telemetry streams differ between incremental and "
+                 "full clearing (" +
+                     std::to_string(inc.jsonl.size()) + " vs " +
+                     std::to_string(full.jsonl.size()) + " bytes)"});
+        } else if (inc.trace_csv != full.trace_csv) {
+            violations.push_back(
+                {"incremental", "PPM",
+                 "traced time series differ between incremental and "
+                 "full clearing"});
+        }
+    }
+
     // Fleet-single differential: a 1-chip fleet wrapping the exact
     // PPM configuration must reproduce the plain run bit for bit --
     // summary fingerprint AND the shard's full telemetry stream
     // (run_until slicing at the epoch barriers provably changes
     // nothing, and a 1-chip settlement never moves the budget).
     {
-        const RunOutput plain = run_once(sc, "PPM", true, 1);
-        const FleetOutput single = run_fleet(sc, 1, 1);
+        const RunOutput plain =
+            run_once(sc, "PPM", true, 1, sc.incremental);
+        const FleetOutput single = run_fleet(sc, 1, 1, sc.incremental);
         if (summary_fingerprint(single.combined) !=
             summary_fingerprint(plain.summary)) {
             violations.push_back(
@@ -603,8 +649,10 @@ check_scenario(const Scenario& sc)
     // byte-determinism, and fleet budget conservation at every
     // supervisor barrier.
     if (sc.fleet_chips > 1) {
-        const FleetOutput serial = run_fleet(sc, sc.fleet_chips, 1);
-        const FleetOutput pooled = run_fleet(sc, sc.fleet_chips, 3);
+        const FleetOutput serial =
+            run_fleet(sc, sc.fleet_chips, 1, sc.incremental);
+        const FleetOutput pooled =
+            run_fleet(sc, sc.fleet_chips, 3, sc.incremental);
         if (summary_fingerprint(serial.combined) !=
             summary_fingerprint(pooled.combined)) {
             violations.push_back(
@@ -618,7 +666,8 @@ check_scenario(const Scenario& sc)
                  "fleet telemetry streams differ between jobs=1 and "
                  "jobs=3"});
         }
-        const FleetOutput again = run_fleet(sc, sc.fleet_chips, 1);
+        const FleetOutput again =
+            run_fleet(sc, sc.fleet_chips, 1, sc.incremental);
         if (serial.fleet_jsonl != again.fleet_jsonl ||
             serial.chip0_jsonl != again.chip0_jsonl ||
             summary_fingerprint(serial.combined) !=
@@ -630,6 +679,20 @@ check_scenario(const Scenario& sc)
         if (!serial.budget_error.empty()) {
             violations.push_back(
                 {"fleet-budget", "PPM", serial.budget_error});
+        }
+        // Fleet incremental differential: epoch-barrier warm starts
+        // (budget retargets via set_power_budget between settlements)
+        // must also replay bit for bit against full clearing.
+        const FleetOutput other =
+            run_fleet(sc, sc.fleet_chips, 1, !sc.incremental);
+        if (serial.fleet_jsonl != other.fleet_jsonl ||
+            serial.chip0_jsonl != other.chip0_jsonl ||
+            summary_fingerprint(serial.combined) !=
+                summary_fingerprint(other.combined)) {
+            violations.push_back(
+                {"fleet-incremental", "PPM",
+                 "fleet bytes differ between incremental and full "
+                 "clearing"});
         }
     }
     return violations;

@@ -332,6 +332,11 @@ generate_scenario(std::uint64_t seed)
     // seed are unchanged from earlier grammar versions).
     if (rng.chance(0.25))
         sc.fleet_chips = static_cast<int>(rng.uniform_int(2, 4));
+
+    // A fifth of the scenarios run their primary pass with the
+    // incremental engine off (the differential runs the complement
+    // either way).  Drawn after fleet_chips for grammar back-compat.
+    sc.incremental = !rng.chance(0.2);
     return sc;
 }
 
@@ -456,6 +461,7 @@ serialize(const Scenario& sc)
     os << "online_speedup=" << (sc.online_speedup ? 1 : 0) << "\n";
     os << "adaptive_step=" << (sc.adaptive_step ? 1 : 0) << "\n";
     os << "fleet_chips=" << sc.fleet_chips << "\n";
+    os << "incremental=" << (sc.incremental ? 1 : 0) << "\n";
     os << "faults=" << (sc.has_faults ? 1 : 0) << "\n";
     if (sc.has_faults) {
         const fault::FaultSpec& f = sc.faults;
@@ -568,6 +574,9 @@ parse_scenario(const std::string& text, Scenario* out,
             // Missing key (pre-federation fixtures) defaults to 1.
             ok = parse_long(value, &l) && l >= 1 && l <= 8;
             sc.fleet_chips = static_cast<int>(l);
+        } else if (key == "incremental") {
+            // Missing key (pre-incremental fixtures) defaults to on.
+            ok = parse_bool(value, &sc.incremental);
         } else if (key == "faults") {
             ok = parse_bool(value, &sc.has_faults);
         } else if (key == "fault_seed") {

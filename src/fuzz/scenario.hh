@@ -82,6 +82,15 @@ struct Scenario {
      * only (the fleet-single differential still runs).
      */
     int fleet_chips = 1;
+    /**
+     * Incremental active-set clearing (PpmConfig::incremental) for
+     * the scenario's *primary* run.  check.cc always also runs the
+     * flag's complement and requires byte-identical summaries and
+     * trace fingerprints (the incremental differential); the gene
+     * exists so fixture files pin the mode a bug was found under and
+     * so shrinking can try the full-recompute path first.
+     */
+    bool incremental = true;
     std::vector<TaskGene> tasks; ///< At least one.
 };
 

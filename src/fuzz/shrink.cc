@@ -125,6 +125,24 @@ shrink_faults(Search& s)
     }
 }
 
+/**
+ * Try the full-recompute path before anything else: a violation that
+ * survives with incrementality off is not a dirty-set bug, so the
+ * surviving fixture localizes it elsewhere -- and one that only
+ * reproduces with the incremental engine pins the blame on a skip
+ * rule.  (The incremental differential itself always runs both
+ * modes; this gene only selects the primary runs' mode.)
+ */
+void
+shrink_incremental(Search& s)
+{
+    if (s.best.incremental) {
+        Scenario cand = s.best;
+        cand.incremental = false;
+        s.accept(cand);
+    }
+}
+
 /** Try zeroing whole structural dimensions in one shot each. */
 void
 shrink_structure(Search& s)
@@ -218,6 +236,7 @@ shrink(const Scenario& sc, const Violation& target,
     // tasks make shorter runs reproduce and vice versa).
     for (int round = 0; round < 4 && !s.exhausted(); ++round) {
         const std::string before = serialize(s.best);
+        shrink_incremental(s);
         shrink_tasks(s);
         shrink_faults(s);
         shrink_structure(s);

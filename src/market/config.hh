@@ -165,6 +165,17 @@ struct PpmConfig {
      */
     int clearing_min_tasks = 1024;
 
+    /**
+     * Incremental active-set clearing (escape hatch).  The dirty-bit
+     * bookkeeping always runs; this flag only controls whether clean
+     * entries actually skip their folds and replay memoized results.
+     * Skip rules fire only when every input to an entry's fold is
+     * bit-unchanged, so the cleared round is byte-identical with the
+     * flag on or off -- turning it off trades speed for a simpler
+     * execution trace when hunting dirty-set bugs.
+     */
+    bool incremental = true;
+
     // --- Adaptive V-F stepping (SpeedEx-style tatonnement control) ---
 
     /**

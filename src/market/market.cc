@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
 namespace ppm::market {
+
+namespace {
+
+/**
+ * Bit-pattern equality.  The incremental skip rules must compare the
+ * exact bytes a full recomputation would produce: operator== treats
+ * -0.0 and +0.0 as equal although they serialize differently, and
+ * compares every NaN unequal to itself although replaying the same
+ * NaN bits is exactly what a deterministic re-execution would do.
+ */
+inline bool
+bits_eq(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+} // namespace
 
 const char*
 chip_state_name(ChipState s)
@@ -49,6 +67,49 @@ Market::Market(hw::Chip* chip, PpmConfig cfg)
     group_offset_.assign(cores_.size() + 1, 0);
     core_any_task_.assign(cores_.size(), 0);
     core_all_floor_.assign(cores_.size(), 0);
+    const std::size_t ncores = cores_.size();
+    scratch_bid_sum_.assign(ncores, 0.0);
+    core_demand_dirty_.assign(ncores, 0);
+    core_recompute_.assign(ncores, 0);
+    core_bid_recompute_.assign(ncores, 0);
+    price_changed_last_.assign(ncores, 0);
+    price_changed_now_.assign(ncores, 0);
+    core_fold_dirty_ =
+        std::make_unique<std::atomic<unsigned char>[]>(ncores);
+    for (std::size_t c = 0; c < ncores; ++c)
+        core_fold_dirty_[c].store(0, std::memory_order_relaxed);
+    const std::size_t ncl = clusters_.size();
+    freeze_changed_.assign(ncl, 0);
+    freeze_seen_.assign(ncl, 0);
+    dist_weight_.assign(ncl, 0.0);
+    cluster_offset_.assign(ncl + 1, 0);
+}
+
+void
+Market::ensure_incr_capacity()
+{
+    const std::size_t n = tasks_.size();
+    if (task_ext_.size() >= n)
+        return;
+    task_ext_.resize(n, 0);
+    task_carry_.resize(n, 0);
+    alloc_stamp_.resize(n, 0);
+    bid_stamp_.resize(n, 0);
+    processed_stamp_.resize(n, 0);
+    prev_bid_.resize(n, 0.0);
+    prev_savings_.resize(n, 0.0);
+    prev_supply_.resize(n, 0.0);
+}
+
+void
+Market::mark_task_ext(TaskId t)
+{
+    ensure_incr_capacity();
+    const auto i = static_cast<std::size_t>(t);
+    if (task_ext_[i] == 0) {
+        task_ext_[i] = 1;
+        ext_list_.push_back(t);
+    }
 }
 
 void
@@ -97,9 +158,28 @@ Market::for_core_chunks(Fn&& fn) const
 }
 
 void
-Market::load_soa()
+Market::load_soa(bool full)
 {
     soa_.resize(tasks_.size());
+    if (!full) {
+        // Only the externally-dirtied tasks can differ from the
+        // mirror: every column a round writes went back through
+        // store_soa(), and every out-of-round write marks its task.
+        for (const TaskId t : ext_list_) {
+            const auto i = static_cast<std::size_t>(t);
+            const TaskState& ts = tasks_[i];
+            soa_.demand[i] = ts.demand;
+            soa_.supply[i] = ts.supply;
+            soa_.bid[i] = ts.bid;
+            soa_.allowance[i] = ts.allowance;
+            soa_.savings[i] = ts.savings;
+            soa_.priority[i] = static_cast<double>(ts.priority);
+            soa_.core[i] = ts.core;
+            soa_.cluster[i] = chip_->cluster_of(ts.core);
+            soa_.active[i] = ts.active ? 1 : 0;
+        }
+        return;
+    }
     for_task_chunks([this](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
             const TaskState& t = tasks_[i];
@@ -117,8 +197,19 @@ Market::load_soa()
 }
 
 void
-Market::store_soa()
+Market::store_soa(bool full)
 {
+    if (!full) {
+        for (const TaskId id : recomputed_tasks_) {
+            const auto i = static_cast<std::size_t>(id);
+            TaskState& t = tasks_[i];
+            t.supply = soa_.supply[i];
+            t.bid = soa_.bid[i];
+            t.allowance = soa_.allowance[i];
+            t.savings = soa_.savings[i];
+        }
+        return;
+    }
     for_task_chunks([this](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
             TaskState& t = tasks_[i];
@@ -156,7 +247,33 @@ Market::rebuild_groups()
                 t.id;
         }
     }
+
+    // Cluster-membership index over ALL tasks (the allowance
+    // distribution writes inactive entries too), same counting sort.
+    const std::size_t ncl = clusters_.size();
+    cluster_cursor_.assign(ncl, 0);
+    for (const TaskState& t : tasks_) {
+        ++cluster_cursor_[static_cast<std::size_t>(
+            chip_->cluster_of(t.core))];
+    }
+    cluster_offset_.resize(ncl + 1);
+    cluster_offset_[0] = 0;
+    for (std::size_t v = 0; v < ncl; ++v)
+        cluster_offset_[v + 1] = cluster_offset_[v] + cluster_cursor_[v];
+    cluster_task_.resize(static_cast<std::size_t>(cluster_offset_[ncl]));
+    for (std::size_t v = 0; v < ncl; ++v)
+        cluster_cursor_[v] = cluster_offset_[v];
+    for (const TaskState& t : tasks_) {
+        cluster_task_[static_cast<std::size_t>(
+            cluster_cursor_[static_cast<std::size_t>(
+                chip_->cluster_of(t.core))]++)] = t.id;
+    }
+
     groups_dirty_ = false;
+    ++groups_epoch_;
+    // The active set / bid population changed; the circulating-bids
+    // fold can no longer be replayed.
+    circ_valid_ = false;
 }
 
 void
@@ -174,6 +291,7 @@ Market::add_task(TaskId id, int priority, CoreId initial_core)
     t.bid = std::max(cfg_.min_bid, cfg_.initial_bid);
     tasks_.push_back(t);
     groups_dirty_ = true;
+    mark_task_ext(id);
 }
 
 void
@@ -182,7 +300,14 @@ Market::set_demand(TaskId t, Pu demand)
     PPM_ASSERT(demand >= 0.0, "demand must be non-negative");
     PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
                "task id out of range");
-    tasks_[static_cast<std::size_t>(t)].demand = demand;
+    TaskState& ts = tasks_[static_cast<std::size_t>(t)];
+    // A bit-identical redeclared demand changes nothing downstream;
+    // writing it without the dirty marks keeps the entry skippable.
+    if (bits_eq(ts.demand, demand))
+        return;
+    ts.demand = demand;
+    mark_task_ext(t);
+    core_demand_dirty_[static_cast<std::size_t>(ts.core)] = 1;
 }
 
 void
@@ -192,8 +317,12 @@ Market::set_task_core(TaskId t, CoreId core)
                "core out of range");
     PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
                "task id out of range");
-    tasks_[static_cast<std::size_t>(t)].core = core;
+    TaskState& ts = tasks_[static_cast<std::size_t>(t)];
+    if (ts.core == core)
+        return;
+    ts.core = core;
     groups_dirty_ = true;
+    mark_task_ext(t);
 }
 
 void
@@ -212,6 +341,8 @@ Market::set_task_active(TaskId t, bool active)
     ts.supply = 0.0;
     ts.demand = active ? ts.demand : 0.0;
     groups_dirty_ = true;
+    mark_task_ext(t);
+    core_demand_dirty_[static_cast<std::size_t>(ts.core)] = 1;
 }
 
 void
@@ -252,6 +383,9 @@ Market::task(TaskId t)
 {
     PPM_ASSERT(t >= 0 && t < static_cast<TaskId>(tasks_.size()),
                "task id out of range");
+    // The caller can rewrite any field behind the dirty tracking's
+    // back, so the memos are forfeit (cf. the header contract).
+    force_full_ = true;
     return tasks_[static_cast<std::size_t>(t)];
 }
 
@@ -268,6 +402,7 @@ Market::core(CoreId c)
 {
     PPM_ASSERT(c >= 0 && c < static_cast<CoreId>(cores_.size()),
                "core id out of range");
+    force_full_ = true;
     return cores_[static_cast<std::size_t>(c)];
 }
 
@@ -307,14 +442,19 @@ Market::bids_frozen(ClusterId v) const
 }
 
 void
-Market::refresh_core_demands()
+Market::refresh_core_demands(bool skip_clean)
 {
     // Each core's demand folds over its grouped tasks in id order --
     // the exact association of the old single sequential walk -- so
     // the parallel fan-out over core ranges is bit-identical to it
-    // for any chunking and any worker count.
-    for_core_chunks([this](std::size_t begin, std::size_t end) {
+    // for any chunking and any worker count.  A core outside
+    // core_recompute_ had no member demand change and no regrouping,
+    // so its memoized sum is the bit-exact fold result already.
+    for_core_chunks([this, skip_clean](std::size_t begin,
+                                       std::size_t end) {
         for (std::size_t c = begin; c < end; ++c) {
+            if (skip_clean && core_recompute_[c] == 0)
+                continue;
             Pu demand = 0.0;
             const int lo = group_offset_[c];
             const int hi = group_offset_[c + 1];
@@ -354,10 +494,22 @@ Market::update_allowance(Watts chip_power, Pu total_demand, Pu deficit,
                            cfg_.allowance_growth_cap);
         } else if (cfg_.money_anchor_rate > 0.0 &&
                    raw_deficit <= 0.0) {
-            Money circulating = 0.0;
-            for (const TaskState& t : tasks_) {
-                if (t.active)
-                    circulating += t.bid;
+            // The circulating-bids fold accumulates in task-id order;
+            // memoizing the finished fold (rather than patching it)
+            // keeps the association -- and hence the bits -- identical
+            // to the full walk.  Valid while no bid changed and the
+            // active set held (any_bid / rebuild_groups invalidate).
+            Money circulating;
+            if (circ_valid_) {
+                circulating = circ_sum_;
+            } else {
+                circulating = 0.0;
+                for (const TaskState& t : tasks_) {
+                    if (t.active)
+                        circulating += t.bid;
+                }
+                circ_sum_ = circulating;
+                circ_valid_ = true;
             }
             const Money target = cfg_.money_anchor_slack * circulating;
             if (allowance_ > target) {
@@ -375,7 +527,8 @@ Market::update_allowance(Watts chip_power, Pu total_demand, Pu deficit,
 }
 
 void
-Market::distribute_allowance(Watts chip_power)
+Market::distribute_allowance(Watts chip_power, bool skip_clean,
+                             bool global)
 {
     // Priority sums per core and cluster (reusable scratch: the
     // market rounds on the governor's bid cadence, so per-round
@@ -383,29 +536,34 @@ Market::distribute_allowance(Watts chip_power)
     // sums fold over the per-core groups; the cluster sums fold over
     // the cluster's cores.  Both are sums of small integers, which
     // doubles represent exactly under any association, so the
-    // regrouped parallel folds equal the old per-task walk.
+    // regrouped parallel folds equal the old per-task walk -- and the
+    // epoch-cached reuse below equals both: priorities only move with
+    // the groups, and integer sums have one exact value.
     std::vector<double>& core_prio = scratch_core_prio_;
     std::vector<double>& cluster_prio = scratch_cluster_prio_;
-    core_prio.resize(cores_.size());
-    cluster_prio.assign(clusters_.size(), 0.0);
-    for_core_chunks([this, &core_prio](std::size_t begin,
-                                       std::size_t end) {
-        for (std::size_t c = begin; c < end; ++c) {
-            double prio = 0.0;
-            const int lo = group_offset_[c];
-            const int hi = group_offset_[c + 1];
-            for (int k = lo; k < hi; ++k) {
-                prio += soa_.priority[static_cast<std::size_t>(
-                    group_task_[static_cast<std::size_t>(k)])];
+    if (prio_epoch_ != groups_epoch_) {
+        core_prio.resize(cores_.size());
+        cluster_prio.assign(clusters_.size(), 0.0);
+        for_core_chunks([this, &core_prio](std::size_t begin,
+                                           std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+                double prio = 0.0;
+                const int lo = group_offset_[c];
+                const int hi = group_offset_[c + 1];
+                for (int k = lo; k < hi; ++k) {
+                    prio += soa_.priority[static_cast<std::size_t>(
+                        group_task_[static_cast<std::size_t>(k)])];
+                }
+                core_prio[c] = prio;
             }
-            core_prio[c] = prio;
+        });
+        for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
+            for (CoreId c : chip_->cluster(v).cores()) {
+                cluster_prio[static_cast<std::size_t>(v)] +=
+                    core_prio[static_cast<std::size_t>(c)];
+            }
         }
-    });
-    for (ClusterId v = 0; v < chip_->num_clusters(); ++v) {
-        for (CoreId c : chip_->cluster(v).cores()) {
-            cluster_prio[static_cast<std::size_t>(v)] +=
-                core_prio[static_cast<std::size_t>(c)];
-        }
+        prio_epoch_ = groups_epoch_;
     }
 
     // Cluster weights: inversely proportional to power consumption
@@ -448,38 +606,98 @@ Market::distribute_allowance(Watts chip_power)
         }
     }
     if (weight_sum <= 1e-12)
-        return;  // No tasks anywhere.
+        return;  // No tasks anywhere; allowances (and the memo) hold.
 
     // Chip -> cluster -> core -> task, each level priority-weighted.
-    for_task_chunks([this, &weight, &core_prio, &cluster_prio,
-                     weight_sum](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            if (soa_.active[i] == 0) {
-                soa_.allowance[i] = 0.0;
-                continue;
-            }
+    // Every write bit-compares against the standing allowance and
+    // stamps the moved entries into the bid pass's dirty set; a
+    // cluster whose distribution inputs are bit-unchanged since the
+    // last distributing round reproduces every member bit for bit, so
+    // the incremental path skips it outright (the stamps still come
+    // out identical: unchanged values stamp nothing in either mode).
+    auto write_task = [this, &weight, &core_prio, &cluster_prio,
+                       weight_sum](std::size_t i) {
+        Money value = 0.0;
+        if (soa_.active[i] != 0) {
             const auto v = static_cast<std::size_t>(soa_.cluster[i]);
             const auto c = static_cast<std::size_t>(soa_.core[i]);
             const Money cluster_allowance =
                 allowance_ * weight[v] / weight_sum;
             const Money core_allowance =
                 cluster_allowance * core_prio[c] / cluster_prio[v];
-            soa_.allowance[i] =
-                core_allowance * soa_.priority[i] / core_prio[c];
+            value = core_allowance * soa_.priority[i] / core_prio[c];
         }
-    });
+        if (!bits_eq(value, soa_.allowance[i])) {
+            soa_.allowance[i] = value;
+            alloc_stamp_[i] = round_tag_;
+            flag_any_alloc_.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    if (!skip_clean) {
+        for_task_chunks([&write_task](std::size_t begin,
+                                      std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                write_task(i);
+        });
+    } else {
+        // Gather the members of the dirty clusters (cluster order,
+        // task-id order within -- both fixed by the index, never by
+        // the pool) and fan the writes out over that compact list.
+        alloc_tasks_.clear();
+        for (std::size_t v = 0; v < clusters_.size(); ++v) {
+            const bool clean = !global && dist_valid_ &&
+                dist_epoch_ == groups_epoch_ &&
+                bits_eq(dist_allowance_, allowance_) &&
+                bits_eq(dist_weight_sum_, weight_sum) &&
+                bits_eq(dist_weight_[v], weight[v]);
+            if (clean)
+                continue;
+            const int lo = cluster_offset_[v];
+            const int hi = cluster_offset_[v + 1];
+            for (int k = lo; k < hi; ++k)
+                alloc_tasks_.push_back(
+                    cluster_task_[static_cast<std::size_t>(k)]);
+        }
+        if (!alloc_tasks_.empty()) {
+            ThreadPool::for_chunks(
+                parallel_active() ? pool_ : nullptr,
+                alloc_tasks_.size(),
+                static_cast<std::size_t>(cfg_.clearing_grain),
+                [this, &write_task](std::size_t begin,
+                                    std::size_t end) {
+                    for (std::size_t k = begin; k < end; ++k)
+                        write_task(static_cast<std::size_t>(
+                            alloc_tasks_[k]));
+                });
+        }
+    }
+
+    dist_valid_ = true;
+    dist_epoch_ = groups_epoch_;
+    dist_allowance_ = allowance_;
+    dist_weight_sum_ = weight_sum;
+    dist_weight_.assign(weight.begin(), weight.end());
 }
 
 void
-Market::place_bids()
+Market::place_bids(const std::vector<TaskId>* list)
 {
     // Purely element-wise over the task agents (reads of the shared
     // core prices and cluster freeze flags are immutable during the
     // pass), so the chunks are independent and the fan-out exact.
-    for_task_chunks([this](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            if (soa_.active[i] == 0)
-                continue;
+    // Skipping an entry is sound only when it sat at a bitwise fixed
+    // point last round (bid/savings replayed verbatim) AND every
+    // exogenous input -- demand, allowance, savings tax, last round's
+    // price, last round's supply, the freeze flag, the rounds_ > 0
+    // branch -- is bit-unchanged; round() assembles exactly that set
+    // into `list`.  After the body, each executed entry bit-compares
+    // its outputs against the prev_* memos: the resulting stamps
+    // drive the bid folds, the purchase set and next round's dirty
+    // set, and are evaluated over the full range whenever the full
+    // range executes, so both modes stamp identically.
+    auto agent = [this](std::size_t i) {
+        if (soa_.active[i] != 0) {
             const bool frozen =
                 clusters_[static_cast<std::size_t>(soa_.cluster[i])]
                     .freeze_bids;
@@ -514,11 +732,44 @@ Market::place_bids()
                 soa_.savings[i] = std::max(0.0, next);
             }
         }
-    });
+        // Change flags: an inactive task writes nothing above, but a
+        // mutator may have reset its ledger, so the compares run for
+        // every executed entry.
+        const bool bid_moved = !bits_eq(soa_.bid[i], prev_bid_[i]);
+        if (bid_moved) {
+            prev_bid_[i] = soa_.bid[i];
+            bid_stamp_[i] = round_tag_;
+            core_fold_dirty_[static_cast<std::size_t>(soa_.core[i])]
+                .store(1, std::memory_order_relaxed);
+            flag_any_bid_.store(true, std::memory_order_relaxed);
+        }
+        const bool savings_moved =
+            !bits_eq(soa_.savings[i], prev_savings_[i]);
+        if (savings_moved)
+            prev_savings_[i] = soa_.savings[i];
+        task_carry_[i] = (bid_moved || savings_moved) ? 1 : 0;
+        if (bid_moved || savings_moved)
+            flag_any_carry_.store(true, std::memory_order_relaxed);
+    };
+
+    if (list == nullptr) {
+        for_task_chunks([&agent](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                agent(i);
+        });
+    } else if (!list->empty()) {
+        ThreadPool::for_chunks(
+            parallel_active() ? pool_ : nullptr, list->size(),
+            static_cast<std::size_t>(cfg_.clearing_grain),
+            [&agent, list](std::size_t begin, std::size_t end) {
+                for (std::size_t k = begin; k < end; ++k)
+                    agent(static_cast<std::size_t>((*list)[k]));
+            });
+    }
 }
 
-void
-Market::discover_prices()
+bool
+Market::discover_prices(bool skip_clean)
 {
     // Sum of bids per core: like refresh_core_demands(), each core
     // folds its grouped tasks in id order, so the parallel reduction
@@ -526,12 +777,16 @@ Market::discover_prices()
     // derives the per-core bid-floor flags control_supply() consumes
     // (booleans, hence order-independent): whether the core hosts any
     // active task and whether every one of its bids sits at b_min.
+    // A core outside core_bid_recompute_ had no member bid change and
+    // no regrouping, so its memoized fold (and flags) stand.
     std::vector<Money>& bid_sum = scratch_bid_sum_;
     bid_sum.resize(cores_.size());
     const Money floor = cfg_.min_bid + 1e-12;
-    for_core_chunks([this, &bid_sum, floor](std::size_t begin,
-                                            std::size_t end) {
+    for_core_chunks([this, &bid_sum, floor, skip_clean](
+                        std::size_t begin, std::size_t end) {
         for (std::size_t c = begin; c < end; ++c) {
+            if (skip_clean && core_bid_recompute_[c] == 0)
+                continue;
             Money bids = 0.0;
             unsigned char all_floor = 1;
             const int lo = group_offset_[c];
@@ -549,25 +804,64 @@ Market::discover_prices()
         }
     });
 
+    // Price loop: always O(cores), never skipped.  Reading the live
+    // core supply and bit-comparing the resulting price is what makes
+    // every supply-side channel (cluster V-F steps, adaptive-step
+    // jumps, power gating, safe-mode clamps, deferred faulted DVFS)
+    // an automatic invalidation: any change surfaces here and dirties
+    // exactly the tasks that price their purchases off this core.
+    bool any_price_moved = false;
     for (CoreState& c : cores_) {
+        const auto ci = static_cast<std::size_t>(c.id);
         c.supply = chip_->core_supply(c.id);
-        const Money bids = bid_sum[static_cast<std::size_t>(c.id)];
-        c.price = (c.supply > 0.0 && bids > 0.0) ? bids / c.supply : 0.0;
+        const Money bids = bid_sum[ci];
+        const Money price =
+            (c.supply > 0.0 && bids > 0.0) ? bids / c.supply : 0.0;
+        const unsigned char moved = bits_eq(price, c.price) ? 0 : 1;
+        price_changed_now_[ci] = moved;
+        any_price_moved |= moved != 0;
+        c.price = price;
     }
+    return any_price_moved;
+}
 
-    // Purchases: element-wise over the task agents.
-    for_task_chunks([this](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            if (soa_.active[i] == 0) {
-                soa_.supply[i] = 0.0;
-                continue;
-            }
+void
+Market::run_purchases(const std::vector<TaskId>* list)
+{
+    // Purchases: element-wise over the task agents.  supply is a pure
+    // function of (active, bid, this round's price), so the active
+    // set is exactly the tasks with a stamped bid, a moved core
+    // price, or an external mutation; everything else replays its
+    // memoized supply bit for bit.
+    auto purchase = [this](std::size_t i) {
+        Pu supply = 0.0;
+        if (soa_.active[i] != 0) {
             const CoreState& c =
                 cores_[static_cast<std::size_t>(soa_.core[i])];
-            soa_.supply[i] =
-                c.price > 0.0 ? soa_.bid[i] / c.price : 0.0;
+            supply = c.price > 0.0 ? soa_.bid[i] / c.price : 0.0;
         }
-    });
+        soa_.supply[i] = supply;
+        if (!bits_eq(supply, prev_supply_[i])) {
+            prev_supply_[i] = supply;
+            task_carry_[i] = 1;
+            flag_any_carry_.store(true, std::memory_order_relaxed);
+        }
+    };
+    if (list == nullptr) {
+        for_task_chunks([&purchase](std::size_t begin,
+                                    std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                purchase(i);
+        });
+    } else if (!list->empty()) {
+        ThreadPool::for_chunks(
+            parallel_active() ? pool_ : nullptr, list->size(),
+            static_cast<std::size_t>(cfg_.clearing_grain),
+            [&purchase, list](std::size_t begin, std::size_t end) {
+                for (std::size_t k = begin; k < end; ++k)
+                    purchase(static_cast<std::size_t>((*list)[k]));
+            });
+    }
 }
 
 int
@@ -832,6 +1126,8 @@ Market::sanitize(const std::vector<Pu>& fallback_supplies)
                                 cfg_.min_bid, cfg_.max_allowance);
         ++repaired;
     }
+    // Repairs rewrite ledgers wholesale; drop every clearing memo.
+    force_full_ = true;
     return repaired;
 }
 
@@ -844,9 +1140,47 @@ Market::round()
     // when one is set -- see set_thread_pool for the determinism
     // contract).  tasks_ itself is not written again until
     // store_soa().
-    load_soa();
+    //
+    // Incremental active-set clearing rides on top: the dirty
+    // tracking below decides, pass by pass, which entries a full
+    // recomputation could possibly change, and -- when
+    // cfg_.incremental allows skipping -- replays the memoized
+    // results for everything else.  The tracking itself runs in both
+    // modes so the recompute sets, skip counters and cleared values
+    // never depend on the mode; `global` rounds (warm-up, sanitize,
+    // mutable-accessor use) recompute everything outright.
+    ensure_incr_capacity();
+    round_tag_ = rounds_ + 1;
+    const bool global = force_full_ || rounds_ < 2;
+    const bool skip_clean = cfg_.incremental && !global;
+    if (global) {
+        prio_epoch_ = -1;
+        dist_valid_ = false;
+        circ_valid_ = false;
+    }
+    flag_any_alloc_.store(false, std::memory_order_relaxed);
+    flag_any_bid_.store(false, std::memory_order_relaxed);
+    flag_any_carry_.store(false, std::memory_order_relaxed);
+
+    const long epoch_before = groups_epoch_;
     rebuild_groups();
-    refresh_core_demands();
+    const bool groups_rebuilt = groups_epoch_ != epoch_before;
+    load_soa(!skip_clean);
+
+    // Demand-fold recompute set: regrouping or any member demand
+    // change (set_demand marks the hosting core).  Decided serially
+    // so the counters stay off the workers.
+    const std::size_t ncores = cores_.size();
+    long cores_recomputed = 0;
+    for (std::size_t c = 0; c < ncores; ++c) {
+        const unsigned char r =
+            (global || groups_rebuilt || core_demand_dirty_[c] != 0)
+            ? 1 : 0;
+        core_recompute_[c] = r;
+        core_demand_dirty_[c] = 0;
+        cores_recomputed += r;
+    }
+    refresh_core_demands(skip_clean);
 
     // Chip demand D: sum over clusters of the constrained core's
     // demand; chip supply S: sum of cluster supplies (Section 2).
@@ -891,11 +1225,14 @@ Market::round()
     // sensors are sampled.
     state_ = update_allowance(chip_power, total_demand, deficit,
                               raw_deficit);
+    bool taxed = false;
     if (state_ == ChipState::kEmergency &&
         cfg_.emergency_savings_tax > 0.0) {
         // Monetary contraction: the TDP response must also curb the
         // banked money or savings-funded bids keep the supply -- and
-        // the power -- inflated.
+        // the power -- inflated.  The tax rewrites every agent's
+        // savings, so this round's bid pass runs over the full range.
+        taxed = true;
         const double keep = 1.0 - cfg_.emergency_savings_tax;
         for_task_chunks([this, keep](std::size_t begin,
                                      std::size_t end) {
@@ -903,16 +1240,145 @@ Market::round()
                 soa_.savings[i] *= keep;
         });
     }
-    distribute_allowance(chip_power);
-    place_bids();
-    discover_prices();
-    store_soa();
+    distribute_allowance(chip_power, skip_clean, global);
+
+    // ----- Bid-pass active set ------------------------------------
+    // A task re-bids when any input of its fold moved: an external
+    // mutation (demand/core/activity/admission), its own outputs
+    // still in motion last round (carry), a moved allowance, a moved
+    // price on its core (the bid reads *last* round's price), a
+    // flipped freeze flag on its cluster, or a global/tax round.  The
+    // scan walks ascending task ids; the skip-everything case never
+    // touches the O(tasks) arrays at all.
+    const std::size_t ntasks = tasks_.size();
+    const bool book_all = global || taxed;
+    dirty_tasks_.clear();
+    long tasks_recomputed = 0;
+    if (book_all) {
+        tasks_recomputed = static_cast<long>(ntasks);
+    } else {
+        const bool any_dirt = !ext_list_.empty() || any_carry_ ||
+            flag_any_alloc_.load(std::memory_order_relaxed) ||
+            any_price_changed_last_ || any_freeze_changed_;
+        if (any_dirt) {
+            for (std::size_t i = 0; i < ntasks; ++i) {
+                const bool dirty = task_ext_[i] != 0 ||
+                    task_carry_[i] != 0 ||
+                    alloc_stamp_[i] == round_tag_ ||
+                    price_changed_last_[static_cast<std::size_t>(
+                        soa_.core[i])] != 0 ||
+                    freeze_changed_[static_cast<std::size_t>(
+                        soa_.cluster[i])] != 0;
+                if (dirty) {
+                    dirty_tasks_.push_back(static_cast<TaskId>(i));
+                    processed_stamp_[i] = round_tag_;
+                }
+            }
+        }
+        tasks_recomputed = static_cast<long>(dirty_tasks_.size());
+    }
+    place_bids(skip_clean && !book_all ? &dirty_tasks_ : nullptr);
+
+    // ----- Bid-fold recompute set ---------------------------------
+    const bool any_bid_moved =
+        flag_any_bid_.load(std::memory_order_relaxed);
+    for (std::size_t c = 0; c < ncores; ++c) {
+        const unsigned char dirty =
+            core_fold_dirty_[c].exchange(0, std::memory_order_relaxed);
+        const unsigned char r =
+            (global || groups_rebuilt || dirty != 0) ? 1 : 0;
+        core_bid_recompute_[c] = r;
+        if (r != 0 && core_recompute_[c] == 0)
+            ++cores_recomputed;
+    }
+    const bool any_price_moved = discover_prices(skip_clean);
+
+    // ----- Purchase active set ------------------------------------
+    purchase_tasks_.clear();
+    if (!book_all &&
+        (any_bid_moved || any_price_moved || !ext_list_.empty())) {
+        for (std::size_t i = 0; i < ntasks; ++i) {
+            const bool dirty = bid_stamp_[i] == round_tag_ ||
+                price_changed_now_[static_cast<std::size_t>(
+                    soa_.core[i])] != 0 ||
+                task_ext_[i] != 0;
+            if (dirty) {
+                purchase_tasks_.push_back(static_cast<TaskId>(i));
+                if (processed_stamp_[i] != round_tag_) {
+                    processed_stamp_[i] = round_tag_;
+                    ++tasks_recomputed;
+                }
+            }
+        }
+    }
+    run_purchases(skip_clean && !book_all ? &purchase_tasks_
+                                          : nullptr);
+
+    // ----- Write-back ---------------------------------------------
+    // The recomputed union (ascending) doubles as the store set and
+    // the test-visible introspection list.
+    recomputed_tasks_.clear();
+    if (book_all) {
+        for (std::size_t i = 0; i < ntasks; ++i)
+            recomputed_tasks_.push_back(static_cast<TaskId>(i));
+    } else if (tasks_recomputed > 0) {
+        for (std::size_t i = 0; i < ntasks; ++i) {
+            if (processed_stamp_[i] == round_tag_)
+                recomputed_tasks_.push_back(static_cast<TaskId>(i));
+        }
+    }
+    if (skip_clean) {
+        if (tasks_recomputed > 0)
+            store_soa(false);
+    } else {
+        store_soa(true);
+    }
 
     RoundReport report;
     compute_excess_objective(report);
     const int vf_changes = control_supply(report.excess_l2);
     prev_objective_ = report.excess_l2;
     ++rounds_;
+
+    // ----- Post-round flag rollover -------------------------------
+    // Freeze-flag deltas: the *next* bid pass reads the flags
+    // control_supply() just wrote; the last one read freeze_seen_.
+    any_freeze_changed_ = false;
+    for (std::size_t v = 0; v < clusters_.size(); ++v) {
+        const unsigned char now = clusters_[v].freeze_bids ? 1 : 0;
+        const unsigned char changed = now != freeze_seen_[v] ? 1 : 0;
+        freeze_changed_[v] = changed;
+        freeze_seen_[v] = now;
+        any_freeze_changed_ |= changed != 0;
+    }
+    // This round's price moves become next round's bid-input moves
+    // (bids read the previous round's prices; purchases this one's).
+    std::swap(price_changed_last_, price_changed_now_);
+    any_price_changed_last_ = any_price_moved;
+    any_carry_ = flag_any_carry_.load(std::memory_order_relaxed);
+    if (any_bid_moved)
+        circ_valid_ = false;
+    for (const TaskId t : ext_list_)
+        task_ext_[static_cast<std::size_t>(t)] = 0;
+    ext_list_.clear();
+    force_full_ = false;
+
+    // ----- Counters -----------------------------------------------
+    report.tasks_recomputed = tasks_recomputed;
+    report.tasks_skipped =
+        static_cast<long>(ntasks) - tasks_recomputed;
+    report.cores_recomputed = cores_recomputed;
+    report.cores_skipped =
+        static_cast<long>(ncores) - cores_recomputed;
+    report.early_exit =
+        tasks_recomputed == 0 && cores_recomputed == 0;
+    ++clearing_.rounds;
+    clearing_.task_slots += static_cast<long>(ntasks);
+    clearing_.tasks_skipped += report.tasks_skipped;
+    clearing_.core_slots += static_cast<long>(ncores);
+    clearing_.cores_skipped += report.cores_skipped;
+    if (report.early_exit)
+        ++clearing_.rounds_early_exit;
 
     report.state = state_;
     report.allowance = allowance_;

@@ -17,8 +17,10 @@
 #ifndef PPM_MARKET_MARKET_HH
 #define PPM_MARKET_MARKET_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -82,6 +84,38 @@ struct RoundReport {
      * cluster across many converged ones.
      */
     double excess_l8 = 0.0;
+
+    /**
+     * Incremental-clearing activity of this round.  A task counts as
+     * recomputed when the round's dirty tracking put it in the bidding
+     * or purchase pass; a core counts when its demand or bid fold was
+     * re-reduced.  The dirty tracking runs whether or not
+     * PpmConfig::incremental actually skips the clean entries, so
+     * these numbers are identical with incrementality on or off.
+     */
+    long tasks_recomputed = 0;
+    long tasks_skipped = 0;
+    long cores_recomputed = 0;
+    long cores_skipped = 0;
+    /** True when the active set drained empty: no task or core entry
+     *  needed recomputation, so the round collapsed to the O(cores +
+     *  clusters) chip/cluster-agent work. */
+    bool early_exit = false;
+};
+
+/**
+ * Cumulative incremental-clearing counters across all rounds of one
+ * Market (see RoundReport for the per-round definitions).  task_slots
+ * and core_slots are the denominators -- sum over rounds of the task
+ * and core counts -- so skip rates are skipped/slots.
+ */
+struct ClearingStats {
+    long rounds = 0;
+    long task_slots = 0;
+    long tasks_skipped = 0;
+    long core_slots = 0;
+    long cores_skipped = 0;
+    long rounds_early_exit = 0;
 };
 
 /** Market-visible state of one cluster agent, for telemetry. */
@@ -171,6 +205,21 @@ class Market
     /** Number of rounds executed. */
     long rounds() const { return rounds_; }
 
+    /** Cumulative incremental-clearing activity (all rounds so far). */
+    const ClearingStats& clearing_stats() const { return clearing_; }
+
+    /**
+     * Ids of the tasks the last round's dirty tracking recomputed
+     * (ascending).  This is the *bookkeeping* active set -- what an
+     * incremental round re-runs and what a full round would have
+     * needed to re-run -- so invalidation-precision tests can assert
+     * it regardless of PpmConfig::incremental.  Reused across rounds.
+     */
+    const std::vector<TaskId>& last_round_recomputed() const
+    {
+        return recomputed_tasks_;
+    }
+
     /**
      * Outcome of the last completed round (zero-initialized before
      * the first).  The fleet supervisor reads the clearing deficit
@@ -204,6 +253,9 @@ class Market
      * Mutable state of task `t`.  Exists for the watchdog machinery
      * and its tests: injecting a non-finite field exercises sane() /
      * sanitize() without relying on a numeric overflow to occur.
+     * Taking this reference forfeits the incremental-clearing memos:
+     * the next round recomputes every entry (the caller may have
+     * rewritten state behind the dirty tracking's back).
      */
     TaskState& task(TaskId t);
 
@@ -214,6 +266,7 @@ class Market
      * Mutable state of core `c`.  Same contract as the mutable task()
      * overload: a hook for the watchdog tests, which need to plant a
      * non-finite supply/price that no public mutator would let in.
+     * Also forces the next round to recompute everything.
      */
     CoreState& core(CoreId c);
 
@@ -316,11 +369,21 @@ class Market
     template <typename Fn>
     void for_core_chunks(Fn&& fn) const;
 
-    /** Mirror tasks_ into the SoA hot vectors (per-task map). */
-    void load_soa();
+    /**
+     * Mirror tasks_ into the SoA hot vectors.  `full` copies every
+     * task (the reference path); otherwise only the externally-dirtied
+     * tasks (ext_list_) reload -- every other entry is bit-identical
+     * already, because store_soa() wrote back everything a round
+     * changed and the mutators mark everything they touch.
+     */
+    void load_soa(bool full);
 
-    /** Write the columns the round mutated back into tasks_. */
-    void store_soa();
+    /**
+     * Write the columns the round mutated back into tasks_.  `full`
+     * stores every task; otherwise only recomputed_tasks_ (entries the
+     * round never touched hold their previous bits on both sides).
+     */
+    void store_soa(bool full);
 
     /**
      * Rebuild the per-core grouping of active task ids (counting
@@ -333,8 +396,10 @@ class Market
     void rebuild_groups();
 
     /** Per-core demand reduction over the groups (replaces the old
-     *  sequential refresh_core_demands walk). */
-    void refresh_core_demands();
+     *  sequential refresh_core_demands walk).  Folds only the cores
+     *  flagged in core_recompute_ when `skip_clean`; the rest keep
+     *  their memoized sums. */
+    void refresh_core_demands(bool skip_clean);
 
     /**
      * Per-cluster price-weighted excess demand and its L2/L8 norms
@@ -365,14 +430,40 @@ class Market
     ChipState update_allowance(Watts chip_power, Pu total_demand,
                                Pu deficit, Pu raw_deficit);
 
-    /** Hierarchical allowance distribution (chip->cluster->core->task). */
-    void distribute_allowance(Watts chip_power);
+    /**
+     * Hierarchical allowance distribution (chip->cluster->core->task).
+     * A cluster whose distribution inputs (allowance A, weight vector,
+     * group epoch) are bit-unchanged since the last distributing round
+     * is skipped when `skip_clean`; recomputed tasks whose allowance
+     * bits moved are stamped into alloc_stamp_ for the bid pass's
+     * dirty set (stamped in both modes, so the set is mode-invariant).
+     */
+    void distribute_allowance(Watts chip_power, bool skip_clean,
+                              bool global);
 
-    /** Task-agent bidding and savings bookkeeping. */
-    void place_bids();
+    /**
+     * Task-agent bidding and savings bookkeeping over `list` (the
+     * compacted dirty set) or, with nullptr, over every task.  Each
+     * executed task's bid/savings are bit-compared against the
+     * prev_bid_/prev_savings_ memos to stamp the change flags the
+     * core folds and next round's dirty set consume.
+     */
+    void place_bids(const std::vector<TaskId>* list);
 
-    /** Core-agent price discovery and purchases. */
-    void discover_prices();
+    /**
+     * Core-agent bid folds (cores flagged in core_bid_recompute_, or
+     * all when `skip_clean` is false) and the always-on O(cores)
+     * price loop -- which re-reads each core's live supply so V-F
+     * steps, power gating, safe-mode level clamps and faulted DVFS
+     * need no explicit invalidation hooks: any supply or fold change
+     * lands in price_changed_now_ by bit-compare.  Returns whether
+     * any price moved.
+     */
+    bool discover_prices(bool skip_clean);
+
+    /** Purchase pass over `list` (nullptr = every task), with supply
+     *  change flags against the prev_supply_ memo. */
+    void run_purchases(const std::vector<TaskId>* list);
 
     /**
      * Cluster-agent DVFS decisions; returns number of level changes.
@@ -393,6 +484,12 @@ class Market
 
     /** Fill the attached telemetry snapshot from the post-round state. */
     void fill_telemetry(const RoundReport& report);
+
+    /** Grow the per-task incremental bookkeeping to tasks_.size(). */
+    void ensure_incr_capacity();
+
+    /** Flag task `t` as externally dirtied for the upcoming round. */
+    void mark_task_ext(TaskId t);
 
     hw::Chip* chip_;
     PpmConfig cfg_;
@@ -432,6 +529,115 @@ class Market
 
     /** Chip-wide excess objective of the previous round (<0 = none). */
     double prev_objective_ = -1.0;
+
+    // ---- Incremental active-set clearing ----------------------------
+    // Dirty tracking for cross-round result reuse.  The bookkeeping
+    // below runs on every round regardless of PpmConfig::incremental;
+    // the flag only decides whether clean entries are actually
+    // *skipped*, so the recompute sets, skip counters and all cleared
+    // values are bit-identical with incrementality on or off (the
+    // determinism argument lives in ARCHITECTURE.md).  A skip is only
+    // taken when every input of the entry's fold is bit-unchanged
+    // (memcmp, not ==: -0.0 vs +0.0 print differently, NaNs must stay
+    // dirty), so replaying the memoized result is value-identical by
+    // construction.
+
+    /** Next round recomputes everything (mutable hooks, sanitize). */
+    bool force_full_ = true;
+    long groups_epoch_ = 0;    ///< Bumped by each rebuild_groups().
+    long round_tag_ = 0;       ///< Stamp value of the current round.
+
+    std::vector<unsigned char> task_ext_;  ///< Mutator-dirtied tasks.
+    std::vector<TaskId> ext_list_;         ///< ...as a compact list.
+    std::vector<unsigned char> task_carry_;///< Outputs moved last round.
+    bool any_carry_ = false;
+    std::vector<long> alloc_stamp_;      ///< Allowance bits moved (round).
+    std::vector<long> bid_stamp_;        ///< Bid bits moved (round).
+    std::vector<long> processed_stamp_;  ///< In this round's active set.
+
+    // Last cleared values, for the bit-compares that decide the change
+    // flags (soa_ itself is overwritten in place by the passes).
+    std::vector<Money> prev_bid_;
+    std::vector<Money> prev_savings_;
+    std::vector<Pu> prev_supply_;
+
+    // Per-core dirt.  core_fold_dirty_ is written by pool workers as
+    // bid changes are discovered (monotone relaxed stores; the pool
+    // join orders them before the control thread's read), everything
+    // else stays on the control thread.
+    std::vector<unsigned char> core_demand_dirty_;
+    std::unique_ptr<std::atomic<unsigned char>[]> core_fold_dirty_;
+    std::vector<unsigned char> core_recompute_;      ///< Demand-fold set.
+    std::vector<unsigned char> core_bid_recompute_;  ///< Bid-fold set.
+    std::vector<unsigned char> price_changed_last_;  ///< Prev round.
+    std::vector<unsigned char> price_changed_now_;   ///< This round.
+    bool any_price_changed_last_ = false;
+
+    // Per-cluster freeze-flag deltas between consecutive bid passes.
+    std::vector<unsigned char> freeze_changed_;
+    std::vector<unsigned char> freeze_seen_;
+    bool any_freeze_changed_ = false;
+
+    /**
+     * std::atomic<bool> that copies its value on move so Market keeps
+     * its move constructor (the pool is always joined before a Market
+     * object is moved, so a plain value copy is race-free).
+     */
+    struct MovableFlag {
+        std::atomic<bool> v{false};
+        MovableFlag() = default;
+        MovableFlag(MovableFlag&& o) noexcept
+            : v(o.v.load(std::memory_order_relaxed)) {}
+        MovableFlag& operator=(MovableFlag&& o) noexcept
+        {
+            v.store(o.v.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+            return *this;
+        }
+        void store(bool b, std::memory_order mo) { v.store(b, mo); }
+        bool load(std::memory_order mo) const { return v.load(mo); }
+    };
+
+    // Round-local "anything changed" flags; workers set them with
+    // relaxed stores (monotone, order-free), round() resets them.
+    MovableFlag flag_any_alloc_;
+    MovableFlag flag_any_bid_;
+    MovableFlag flag_any_carry_;
+
+    // distribute_allowance memo: parameters of the last distributing
+    // round.  A cluster is clean iff the epoch, global allowance and
+    // its weight (plus the weight sum) are bit-unchanged.
+    bool dist_valid_ = false;
+    long dist_epoch_ = -1;
+    Money dist_allowance_ = 0.0;
+    double dist_weight_sum_ = 0.0;
+    std::vector<double> dist_weight_;
+
+    /** Epoch of the cached priority folds in scratch_core_prio_ /
+     *  scratch_cluster_prio_ (integer sums: exact, so reuse is
+     *  bit-identical to recomputation). */
+    long prio_epoch_ = -1;
+
+    // Circulating-bids fold memo for update_allowance()'s money
+    // anchor (task-id association preserved by memoizing the whole
+    // fold; invalidated by any bid change or group rebuild).
+    Money circ_sum_ = 0.0;
+    bool circ_valid_ = false;
+
+    // Cluster-membership index over ALL tasks (inactive included --
+    // distribute_allowance writes inactive allowances too), grouped by
+    // cluster in task-id order; rebuilt with the core groups.
+    std::vector<int> cluster_offset_;
+    std::vector<int> cluster_cursor_;
+    std::vector<TaskId> cluster_task_;
+
+    // Compacted per-round work lists (scratch, capacity kept).
+    std::vector<TaskId> dirty_tasks_;      ///< Bid-pass active set.
+    std::vector<TaskId> purchase_tasks_;   ///< Purchase-pass active set.
+    std::vector<TaskId> alloc_tasks_;      ///< Dirty-cluster member scan.
+    std::vector<TaskId> recomputed_tasks_; ///< Union, ascending.
+
+    ClearingStats clearing_;   ///< Cumulative counters.
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -24,7 +25,7 @@ PpmGovernor::~PpmGovernor() = default;
 Pu
 PpmGovernor::estimate_demand_on(TaskId t, ClusterId v) const
 {
-    const TaskState& ts = market_->task(t);
+    const TaskState& ts = std::as_const(*market_).task(t);
     const hw::Chip& chip = market_->chip();
     const hw::CoreClass from =
         chip.cluster(chip.cluster_of(ts.core)).type().core_class;
@@ -125,6 +126,9 @@ PpmGovernor::init(sim::Simulation& sim)
     market_allowance_id_ = bus.intern("market_allowance");
     bid_freeze_id_ = bus.intern("bid_freeze_epochs");
     allowance_clamps_id_ = bus.intern("allowance_clamps");
+    tasks_skipped_id_ = bus.intern("market.tasks_skipped");
+    cores_skipped_id_ = bus.intern("market.cores_skipped");
+    early_exit_id_ = bus.intern("market.rounds_early_exit");
     task_keys_.clear();
     for (const workload::Task* t : sim.tasks()) {
         const std::string p = "task" + std::to_string(t->id()) + "_";
@@ -215,14 +219,14 @@ PpmGovernor::bid_round(sim::Simulation& sim, SimTime now)
     // Rate Monitors (Table 4 conversion).
     for (workload::Task* t : sim.tasks()) {
         const bool alive = sim.scheduler().active(t->id());
-        if (market_->task(t->id()).active != alive)
+        if (std::as_const(*market_).task(t->id()).active != alive)
             market_->set_task_active(t->id(), alive);
         if (!alive)
             continue;
         // Core offlining evacuates tasks behind the market's back;
         // resync before the round so bids land on the right ledger.
         const CoreId cur = sim.scheduler().core_of(t->id());
-        if (market_->task(t->id()).core != cur)
+        if (std::as_const(*market_).task(t->id()).core != cur)
             market_->set_task_core(t->id(), cur);
         Pu demand = t->hrm().estimate_demand(now, cfg_.market.demand_clamp);
         if (!std::isfinite(demand))
@@ -341,6 +345,17 @@ PpmGovernor::emit_telemetry(sim::Simulation& sim, SimTime now)
     }
     if (report.allowance_clamped)
         bus.count(allowance_clamps_id_);
+
+    // Incremental-clearing skip counters.  The dirty-set bookkeeping
+    // runs in both modes, so these deltas are identical with
+    // incrementality on or off -- which is exactly what keeps golden
+    // traces byte-identical across the escape hatch.
+    if (report.tasks_skipped > 0)
+        bus.count(tasks_skipped_id_, report.tasks_skipped);
+    if (report.cores_skipped > 0)
+        bus.count(cores_skipped_id_, report.cores_skipped);
+    if (report.early_exit)
+        bus.count(early_exit_id_);
 }
 
 void

@@ -161,6 +161,26 @@ class PpmGovernor : public sim::Governor
     void task_admitted(sim::Simulation& sim, TaskId id,
                        double big_speedup) override;
 
+    /**
+     * Cumulative incremental-clearing skip counters from the market.
+     * Identical with `PpmConfig::incremental` on or off (the dirty
+     * bookkeeping runs in both modes); only the work saved differs.
+     */
+    sim::ClearingStats clearing_stats() const override
+    {
+        sim::ClearingStats out;
+        if (market_ != nullptr) {
+            const ClearingStats& m = market_->clearing_stats();
+            out.rounds = m.rounds;
+            out.task_slots = m.task_slots;
+            out.tasks_skipped = m.tasks_skipped;
+            out.core_slots = m.core_slots;
+            out.cores_skipped = m.cores_skipped;
+            out.rounds_early_exit = m.rounds_early_exit;
+        }
+        return out;
+    }
+
   private:
     /** Feed demands + power, run a market round, enact nice values. */
     void bid_round(sim::Simulation& sim, SimTime now);
@@ -215,6 +235,9 @@ class PpmGovernor : public sim::Governor
     metrics::SeriesId market_allowance_id_ = 0;
     metrics::SeriesId bid_freeze_id_ = 0;
     metrics::SeriesId allowance_clamps_id_ = 0;
+    metrics::SeriesId tasks_skipped_id_ = 0;
+    metrics::SeriesId cores_skipped_id_ = 0;
+    metrics::SeriesId early_exit_id_ = 0;
 
     // Per-core / per-cluster scratch for enact_nice / power gating.
     std::vector<Pu> max_supply_scratch_;

@@ -21,6 +21,23 @@ namespace ppm::sim {
 
 class Simulation;
 
+/**
+ * Cumulative incremental-clearing counters a governor exposes for the
+ * run summary (mirrors market::ClearingStats without the dependency).
+ * Slots count ledger entries considered per round (skipped + redone);
+ * a skip rate near zero on a steady workload means the active set is
+ * silently degraded -- every entry always dirty -- which is a bug
+ * worth seeing, not just slowness.
+ */
+struct ClearingStats {
+    long rounds = 0;            ///< Clearing rounds completed.
+    long task_slots = 0;        ///< Task entries considered, total.
+    long tasks_skipped = 0;     ///< ...of which replayed memoized bits.
+    long core_slots = 0;        ///< Core fold slots considered, total.
+    long cores_skipped = 0;     ///< ...of which reused their folds.
+    long rounds_early_exit = 0; ///< Rounds whose active set was empty.
+};
+
 /** Base class for power-management policies. */
 class Governor
 {
@@ -140,6 +157,12 @@ class Governor
         (void)id;
         (void)big_speedup;
     }
+
+    /**
+     * Cumulative incremental-clearing counters (skip rates for the
+     * run summary).  Governors without a market report all-zero.
+     */
+    virtual ClearingStats clearing_stats() const { return {}; }
 };
 
 } // namespace ppm::sim

@@ -567,6 +567,13 @@ Simulation::summary() const
         s.safe_mode_seconds = to_seconds(st.safe_mode_time);
         s.over_tdp_during_fault = over_tdp_fault_.fraction();
     }
+    const ClearingStats cs = governor_->clearing_stats();
+    s.market_rounds = cs.rounds;
+    s.market_task_slots = cs.task_slots;
+    s.market_tasks_skipped = cs.tasks_skipped;
+    s.market_core_slots = cs.core_slots;
+    s.market_cores_skipped = cs.cores_skipped;
+    s.market_rounds_early_exit = cs.rounds_early_exit;
     return s;
 }
 

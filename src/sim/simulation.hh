@@ -130,6 +130,18 @@ struct RunSummary {
     double safe_mode_seconds = 0;///< Total time spent in safe mode.
     double over_tdp_during_fault = 0; ///< Fraction of fault-active
                                  ///< time the chip spent above TDP.
+
+    // Incremental-clearing accounting (all zero for governors without
+    // a market).  The skip counts come from mode-invariant dirty-set
+    // bookkeeping, so they are identical with incrementality on or
+    // off -- a skip rate near zero on a steady workload flags a
+    // silently-degraded active set (everything always dirty).
+    long market_rounds = 0;          ///< Clearing rounds completed.
+    long market_task_slots = 0;      ///< Task entries considered, total.
+    long market_tasks_skipped = 0;   ///< ...replayed memoized results.
+    long market_core_slots = 0;      ///< Core fold slots considered.
+    long market_cores_skipped = 0;   ///< ...reused their fold results.
+    long market_rounds_early_exit = 0; ///< Rounds with empty active set.
 };
 
 /** One complete experiment instance. */

@@ -91,6 +91,18 @@ TEST(PpmRunCli, FaultedRunExitsZero)
         0);
 }
 
+TEST(PpmRunCli, NoIncrementalFlagIsAccepted)
+{
+    EXPECT_EQ(
+        run_cli("--set l1 --seconds 1 --tdp 3.5 --no-incremental"), 0);
+}
+
+TEST(PpmRunCli, NoIncrementalRejectsAnInlineValue)
+{
+    // Boolean flag: an attached value is a usage error.
+    EXPECT_EQ(run_cli("--set l1 --seconds 1 --no-incremental=1"), 2);
+}
+
 TEST(PpmRunCli, UnwritableTracePathFailsBeforeSimulating)
 {
     EXPECT_NE(run_cli("--set l1 --seconds 1 "

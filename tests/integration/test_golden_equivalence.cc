@@ -65,12 +65,13 @@ fmt_exact(double v)
 }
 
 std::unique_ptr<sim::Governor>
-make_policy(const std::string& policy)
+make_policy(const std::string& policy, bool incremental = true)
 {
     if (policy == "PPM") {
         market::PpmGovernorConfig cfg;
         cfg.market.w_tdp = 3.5;
         cfg.market.w_th = 2.9;
+        cfg.market.incremental = incremental;
         return std::make_unique<market::PpmGovernor>(cfg);
     }
     if (policy == "HPM") {
@@ -90,7 +91,7 @@ make_policy(const std::string& policy)
  * enough that the governors actually throttle.
  */
 std::string
-run_scenario(const std::string& policy)
+run_scenario(const std::string& policy, bool incremental = true)
 {
     std::vector<workload::TaskSpec> specs = {
         test::steady_spec("encode", 2, 420.0, 1.7, 25.0),
@@ -107,7 +108,8 @@ run_scenario(const std::string& policy)
     cfg.lifetimes[1].arrival = 800 * kMillisecond;
     cfg.lifetimes[2].departure = 2 * kSecond;
 
-    sim::Simulation sim(hw::tc2_chip(), specs, make_policy(policy), cfg);
+    sim::Simulation sim(hw::tc2_chip(), specs,
+                        make_policy(policy, incremental), cfg);
     std::ostringstream csv_stream;
     std::ostringstream jsonl_stream;
     metrics::CsvStreamSink csv_sink(csv_stream);
@@ -191,6 +193,28 @@ check_against_golden(const std::string& policy)
 TEST(GoldenEquivalence, PpmSummaryAndTracesAreByteIdentical)
 {
     check_against_golden("PPM");
+}
+
+/**
+ * The incremental clearing engine's headline promise, checked against
+ * the committed fixture: the exact bytes the golden records with the
+ * active-set engine on must also come out with it off (full
+ * recompute every round).  The golden file is generated by the
+ * on-mode test above, so a regen run skips here.
+ */
+TEST(GoldenEquivalence, PpmGoldenHoldsWithIncrementalityOff)
+{
+    if (std::getenv("PPM_REGEN_GOLDEN") != nullptr)
+        GTEST_SKIP() << "regen runs write the golden in on-mode only";
+    const std::string actual = run_scenario("PPM", false);
+    std::ifstream f(golden_path("PPM"), std::ios::binary);
+    ASSERT_TRUE(f.good()) << "missing golden file "
+                          << golden_path("PPM");
+    std::stringstream buf;
+    buf << f.rdbuf();
+    EXPECT_EQ(buf.str(), actual)
+        << "full-recompute run diverged from the incremental golden "
+           "-- a skip rule replayed a stale value";
 }
 
 TEST(GoldenEquivalence, HpmSummaryAndTracesAreByteIdentical)

@@ -8,8 +8,14 @@
  *           [--seconds N] [--seed N] [--priority N] [--online]
  *           [--avg-seeds N] [--jobs N] [--trace FILE.csv]
  *           [--trace-format csv|jsonl] [--trace-out PATH] [--csv]
- *           [--per-tick] [--faults SPEC]
+ *           [--per-tick] [--no-incremental] [--faults SPEC]
  *           [--fleet N] [--fleet-budget WATTS] [--fleet-epoch MS]
+ *
+ * --no-incremental disables PPM's incremental active-set clearing
+ * (PpmConfig::incremental): every market entry is recomputed every
+ * round instead of replaying memoized results for clean entries.
+ * Output is bit-identical either way -- the flag exists to
+ * cross-check that claim and to localize dirty-set bugs.
  *
  * --fleet N runs a federated fleet of N chips: each chip is an
  * independent economy running the selected workload set (chip 0 with
@@ -90,9 +96,14 @@ usage(const char* argv0)
         "          [--seconds N] [--seed N] [--priority N] [--online]\n"
         "          [--avg-seeds N] [--jobs N] [--trace FILE.csv]\n"
         "          [--trace-format csv|jsonl] [--trace-out PATH] [--csv]\n"
-        "          [--per-tick] [--faults SPEC] [--list-sets]\n"
+        "          [--per-tick] [--no-incremental] [--faults SPEC]\n"
+        "          [--list-sets]\n"
         "          [--fleet N] [--fleet-budget WATTS] [--fleet-epoch MS]\n"
         "\n"
+        "--no-incremental disables PPM's incremental active-set\n"
+        "clearing and recomputes every market entry each round\n"
+        "(results are bit-identical either way; use it to cross-check\n"
+        "or to isolate dirty-set bugs).\n"
         "--fleet N federates N chips under a supervisor power market\n"
         "(--fleet-budget watts across the fleet, default --tdp x N;\n"
         "--fleet-epoch barrier period in ms; --jobs workers step the\n"
@@ -205,6 +216,11 @@ main(int argc, char** argv)
             params.online_speedup = true;
         } else if (arg == "--per-tick") {
             params.macro_step = false;
+        } else if (arg == "--no-incremental") {
+            if (has_inline)
+                bad_arg("--no-incremental", "takes no value",
+                        inline_value.c_str());
+            params.incremental = false;
         } else if (arg == "--faults") {
             const char* text = next();
             std::string error;
@@ -392,7 +408,7 @@ main(int argc, char** argv)
             return experiment::make_governor(params.policy, budget,
                                              speedups,
                                              params.online_speedup, 1,
-                                             shared);
+                                             shared, params.incremental);
         };
         const auto start = std::chrono::steady_clock::now();
         fleet::Fleet fleet(std::move(fc));
@@ -443,6 +459,27 @@ main(int argc, char** argv)
     table.add_row({"time_over_tdp_post_warmup",
                    fmt_percent(s.over_tdp_post_warmup)});
     table.add_row({"peak_temp_c", fmt_double(s.peak_temp_c, 1)});
+    // Market-only rows (absent for the baselines).  The skip counters
+    // come from mode-invariant bookkeeping, so this block is
+    // byte-identical with --no-incremental -- a near-zero skip rate
+    // on a steady workload flags a degraded active set.
+    if (s.market_rounds > 0) {
+        table.add_row({"market_rounds", std::to_string(s.market_rounds)});
+        table.add_row(
+            {"market_task_skip_rate",
+             fmt_percent(s.market_task_slots > 0
+                             ? static_cast<double>(s.market_tasks_skipped) /
+                                   static_cast<double>(s.market_task_slots)
+                             : 0.0)});
+        table.add_row(
+            {"market_core_skip_rate",
+             fmt_percent(s.market_core_slots > 0
+                             ? static_cast<double>(s.market_cores_skipped) /
+                                   static_cast<double>(s.market_core_slots)
+                             : 0.0)});
+        table.add_row({"market_rounds_early_exit",
+                       std::to_string(s.market_rounds_early_exit)});
+    }
     // Fleet-only rows ride below the standard block so a 1-chip fleet
     // prints exactly the single-chip table (byte-comparable).
     if (fleet_mode && fleet_chips > 1) {

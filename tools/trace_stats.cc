@@ -362,5 +362,24 @@ main(int argc, char** argv)
     } else {
         std::printf("vf_settled_at_s: 0.000 (no V-F change observed)\n");
     }
+
+    // Incremental-clearing skip totals (from the final counters
+    // record; identical with incrementality on or off -- the dirty
+    // bookkeeping runs in both modes).  Absent on baseline traces.
+    auto counter_total = [&st](const char* name) -> double {
+        const auto it = st.series.find(name);
+        return it != st.series.end() ? it->second.max() : 0.0;
+    };
+    const double skipped_tasks = counter_total("market.tasks_skipped");
+    const double skipped_cores = counter_total("market.cores_skipped");
+    const double early_exits = counter_total("market.rounds_early_exit");
+    if (skipped_tasks > 0 || skipped_cores > 0 || early_exits > 0) {
+        std::printf("market_tasks_skipped: %s\n",
+                    fmt_double(skipped_tasks, 0).c_str());
+        std::printf("market_cores_skipped: %s\n",
+                    fmt_double(skipped_cores, 0).c_str());
+        std::printf("market_rounds_early_exit: %s\n",
+                    fmt_double(early_exits, 0).c_str());
+    }
     return 0;
 }
