@@ -144,9 +144,10 @@ table7_specs(int tasks)
     std::vector<workload::TaskSpec> specs;
     specs.reserve(static_cast<std::size_t>(tasks));
     for (int t = 0; t < tasks; ++t) {
+        std::string name = "t";
+        name += std::to_string(t);
         specs.push_back(workload::steady_task_spec(
-            "t" + std::to_string(t),
-            1 + static_cast<int>(rng.uniform_int(0, 6)),
+            name, 1 + static_cast<int>(rng.uniform_int(0, 6)),
             rng.uniform(10.0, 50.0)));
     }
     return specs;

@@ -6,7 +6,10 @@
 # flagship shape clears 64 chips x 160 tasks = 10,240 tasks per
 # epoch.  Every jobs value produces byte-identical fleet state, so
 # the curve is a pure wall-clock scaling measurement of the
-# federation layer.
+# federation layer.  Two fault-tolerance shapes ride along:
+# BM_ChipFailureEvacuation (epoch cost under perpetual chip
+# failure/recovery churn) and BM_SnapshotRoundTrip (crash-consistent
+# save + validate + restore of the whole federation).
 #
 # Usage: scripts/bench_fleet.sh [--quick] [--out FILE]
 #   --quick  one tiny min-time repetition (CI smoke: proves the driver
@@ -39,7 +42,7 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build --target bench_fleet_federation > /dev/null
 
 ./build/bench/bench_fleet_federation \
-    --benchmark_filter='BM_FleetEpoch' \
+    --benchmark_filter='BM_FleetEpoch|BM_ChipFailureEvacuation|BM_SnapshotRoundTrip' \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json \

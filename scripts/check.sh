@@ -116,6 +116,36 @@ cmp /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_full.csv
 rm -f /tmp/ppm_plain.csv /tmp/ppm_fleet1.csv \
     /tmp/ppm_fleet_j1.csv /tmp/ppm_fleet_j4.csv /tmp/ppm_fleet_full.csv
 
+# Kill-and-resume smokes: a run saved at a snapshot point and resumed
+# in a fresh process must print byte-identical summaries to the
+# uninterrupted run -- single-chip, federated, and federated under
+# chip failure/recovery (health, rosters and the pending-evacuation
+# queue all travel through the snapshot).
+./build/tools/ppm_run --set l1 --seconds 8 --csv > /tmp/ppm_whole.csv
+./build/tools/ppm_run --set l1 --seconds 8 \
+    --snapshot-out /tmp/ppm_check.snap --snapshot-at 3500 > /dev/null
+./build/tools/ppm_run --set l1 --seconds 8 --csv \
+    --snapshot-in /tmp/ppm_check.snap > /tmp/ppm_resumed.csv
+cmp /tmp/ppm_whole.csv /tmp/ppm_resumed.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 \
+    > /tmp/ppm_whole.csv
+./build/tools/ppm_run --set l1 --seconds 8 --fleet 4 \
+    --snapshot-out /tmp/ppm_check.snap --snapshot-at 3500 > /dev/null
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 \
+    --snapshot-in /tmp/ppm_check.snap > /tmp/ppm_resumed.csv
+cmp /tmp/ppm_whole.csv /tmp/ppm_resumed.csv
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 \
+    --faults chip-fail,chip-recover,seed=7,chip_rate=30 \
+    > /tmp/ppm_whole.csv
+./build/tools/ppm_run --set l1 --seconds 8 --fleet 4 \
+    --faults chip-fail,chip-recover,seed=7,chip_rate=30 \
+    --snapshot-out /tmp/ppm_check.snap --snapshot-at 3500 > /dev/null
+./build/tools/ppm_run --set l1 --seconds 8 --csv --fleet 4 \
+    --faults chip-fail,chip-recover,seed=7,chip_rate=30 \
+    --snapshot-in /tmp/ppm_check.snap > /tmp/ppm_resumed.csv
+cmp /tmp/ppm_whole.csv /tmp/ppm_resumed.csv
+rm -f /tmp/ppm_whole.csv /tmp/ppm_resumed.csv /tmp/ppm_check.snap
+
 # Parallel-clearing and fleet bench smokes: one quick repetition each
 # with the JSON validated (full runs regenerate BENCH_clearing.json
 # and BENCH_fleet.json).
@@ -130,10 +160,13 @@ rm -f /tmp/ppm_bench_clearing.json /tmp/ppm_bench_fleet.json
 
 # Differential fuzz smoke: a few hundred seeded scenarios checked
 # across every engine equivalence (policies x macro-vs-tick, clearing
-# jobs, budget conservation, fault counters).  The full sweep is
+# jobs, budget conservation, fault counters, chip-failure
+# conservation, snapshot restore-equivalence).  The full sweep is
 # scripts/fuzz_sweep.sh; this pass proves the fuzzer and the
-# invariants hold on a fresh build.
+# invariants hold on a fresh build.  The second seed skews toward
+# federated scenarios, where the chip-fault and snapshot genes live.
 ./build/tools/ppm_fuzz --count 200 --seed 1 > /dev/null
+./build/tools/ppm_fuzz --count 100 --seed 77 > /dev/null
 
 # Race check: the parallel sweep is only deterministic if cells share
 # no mutable state, so run the threaded tests under ThreadSanitizer.
@@ -142,13 +175,19 @@ rm -f /tmp/ppm_bench_clearing.json /tmp/ppm_bench_fleet.json
 cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPPM_TSAN=ON
 cmake --build build-tsan --target test_common test_integration \
-    test_metrics test_market test_fleet
+    test_metrics test_market test_fleet test_snapshot
 ./build-tsan/tests/test_common \
     --gtest_filter='ThreadPool.*' > /dev/null
 # The fleet macro-steps shards on pool workers between settlement
 # barriers; its determinism tests double as the federation race
-# detector.
+# detector, and the chip-fault tests exercise evacuation across the
+# same barriers.
 ./build-tsan/tests/test_fleet > /dev/null
+# Snapshot save/load walks every shard's live state while the pool is
+# parked; the restore tests prove no worker still touches it.
+./build-tsan/tests/test_snapshot \
+    --gtest_filter='SnapshotRestore.Fleet*:SnapshotRestore.Faulted*' \
+    > /dev/null
 # The clearing engine's fan-out shares the market state across pool
 # workers; the determinism tests double as its race detector.  The
 # incremental tests ride along: the dirty flags the passes publish
@@ -169,7 +208,8 @@ cmake --build build-tsan --target ppm_fuzz
 # the hardened-market tests under ASan+UBSan.
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPPM_ASAN=ON
-cmake --build build-asan --target test_fault test_market test_hw
+cmake --build build-asan --target test_fault test_market test_hw \
+    test_fleet test_snapshot
 ./build-asan/tests/test_fault > /dev/null
 # Incremental rides along here too: the memo arrays are the newest
 # indexed state, so overruns would surface under ASan first.
@@ -178,5 +218,12 @@ cmake --build build-asan --target test_fault test_market test_hw
     > /dev/null
 ./build-asan/tests/test_hw \
     --gtest_filter='VfTable.*:PowerModel*.*' > /dev/null
+# Evacuation re-admits tasks into grown per-task containers (the
+# online estimator and residency tables resize mid-run), and restore
+# rebuilds every container through the admission log -- both are
+# index-heavy paths ASan owns.
+./build-asan/tests/test_fleet --gtest_filter='FleetFaults.*' \
+    > /dev/null
+./build-asan/tests/test_snapshot > /dev/null
 
 echo "all checks passed"

@@ -120,6 +120,13 @@ class HlGovernor : public sim::Governor
      */
     void set_power_budget(Watts w_tdp) override { cfg_.tdp = w_tdp; }
 
+    /**
+     * Serialize the retargeted budget, timers, the big-kill latch and
+     * the sensor guard.
+     */
+    void save(snap::Writer& w) const override;
+    void load(snap::Reader& r) override;
+
   private:
     /** Activeness-threshold migrations plus intra-cluster balancing. */
     void schedule(sim::Simulation& sim, SimTime now);

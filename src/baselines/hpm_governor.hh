@@ -53,6 +53,10 @@ class Pid
     /** Clear the integrator and derivative memory. */
     void reset();
 
+    /** Serialize the integrator and derivative memory. */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
+
   private:
     Params params_;
     double integral_ = 0.0;
@@ -106,6 +110,14 @@ class HpmGovernor : public sim::Governor
         unsat_count_.push_back(0);
         sat_count_.push_back(0);
     }
+
+    /**
+     * Serialize the control state: retargeted budget, PI integrators,
+     * continuous levels, TDP caps, migration streaks, loop timers and
+     * sensor guard.
+     */
+    void save(snap::Writer& w) const override;
+    void load(snap::Reader& r) override;
 
   private:
     /** Inner loop: per-cluster PI on the constrained-core demand. */

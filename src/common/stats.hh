@@ -13,6 +13,11 @@
 
 #include "common/types.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm {
 
 /**
@@ -49,6 +54,9 @@ class OnlineStats
     /** Reset to the empty state. */
     void reset();
 
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
+
   private:
     std::size_t n_ = 0;
     double mean_ = 0.0;
@@ -82,6 +90,9 @@ class DutyCycle
 
     /** Reset to the empty state. */
     void reset();
+
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     SimTime total_ = 0;
@@ -139,6 +150,14 @@ class WindowRate
      * timestamps advance.
      */
     void advance_steady(SimTime shift);
+
+    /**
+     * Serialize the live runs in FIFO order.  load() rebuilds the ring
+     * with head 0; ring arithmetic is masked, so logical run equality
+     * reproduces the exact future sum/eviction trajectory.
+     */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     /** `n` samples at first, first+stride, ..., each worth `count`. */

@@ -91,10 +91,18 @@ parse_fault_spec(const std::string& text, FaultSpec* spec,
             } else if (token == "all") {
                 out.sensor = out.dvfs = out.migration = out.offline =
                     true;
+            } else if (token == "chip-fail") {
+                out.chip_fail = true;
+            } else if (token == "chip-degrade") {
+                out.chip_degrade = true;
+            } else if (token == "chip-recover") {
+                out.chip_recover = true;
             } else {
                 return fail(error, "unknown fault class '" + token +
                                        "' (want sensor, dvfs, "
-                                       "migration, offline or all)");
+                                       "migration, offline, all, "
+                                       "chip-fail, chip-degrade or "
+                                       "chip-recover)");
             }
             continue;
         }
@@ -143,14 +151,30 @@ parse_fault_spec(const std::string& text, FaultSpec* spec,
         } else if (key == "backoff_ms") {
             if (!positive_time(&out.retry_backoff))
                 return false;
+        } else if (key == "chip_rate") {
+            if (num <= 0.0)
+                return fail(error,
+                            "fault spec chip_rate must be > 0");
+            out.chip_rate_per_min = num;
+        } else if (key == "degrade") {
+            if (num <= 0.0 || num > 1.0)
+                return fail(error, "fault spec degrade must be in "
+                                   "(0, 1]");
+            out.degrade_factor = num;
         } else {
             return fail(error,
                         "unknown fault spec key '" + key + "'");
         }
     }
-    if (!out.any())
+    if (!out.any() && !out.any_fleet()) {
+        if (out.chip_recover)
+            return fail(error,
+                        "chip-recover needs chip-fail or chip-degrade "
+                        "(nothing to recover from)");
         return fail(error, "fault spec enables no fault class (add "
-                           "sensor, dvfs, migration, offline or all)");
+                           "sensor, dvfs, migration, offline, all or "
+                           "a chip-* class)");
+    }
     *spec = out;
     return true;
 }
@@ -258,6 +282,100 @@ FaultPlan::compile(const FaultSpec& spec, int num_clusters,
             plan.add(ev);
         }
     }
+    return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet (chip-level) plan compilation.
+
+const char*
+fleet_fault_kind_name(FleetFaultKind kind)
+{
+    switch (kind) {
+    case FleetFaultKind::kChipFail: return "chip_fail";
+    case FleetFaultKind::kChipDegrade: return "chip_degrade";
+    case FleetFaultKind::kChipRecover: return "chip_recover";
+    }
+    return "unknown";
+}
+
+void
+FleetFaultPlan::add(const FleetFaultEvent& ev)
+{
+    PPM_ASSERT(ev.time >= 0 && ev.chip >= 0,
+               "fleet fault event needs a valid time and chip");
+    const auto before = [](const FleetFaultEvent& a,
+                           const FleetFaultEvent& b) {
+        return a.time != b.time ? a.time < b.time : a.chip < b.chip;
+    };
+    // Appending in time order (the common case: compiled schedules,
+    // long hand-built alternations) stays O(1); out-of-order adds
+    // insert at their sorted position.
+    if (events_.empty() || !before(ev, events_.back())) {
+        events_.push_back(ev);
+        return;
+    }
+    events_.insert(
+        std::upper_bound(events_.begin(), events_.end(), ev, before),
+        ev);
+}
+
+FleetFaultPlan
+FleetFaultPlan::compile(const FaultSpec& spec, int num_chips,
+                        SimTime duration, SimTime epoch)
+{
+    PPM_ASSERT(num_chips > 0, "fleet fault plan needs chips");
+    PPM_ASSERT(duration > epoch && epoch > 0,
+               "fleet fault plan needs a positive run window");
+    FleetFaultPlan plan;
+    if (!spec.any_fleet())
+        return plan;
+
+    // Decouple from the per-chip FaultPlan stream (which consumes
+    // Rng(seed) directly): enabling chip classes must never perturb
+    // the chips' own schedules.
+    Rng rng(mix64(spec.seed ^ 0x636869702d66ULL));  // "chip-f"
+    const double minutes = to_seconds(duration) / 60.0;
+    const int per_class = std::max(
+        1,
+        static_cast<int>(std::lround(spec.chip_rate_per_min * minutes)));
+    const auto quantize = [epoch](SimTime t) {
+        return t / epoch * epoch;
+    };
+    const SimTime latest = quantize(duration - 1);
+
+    const auto draw = [&](FleetFaultKind kind, double factor) {
+        FleetFaultEvent ev;
+        ev.kind = kind;
+        ev.chip = static_cast<int>(rng.uniform_int(0, num_chips - 1));
+        ev.factor = factor;
+        const auto raw = static_cast<SimTime>(
+            rng.uniform() * static_cast<double>(duration));
+        ev.time = std::clamp<SimTime>(quantize(raw), epoch, latest);
+        plan.add(ev);
+        if (spec.chip_recover) {
+            const auto len = static_cast<SimTime>(
+                static_cast<double>(spec.mean_duration) *
+                rng.uniform(0.5, 1.5));
+            FleetFaultEvent rec;
+            rec.kind = FleetFaultKind::kChipRecover;
+            rec.chip = ev.chip;
+            rec.time = std::min<SimTime>(
+                latest,
+                ev.time + std::max<SimTime>(epoch, quantize(len)));
+            if (rec.time > ev.time)
+                plan.add(rec);
+        } else {
+            rng.uniform(0.5, 1.5);  // Keep the stream shape uniform.
+        }
+    };
+
+    if (spec.chip_fail)
+        for (int i = 0; i < per_class; ++i)
+            draw(FleetFaultKind::kChipFail, 1.0);
+    if (spec.chip_degrade)
+        for (int i = 0; i < per_class; ++i)
+            draw(FleetFaultKind::kChipDegrade, spec.degrade_factor);
     return plan;
 }
 

@@ -47,6 +47,11 @@ namespace ppm::metrics {
 class TraceBus;
 } // namespace ppm::metrics
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::fault {
 
 /**
@@ -132,7 +137,20 @@ struct FaultSpec {
     /** Initial retry backoff (doubles per attempt). */
     SimTime retry_backoff = 4 * kMillisecond;
 
+    // Fleet-scope (chip-level) fault classes, consumed by
+    // FleetFaultPlan rather than the per-chip FaultPlan.
+    bool chip_fail = false;     ///< Whole chips drop out of the fleet.
+    bool chip_degrade = false;  ///< Chips get a clamped budget.
+    bool chip_recover = false;  ///< Failed/degraded chips return.
+    /** Mean chip-level fault events per minute, per enabled class. */
+    double chip_rate_per_min = 2.0;
+    /** Budget multiplier applied to a degraded chip, in (0, 1]. */
+    double degrade_factor = 0.5;
+
     bool any() const { return sensor || dvfs || migration || offline; }
+
+    /** Any chip-level class enabled (fleet fault handling engages). */
+    bool any_fleet() const { return chip_fail || chip_degrade; }
 };
 
 /**
@@ -174,6 +192,59 @@ public:
 
 private:
     std::vector<FaultEvent> events_;
+};
+
+/** One chip-level fault class (fleet scope). */
+enum class FleetFaultKind {
+    kChipFail,     ///< Chip withdrawn from settlement and placement.
+    kChipDegrade,  ///< Chip budget clamped by `factor`.
+    kChipRecover,  ///< Chip restored to healthy.
+};
+
+/** Stable lowercase name for specs, traces and test output. */
+const char* fleet_fault_kind_name(FleetFaultKind kind);
+
+/** One chip-level fault transition, applied at a settlement barrier. */
+struct FleetFaultEvent {
+    FleetFaultKind kind = FleetFaultKind::kChipFail;
+    SimTime time = 0;       ///< Barrier tick the transition lands on.
+    int chip = 0;           ///< Target chip index.
+    double factor = 1.0;    ///< Budget multiplier (degrade only).
+};
+
+/**
+ * A compiled, immutable schedule of chip-level fault transitions,
+ * sorted by (time, chip).  Like FaultPlan, all randomness is consumed
+ * at compile time; the runtime applies transitions as the fleet's
+ * settlement barriers cross their timestamps, so macro-stepping and
+ * restarts replay the identical sequence.
+ */
+class FleetFaultPlan
+{
+public:
+    /**
+     * Compile `spec` for a fleet of `num_chips` over `[0, duration)`.
+     * Event times land on the `epoch` (settlement-barrier) grid.  The
+     * Rng seed is decoupled from the per-chip FaultPlan stream by a
+     * mix64 step, so enabling chip classes never perturbs the chips'
+     * own fault schedules.  Without `chip_recover`, failures and
+     * degradations are permanent; with it, each window is closed by a
+     * recover transition.
+     */
+    static FleetFaultPlan compile(const FaultSpec& spec, int num_chips,
+                                  SimTime duration, SimTime epoch);
+
+    /** Append one transition (tests build plans by hand). */
+    void add(const FleetFaultEvent& ev);
+
+    bool empty() const { return events_.empty(); }
+    const std::vector<FleetFaultEvent>& events() const
+    {
+        return events_;
+    }
+
+private:
+    std::vector<FleetFaultEvent> events_;
 };
 
 /** Counters surfaced into RunSummary and onto the TraceBus. */
@@ -267,6 +338,10 @@ public:
     void count_safe_mode_entry();
     /** Count one watchdog trip on the bus (called by the market). */
     void count_watchdog_trip();
+
+    /** Cursors and pending actions; the plan itself is recompiled. */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
 private:
     using SeriesIdOpaque = std::int32_t;
@@ -365,6 +440,9 @@ public:
     void replay_clean_reads(const std::vector<Watts>& last_good);
 
     bool safe_mode() const { return safe_; }
+
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
 private:
     Watts filter(Watts raw, ClusterId cluster, SimTime now);

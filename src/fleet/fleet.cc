@@ -34,6 +34,21 @@ Fleet::Fleet(FleetConfig cfg)
     signals_.assign(static_cast<std::size_t>(cfg_.chips), ChipSignal{});
     placements_.assign(cfg_.floating.size(), -1);
 
+    // Fleet fault tolerance: latched once here.  When off, every
+    // barrier takes the exact pre-existing code path, so fault-free
+    // configurations stay byte-identical.
+    fault_handling_ = !cfg_.fleet_faults.empty() ||
+        cfg_.deficit_watchdog_epochs > 0;
+    health_.assign(static_cast<std::size_t>(cfg_.chips), 0);
+    clamp_.assign(static_cast<std::size_t>(cfg_.chips), 1.0);
+    deficit_streak_.assign(static_cast<std::size_t>(cfg_.chips), 0);
+    roster_.resize(static_cast<std::size_t>(cfg_.chips));
+    for (int i = 0; i < cfg_.chips; ++i) {
+        for (const auto& spec :
+             cfg_.workloads[static_cast<std::size_t>(i)].specs)
+            roster_[static_cast<std::size_t>(i)].push_back({spec, 0.0});
+    }
+
     shards_.reserve(static_cast<std::size_t>(cfg_.chips));
     for (int i = 0; i < cfg_.chips; ++i) {
         const auto& wl = cfg_.workloads[static_cast<std::size_t>(i)];
@@ -62,10 +77,18 @@ Fleet::Fleet(FleetConfig cfg)
         chip_budget_ids_.push_back(bus_.intern(p + "budget_w"));
         chip_price_ids_.push_back(bus_.intern(p + "price"));
         chip_deficit_ids_.push_back(bus_.intern(p + "deficit"));
+        chip_state_ids_.push_back(bus_.intern(p + "state"));
     }
     fleet_power_id_ = bus_.intern("fleet.power_w");
     fleet_budget_id_ = bus_.intern("fleet.budget_w");
     admitted_id_ = bus_.intern("fleet.admitted");
+    evacuations_id_ = bus_.intern("fleet.evacuations");
+    evac_landed_id_ = bus_.intern("fleet.evac_landed");
+    evac_pending_id_ = bus_.intern("fleet.evac_pending");
+    rejections_id_ = bus_.intern("fleet.rejections");
+    chip_failures_id_ = bus_.intern("fleet.chip_failures");
+    chip_recoveries_id_ = bus_.intern("fleet.chip_recoveries");
+    watchdog_id_ = bus_.intern("fleet.watchdog_trips");
 }
 
 Fleet::~Fleet() = default;
@@ -86,7 +109,20 @@ Fleet::settle_barrier()
         signals_[i].power = shards_[i]->sensors().instantaneous_chip();
         signals_[i].deficit = shards_[i]->governor().power_deficit();
     }
-    if (!supervisor_.settle(signals_))
+    bool settled;
+    if (fault_handling_) {
+        // Health-aware settlement: failed chips are withdrawn (they
+        // get the quarantine floor), degraded chips get their budget
+        // clamped.  With every chip healthy this runs the identical
+        // arithmetic to the legacy call.
+        active_scratch_.resize(health_.size());
+        for (std::size_t i = 0; i < health_.size(); ++i)
+            active_scratch_[i] = health_[i] != 2 ? 1 : 0;
+        settled = supervisor_.settle(signals_, &active_scratch_, &clamp_);
+    } else {
+        settled = supervisor_.settle(signals_);
+    }
+    if (!settled)
         return;  // Uncapped fleet: budgets never move.
     const std::vector<Watts>& next = supervisor_.budgets();
     for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -110,6 +146,21 @@ Fleet::admit_floating()
         const FloatingTask& task = cfg_.floating[f];
         if (task.arrival > now_)
             continue;
+        if (fault_handling_) {
+            // Health- and admission-aware placement; a rejected task
+            // stays floating and retries at the next barrier.
+            int chip = kInvalidId;
+            if (place_task(task.spec, task.big_speedup, task.departure,
+                           &chip)) {
+                placements_[f] = chip;
+                ++admitted_;
+                bus_.count(admitted_id_);
+            } else {
+                ++rejections_;
+                bus_.count(rejections_id_);
+            }
+            continue;
+        }
         // Post-settle prices; within one barrier the prices do not
         // move, so a batch of simultaneous arrivals lands on the same
         // cheapest chip and the next settlement redistributes budget.
@@ -121,6 +172,182 @@ Fleet::admit_floating()
         placements_[f] = winner;
         ++admitted_;
         bus_.count(admitted_id_);
+    }
+}
+
+bool
+Fleet::place_task(const workload::TaskSpec& spec, double big_speedup,
+                  SimTime departure, int* chip_out)
+{
+    active_scratch_.resize(health_.size());
+    for (std::size_t i = 0; i < health_.size(); ++i)
+        active_scratch_[i] = health_[i] != 2 ? 1 : 0;
+    int winner = supervisor_.cheapest_chip(&active_scratch_);
+    if (winner < 0) {
+        // Before the first settle: lowest-id surviving chip (the
+        // all-healthy case degenerates to the legacy "chip 0").
+        for (std::size_t i = 0; i < health_.size(); ++i) {
+            if (health_[i] != 2) {
+                winner = static_cast<int>(i);
+                break;
+            }
+        }
+    }
+    if (winner < 0)
+        return false;  // Whole fleet is down.
+    sim::AdmitReject why = sim::AdmitReject::kNone;
+    const TaskId id = shards_[static_cast<std::size_t>(winner)]
+                          ->try_admit_task(spec, {now_, departure},
+                                           big_speedup, kInvalidId, &why);
+    if (id == kInvalidId)
+        return false;  // Typed rejection already counted on the shard.
+    roster_[static_cast<std::size_t>(winner)].push_back(
+        {spec, big_speedup});
+    if (chip_out != nullptr)
+        *chip_out = winner;
+    return true;
+}
+
+void
+Fleet::apply_fleet_faults()
+{
+    const auto& events = cfg_.fleet_faults.events();
+    while (next_fleet_event_ < events.size() &&
+           events[next_fleet_event_].time <= now_) {
+        const fault::FleetFaultEvent& ev = events[next_fleet_event_++];
+        const auto i = static_cast<std::size_t>(ev.chip);
+        PPM_ASSERT(i < health_.size(), "fleet fault names unknown chip");
+        switch (ev.kind) {
+        case fault::FleetFaultKind::kChipFail:
+            if (health_[i] == 2)
+                break;  // Already down.
+            health_[i] = 2;
+            ++chip_failures_;
+            bus_.count(chip_failures_id_);
+            evacuate_chip(i);
+            break;
+        case fault::FleetFaultKind::kChipDegrade:
+            if (health_[i] == 2)
+                break;  // Failure dominates.
+            health_[i] = 1;
+            clamp_[i] = ev.factor;
+            break;
+        case fault::FleetFaultKind::kChipRecover:
+            if (health_[i] == 0)
+                break;
+            ++chip_recoveries_;
+            bus_.count(chip_recoveries_id_);
+            health_[i] = 0;
+            clamp_[i] = 1.0;
+            deficit_streak_[i] = 0;
+            // Freed capacity: wake every parked evacuation for an
+            // immediate retry (drained in seq order below).
+            for (PendingEvac& p : pending_evac_) {
+                p.retries_left = cfg_.evac_max_retries;
+                p.next_try = now_;
+                p.backoff = cfg_.epoch;
+            }
+            break;
+        }
+    }
+    bool all_failed = !health_.empty();
+    for (unsigned char h : health_) {
+        if (h != 2)
+            all_failed = false;
+    }
+    if (all_failed)
+        all_failed_seen_ = true;
+}
+
+void
+Fleet::evacuate_chip(std::size_t chip)
+{
+    // Pull every task still inside its lifetime window off the chip,
+    // in task-id order: deterministic, and exactly the set of tasks
+    // whose work would be lost.  The shard itself keeps simulating
+    // (barrier-aligned) with an empty run queue and a floor budget.
+    sim::Simulation& shard = *shards_[chip];
+    const auto& entries = roster_[chip];
+    for (TaskId t = 0; t < static_cast<TaskId>(entries.size()); ++t) {
+        if (!shard.task_alive(t))
+            continue;  // Departed, not yet arrived, or already evacuated.
+        const auto& lives = shard.config().lifetimes;
+        const SimTime departure = lives.empty()
+            ? sim::SimConfig::Lifetime::kForever
+            : lives[static_cast<std::size_t>(t)].departure;
+        shard.set_task_departure(t, now_);
+        ++evacuations_;
+        bus_.count(evacuations_id_);
+        PendingEvac p;
+        p.seq = evac_seq_++;
+        p.spec = entries[static_cast<std::size_t>(t)].spec;
+        p.big_speedup = entries[static_cast<std::size_t>(t)].big_speedup;
+        p.departure = departure;
+        p.retries_left = cfg_.evac_max_retries;
+        p.next_try = now_;
+        p.backoff = cfg_.epoch;
+        pending_evac_.push_back(p);
+    }
+}
+
+void
+Fleet::run_deficit_watchdog()
+{
+    if (cfg_.deficit_watchdog_epochs <= 0)
+        return;
+    for (std::size_t i = 0; i < health_.size(); ++i) {
+        if (health_[i] == 2) {
+            deficit_streak_[i] = 0;
+            continue;
+        }
+        if (signals_[i].deficit > 0.0)
+            ++deficit_streak_[i];
+        else
+            deficit_streak_[i] = 0;
+        if (deficit_streak_[i] >= cfg_.deficit_watchdog_epochs &&
+            health_[i] == 0) {
+            // Persistent clearing deficit is a health signal: the
+            // chip cannot clear what it already has, so clamp its
+            // budget until it recovers (deficit drops) or a
+            // chip-recover event clears the mark.
+            health_[i] = 1;
+            clamp_[i] = cfg_.watchdog_clamp;
+            ++fleet_watchdog_trips_;
+            bus_.count(watchdog_id_);
+            deficit_streak_[i] = 0;
+        }
+    }
+}
+
+void
+Fleet::drain_pending()
+{
+    // Seq order == task-id order within each evacuation batch; erase
+    // keeps the vector sorted by seq.
+    for (auto it = pending_evac_.begin(); it != pending_evac_.end();) {
+        if (it->next_try > now_) {
+            ++it;
+            continue;
+        }
+        int chip = kInvalidId;
+        if (place_task(it->spec, it->big_speedup, it->departure,
+                       &chip)) {
+            ++evac_landed_;
+            bus_.count(evac_landed_id_);
+            it = pending_evac_.erase(it);
+            continue;
+        }
+        ++rejections_;
+        bus_.count(rejections_id_);
+        if (--it->retries_left <= 0) {
+            // Bounded retries exhausted: park until the next
+            // chip-recover event wakes the queue.
+            it->next_try = sim::SimConfig::Lifetime::kForever;
+        } else {
+            it->next_try = now_ + it->backoff;
+            it->backoff *= 2;  // Doubling backoff.
+        }
+        ++it;
     }
 }
 
@@ -142,6 +369,15 @@ Fleet::sample_barrier()
     }
     bus_.sample(fleet_power_id_, now_, fleet_power);
     bus_.sample(fleet_budget_id_, now_, fleet_budget);
+    if (fault_handling_) {
+        // Health telemetry only exists once the fault machinery is
+        // on, so fault-free runs keep byte-identical traces.
+        for (std::size_t i = 0; i < shards_.size(); ++i)
+            bus_.sample(chip_state_ids_[i], now_,
+                        static_cast<double>(health_[i]));
+        bus_.sample(evac_pending_id_, now_,
+                    static_cast<double>(pending_evac_.size()));
+    }
 }
 
 bool
@@ -164,8 +400,16 @@ Fleet::run_epoch()
     now_ = stop;
 
     // Batched cross-shard settlement, all on the control thread in
-    // chip-id order.
+    // chip-id order.  Chip-scope faults land first (they are compiled
+    // onto the barrier grid), so a failed chip's budget is withdrawn
+    // from the very settlement at its failure barrier.
+    if (fault_handling_)
+        apply_fleet_faults();
     settle_barrier();
+    if (fault_handling_) {
+        run_deficit_watchdog();
+        drain_pending();
+    }
     admit_floating();
     sample_barrier();
 
@@ -187,6 +431,17 @@ Fleet::run()
     r.supervisor_epochs = supervisor_.epochs();
     r.admitted = admitted_;
     r.placements = placements_;
+    r.chip_failures = chip_failures_;
+    r.chip_recoveries = chip_recoveries_;
+    r.evacuations = evacuations_;
+    r.evac_landed = evac_landed_;
+    r.evac_pending_end = static_cast<long>(pending_evac_.size());
+    r.rejections = rejections_;
+    r.fleet_watchdog_trips = fleet_watchdog_trips_;
+    r.all_chips_failed = all_failed_seen_;
+    r.final_health.reserve(health_.size());
+    for (unsigned char h : health_)
+        r.final_health.push_back(static_cast<int>(h));
 
     if (shards_.size() == 1) {
         // Verbatim: a 1-chip fleet IS its single simulation.

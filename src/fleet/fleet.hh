@@ -38,6 +38,7 @@
 
 #include "common/thread_pool.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "fleet/supervisor.hh"
 #include "hw/platform.hh"
 #include "metrics/telemetry.hh"
@@ -122,6 +123,35 @@ struct FleetConfig {
 
     /** External shared pool (not owned; overrides `jobs`). */
     ThreadPool* pool = nullptr;
+
+    /**
+     * Chip-scope fault schedule (chip-fail / chip-degrade /
+     * chip-recover), compiled onto the epoch grid so every event
+     * lands exactly on a settlement barrier.  Empty (the default)
+     * disables the fleet fault machinery entirely: settlement,
+     * placement and telemetry take the exact code paths of a
+     * fault-free build, so existing runs stay byte-identical.
+     */
+    fault::FleetFaultPlan fleet_faults;
+
+    /**
+     * Per-chip deficit watchdog: a chip reporting a positive clearing
+     * deficit for this many consecutive epochs is marked degraded
+     * (its budget clamped by `watchdog_clamp`) -- persistent deficit
+     * is a health signal, the fleet analogue of the market watchdog.
+     * 0 (default) disables the watchdog.
+     */
+    int deficit_watchdog_epochs = 0;
+
+    /** Budget clamp applied when the deficit watchdog trips. */
+    double watchdog_clamp = 0.9;
+
+    /**
+     * Bounded placement retries per evacuated task before it parks in
+     * the pending queue until the next recovery (backoff doubles per
+     * failed attempt, starting at one epoch).
+     */
+    int evac_max_retries = 8;
 };
 
 /** Aggregate outcome of a fleet run. */
@@ -152,6 +182,22 @@ struct FleetResult {
     /** Chip id each floating task landed on (-1 = never admitted,
      *  arrival past the run end). */
     std::vector<int> placements;
+
+    // Fleet fault-tolerance accounting (all zero / empty on runs
+    // without chip-scope faults).  Conservation invariant:
+    // evacuations == evac_landed + evac_pending_end -- no task is
+    // lost or duplicated by chip failure.
+    long chip_failures = 0;     ///< chip-fail events applied.
+    long chip_recoveries = 0;   ///< chip-recover events applied.
+    long evacuations = 0;       ///< Tasks pulled off failed chips.
+    long evac_landed = 0;       ///< ...re-admitted on survivors.
+    long evac_pending_end = 0;  ///< ...still queued at run end.
+    long rejections = 0;        ///< Typed admission rejections.
+    long fleet_watchdog_trips = 0;  ///< Deficit-watchdog trips.
+    bool all_chips_failed = false;  ///< Whole fleet was down at once.
+
+    /** Final per-chip health (0 = ok, 1 = degraded, 2 = failed). */
+    std::vector<int> final_health;
 };
 
 /** The federated multi-chip economy. */
@@ -194,7 +240,48 @@ class Fleet
     /** The supervisor market (for inspection). */
     const SupervisorMarket& supervisor() const { return supervisor_; }
 
+    /** Per-chip health (0 = ok, 1 = degraded, 2 = failed). */
+    int chip_health(int i) const
+    {
+        return static_cast<int>(health_[static_cast<std::size_t>(i)]);
+    }
+
+    /** Evacuations still waiting for a chip that can take them. */
+    long pending_evacuations() const
+    {
+        return static_cast<long>(pending_evac_.size());
+    }
+
+    /**
+     * Serialize the complete fleet state between epochs: supervisor,
+     * budgets, placements, health, the pending-evacuation queue, the
+     * fleet bus, and every shard (each via Simulation::save).  load()
+     * mirrors Simulation::load: call it on a freshly constructed
+     * Fleet built from the same configuration; the restored fleet
+     * continues byte-identically to the uninterrupted run.
+     */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
+
   private:
+    /** One evacuated (or retrying) task awaiting placement. */
+    struct PendingEvac {
+        long seq = 0;           ///< Global drain order (FIFO).
+        workload::TaskSpec spec;
+        double big_speedup = 0.0;
+        SimTime departure = sim::SimConfig::Lifetime::kForever;
+        int retries_left = 0;
+        SimTime next_try = 0;   ///< Barrier time of the next attempt.
+        SimTime backoff = 0;    ///< Doubles per failed attempt.
+    };
+
+    /** What the fleet knows about a task it placed on a chip (enough
+     *  to re-admit it elsewhere on evacuation). */
+    struct RosterEntry {
+        workload::TaskSpec spec;
+        double big_speedup = 0.0;
+    };
+
     /** Gather signals, settle, retarget budgets (chip-id order). */
     void settle_barrier();
 
@@ -203,6 +290,24 @@ class Fleet
 
     /** Sample the fleet.* series at the current barrier. */
     void sample_barrier();
+
+    /** Apply due chip-fail/degrade/recover events (barrier time). */
+    void apply_fleet_faults();
+
+    /** Pull every live task off newly failed chip `i` into the
+     *  pending queue (task-id order). */
+    void evacuate_chip(std::size_t i);
+
+    /** Update per-chip deficit streaks; trip the watchdog. */
+    void run_deficit_watchdog();
+
+    /** Try to place due pending evacuations (seq order). */
+    void drain_pending();
+
+    /** Admit `spec` on the cheapest active chip; kInvalidId target
+     *  chip in `*chip_out` when nothing could take it. */
+    bool place_task(const workload::TaskSpec& spec, double big_speedup,
+                    SimTime departure, int* chip_out);
 
     FleetConfig cfg_;
     SupervisorMarket supervisor_;
@@ -221,14 +326,42 @@ class Fleet
     long admitted_ = 0;
     bool done_ = false;
 
+    // Fleet fault-tolerance runtime.  fault_handling_ latches at
+    // construction (non-empty plan or watchdog enabled); when false,
+    // every barrier takes the exact legacy code path.
+    bool fault_handling_ = false;
+    std::size_t next_fleet_event_ = 0;  ///< Cursor into the plan.
+    std::vector<unsigned char> health_; ///< 0 ok / 1 degraded / 2 failed.
+    std::vector<double> clamp_;         ///< Budget clamp (1.0 = none).
+    std::vector<int> deficit_streak_;   ///< Consecutive deficit epochs.
+    std::vector<std::vector<RosterEntry>> roster_;  ///< Per chip, by task id.
+    std::vector<PendingEvac> pending_evac_;  ///< Sorted by seq.
+    long evac_seq_ = 0;
+    long chip_failures_ = 0;
+    long chip_recoveries_ = 0;
+    long evacuations_ = 0;
+    long evac_landed_ = 0;
+    long rejections_ = 0;
+    long fleet_watchdog_trips_ = 0;
+    bool all_failed_seen_ = false;
+    std::vector<unsigned char> active_scratch_;  ///< health != failed.
+
     // Interned fleet.* handles (resolved at construction).
     std::vector<metrics::SeriesId> chip_power_ids_;
     std::vector<metrics::SeriesId> chip_budget_ids_;
     std::vector<metrics::SeriesId> chip_price_ids_;
     std::vector<metrics::SeriesId> chip_deficit_ids_;
+    std::vector<metrics::SeriesId> chip_state_ids_;
     metrics::SeriesId fleet_power_id_ = 0;
     metrics::SeriesId fleet_budget_id_ = 0;
     metrics::SeriesId admitted_id_ = 0;
+    metrics::SeriesId evacuations_id_ = 0;
+    metrics::SeriesId evac_landed_id_ = 0;
+    metrics::SeriesId evac_pending_id_ = 0;
+    metrics::SeriesId rejections_id_ = 0;
+    metrics::SeriesId chip_failures_id_ = 0;
+    metrics::SeriesId chip_recoveries_id_ = 0;
+    metrics::SeriesId watchdog_id_ = 0;
 };
 
 } // namespace ppm::fleet

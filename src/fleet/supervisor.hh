@@ -21,6 +21,11 @@
 
 #include "common/types.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::fleet {
 
 /** Parameters of the supervisor market. */
@@ -82,6 +87,26 @@ class SupervisorMarket
      */
     bool settle(const std::vector<ChipSignal>& signals);
 
+    /**
+     * Health-aware settlement (fleet fault tolerance).  `active`
+     * masks chips out of the economy entirely (0 = failed): a failed
+     * chip's budget is withdrawn from settlement -- it receives the
+     * quarantine floor and a sentinel price so placement never picks
+     * it.  `clamp` multiplies a degraded chip's granted budget
+     * (1.0 = healthy), floored at the per-chip floor.  Passing null
+     * for both is exactly settle(): the masked path with every chip
+     * active and every clamp at 1.0 runs the identical arithmetic,
+     * so enabling fault handling on a run where nothing fails
+     * changes no bits.
+     *
+     * Edge cases: exactly one active chip receives the full fleet
+     * budget verbatim (zero floating-point rewriting, mirroring the
+     * 1-chip rule); zero active chips put every chip at the floor.
+     */
+    bool settle(const std::vector<ChipSignal>& signals,
+                const std::vector<unsigned char>* active,
+                const std::vector<double>* clamp);
+
     /** Per-chip budgets after the last settle (watts). */
     const std::vector<Watts>& budgets() const { return budgets_; }
 
@@ -109,7 +134,18 @@ class SupervisorMarket
      *  first settle. */
     int cheapest_chip() const;
 
+    /**
+     * Cheapest chip among those with a non-zero `active` mask entry;
+     * -1 before the first settle or when no chip is active.  Null
+     * mask = all chips eligible (same as cheapest_chip()).
+     */
+    int cheapest_chip(const std::vector<unsigned char>* active) const;
+
     const SupervisorConfig& config() const { return cfg_; }
+
+    /** Serialize budgets, prices, lambda and the epoch counter. */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     SupervisorConfig cfg_;

@@ -5,12 +5,15 @@
 #include <memory>
 #include <sstream>
 
+#include "common/logging.hh"
+
 #include "baselines/hl_governor.hh"
 #include "baselines/hpm_governor.hh"
 #include "fleet/fleet.hh"
 #include "hw/power_model.hh"
 #include "market/ppm_governor.hh"
 #include "metrics/telemetry.hh"
+#include "snapshot/archive.hh"
 
 namespace ppm::fuzz {
 namespace {
@@ -282,20 +285,23 @@ class FleetAuditSink final : public metrics::TraceSink
 /** Everything one federated execution of the scenario produces. */
 struct FleetOutput {
     sim::RunSummary combined;
+    fleet::FleetResult result; ///< Full result (fault counters etc.).
     std::string fleet_jsonl;  ///< Fleet bus bytes (fleet.* series).
     std::string chip0_jsonl;  ///< Shard 0's full telemetry stream.
     std::string budget_error; ///< First FleetAuditSink failure.
 };
 
 /**
- * Run the scenario as a `chips`-shard fleet on a `jobs`-worker pool.
- * Every chip replicates the scenario's workload; chip governors are
- * built from their supervisor budget through the same knobs as
- * make_policy, so a 1-chip fleet is configured bit-identically to the
- * plain PPM run.
+ * Build the `chips`-shard fleet configuration of the scenario.  Every
+ * chip replicates the scenario's workload; chip governors are built
+ * from their supervisor budget through the same knobs as make_policy,
+ * so a 1-chip fleet is configured bit-identically to the plain PPM
+ * run.  With `fleet_faults`, the scenario's chip-level fault classes
+ * are compiled into the settlement-barrier transition schedule.
  */
-FleetOutput
-run_fleet(const Scenario& sc, int chips, int jobs, bool incremental)
+fleet::FleetConfig
+make_fleet_config(const Scenario& sc, int chips, int jobs,
+                  bool incremental, bool fleet_faults)
 {
     const bool capped = sc.tdp > 0.0;
     const Watts total =
@@ -310,6 +316,9 @@ run_fleet(const Scenario& sc, int chips, int jobs, bool incremental)
         const hw::Chip chip = make_chip(sc);
         fc.sim = make_sim_config(sc, chip, true);
     }
+    if (fleet_faults)
+        fc.fleet_faults = fault::FleetFaultPlan::compile(
+            sc.faults, chips, fc.sim.duration, fc.epoch);
     for (int c = 0; c < chips; ++c) {
         fleet::ChipWorkload wl;
         wl.specs = make_specs(sc);
@@ -332,26 +341,135 @@ run_fleet(const Scenario& sc, int chips, int jobs, bool incremental)
         cfg.online_speedup = sc.online_speedup;
         return std::make_unique<market::PpmGovernor>(cfg);
     };
+    return fc;
+}
+
+FleetOutput
+run_fleet(const Scenario& sc, int chips, int jobs, bool incremental,
+          bool fleet_faults = false)
+{
+    const bool capped = sc.tdp > 0.0;
+    const Watts total =
+        capped ? sc.tdp * static_cast<double>(chips) : 1e9;
 
     std::ostringstream fleet_os;
     std::ostringstream chip_os;
     metrics::JsonlSink fleet_sink(fleet_os);
     metrics::JsonlSink chip_sink(chip_os);
     FleetAuditSink audit(total);
-    const bool check_budget = capped && chips > 1;
+    // A failed chip's budget is withdrawn from settlement (and a
+    // degraded chip's is clamped), so the sum-to-total audit only
+    // holds on healthy fleets.
+    const bool check_budget = capped && chips > 1 && !fleet_faults;
 
-    fleet::Fleet fleet(std::move(fc));
+    fleet::Fleet fleet(
+        make_fleet_config(sc, chips, jobs, incremental, fleet_faults));
     fleet.bus().add_sink(&fleet_sink);
     if (check_budget)
         fleet.bus().add_sink(&audit);
     fleet.shard(0).bus().add_sink(&chip_sink);
 
     FleetOutput out;
-    out.combined = fleet.run().combined;
+    out.result = fleet.run();
+    out.combined = out.result.combined;
     out.fleet_jsonl = fleet_os.str();
     out.chip0_jsonl = chip_os.str();
     if (check_budget)
         out.budget_error = audit.finish();
+    return out;
+}
+
+/**
+ * Kill-and-resume execution of the scenario's PPM run: advance a
+ * first simulation to `at`, snapshot it through the real archive
+ * bytes (header, checksum and all), restore into a second freshly
+ * constructed simulation and run that to the end.  The two telemetry
+ * streams concatenate; the summary comes from the restored half.
+ */
+RunOutput
+run_split(const Scenario& sc, bool incremental, SimTime at)
+{
+    RunOutput out;
+    snap::Writer w;
+    std::ostringstream os1;
+    {
+        hw::Chip chip = make_chip(sc);
+        const sim::SimConfig cfg = make_sim_config(sc, chip, true);
+        metrics::JsonlSink sink(os1);
+        sim::Simulation first(std::move(chip), make_specs(sc),
+                              make_policy(sc, "PPM", 1, incremental),
+                              cfg);
+        first.bus().add_sink(&sink);
+        first.run_until(at);
+        first.save(w);
+    }
+    std::ostringstream os2;
+    hw::Chip chip = make_chip(sc);
+    const sim::SimConfig cfg = make_sim_config(sc, chip, true);
+    metrics::JsonlSink sink(os2);
+    sim::Simulation second(std::move(chip), make_specs(sc),
+                           make_policy(sc, "PPM", 1, incremental),
+                           cfg);
+    second.bus().add_sink(&sink);
+    snap::Reader r;
+    const snap::LoadStatus st = r.open(w.finalize());
+    PPM_ASSERT(st == snap::LoadStatus::kOk,
+               "in-memory snapshot failed validation");
+    second.load(r);
+    PPM_ASSERT(r.remaining() == 0,
+               "snapshot has trailing bytes after load");
+    second.run_until(cfg.duration);
+    out.summary = second.finish();
+    out.jsonl = os1.str() + os2.str();
+    if (sc.trace) {
+        std::ostringstream csv;
+        second.recorder().write_csv(csv);
+        out.trace_csv = csv.str();
+    }
+    return out;
+}
+
+/**
+ * Kill-and-resume execution of the federated scenario: run a first
+ * fleet up to the last settlement barrier before `at`, snapshot,
+ * restore into a second fleet and run to completion.
+ */
+FleetOutput
+run_fleet_split(const Scenario& sc, int chips, bool incremental,
+                bool fleet_faults, SimTime at)
+{
+    FleetOutput out;
+    snap::Writer w;
+    std::ostringstream fleet_os1, chip_os1;
+    {
+        metrics::JsonlSink fleet_sink(fleet_os1);
+        metrics::JsonlSink chip_sink(chip_os1);
+        fleet::Fleet first(make_fleet_config(sc, chips, 1, incremental,
+                                             fleet_faults));
+        first.bus().add_sink(&fleet_sink);
+        first.shard(0).bus().add_sink(&chip_sink);
+        while (first.now() < at && first.run_epoch()) {
+        }
+        first.save(w);
+    }
+    std::ostringstream fleet_os2, chip_os2;
+    metrics::JsonlSink fleet_sink(fleet_os2);
+    metrics::JsonlSink chip_sink(chip_os2);
+    fleet::Fleet second(make_fleet_config(sc, chips, 1, incremental,
+                                          fleet_faults));
+    second.bus().add_sink(&fleet_sink);
+    second.shard(0).bus().add_sink(&chip_sink);
+    snap::Reader r;
+    const snap::LoadStatus st = r.open(w.finalize());
+    PPM_ASSERT(st == snap::LoadStatus::kOk,
+               "in-memory fleet snapshot failed validation");
+    second.load(r);
+    PPM_ASSERT(r.remaining() == 0,
+               "fleet snapshot has trailing bytes after load");
+    out.result = second.run();
+    out.combined = out.result.combined;
+    out.fleet_jsonl = fleet_os1.str() + fleet_os2.str();
+    out.chip0_jsonl = chip_os1.str() + chip_os2.str();
     return out;
 }
 
@@ -693,6 +811,93 @@ check_scenario(const Scenario& sc)
                 {"fleet-incremental", "PPM",
                  "fleet bytes differ between incremental and full "
                  "clearing"});
+        }
+    }
+
+    // Chip-level fault invariants: evacuation conservation (no task
+    // is silently dropped by a chip failure), counter sanity, and
+    // jobs-count byte-determinism of the faulted fleet.
+    if (sc.fleet_chips > 1 && sc.has_fleet_faults) {
+        const FleetOutput faulted =
+            run_fleet(sc, sc.fleet_chips, 1, sc.incremental, true);
+        const fleet::FleetResult& fr = faulted.result;
+        if (fr.evacuations != fr.evac_landed + fr.evac_pending_end) {
+            violations.push_back(
+                {"fleet-conservation", "PPM",
+                 "evacuations " + std::to_string(fr.evacuations) +
+                     " != landed " + std::to_string(fr.evac_landed) +
+                     " + pending " +
+                     std::to_string(fr.evac_pending_end)});
+        }
+        if (fr.chip_failures < 0 || fr.evacuations < 0 ||
+            fr.evac_landed < 0 || fr.evac_pending_end < 0 ||
+            fr.rejections < 0 || fr.fleet_watchdog_trips < 0) {
+            violations.push_back(
+                {"fleet-conservation", "PPM",
+                 "a fleet fault counter went negative"});
+        }
+        if (!sc.faults.chip_fail && fr.chip_failures != 0) {
+            violations.push_back(
+                {"fleet-conservation", "PPM",
+                 "chip-fail disabled but " +
+                     std::to_string(fr.chip_failures) +
+                     " failures were applied"});
+        }
+        const FleetOutput pooled =
+            run_fleet(sc, sc.fleet_chips, 3, sc.incremental, true);
+        if (summary_fingerprint(faulted.combined) !=
+                summary_fingerprint(pooled.combined) ||
+            faulted.fleet_jsonl != pooled.fleet_jsonl ||
+            faulted.chip0_jsonl != pooled.chip0_jsonl) {
+            violations.push_back(
+                {"fleet-fault-jobs", "PPM",
+                 "faulted fleet bytes differ between jobs=1 and "
+                 "jobs=3"});
+        }
+    }
+
+    // Snapshot differential: a kill at snapshot_at followed by a
+    // restore into a fresh process image must replay the exact
+    // trajectory -- summaries, telemetry streams (concatenated
+    // across the kill) and traced series byte for byte.
+    if (sc.snapshot_at > 0) {
+        const RunOutput full =
+            run_once(sc, "PPM", true, 1, sc.incremental);
+        const RunOutput split =
+            run_split(sc, sc.incremental, sc.snapshot_at);
+        if (summary_fingerprint(full.summary) !=
+            summary_fingerprint(split.summary)) {
+            violations.push_back(
+                {"snapshot-restore", "PPM",
+                 "summary fingerprints differ between the "
+                 "uninterrupted and the kill-and-resume run"});
+        } else if (full.jsonl != split.jsonl) {
+            violations.push_back(
+                {"snapshot-restore", "PPM",
+                 "telemetry streams differ across the snapshot (" +
+                     std::to_string(full.jsonl.size()) + " vs " +
+                     std::to_string(split.jsonl.size()) + " bytes)"});
+        } else if (full.trace_csv != split.trace_csv) {
+            violations.push_back(
+                {"snapshot-restore", "PPM",
+                 "traced time series differ across the snapshot"});
+        }
+        if (sc.fleet_chips > 1) {
+            const FleetOutput ffull =
+                run_fleet(sc, sc.fleet_chips, 1, sc.incremental,
+                          sc.has_fleet_faults);
+            const FleetOutput fsplit = run_fleet_split(
+                sc, sc.fleet_chips, sc.incremental,
+                sc.has_fleet_faults, sc.snapshot_at);
+            if (summary_fingerprint(ffull.combined) !=
+                    summary_fingerprint(fsplit.combined) ||
+                ffull.fleet_jsonl != fsplit.fleet_jsonl ||
+                ffull.chip0_jsonl != fsplit.chip0_jsonl) {
+                violations.push_back(
+                    {"fleet-snapshot-restore", "PPM",
+                     "fleet bytes differ between the uninterrupted "
+                     "and the kill-and-resume run"});
+            }
         }
     }
     return violations;

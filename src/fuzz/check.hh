@@ -29,8 +29,12 @@ namespace ppm::fuzz {
 struct Violation {
     /**
      * Stable invariant slug: "macro-vs-tick", "clearing-jobs",
-     * "market-budget", "summary-sanity", "fault-counters" or
-     * "tdp-duty".  The shrinker reproduces on (invariant, policy).
+     * "market-budget", "summary-sanity", "fault-counters",
+     * "tdp-duty", "incremental", "fleet-single", "fleet-jobs",
+     * "fleet-determinism", "fleet-budget", "fleet-incremental",
+     * "fleet-conservation", "fleet-fault-jobs", "snapshot-restore"
+     * or "fleet-snapshot-restore".  The shrinker reproduces on
+     * (invariant, policy).
      */
     std::string invariant;
     std::string policy;  ///< "PPM", "HPM" or "HL".

@@ -337,6 +337,28 @@ generate_scenario(std::uint64_t seed)
     // incremental engine off (the differential runs the complement
     // either way).  Drawn after fleet_chips for grammar back-compat.
     sc.incremental = !rng.chance(0.2);
+
+    // Chip-level fault classes for federated scenarios: failures
+    // (with or without recovery) and budget degradation, driving the
+    // evacuation/conservation invariants in check.cc.  Drawn after
+    // `incremental` for grammar back-compat.
+    if (sc.fleet_chips > 1 && rng.chance(0.35)) {
+        sc.has_fleet_faults = true;
+        sc.faults.chip_fail = rng.chance(0.7);
+        sc.faults.chip_degrade = rng.chance(0.5);
+        if (!sc.faults.any_fleet())
+            sc.faults.chip_fail = true;
+        sc.faults.chip_recover = rng.chance(0.6);
+        sc.faults.chip_rate_per_min = rng.uniform(4.0, 40.0);
+        sc.faults.degrade_factor = rng.uniform(0.2, 0.9);
+        if (!sc.has_faults)
+            sc.faults.seed = rng.next_u64();
+    }
+
+    // Snapshot differential: kill-and-resume at a random simulated
+    // time strictly inside the run.  Drawn last.
+    if (rng.chance(0.3))
+        sc.snapshot_at = uniform_ms(rng, 1, to_ms(sc.duration) - 1);
     return sc;
 }
 
@@ -462,6 +484,17 @@ serialize(const Scenario& sc)
     os << "adaptive_step=" << (sc.adaptive_step ? 1 : 0) << "\n";
     os << "fleet_chips=" << sc.fleet_chips << "\n";
     os << "incremental=" << (sc.incremental ? 1 : 0) << "\n";
+    os << "snapshot_at_ms=" << to_ms(sc.snapshot_at) << "\n";
+    os << "fleet_faults=" << (sc.has_fleet_faults ? 1 : 0) << "\n";
+    if (sc.has_fleet_faults) {
+        const fault::FaultSpec& f = sc.faults;
+        os << "chip_fail=" << (f.chip_fail ? 1 : 0) << "\n";
+        os << "chip_degrade=" << (f.chip_degrade ? 1 : 0) << "\n";
+        os << "chip_recover=" << (f.chip_recover ? 1 : 0) << "\n";
+        os << "chip_rate=" << fmt_double(f.chip_rate_per_min) << "\n";
+        os << "degrade=" << fmt_double(f.degrade_factor) << "\n";
+        os << "fleet_fault_seed=" << f.seed << "\n";
+    }
     os << "faults=" << (sc.has_faults ? 1 : 0) << "\n";
     if (sc.has_faults) {
         const fault::FaultSpec& f = sc.faults;
@@ -577,6 +610,28 @@ parse_scenario(const std::string& text, Scenario* out,
         } else if (key == "incremental") {
             // Missing key (pre-incremental fixtures) defaults to on.
             ok = parse_bool(value, &sc.incremental);
+        } else if (key == "snapshot_at_ms") {
+            // Missing key (pre-snapshot fixtures) defaults to 0/off.
+            ok = parse_long(value, &l) && l >= 0;
+            sc.snapshot_at = l * kMillisecond;
+        } else if (key == "fleet_faults") {
+            // Missing key (pre-fault fixtures) defaults to off.
+            ok = parse_bool(value, &sc.has_fleet_faults);
+        } else if (key == "chip_fail") {
+            ok = parse_bool(value, &sc.faults.chip_fail);
+        } else if (key == "chip_degrade") {
+            ok = parse_bool(value, &sc.faults.chip_degrade);
+        } else if (key == "chip_recover") {
+            ok = parse_bool(value, &sc.faults.chip_recover);
+        } else if (key == "chip_rate") {
+            ok = parse_double(value, &sc.faults.chip_rate_per_min) &&
+                 sc.faults.chip_rate_per_min > 0.0;
+        } else if (key == "degrade") {
+            ok = parse_double(value, &sc.faults.degrade_factor) &&
+                 sc.faults.degrade_factor > 0.0 &&
+                 sc.faults.degrade_factor <= 1.0;
+        } else if (key == "fleet_fault_seed") {
+            ok = parse_u64(value, &sc.faults.seed);
         } else if (key == "faults") {
             ok = parse_bool(value, &sc.has_faults);
         } else if (key == "fault_seed") {
@@ -632,6 +687,10 @@ parse_scenario(const std::string& text, Scenario* out,
         return fail("scenario has no task= lines");
     if (sc.warmup >= sc.duration)
         return fail("warmup must be shorter than duration");
+    if (sc.snapshot_at >= sc.duration)
+        return fail("snapshot_at_ms must be inside the run");
+    if (sc.has_fleet_faults && !sc.faults.any_fleet())
+        return fail("fleet_faults=1 wants chip_fail or chip_degrade");
     *out = sc;
     return true;
 }

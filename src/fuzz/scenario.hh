@@ -91,6 +91,24 @@ struct Scenario {
      * so shrinking can try the full-recompute path first.
      */
     bool incremental = true;
+    /**
+     * Chip-level fault classes (chip-fail / chip-degrade /
+     * chip-recover) for federated scenarios, stored in `faults`'
+     * chip-scope fields and compiled into a FleetFaultPlan by
+     * check.cc.  Inert unless fleet_chips > 1.  Drawn last so the
+     * earlier genes of a given seed are unchanged from older grammar
+     * versions.
+     */
+    bool has_fleet_faults = false;
+    /**
+     * > 0 runs the snapshot differential: the scenario executes to
+     * this simulated time, saves a snapshot, restores it into a
+     * freshly constructed simulation (or fleet) and runs to the end;
+     * the stitched run must match the uninterrupted one byte for
+     * byte (summary fingerprint, telemetry stream concatenation and
+     * traced time series).  0 = differential off.
+     */
+    SimTime snapshot_at = 0;
     std::vector<TaskGene> tasks; ///< At least one.
 };
 

@@ -126,6 +126,50 @@ shrink_faults(Search& s)
 }
 
 /**
+ * Chip-level fault shrink, run FIRST in the fixpoint loop: a
+ * violation that survives with the fleet-fault plan gone is not a
+ * failure-handling bug, and dropping the whole plan early spares
+ * every later pass the (expensive) faulted-fleet differentials.
+ * While the plan stays load-bearing, drop classes one at a time and
+ * halve the transition rate.
+ */
+void
+shrink_fleet_faults(Search& s)
+{
+    if (!s.best.has_fleet_faults)
+        return;
+    {
+        Scenario cand = s.best;
+        cand.has_fleet_faults = false;
+        cand.faults.chip_fail = false;
+        cand.faults.chip_degrade = false;
+        cand.faults.chip_recover = false;
+        if (s.accept(cand))
+            return;  // Chip faults were irrelevant.
+    }
+    if (s.best.faults.chip_recover) {
+        Scenario cand = s.best;
+        cand.faults.chip_recover = false;
+        s.accept(cand);
+    }
+    if (s.best.faults.chip_fail && s.best.faults.chip_degrade) {
+        Scenario cand = s.best;
+        cand.faults.chip_degrade = false;
+        if (!s.accept(cand)) {
+            cand = s.best;
+            cand.faults.chip_fail = false;
+            s.accept(cand);
+        }
+    }
+    while (s.best.faults.chip_rate_per_min > 0.5 && !s.exhausted()) {
+        Scenario cand = s.best;
+        cand.faults.chip_rate_per_min /= 2.0;
+        if (!s.accept(cand))
+            break;
+    }
+}
+
+/**
  * Try the full-recompute path before anything else: a violation that
  * survives with incrementality off is not a dirty-set bug, so the
  * surviving fixture localizes it elsewhere -- and one that only
@@ -195,11 +239,24 @@ shrink_structure(Search& s)
         cand.adaptive_step = false;
         s.accept(cand);
     }
+    // Snapshot differential off (sticks unless the violation is the
+    // restore-equivalence itself).
+    if (s.best.snapshot_at > 0) {
+        Scenario cand = s.best;
+        cand.snapshot_at = 0;
+        s.accept(cand);
+    }
     // Defederate (fleet invariants only need > 1 chip to trigger, so
     // this sticks only for violations the 1-chip fleet reproduces).
+    // Chip faults are inert on one chip; clear them with it so the
+    // surviving fixture reads clean.
     if (s.best.fleet_chips > 1) {
         Scenario cand = s.best;
         cand.fleet_chips = 1;
+        cand.has_fleet_faults = false;
+        cand.faults.chip_fail = false;
+        cand.faults.chip_degrade = false;
+        cand.faults.chip_recover = false;
         s.accept(cand);
     }
     // Uncap the TDP.
@@ -236,6 +293,7 @@ shrink(const Scenario& sc, const Violation& target,
     // tasks make shorter runs reproduce and vice versa).
     for (int round = 0; round < 4 && !s.exhausted(); ++round) {
         const std::string before = serialize(s.best);
+        shrink_fleet_faults(s);
         shrink_incremental(s);
         shrink_tasks(s);
         shrink_faults(s);

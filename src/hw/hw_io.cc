@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Snapshot serialization of the hardware layer's dynamic state.
+ * Topology (clusters, cores, V-F tables, thermal parameters) is never
+ * serialized: the restoring process rebuilds it from the same
+ * configuration and only the mutable fields are overwritten.
+ */
+
+#include "common/logging.hh"
+#include "hw/platform.hh"
+#include "hw/sensors.hh"
+#include "hw/thermal.hh"
+#include "snapshot/archive.hh"
+
+namespace ppm::hw {
+
+void
+Cluster::save(snap::Writer& w) const
+{
+    w.i32(level_);
+    w.b(powered_);
+}
+
+void
+Cluster::load(snap::Reader& r)
+{
+    level_ = r.i32();
+    powered_ = r.b();
+}
+
+void
+Chip::save(snap::Writer& w) const
+{
+    w.u64(clusters_.size());
+    for (const Cluster& v : clusters_)
+        v.save(w);
+    w.charv(core_online_);
+}
+
+void
+Chip::load(snap::Reader& r)
+{
+    const std::size_t n = static_cast<std::size_t>(r.u64());
+    PPM_ASSERT(n == clusters_.size(),
+               "snapshot topology mismatch: cluster count differs");
+    for (Cluster& v : clusters_)
+        v.load(r);
+    r.charv(&core_online_);
+    PPM_ASSERT(core_online_.size() == cores_.size(),
+               "snapshot topology mismatch: core count differs");
+}
+
+void
+SensorBank::save(snap::Writer& w) const
+{
+    w.f64v(instantaneous_);
+    w.f64v(energy_);
+    w.f64v(energy_at_mark_);
+    w.i64v(elapsed_);
+    w.i64v(elapsed_at_mark_);
+}
+
+void
+SensorBank::load(snap::Reader& r)
+{
+    r.f64v(&instantaneous_);
+    r.f64v(&energy_);
+    r.f64v(&energy_at_mark_);
+    r.i64v(&elapsed_);
+    r.i64v(&elapsed_at_mark_);
+}
+
+void
+ThermalModel::save(snap::Writer& w) const
+{
+    w.f64v(temp_);
+    w.f64(peak_);
+    w.f64(cycle_ref_);
+    w.b(rising_);
+    w.f64(cycle_threshold_);
+    w.i64(static_cast<std::int64_t>(cycles_));
+}
+
+void
+ThermalModel::load(snap::Reader& r)
+{
+    r.f64v(&temp_);
+    peak_ = r.f64();
+    cycle_ref_ = r.f64();
+    rising_ = r.b();
+    cycle_threshold_ = r.f64();
+    cycles_ = static_cast<long>(r.i64());
+}
+
+} // namespace ppm::hw

@@ -15,6 +15,11 @@
 #include "common/types.hh"
 #include "hw/vf_table.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::hw {
 
 /**
@@ -84,6 +89,10 @@ class Cluster
      */
     Pu supply() const { return mhz(); }
 
+    /** Dynamic state only (level, gating); topology is rebuilt. */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
+
   private:
     ClusterId id_;
     CoreTypeParams type_;
@@ -149,6 +158,10 @@ class Chip
 
     /** Set the hot-plug state of core `c`. */
     void set_core_online(CoreId c, bool on);
+
+    /** Dynamic state only (per-cluster V-F, gating, hot-plug). */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     std::vector<Cluster> clusters_;

@@ -13,6 +13,11 @@
 
 #include "common/types.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::hw {
 
 /** Per-cluster power and energy meters. */
@@ -71,6 +76,9 @@ class SensorBank
     {
         return static_cast<int>(instantaneous_.size());
     }
+
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     std::vector<Watts> instantaneous_;

@@ -18,6 +18,11 @@
 
 #include "common/types.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::hw {
 
 /** Thermal parameters of the chip. */
@@ -83,6 +88,10 @@ class ThermalModel
      * deg C at ~2 W, with time constants of ~10 s.
      */
     static ThermalParams tc2_defaults();
+
+    /** Dynamic state only (temperatures, peak/cycle detector). */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     /** Fold one step's hottest reading into peak/cycle tracking. */

@@ -32,6 +32,11 @@ namespace ppm {
 class ThreadPool;
 } // namespace ppm
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::market {
 
 /** Market-visible state of one task agent. */
@@ -324,6 +329,19 @@ class Market
      */
     int sanitize(const std::vector<Pu>& fallback_supplies);
 
+    /**
+     * Serialize the complete economy between rounds: agent ledgers,
+     * cluster controls, the allowance, AND every incremental-clearing
+     * memo (stamps, prev_* bit-compare baselines, distribution and
+     * circulating-bid folds, group index).  The memos must ride along
+     * -- they decide the observable skip counters and recompute sets,
+     * which a restored run must continue bit-exactly rather than
+     * restart from a force-full round.  Non-owned attachments (chip,
+     * pool, DVFS port, telemetry) and round-local scratch are skipped.
+     */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
+
   private:
     struct ClusterCtl {
         bool freeze_bids = false;        ///< Bids held this round.
@@ -510,6 +528,10 @@ class Market
     std::vector<double> scratch_core_prio_;     ///< distribute_allowance.
     std::vector<double> scratch_cluster_prio_;  ///< distribute_allowance.
     std::vector<double> scratch_weight_;        ///< distribute_allowance.
+    // Per-core bid folds from discover_prices.  NOT scratch despite
+    // living here: an incremental round skips cores outside the bid
+    // recompute set and reuses their fold from the previous round, so
+    // the vector is a cross-round memo and is serialized in snapshots.
     std::vector<Money> scratch_bid_sum_;        ///< discover_prices.
 
     // SoA mirror and the cached per-core task grouping (see TaskSoa /

@@ -21,6 +21,13 @@ OnlineSpeedupEstimator::OnlineSpeedupEstimator(int num_tasks, Params p)
                "speedup bounds must satisfy 1 <= min < max");
 }
 
+void
+OnlineSpeedupEstimator::grow(int num_tasks)
+{
+    if (static_cast<std::size_t>(num_tasks) > tasks_.size())
+        tasks_.resize(static_cast<std::size_t>(num_tasks));
+}
+
 const OnlineSpeedupEstimator::PerTask&
 OnlineSpeedupEstimator::entry(TaskId t) const
 {

@@ -27,6 +27,11 @@
 #include "common/types.hh"
 #include "hw/platform.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::market {
 
 /** Learns per-task big-core speedups from live HRM observations. */
@@ -48,6 +53,16 @@ class OnlineSpeedupEstimator
 
     /** Construct for `num_tasks` tasks with explicit tuning. */
     OnlineSpeedupEstimator(int num_tasks, Params p);
+
+    /**
+     * Extend the task table to `num_tasks` entries (no-op when it is
+     * already that large).  Mid-run admissions -- evacuated tasks
+     * landing from a failed chip, dynamic arrivals -- enter with zero
+     * samples and therefore use the population fallback until they
+     * have been observed on both classes, exactly like an unseen
+     * task present from init.
+     */
+    void grow(int num_tasks);
 
     /**
      * Record one observation window for task `t`: it ran on class
@@ -76,6 +91,10 @@ class OnlineSpeedupEstimator
 
     /** Learned cost on class `cls` in PU-seconds/hb (0 if unseen). */
     double cost(TaskId t, hw::CoreClass cls) const;
+
+    /** Serialize the learned per-task, per-class EWMA state. */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     struct PerClass {

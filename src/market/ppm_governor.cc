@@ -378,9 +378,16 @@ PpmGovernor::task_admitted(sim::Simulation& sim, TaskId id,
                            double big_speedup)
 {
     PPM_ASSERT(market_ != nullptr, "task admitted before init");
-    PPM_ASSERT(online_ == nullptr,
-               "mid-run admission needs offline speedup profiles; the "
-               "online estimator is sized at init");
+    if (online_ != nullptr) {
+        online_->grow(static_cast<int>(sim.tasks().size()));
+        // The residency gate starts at admission: the task's first
+        // online observation waits out a full window on one class.
+        while (residency_.size() < sim.tasks().size()) {
+            Residency res;
+            res.since = sim.now();
+            residency_.push_back(res);
+        }
+    }
     market_->add_task(id, sim.tasks()[static_cast<std::size_t>(id)]
                               ->priority(),
                       sim.scheduler().core_of(id));

@@ -166,6 +166,30 @@ class PpmGovernor : public sim::Governor
      * Identical with `PpmConfig::incremental` on or off (the dirty
      * bookkeeping runs in both modes); only the work saved differs.
      */
+    /**
+     * Serialize the live economy: the market (with every incremental
+     * memo), the online estimator (when enabled), residency windows,
+     * freeze-edge memory, bid timers, sensor guard and watchdog
+     * state.  Requires init() + admission replay first (see
+     * sim::Governor::save).
+     */
+    void save(snap::Writer& w) const override;
+    void load(snap::Reader& r) override;
+
+    /**
+     * Reject admissions while the chip sits in the emergency state:
+     * the market could not clear its existing load within the power
+     * budget in the last round, so another buyer would only deepen
+     * the deficit.
+     */
+    sim::AdmitReject admission_check() const override
+    {
+        return market_ != nullptr &&
+                market_->state() == ChipState::kEmergency
+            ? sim::AdmitReject::kEmergency
+            : sim::AdmitReject::kNone;
+    }
+
     sim::ClearingStats clearing_stats() const override
     {
         sim::ClearingStats out;

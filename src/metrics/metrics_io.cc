@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Snapshot serialization of the metrics layer: counters/histograms by
+ * name, recorded series, and QoS duty cycles.
+ */
+
+#include <string_view>
+
+#include "metrics/qos.hh"
+#include "metrics/recorder.hh"
+#include "metrics/telemetry.hh"
+#include "snapshot/archive.hh"
+
+namespace ppm::metrics {
+namespace {
+
+/** Counter/histogram names describing snapshot I/O itself. */
+bool
+is_snapshot_meta(std::string_view name)
+{
+    return name.substr(0, 9) == "snapshot.";
+}
+
+} // namespace
+
+void
+TraceBus::save(snap::Writer& w) const
+{
+    std::uint64_t n_counters = 0;
+    for (SeriesId id = 0; id < static_cast<SeriesId>(names_.size());
+         ++id) {
+        if (id < static_cast<SeriesId>(counter_touched_.size()) &&
+            counter_touched_[static_cast<std::size_t>(id)] &&
+            !is_snapshot_meta(names_[static_cast<std::size_t>(id)]))
+            ++n_counters;
+    }
+    w.u64(n_counters);
+    for (SeriesId id = 0; id < static_cast<SeriesId>(names_.size());
+         ++id) {
+        const auto i = static_cast<std::size_t>(id);
+        if (i < counter_touched_.size() && counter_touched_[i] &&
+            !is_snapshot_meta(names_[i])) {
+            w.str(names_[i]);
+            w.i64(static_cast<std::int64_t>(counter_vals_[i]));
+        }
+    }
+
+    std::uint64_t n_hists = 0;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (i < hist_touched_.size() && hist_touched_[i] &&
+            !is_snapshot_meta(names_[i]))
+            ++n_hists;
+    }
+    w.u64(n_hists);
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (i < hist_touched_.size() && hist_touched_[i] &&
+            !is_snapshot_meta(names_[i])) {
+            w.str(names_[i]);
+            hist_vals_[i].save(w);
+        }
+    }
+}
+
+void
+TraceBus::load(snap::Reader& r)
+{
+    const std::uint64_t n_counters = r.u64();
+    for (std::uint64_t k = 0; k < n_counters; ++k) {
+        const std::string name = r.str();
+        const long value = static_cast<long>(r.i64());
+        const SeriesId id = intern(name);
+        reserve_id(id);
+        const auto i = static_cast<std::size_t>(id);
+        counter_vals_[i] = value;
+        counter_touched_[i] = 1;
+    }
+    const std::uint64_t n_hists = r.u64();
+    for (std::uint64_t k = 0; k < n_hists; ++k) {
+        const std::string name = r.str();
+        const SeriesId id = intern(name);
+        reserve_id(id);
+        const auto i = static_cast<std::size_t>(id);
+        hist_vals_[i].load(r);
+        hist_touched_[i] = 1;
+    }
+}
+
+void
+TraceRecorder::save(snap::Writer& w) const
+{
+    w.u64(series_.size());
+    for (const auto& [name, samples] : series_) {
+        w.str(name);
+        w.u64(samples.size());
+        for (const Sample& s : samples) {
+            w.i64(s.time);
+            w.f64(s.value);
+        }
+    }
+}
+
+void
+TraceRecorder::load(snap::Reader& r)
+{
+    series_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const std::string name = r.str();
+        std::vector<Sample>& samples = series_[name];
+        samples.resize(r.u64());
+        for (Sample& s : samples) {
+            s.time = r.i64();
+            s.value = r.f64();
+        }
+    }
+}
+
+void
+QosTracker::save(snap::Writer& w) const
+{
+    w.u64(below_.size());
+    for (const DutyCycle& d : below_)
+        d.save(w);
+    for (const DutyCycle& d : outside_)
+        d.save(w);
+    any_below_.save(w);
+    any_outside_.save(w);
+}
+
+void
+QosTracker::load(snap::Reader& r)
+{
+    const std::size_t n = static_cast<std::size_t>(r.u64());
+    below_.resize(n);
+    outside_.resize(n);
+    for (DutyCycle& d : below_)
+        d.load(r);
+    for (DutyCycle& d : outside_)
+        d.load(r);
+    any_below_.load(r);
+    any_outside_.load(r);
+}
+
+} // namespace ppm::metrics

@@ -13,6 +13,11 @@
 #include "common/types.hh"
 #include "workload/task.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::metrics {
 
 /**
@@ -66,6 +71,9 @@ class QosTracker
 
     /** Fraction of time at least one task was outside its range. */
     double any_outside_fraction() const;
+
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     std::vector<DutyCycle> below_;

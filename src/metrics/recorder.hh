@@ -14,6 +14,11 @@
 
 #include "common/types.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::metrics {
 
 /** One (time, value) sample. */
@@ -44,6 +49,9 @@ class TraceRecorder
 
     /** Mean of series `name` over samples with time >= `from`. */
     double mean_after(const std::string& name, SimTime from) const;
+
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     std::map<std::string, std::vector<Sample>> series_;

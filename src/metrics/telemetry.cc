@@ -135,9 +135,11 @@ MemorySink::sample(const std::string& series, SimTime time, double value)
     recorder_->record(series, time, value);
 }
 
-CsvStreamSink::CsvStreamSink(std::ostream& os) : os_(&os)
+CsvStreamSink::CsvStreamSink(std::ostream& os, bool write_header)
+    : os_(&os)
 {
-    *os_ << "time_s,series,value\n";
+    if (write_header)
+        *os_ << "time_s,series,value\n";
     check_stream();
 }
 

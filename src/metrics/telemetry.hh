@@ -48,6 +48,11 @@
 #include "common/types.hh"
 #include "metrics/recorder.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::metrics {
 
 /**
@@ -174,8 +179,14 @@ class MemorySink : public TraceSink
 class CsvStreamSink : public TraceSink
 {
   public:
-    /** @param os Destination stream; must outlive the sink. */
-    explicit CsvStreamSink(std::ostream& os);
+    /**
+     * @param os Destination stream; must outlive the sink.
+     * @param write_header Emit the `time_s,series,value` header row.
+     *        A restored run resuming a trace file passes false so the
+     *        concatenation of the pre-snapshot part and its own output
+     *        equals the uninterrupted run's bytes.
+     */
+    explicit CsvStreamSink(std::ostream& os, bool write_header = true);
 
     void sample(const std::string& series, SimTime time,
                 double value) override;
@@ -290,6 +301,17 @@ class TraceBus
 
     /** Flush every sink. */
     void flush();
+
+    /**
+     * Serialize every touched counter and histogram as (name, value)
+     * pairs -- except names under the "snapshot." prefix, which
+     * describe snapshot I/O itself and must not leak into the restored
+     * run (its bytes must equal the uninterrupted run's).  load()
+     * re-interns by name, so id assignment order is irrelevant.  Sinks
+     * are not serialized; the restoring caller re-attaches its own.
+     */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     /** Grow the per-id storage to cover `id`. */

@@ -23,6 +23,11 @@
 #include "hw/platform.hh"
 #include "workload/task.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::sched {
 
 /** Default Linux scheduling epoch used by the paper (10 ms). */
@@ -167,6 +172,16 @@ class Scheduler
 
     const hw::Chip& chip() const { return *chip_; }
     const hw::MigrationModel& migration_model() const { return migration_; }
+
+    /**
+     * Per-entry dynamic state plus core utilizations.  The replay
+     * cache is deliberately not serialized: load() invalidates it, and
+     * the hit and miss paths are bit-identical by contract, so a
+     * restored run's first begin_replay() miss recomputes the same
+     * grants the uninterrupted run would have reused.
+     */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     struct Entry {

@@ -17,6 +17,11 @@
 
 #include "common/types.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::sim {
 
 class Simulation;
@@ -37,6 +42,22 @@ struct ClearingStats {
     long cores_skipped = 0;     ///< ...of which reused their folds.
     long rounds_early_exit = 0; ///< Rounds whose active set was empty.
 };
+
+/**
+ * Typed admission-control verdict.  kNone means "admit"; everything
+ * else names the reason a task was turned away, surfaced on the
+ * telemetry bus and in fleet placement decisions.
+ */
+enum class AdmitReject {
+    kNone = 0,       ///< Admitted.
+    kEmergency,      ///< Local market over budget (emergency state).
+    kDeficit,        ///< Persistent clearing deficit (watchdog).
+    kChipFailed,     ///< Fleet: the target chip is failed.
+    kNoCapacity,     ///< Fleet: no surviving chip could take the task.
+};
+
+/** Name of an admission verdict ("ok" / "emergency" / ...). */
+const char* admit_reject_name(AdmitReject r);
 
 /** Base class for power-management policies. */
 class Governor
@@ -163,6 +184,32 @@ class Governor
      * run summary).  Governors without a market report all-zero.
      */
     virtual ClearingStats clearing_stats() const { return {}; }
+
+    /**
+     * Admission-control check consulted by Simulation::try_admit_task
+     * before a mid-run admission: can this governor's economy absorb
+     * another task right now?  A market governor rejects while its
+     * chip sits in the emergency state (the market cannot clear the
+     * load it already has within the power budget).  Budgetless
+     * governors admit unconditionally.
+     */
+    virtual AdmitReject admission_check() const
+    {
+        return AdmitReject::kNone;
+    }
+
+    /**
+     * Serialize the governor's dynamic state into a snapshot.  Called
+     * between ticks; paired with load() in a fresh process whose
+     * governor was constructed from the same config and has had
+     * init() plus all mid-run task_admitted() calls replayed (so
+     * every container already has its final size).  The default is a
+     * no-op for stateless governors and test mocks.
+     */
+    virtual void save(snap::Writer& w) const { (void)w; }
+
+    /** Restore the state written by save() (see its contract). */
+    virtual void load(snap::Reader& r) { (void)r; }
 };
 
 } // namespace ppm::sim

@@ -7,6 +7,24 @@
 
 namespace ppm::sim {
 
+const char*
+admit_reject_name(AdmitReject r)
+{
+    switch (r) {
+    case AdmitReject::kNone:
+        return "ok";
+    case AdmitReject::kEmergency:
+        return "emergency";
+    case AdmitReject::kDeficit:
+        return "deficit";
+    case AdmitReject::kChipFailed:
+        return "chip failed";
+    case AdmitReject::kNoCapacity:
+        return "no capacity";
+    }
+    return "?";
+}
+
 Simulation::Simulation(hw::Chip chip,
                        const std::vector<workload::TaskSpec>& specs,
                        std::unique_ptr<Governor> governor, SimConfig config)
@@ -82,6 +100,7 @@ Simulation::Simulation(hw::Chip chip,
     // here stay valid for sinks attached later (before run()).
     chip_power_id_ = bus_.intern("chip_power_w");
     migrations_id_ = bus_.intern("migrations");
+    admission_reject_id_ = bus_.intern("admission_rejections");
     for (const auto& cl : chip_.clusters()) {
         const std::string prefix =
             "cluster" + std::to_string(cl.id());
@@ -529,9 +548,38 @@ Simulation::admit_task(const workload::TaskSpec& spec,
     qos_.add_task();
     task_hr_ids_.push_back(bus_.intern(task->name() + "_hr"));
     task_norm_hr_ids_.push_back(bus_.intern(task->name() + "_norm_hr"));
+    admit_log_.push_back({spec, life, big_speedup, core});
     if (initialized_)
         governor_->task_admitted(*this, id, big_speedup);
     return id;
+}
+
+TaskId
+Simulation::try_admit_task(const workload::TaskSpec& spec,
+                           SimConfig::Lifetime life, double big_speedup,
+                           CoreId core, AdmitReject* why)
+{
+    const AdmitReject verdict =
+        initialized_ ? governor_->admission_check() : AdmitReject::kNone;
+    if (why != nullptr)
+        *why = verdict;
+    if (verdict != AdmitReject::kNone) {
+        bus_.count(admission_reject_id_);
+        return kInvalidId;
+    }
+    return admit_task(spec, life, big_speedup, core);
+}
+
+void
+Simulation::set_task_departure(TaskId t, SimTime departure)
+{
+    PPM_ASSERT(t >= 0 &&
+                   static_cast<std::size_t>(t) < owned_tasks_.size(),
+               "task id out of range");
+    if (config_.lifetimes.empty())
+        config_.lifetimes.assign(owned_tasks_.size(),
+                                 SimConfig::Lifetime{});
+    config_.lifetimes[static_cast<std::size_t>(t)].departure = departure;
 }
 
 RunSummary

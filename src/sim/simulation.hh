@@ -199,6 +199,27 @@ class Simulation
                       SimConfig::Lifetime life, double big_speedup,
                       CoreId core = kInvalidId);
 
+    /**
+     * Admission-controlled variant of admit_task(): consult the
+     * governor (Governor::admission_check) first, and on rejection
+     * count it on the bus and return kInvalidId with the typed
+     * reason in `*why` (kNone on success).  The fleet placement
+     * layer and external submitters go through this; admit_task()
+     * remains the unconditional path (restores, tests).
+     */
+    TaskId try_admit_task(const workload::TaskSpec& spec,
+                          SimConfig::Lifetime life, double big_speedup,
+                          CoreId core = kInvalidId,
+                          AdmitReject* why = nullptr);
+
+    /**
+     * Retarget task `t`'s departure time (fleet evacuation: the task
+     * leaves this chip at `departure` and its spec is re-admitted
+     * elsewhere).  Materializes implicit whole-run lifetime windows
+     * first, exactly like a mid-run admission does.
+     */
+    void set_task_departure(TaskId t, SimTime departure);
+
     /** Current simulated time. */
     SimTime now() const { return now_; }
 
@@ -262,7 +283,28 @@ class Simulation
     /** Build the summary from the metrics collected so far. */
     RunSummary summary() const;
 
+    /**
+     * Serialize the complete dynamic state between ticks.  The
+     * archive records the mid-run admission log first, then every
+     * subsystem; load() -- called on a freshly constructed Simulation
+     * built from the same configuration -- runs the governor's init,
+     * replays the admissions (so every container reaches its final
+     * size through the same code path), then overwrites the dynamic
+     * state.  A run saved at time T and restored into a new process
+     * continues byte-identically to the uninterrupted run.
+     */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
+
   private:
+    /** One mid-run admission, recorded for snapshot replay. */
+    struct AdmittedTask {
+        workload::TaskSpec spec;
+        SimConfig::Lifetime life;
+        double big_speedup = 0.0;
+        CoreId core = kInvalidId;
+    };
+
     /** Record per-cluster power for the elapsed tick. */
     void record_power(SimTime dt);
 
@@ -315,6 +357,7 @@ class Simulation
     long vf_transitions_ = 0;
     long last_migrations_ = 0;  ///< For the migrations counter delta.
     bool initialized_ = false;
+    std::vector<AdmittedTask> admit_log_;  ///< For snapshot replay.
     // Snapshot at the end of warmup, for avg_power_post_warmup.
     // Kept here (not via SensorBank::mark()) because governors own
     // the sensor bank's marking for their own control epochs.
@@ -326,6 +369,7 @@ class Simulation
     // per-tick and per-sample paths never rebuild series names.
     metrics::SeriesId chip_power_id_ = 0;
     metrics::SeriesId migrations_id_ = 0;
+    metrics::SeriesId admission_reject_id_ = 0;
     std::vector<metrics::SeriesId> cluster_mhz_ids_;
     std::vector<metrics::SeriesId> cluster_temp_ids_;
     std::vector<metrics::SeriesId> vf_step_ids_;

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * save/load for the common statistics primitives.  Lives in the
+ * snapshot library (not ppm_common) so the common library keeps zero
+ * dependency on the archive code.
+ */
+
+#include "common/stats.hh"
+#include "snapshot/archive.hh"
+
+namespace ppm {
+
+void
+OnlineStats::save(snap::Writer& w) const
+{
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+    w.f64(sum_);
+}
+
+void
+OnlineStats::load(snap::Reader& r)
+{
+    n_ = static_cast<std::size_t>(r.u64());
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+    sum_ = r.f64();
+}
+
+void
+DutyCycle::save(snap::Writer& w) const
+{
+    w.i64(total_);
+    w.i64(true_);
+}
+
+void
+DutyCycle::load(snap::Reader& r)
+{
+    total_ = r.i64();
+    true_ = r.i64();
+}
+
+void
+WindowRate::save(snap::Writer& w) const
+{
+    w.i64(window_);
+    w.u64(ring_.size());
+    w.u64(runs_);
+    for (std::size_t i = 0; i < runs_; ++i) {
+        const Run& run = ring_[(head_ + i) & (ring_.size() - 1)];
+        w.i64(run.first);
+        w.i64(run.stride);
+        w.i64(static_cast<std::int64_t>(run.n));
+        w.f64(run.count);
+    }
+    w.i64(static_cast<std::int64_t>(count_));
+    w.f64(window_sum_);
+}
+
+void
+WindowRate::load(snap::Reader& r)
+{
+    window_ = r.i64();
+    const std::size_t capacity = static_cast<std::size_t>(r.u64());
+    runs_ = static_cast<std::size_t>(r.u64());
+    ring_.assign(capacity, Run{});
+    head_ = 0;
+    for (std::size_t i = 0; i < runs_; ++i) {
+        Run& run = ring_[i];
+        run.first = r.i64();
+        run.stride = r.i64();
+        run.n = static_cast<long>(r.i64());
+        run.count = r.f64();
+    }
+    count_ = static_cast<long>(r.i64());
+    window_sum_ = r.f64();
+}
+
+} // namespace ppm

@@ -21,6 +21,11 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+namespace ppm::snap {
+class Writer;
+class Reader;
+} // namespace ppm::snap
+
 namespace ppm::workload {
 
 /** Per-task heart-rate monitor and demand estimator. */
@@ -87,6 +92,9 @@ class HeartRateMonitor
      * (caller must have established replay_steady()).
      */
     void advance_steady(SimTime shift);
+
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     double min_hr_;

@@ -51,6 +51,10 @@ struct TaskSpec {
  * @param target_hr    Target heart rate in hb/s.
  * @param self_pace_hr Optional self-pacing rate (0 = greedy).
  */
+/** Serialize a full TaskSpec (used by the mid-run admission log). */
+void save_task_spec(snap::Writer& w, const TaskSpec& spec);
+TaskSpec load_task_spec(snap::Reader& r);
+
 TaskSpec steady_task_spec(const std::string& name, int priority,
                           Pu demand_little, double big_speedup = 1.6,
                           double target_hr = 20.0,
@@ -161,6 +165,10 @@ class Task
 
     /** Index of the current phase. */
     int phase_index() const { return phase_idx_; }
+
+    /** Dynamic state only (phase clock, totals, HRM windows). */
+    void save(snap::Writer& w) const;
+    void load(snap::Reader& r);
 
   private:
     /** Advance phase-relative time, looping over the phase list. */

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Snapshot serialization of tasks and their heart-rate monitors.
+ */
+
+#include "snapshot/archive.hh"
+#include "workload/hrm.hh"
+#include "workload/task.hh"
+
+namespace ppm::workload {
+
+void
+HeartRateMonitor::save(snap::Writer& w) const
+{
+    beats_.save(w);
+    supply_.save(w);
+}
+
+void
+HeartRateMonitor::load(snap::Reader& r)
+{
+    beats_.load(r);
+    supply_.load(r);
+}
+
+void
+save_task_spec(snap::Writer& w, const TaskSpec& spec)
+{
+    w.str(spec.name);
+    w.i32(spec.priority);
+    w.f64(spec.min_hr);
+    w.f64(spec.max_hr);
+    w.u64(spec.phases.size());
+    for (const Phase& p : spec.phases) {
+        w.i64(p.duration);
+        w.f64(p.work_per_hb_little);
+        w.f64(p.work_per_hb_big);
+    }
+    w.f64(spec.self_pace_hr);
+}
+
+TaskSpec
+load_task_spec(snap::Reader& r)
+{
+    TaskSpec spec;
+    spec.name = r.str();
+    spec.priority = r.i32();
+    spec.min_hr = r.f64();
+    spec.max_hr = r.f64();
+    spec.phases.resize(r.u64());
+    for (Phase& p : spec.phases) {
+        p.duration = r.i64();
+        p.work_per_hb_little = r.f64();
+        p.work_per_hb_big = r.f64();
+    }
+    spec.self_pace_hr = r.f64();
+    return spec;
+}
+
+void
+Task::save(snap::Writer& w) const
+{
+    hrm_.save(w);
+    w.i32(phase_idx_);
+    w.i64(time_in_phase_);
+    w.f64(total_hb_);
+    w.f64(total_cycles_);
+}
+
+void
+Task::load(snap::Reader& r)
+{
+    hrm_.load(r);
+    phase_idx_ = r.i32();
+    time_in_phase_ = r.i64();
+    total_hb_ = r.f64();
+    total_cycles_ = r.f64();
+}
+
+} // namespace ppm::workload

@@ -104,9 +104,11 @@ TEST(HlGovernor, BalancesQueuesWithinCluster)
     cfg.duration = 20 * kSecond;
     // Six tasks -> three per big core after crowding + balancing.
     std::vector<workload::TaskSpec> specs;
-    for (int i = 0; i < 6; ++i)
-        specs.push_back(test::steady_spec("t" + std::to_string(i), 1,
-                                          300.0));
+    for (int i = 0; i < 6; ++i) {
+        std::string name = "t";
+        name += std::to_string(i);
+        specs.push_back(test::steady_spec(name, 1, 300.0));
+    }
     sim::Simulation sim(hw::tc2_chip(), specs,
                         std::make_unique<HlGovernor>(HlConfig{}), cfg);
     sim.run();
@@ -159,9 +161,11 @@ TEST(HpmGovernor, TdpLoopCapsPower)
     cfg.duration = 90 * kSecond;
     cfg.tdp_for_metrics = 3.0;
     std::vector<workload::TaskSpec> specs;
-    for (int i = 0; i < 5; ++i)
-        specs.push_back(test::steady_spec("t" + std::to_string(i), 1,
-                                          900.0));
+    for (int i = 0; i < 5; ++i) {
+        std::string name = "t";
+        name += std::to_string(i);
+        specs.push_back(test::steady_spec(name, 1, 900.0));
+    }
     sim::Simulation sim(hw::tc2_chip(), specs,
                         std::make_unique<HpmGovernor>(hpm), cfg);
     const auto summary = sim.run();

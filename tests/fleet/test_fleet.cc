@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.hh"
+#include "fault/fault.hh"
 #include "fleet/fleet.hh"
 #include "hw/platform.hh"
 #include "market/ppm_governor.hh"
@@ -486,6 +487,177 @@ TEST(Simulation, AdmitTaskMidRunJoinsTheEconomy)
     ASSERT_EQ(s.task_outside.size(), 2u);
     // The joiner lived half the run and was actually served.
     EXPECT_LT(s.task_outside[1], 1.0);
+}
+
+// ----------------------------------------------------------------
+// Chip failure, evacuation and recovery.
+
+/** The golden fleet with a hand-built chip-fault schedule. */
+fleet::FleetConfig
+faulted_fleet_config(int chips,
+                     const std::vector<fault::FleetFaultEvent>& events)
+{
+    fleet::FleetConfig fc = golden_fleet_config(chips, 1);
+    for (const fault::FleetFaultEvent& ev : events)
+        fc.fleet_faults.add(ev);
+    return fc;
+}
+
+/** A fail event on the epoch grid. */
+fault::FleetFaultEvent
+fail_at(SimTime t, int chip)
+{
+    fault::FleetFaultEvent ev;
+    ev.kind = fault::FleetFaultKind::kChipFail;
+    ev.time = t;
+    ev.chip = chip;
+    return ev;
+}
+
+fault::FleetFaultEvent
+recover_at(SimTime t, int chip)
+{
+    fault::FleetFaultEvent ev;
+    ev.kind = fault::FleetFaultKind::kChipRecover;
+    ev.time = t;
+    ev.chip = chip;
+    return ev;
+}
+
+TEST(FleetFaults, EmptyPlanLeavesTheRunByteIdentical)
+{
+    // The fault machinery must be fully disabled -- not merely
+    // inert -- when the plan is empty: same bytes on every stream.
+    const FleetBytes plain = run_golden_fleet(3, 1);
+
+    std::ostringstream fleet_os, chip_os;
+    metrics::JsonlSink fleet_sink(fleet_os), chip_sink(chip_os);
+    fleet::Fleet fleet(
+        faulted_fleet_config(3, {}));  // Explicitly empty plan.
+    fleet.bus().add_sink(&fleet_sink);
+    fleet.shard(0).bus().add_sink(&chip_sink);
+    const fleet::FleetResult res = fleet.run();
+
+    EXPECT_EQ(fingerprint(res.combined), plain.summary);
+    EXPECT_EQ(fleet_os.str(), plain.fleet_jsonl);
+    EXPECT_EQ(chip_os.str(), plain.chip0_jsonl);
+    EXPECT_EQ(res.final_budgets, plain.final_budgets);
+    EXPECT_EQ(res.chip_failures, 0);
+    EXPECT_EQ(res.evacuations, 0);
+    EXPECT_FALSE(res.all_chips_failed);
+}
+
+TEST(FleetFaults, FailureEvacuatesAndConservesTasks)
+{
+    fleet::Fleet fleet(faulted_fleet_config(
+        3, {fail_at(2016 * kMillisecond, 1)}));
+    const fleet::FleetResult res = fleet.run();
+
+    EXPECT_EQ(res.chip_failures, 1);
+    EXPECT_EQ(res.chip_recoveries, 0);
+    // At 2016 ms the golden workload has two live tasks on chip 1
+    // (task 2 departed at 2 s); both must be pulled off, and
+    // conservation must hold exactly.
+    EXPECT_EQ(res.evacuations, 2);
+    EXPECT_EQ(res.evacuations, res.evac_landed + res.evac_pending_end);
+    EXPECT_EQ(res.evac_landed, 2) << "two healthy chips had room";
+    ASSERT_EQ(res.final_health.size(), 3u);
+    EXPECT_EQ(res.final_health[1], 2);
+    EXPECT_EQ(res.final_health[0], 0);
+    EXPECT_EQ(res.final_health[2], 0);
+    // The dead chip is out of the settlement: survivors carry the
+    // whole fleet budget.
+    ASSERT_EQ(res.final_budgets.size(), 3u);
+    EXPECT_NEAR(res.final_budgets[0] + res.final_budgets[2], 10.5,
+                1e-9 * 10.5);
+    EXPECT_FALSE(res.all_chips_failed);
+}
+
+TEST(FleetFaults, LastSurvivorGetsTheFleetBudgetVerbatim)
+{
+    // Kill chips 1 and 2; chip 0 is the last survivor, and the
+    // 1-chip settlement path must hand it the total bitwise -- no
+    // floor/remainder arithmetic may rewrite it.
+    fleet::Fleet fleet(faulted_fleet_config(
+        3, {fail_at(960 * kMillisecond, 1),
+            fail_at(1920 * kMillisecond, 2)}));
+    const fleet::FleetResult res = fleet.run();
+
+    EXPECT_EQ(res.chip_failures, 2);
+    ASSERT_EQ(res.final_budgets.size(), 3u);
+    EXPECT_EQ(res.final_budgets[0], 10.5);
+    EXPECT_FALSE(res.all_chips_failed);
+    EXPECT_EQ(res.evacuations, res.evac_landed + res.evac_pending_end);
+}
+
+TEST(FleetFaults, AllChipsFailedEndsCleanlyAndLoudly)
+{
+    fleet::Fleet fleet(faulted_fleet_config(
+        2, {fail_at(960 * kMillisecond, 0),
+            fail_at(960 * kMillisecond, 1)}));
+    const fleet::FleetResult res = fleet.run();
+
+    EXPECT_TRUE(res.all_chips_failed);
+    EXPECT_EQ(res.chip_failures, 2);
+    // Nowhere to land: every evacuated task stays queued to the end.
+    EXPECT_GT(res.evacuations, 0);
+    EXPECT_EQ(res.evac_landed, 0);
+    EXPECT_EQ(res.evac_pending_end, res.evacuations);
+    ASSERT_EQ(res.final_health.size(), 2u);
+    EXPECT_EQ(res.final_health[0], 2);
+    EXPECT_EQ(res.final_health[1], 2);
+}
+
+TEST(FleetFaults, RecoveryLandsOnTheBarrierAndDrainsTheQueue)
+{
+    // 2-chip fleet: chip 1 dies, then recovers; after recovery the
+    // pending queue drains and the chip rejoins the settlement.
+    fleet::Fleet fleet(faulted_fleet_config(
+        2, {fail_at(960 * kMillisecond, 1),
+            recover_at(2976 * kMillisecond, 1)}));
+    const fleet::FleetResult res = fleet.run();
+
+    EXPECT_EQ(res.chip_failures, 1);
+    EXPECT_EQ(res.chip_recoveries, 1);
+    EXPECT_EQ(res.evacuations, res.evac_landed + res.evac_pending_end);
+    ASSERT_EQ(res.final_health.size(), 2u);
+    EXPECT_EQ(res.final_health[1], 0) << "recovered to healthy";
+    // Back in the settlement: both chips hold budget at the end.
+    ASSERT_EQ(res.final_budgets.size(), 2u);
+    EXPECT_GT(res.final_budgets[1], 0.0);
+    EXPECT_NEAR(res.final_budgets[0] + res.final_budgets[1], 7.0,
+                1e-9 * 7.0);
+}
+
+TEST(FleetFaults, CompiledPlanIsDeterministicAndOnTheGrid)
+{
+    fault::FaultSpec spec;
+    spec.seed = 7;
+    spec.chip_fail = true;
+    spec.chip_degrade = true;
+    spec.chip_recover = true;
+    spec.chip_rate_per_min = 30.0;
+    const SimTime duration = 6 * kSecond;
+    const SimTime epoch = 96 * kMillisecond;
+    const fault::FleetFaultPlan a =
+        fault::FleetFaultPlan::compile(spec, 4, duration, epoch);
+    const fault::FleetFaultPlan b =
+        fault::FleetFaultPlan::compile(spec, 4, duration, epoch);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        const fault::FleetFaultEvent& ea = a.events()[i];
+        const fault::FleetFaultEvent& eb = b.events()[i];
+        EXPECT_EQ(ea.kind, eb.kind);
+        EXPECT_EQ(ea.time, eb.time);
+        EXPECT_EQ(ea.chip, eb.chip);
+        EXPECT_EQ(ea.factor, eb.factor);
+        // Transitions land on settlement barriers only.
+        EXPECT_EQ(ea.time % epoch, 0) << "event " << i;
+        EXPECT_GE(ea.chip, 0);
+        EXPECT_LT(ea.chip, 4);
+        EXPECT_LE(ea.time, duration);
+    }
 }
 
 TEST(Fleet, SharedClearingPoolMatchesOwnedPool)

@@ -37,9 +37,10 @@ TEST_P(SchedulerPropertyTest, ConservationAndFairness)
         const double demand = rng.uniform(50.0, 900.0);
         const double pace =
             rng.chance(0.4) ? rng.uniform(5.0, 30.0) : 0.0;
+        std::string name = "t";
+        name += std::to_string(t);
         tasks.push_back(std::make_unique<workload::Task>(
-            t, test::steady_spec("t" + std::to_string(t), 1, demand,
-                                 1.8, 20.0, pace)));
+            t, test::steady_spec(name, 1, demand, 1.8, 20.0, pace)));
         sched.add_task(tasks.back().get(),
                        static_cast<CoreId>(
                            rng.uniform_int(0, chip.num_cores() - 1)));

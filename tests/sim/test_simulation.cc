@@ -42,9 +42,11 @@ class FixedLevelGovernor : public Governor
 TEST(Simulation, RoundRobinInitialPlacementOnBootCluster)
 {
     std::vector<workload::TaskSpec> specs;
-    for (int i = 0; i < 5; ++i)
-        specs.push_back(test::steady_spec("t" + std::to_string(i), 1,
-                                          100.0));
+    for (int i = 0; i < 5; ++i) {
+        std::string name = "t";
+        name += std::to_string(i);
+        specs.push_back(test::steady_spec(name, 1, 100.0));
+    }
     SimConfig cfg;
     cfg.duration = kMillisecond;
     Simulation sim(hw::tc2_chip(), specs,

@@ -10,6 +10,8 @@
  *           [--trace-format csv|jsonl] [--trace-out PATH] [--csv]
  *           [--per-tick] [--no-incremental] [--faults SPEC]
  *           [--fleet N] [--fleet-budget WATTS] [--fleet-epoch MS]
+ *           [--snapshot-out PATH] [--snapshot-at MS]
+ *           [--snapshot-every MS] [--snapshot-in PATH]
  *
  * --no-incremental disables PPM's incremental active-set clearing
  * (PpmConfig::incremental): every market entry is recomputed every
@@ -37,6 +39,33 @@
  * "--faults all,seed=7,rate=12".  The summary then carries the fault
  * accounting rows (faults injected, sensor fallbacks, retries,
  * safe-mode time, watchdog trips, over-TDP time during faults).
+ * Fleet runs additionally accept the chip-scope classes chip-fail,
+ * chip-degrade and chip-recover (knobs: chip_rate=, degrade=): whole
+ * chips drop out of the supervisor economy at settlement barriers,
+ * their tasks are evacuated to the cheapest surviving chips, and
+ * recoveries return them.  The summary then carries chip_failures /
+ * evacuations / evac_landed / evac_pending rows, and the invariant
+ * evacuations == evac_landed + evac_pending holds on every run.
+ *
+ * Snapshots (crash-consistent save/restore):
+ *  - --snapshot-out PATH --snapshot-at MS runs until simulated time
+ *    MS, atomically writes a versioned checksummed snapshot and exits
+ *    without finishing the run;
+ *  - --snapshot-in PATH restores a snapshot (the OTHER flags must
+ *    repeat the saving run's configuration verbatim -- workload,
+ *    policy, seed, duration, faults, fleet shape) and continues to
+ *    completion.  The restored run's summary and traces are
+ *    byte-identical to the uninterrupted run: a CSV trace stream
+ *    resumed from a snapshot omits the header row, so concatenating
+ *    the pre-kill part with the restored part reproduces the full
+ *    run's trace bytes exactly;
+ *  - --snapshot-out PATH --snapshot-every MS saves periodically while
+ *    running to completion (each save atomically replaces PATH).
+ *  Corrupt, truncated or version-mismatched snapshots are rejected
+ *  with a one-line diagnostic and exit code 2.  In fleet mode the
+ *  snapshot covers the whole federation (supervisor, health, pending
+ *  evacuations, every shard) and saves land on the next epoch
+ *  barrier at or after the requested time.
  *
  * --avg-seeds N runs N seeds (seed, +100, +200, ...) and prints the
  * cross-seed aggregate (see experiment::aggregate_summaries); --jobs
@@ -83,6 +112,7 @@
 #include "fleet/fleet.hh"
 #include "hw/platform.hh"
 #include "metrics/telemetry.hh"
+#include "snapshot/archive.hh"
 #include "workload/benchmarks.hh"
 
 namespace {
@@ -99,6 +129,8 @@ usage(const char* argv0)
         "          [--per-tick] [--no-incremental] [--faults SPEC]\n"
         "          [--list-sets]\n"
         "          [--fleet N] [--fleet-budget WATTS] [--fleet-epoch MS]\n"
+        "          [--snapshot-out PATH] [--snapshot-at MS]\n"
+        "          [--snapshot-every MS] [--snapshot-in PATH]\n"
         "\n"
         "--no-incremental disables PPM's incremental active-set\n"
         "clearing and recomputes every market entry each round\n"
@@ -114,7 +146,14 @@ usage(const char* argv0)
         "--faults SPEC injects deterministic platform faults, e.g.\n"
         "--faults all,seed=7,rate=12 (classes: sensor dvfs migration\n"
         "offline all; keys: seed rate duration_ms noise_w delay_ms\n"
-        "stale_ms staleness_ms retries backoff_ms).\n",
+        "stale_ms staleness_ms retries backoff_ms; fleet-only chip\n"
+        "classes: chip-fail chip-degrade chip-recover, keys chip_rate\n"
+        "degrade).\n"
+        "--snapshot-out PATH --snapshot-at MS saves a crash-consistent\n"
+        "snapshot at simulated time MS and exits; --snapshot-in PATH\n"
+        "restores one (repeat the saving run's flags) and continues\n"
+        "byte-identically; --snapshot-every MS saves periodically\n"
+        "while running to completion.\n",
         argv0);
     std::exit(2);
 }
@@ -159,6 +198,10 @@ main(int argc, char** argv)
     double fleet_budget = 0.0;  // 0 = derive from --tdp.
     SimTime fleet_epoch = 96 * kMillisecond;
     bool fleet_opts_given = false;
+    std::string snap_out;
+    std::string snap_in;
+    SimTime snap_at = 0;     // 0 = no save-and-exit point.
+    SimTime snap_every = 0;  // 0 = no periodic saves.
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -271,6 +314,25 @@ main(int argc, char** argv)
                         "expects a positive epoch in milliseconds", text);
             fleet_epoch = ms * kMillisecond;
             fleet_opts_given = true;
+        } else if (arg == "--snapshot-out") {
+            snap_out = next();
+        } else if (arg == "--snapshot-in") {
+            snap_in = next();
+        } else if (arg == "--snapshot-at") {
+            const char* text = next();
+            const long ms = parse_int("--snapshot-at", text);
+            if (ms < 1)
+                bad_arg("--snapshot-at",
+                        "expects a positive time in milliseconds", text);
+            snap_at = ms * kMillisecond;
+        } else if (arg == "--snapshot-every") {
+            const char* text = next();
+            const long ms = parse_int("--snapshot-every", text);
+            if (ms < 1)
+                bad_arg("--snapshot-every",
+                        "expects a positive period in milliseconds",
+                        text);
+            snap_every = ms * kMillisecond;
         } else if (arg == "--csv") {
             csv_summary = true;
         } else if (arg == "--list-sets") {
@@ -306,6 +368,24 @@ main(int argc, char** argv)
         fatal("--trace-format needs --trace-out PATH");
     if (!fleet_mode && fleet_opts_given)
         fatal("--fleet-budget/--fleet-epoch need --fleet N");
+    if (params.faults.any_fleet() && !fleet_mode)
+        fatal("chip-scope fault classes (chip-fail/chip-degrade) need "
+              "--fleet N");
+    const bool snapshotting =
+        snap_at > 0 || snap_every > 0 || !snap_in.empty();
+    if ((snap_at > 0 || snap_every > 0) && snap_out.empty())
+        fatal("--snapshot-at/--snapshot-every need --snapshot-out PATH");
+    if (!snap_out.empty() && snap_at == 0 && snap_every == 0)
+        fatal("--snapshot-out needs --snapshot-at or --snapshot-every");
+    if (snap_at > 0 && snap_every > 0)
+        fatal("--snapshot-at and --snapshot-every are exclusive");
+    if (snap_at > 0 && snap_at >= params.duration)
+        fatal("--snapshot-at must fall before the run end (--seconds)");
+    if (snapshotting && avg_seeds > 1)
+        fatal("snapshots cover one run; drop --avg-seeds");
+    if (snap_at > 0 && !trace_path.empty())
+        fatal("--snapshot-at exits before the wide CSV is written; put "
+              "--trace on the restoring run instead");
     if (fleet_mode) {
         // Per-shard traces would need per-chip output paths; the
         // fleet-level series live on Fleet::bus() instead.
@@ -330,9 +410,11 @@ main(int argc, char** argv)
         stream_out.open(stream_path);
         if (!stream_out)
             fatal("cannot write trace file '%s'", stream_path.c_str());
+        // A restored run resumes an existing trace stream: suppress
+        // the header so pre-kill bytes + restored bytes == full run.
         if (stream_format == "csv")
-            stream_sink =
-                std::make_unique<metrics::CsvStreamSink>(stream_out);
+            stream_sink = std::make_unique<metrics::CsvStreamSink>(
+                stream_out, /*write_header=*/snap_in.empty());
         else
             stream_sink =
                 std::make_unique<metrics::JsonlSink>(stream_out);
@@ -352,7 +434,73 @@ main(int argc, char** argv)
         }
     }
 
+    // Restore a snapshot into `target` (Simulation or Fleet), or exit
+    // 2 with a one-line diagnostic naming the failure (truncated, bad
+    // magic, version mismatch, checksum mismatch, trailing bytes).
+    auto restore_or_die = [&snap_in](auto& target) {
+        snap::Reader r;
+        const snap::LoadStatus st = snap::read_file(snap_in, &r);
+        if (st != snap::LoadStatus::kOk) {
+            std::fprintf(stderr,
+                         "ppm_run: cannot restore snapshot '%s': %s\n",
+                         snap_in.c_str(), snap::load_status_name(st));
+            std::exit(2);
+        }
+        target.load(r);
+        if (r.remaining() != 0) {
+            std::fprintf(
+                stderr,
+                "ppm_run: cannot restore snapshot '%s': %zu trailing "
+                "payload bytes (flags differ from the saving run?)\n",
+                snap_in.c_str(), r.remaining());
+            std::exit(2);
+        }
+    };
+
+    // Save `source` atomically to --snapshot-out; accounting rides the
+    // bus as snapshot.* counters (excluded from saved state, so a
+    // restored run never inherits them).
+    auto save_or_die = [&snap_out](auto& source, metrics::TraceBus& bus) {
+        snap::Writer w;
+        const auto t0 = std::chrono::steady_clock::now();
+        source.save(w);
+        std::string error;
+        if (!snap::write_file(snap_out, w, &error)) {
+            std::fprintf(stderr, "ppm_run: snapshot save failed: %s\n",
+                         error.c_str());
+            std::exit(1);
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        bus.count("snapshot.saves");
+        bus.count("snapshot.bytes", static_cast<long>(w.size()));
+        bus.count("snapshot.ms", static_cast<long>(ms + 0.5));
+        std::fprintf(stderr, "snapshot: %zu bytes to %s (%.1f ms)\n",
+                     w.size(), snap_out.c_str(), ms);
+    };
+
+    // --snapshot-at exit: the run is intentionally unfinished; flush
+    // any trace stream so the pre-kill bytes are complete on disk.
+    auto snapshot_exit = [&]() -> int {
+        int code = 0;
+        if (!stream_path.empty()) {
+            stream_sink->flush();
+            stream_out.close();
+            if (stream_sink->failed() || !stream_out) {
+                std::fprintf(stderr,
+                             "ppm_run: error streaming trace to '%s'\n",
+                             stream_path.c_str());
+                code = 1;
+            }
+        }
+        std::printf("snapshot written to %s\n", snap_out.c_str());
+        return code;
+    };
+
     sim::RunSummary s;
+    fleet::FleetResult fleet_res;
     double wall_seconds = 0.0;
     long fleet_epochs = 0;
     double fleet_eff_budget = 0.0;
@@ -384,6 +532,10 @@ main(int argc, char** argv)
                 params.faults, proto.num_clusters(), proto.num_cores(),
                 fc.sim.duration, fc.sim.tick);
         }
+        if (params.faults.any_fleet()) {
+            fc.fleet_faults = fault::FleetFaultPlan::compile(
+                params.faults, fleet_chips, fc.sim.duration, fc.epoch);
+        }
         for (int c = 0; c < fleet_chips; ++c) {
             const std::uint64_t chip_seed = c == 0
                 ? params.seed
@@ -412,18 +564,97 @@ main(int argc, char** argv)
         };
         const auto start = std::chrono::steady_clock::now();
         fleet::Fleet fleet(std::move(fc));
-        const fleet::FleetResult res = fleet.run();
+        if (!snap_in.empty())
+            restore_or_die(fleet);
+        if (snap_at > 0) {
+            // Fleet state is only consistent at epoch barriers: save
+            // at the first barrier at or after the requested time.
+            while (fleet.now() < snap_at && fleet.run_epoch()) {
+            }
+            save_or_die(fleet, fleet.bus());
+            return snapshot_exit();
+        }
+        if (snap_every > 0) {
+            SimTime due =
+                (fleet.now() / snap_every + 1) * snap_every;
+            while (fleet.now() < params.duration && fleet.run_epoch()) {
+                if (fleet.now() >= due) {
+                    save_or_die(fleet, fleet.bus());
+                    due = (fleet.now() / snap_every + 1) * snap_every;
+                }
+            }
+        }
+        fleet_res = fleet.run();
         wall_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
-        s = res.combined;
-        fleet_epochs = res.supervisor_epochs;
+        s = fleet_res.combined;
+        fleet_epochs = fleet_res.supervisor_epochs;
     } else if (avg_seeds > 1) {
         const auto start = std::chrono::steady_clock::now();
         s = experiment::run_set_avg(set, params, avg_seeds, jobs);
         wall_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+    } else if (snapshotting) {
+        // Snapshot runs need mid-run control of the Simulation, so
+        // build it here exactly as experiment::run_specs() does; the
+        // restore path rebuilds this identical object from the same
+        // flags and then overwrites its dynamic state from the file.
+        if (jobs_given)
+            params.clearing_jobs = jobs;
+        const auto specs = workload::instantiate(
+            set, params.seed, params.priority,
+            params.duration + 100 * kSecond);
+        std::vector<double> speedups;
+        for (const auto& member : set.members) {
+            speedups.push_back(
+                workload::profile(member.bench, member.input)
+                    .big_speedup);
+        }
+        sim::SimConfig sim_cfg;
+        sim_cfg.duration = params.duration;
+        sim_cfg.trace = params.trace;
+        sim_cfg.tdp_for_metrics = params.tdp;
+        sim_cfg.macro_step = params.macro_step;
+        hw::Chip chip = hw::tc2_chip();
+        if (params.faults.any()) {
+            sim_cfg.faults = fault::FaultPlan::compile(
+                params.faults, chip.num_clusters(), chip.num_cores(),
+                sim_cfg.duration, sim_cfg.tick);
+        }
+        sim::Simulation simulation(
+            std::move(chip), specs,
+            experiment::make_governor(
+                params.policy, params.tdp, speedups,
+                params.online_speedup, params.clearing_jobs,
+                params.clearing_pool, params.incremental),
+            sim_cfg);
+        if (params.extra_sink != nullptr)
+            simulation.bus().add_sink(params.extra_sink);
+        if (!snap_in.empty())
+            restore_or_die(simulation);
+        const auto start = std::chrono::steady_clock::now();
+        if (snap_at > 0) {
+            simulation.run_until(snap_at);
+            save_or_die(simulation, simulation.bus());
+            return snapshot_exit();
+        }
+        if (snap_every > 0) {
+            for (SimTime due =
+                     (simulation.now() / snap_every + 1) * snap_every;
+                 due < params.duration; due += snap_every) {
+                simulation.run_until(due);
+                save_or_die(simulation, simulation.bus());
+            }
+        }
+        simulation.run_until(params.duration);
+        s = simulation.finish();
+        wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        if (!trace_path.empty())
+            simulation.recorder().write_csv(trace_out);
     } else {
         // Single run: --jobs drives the market's parallel clearing
         // engine (0 = all hardware threads, resolved by the pool).
@@ -493,6 +724,28 @@ main(int argc, char** argv)
         table.add_row({"supervisor_epochs",
                        std::to_string(fleet_epochs)});
     }
+    // Chip-scope fault accounting; the conservation invariant
+    // evacuations == evac_landed + evac_pending holds on every run.
+    if (fleet_mode && params.faults.any_fleet()) {
+        table.add_row({"chip_failures",
+                       std::to_string(fleet_res.chip_failures)});
+        table.add_row({"chip_recoveries",
+                       std::to_string(fleet_res.chip_recoveries)});
+        table.add_row({"evacuations",
+                       std::to_string(fleet_res.evacuations)});
+        table.add_row({"evac_landed",
+                       std::to_string(fleet_res.evac_landed)});
+        table.add_row({"evac_pending",
+                       std::to_string(fleet_res.evac_pending_end)});
+        table.add_row({"fleet_rejections",
+                       std::to_string(fleet_res.rejections)});
+        table.add_row({"all_chips_failed",
+                       fleet_res.all_chips_failed ? "yes" : "no"});
+    }
+    if (fleet_mode && fleet_res.fleet_watchdog_trips > 0) {
+        table.add_row({"fleet_watchdog_trips",
+                       std::to_string(fleet_res.fleet_watchdog_trips)});
+    }
     if (params.faults.any()) {
         table.add_row({"faults_injected",
                        std::to_string(s.faults_injected)});
@@ -516,6 +769,11 @@ main(int argc, char** argv)
     // Wall clock is machine-dependent; keep it off the summary table
     // (stdout stays comparable across hosts and --jobs values).
     std::fprintf(stderr, "wall-clock: %.2f s\n", wall_seconds);
+    if (fleet_res.all_chips_failed) {
+        std::fprintf(stderr,
+                     "ppm_run: warning: the whole fleet was failed at "
+                     "once during this run (results cover the outage)\n");
+    }
 
     int exit_code = 0;
     if (!trace_path.empty()) {

@@ -381,5 +381,43 @@ main(int argc, char** argv)
         std::printf("market_rounds_early_exit: %s\n",
                     fmt_double(early_exits, 0).c_str());
     }
+
+    // Fleet fault-tolerance totals (Fleet::bus() counters; absent on
+    // single-chip and healthy-fleet traces).  The conservation line
+    // restates the engine invariant for eyeballing dumps: every
+    // evacuation either landed or was still queued at the end.
+    const double failures = counter_total("fleet.chip_failures");
+    const double recoveries = counter_total("fleet.chip_recoveries");
+    const double evacuations = counter_total("fleet.evacuations");
+    if (failures > 0 || recoveries > 0 || evacuations > 0) {
+        std::printf("fleet_chip_failures: %s\n",
+                    fmt_double(failures, 0).c_str());
+        std::printf("fleet_chip_recoveries: %s\n",
+                    fmt_double(recoveries, 0).c_str());
+        std::printf("fleet_evacuations: %s\n",
+                    fmt_double(evacuations, 0).c_str());
+        std::printf("fleet_evac_landed: %s\n",
+                    fmt_double(counter_total("fleet.evac_landed"), 0)
+                        .c_str());
+        std::printf("fleet_evac_pending: %s\n",
+                    fmt_double(counter_total("fleet.evac_pending"), 0)
+                        .c_str());
+        std::printf("fleet_rejections: %s\n",
+                    fmt_double(counter_total("fleet.rejections"), 0)
+                        .c_str());
+        std::printf("fleet_watchdog_trips: %s\n",
+                    fmt_double(counter_total("fleet.watchdog_trips"), 0)
+                        .c_str());
+    }
+
+    // Snapshot accounting (ppm_run --snapshot-every riders).
+    const double snap_saves = counter_total("snapshot.saves");
+    if (snap_saves > 0) {
+        std::printf("snapshot_saves: %s\n",
+                    fmt_double(snap_saves, 0).c_str());
+        std::printf("snapshot_bytes: %s\n",
+                    fmt_double(counter_total("snapshot.bytes"), 0)
+                        .c_str());
+    }
     return 0;
 }
